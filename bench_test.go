@@ -1,0 +1,517 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus microbenchmarks of the pipeline stages. Each experiment
+// benchmark regenerates the corresponding result and logs the rendered rows
+// (visible with `go test -bench=. -v` or in -benchmem runs via -run=^$);
+// cmd/sdbench prints the same tables without the timing harness.
+//
+// Profile: benches run the small profile by default so the whole suite
+// finishes in minutes; set SD_BENCH_PROFILE=full for the paper-scale run
+// (what EXPERIMENTS.md reports).
+package syslogdigest_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"syslogdigest/internal/core"
+	"syslogdigest/internal/experiments"
+	"syslogdigest/internal/gen"
+	"syslogdigest/internal/locdict"
+	"syslogdigest/internal/rules"
+	"syslogdigest/internal/template"
+	"syslogdigest/internal/temporal"
+)
+
+func benchProfile() experiments.Profile {
+	if os.Getenv("SD_BENCH_PROFILE") == "full" {
+		return experiments.FullProfile()
+	}
+	return experiments.SmallProfile()
+}
+
+func mustCorpus(b *testing.B, kind gen.DatasetKind) *experiments.Corpus {
+	b.Helper()
+	c, err := experiments.Load(kind, benchProfile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+var logOnce sync.Map
+
+// logResult prints a rendered experiment result once per benchmark name.
+func logResult(b *testing.B, text string) {
+	if _, loaded := logOnce.LoadOrStore(b.Name(), true); !loaded {
+		fmt.Printf("\n%s\n", text)
+	}
+}
+
+func BenchmarkTable5_SupportSensitivity(b *testing.B) {
+	for _, kind := range []gen.DatasetKind{gen.DatasetA, gen.DatasetB} {
+		b.Run("dataset"+kind.String(), func(b *testing.B) {
+			c := mustCorpus(b, kind)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Table5(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					logResult(b, experiments.RenderTable5(kind.String(), rows))
+					b.ReportMetric(rows[1].CoveragePct*100, "coverage_pct@5e-4")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFigure6_RulesVsConfidence(b *testing.B) {
+	c := mustCorpus(b, gen.DatasetA)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure6(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logResult(b, experiments.RenderFigure6(rows))
+			b.ReportMetric(float64(rows[0].Rules), "rules@conf0.5")
+		}
+	}
+}
+
+func BenchmarkFigure7_RulesVsWindow(b *testing.B) {
+	for _, kind := range []gen.DatasetKind{gen.DatasetA, gen.DatasetB} {
+		b.Run("dataset"+kind.String(), func(b *testing.B) {
+			c := mustCorpus(b, kind)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Figure7(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					logResult(b, experiments.RenderFigure7(kind.String(), rows))
+					b.ReportMetric(float64(rows[len(rows)-1].Rules), "rules@300s")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFigures8And9_RuleEvolution(b *testing.B) {
+	for _, kind := range []gen.DatasetKind{gen.DatasetA, gen.DatasetB} {
+		b.Run("dataset"+kind.String(), func(b *testing.B) {
+			c := mustCorpus(b, kind)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.RuleEvolution(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					logResult(b, experiments.RenderRuleEvolution(kind.String(), rows))
+					final := rows[len(rows)-1]
+					b.ReportMetric(float64(final.Total), "final_rules")
+					b.ReportMetric(float64(final.Added+final.Deleted), "final_churn")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFigure10_AlphaSweep(b *testing.B) {
+	for _, kind := range []gen.DatasetKind{gen.DatasetA, gen.DatasetB} {
+		b.Run("dataset"+kind.String(), func(b *testing.B) {
+			c := mustCorpus(b, kind)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pts, err := experiments.Figure10(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					logResult(b, experiments.RenderSweep(
+						"Figure 10 — compression ratio vs alpha (beta=2, dataset "+kind.String()+")", "alpha", pts))
+					best := pts[0]
+					for _, p := range pts {
+						if p.Ratio < best.Ratio {
+							best = p
+						}
+					}
+					b.ReportMetric(best.Alpha, "best_alpha")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFigure11_BetaSweep(b *testing.B) {
+	for _, kind := range []gen.DatasetKind{gen.DatasetA, gen.DatasetB} {
+		b.Run("dataset"+kind.String(), func(b *testing.B) {
+			c := mustCorpus(b, kind)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pts, err := experiments.Figure11(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					logResult(b, experiments.RenderSweep(
+						"Figure 11 — compression ratio vs beta (dataset "+kind.String()+")", "beta", pts))
+					b.ReportMetric(pts[len(pts)-1].Ratio*1e3, "ratio_milli@beta7")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable6_ChosenParameters(b *testing.B) {
+	rows := make([]experiments.Table6Row, 0, 2)
+	for _, kind := range []gen.DatasetKind{gen.DatasetA, gen.DatasetB} {
+		c := mustCorpus(b, kind)
+		b.ResetTimer()
+		var row experiments.Table6Row
+		var err error
+		for i := 0; i < b.N; i++ {
+			row, err = experiments.Table6(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		rows = append(rows, row)
+	}
+	logResult(b, experiments.RenderTable6(rows))
+}
+
+func BenchmarkTable7_CompressionByStage(b *testing.B) {
+	for _, kind := range []gen.DatasetKind{gen.DatasetA, gen.DatasetB} {
+		b.Run("dataset"+kind.String(), func(b *testing.B) {
+			c := mustCorpus(b, kind)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Table7(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					logResult(b, experiments.RenderTable7(kind.String(), rows))
+					b.ReportMetric(rows[2].Ratio*1e3, "ratio_milli_full")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFigure12_DailyCounts(b *testing.B) {
+	c := mustCorpus(b, gen.DatasetA)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure12(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logResult(b, experiments.RenderFigure12("A", rows))
+		}
+	}
+}
+
+func BenchmarkFigure13_PerRouter(b *testing.B) {
+	c := mustCorpus(b, gen.DatasetA)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure13(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logResult(b, experiments.RenderFigure13("A", rows, 10))
+		}
+	}
+}
+
+func BenchmarkTemplateAccuracy(b *testing.B) {
+	for _, kind := range []gen.DatasetKind{gen.DatasetA, gen.DatasetB} {
+		b.Run("dataset"+kind.String(), func(b *testing.B) {
+			c := mustCorpus(b, kind)
+			b.ResetTimer()
+			var r experiments.TemplateAccuracyResult
+			for i := 0; i < b.N; i++ {
+				r = experiments.TemplateAccuracy(c)
+			}
+			logResult(b, "Template accuracy (§5.2.1): "+r.String())
+			b.ReportMetric(r.Accuracy*100, "accuracy_pct")
+		})
+	}
+}
+
+func BenchmarkTicketValidation(b *testing.B) {
+	for _, kind := range []gen.DatasetKind{gen.DatasetA, gen.DatasetB} {
+		b.Run("dataset"+kind.String(), func(b *testing.B) {
+			c := mustCorpus(b, kind)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tv, err := experiments.TicketValidation(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					s := tv.Summary
+					logResult(b, fmt.Sprintf(
+						"Ticket validation (§5.3, dataset %s): %d/%d top tickets matched, %d within top 5%%, worst rank pct %.1f%%",
+						kind, s.Matched, s.Tickets, s.WithinTopPct, s.WorstRankPct*100))
+					b.ReportMetric(float64(s.Matched), "matched")
+					b.ReportMetric(s.WorstRankPct*100, "worst_rank_pct")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFigures4And5_TemporalPatterns(b *testing.B) {
+	c := mustCorpus(b, gen.DatasetA)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exs, err := experiments.Figures4And5(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logResult(b, experiments.RenderExemplars("A", exs))
+		}
+	}
+}
+
+func BenchmarkFigures14And15_HealthMap(b *testing.B) {
+	c := mustCorpus(b, gen.DatasetA)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.HealthMap(c, 10*time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logResult(b, experiments.RenderHealthMap("A", rows))
+		}
+	}
+}
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+func BenchmarkAblationMasking(b *testing.B) {
+	c := mustCorpus(b, gen.DatasetA)
+	b.ResetTimer()
+	var r experiments.AblationMaskingResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationMasking(c)
+	}
+	logResult(b, fmt.Sprintf(
+		"Ablation — location masking: accuracy %.1f%% with vs %.1f%% without (%d vs %d templates)",
+		r.WithMasking*100, r.WithoutMasking*100, r.LearnedWith, r.LearnedWithout))
+	b.ReportMetric(r.WithMasking*100, "with_pct")
+	b.ReportMetric(r.WithoutMasking*100, "without_pct")
+}
+
+func BenchmarkAblationTemporalVsFixedWindow(b *testing.B) {
+	c := mustCorpus(b, gen.DatasetA)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationTemporal(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			text := fmt.Sprintf("Ablation — EWMA temporal grouping ratio %.3e vs fixed windows:", r.EWMARatio)
+			for _, f := range r.Fixed {
+				text += fmt.Sprintf(" %v=%.3e", f.Window, f.Ratio)
+			}
+			logResult(b, text)
+			b.ReportMetric(r.EWMARatio*1e3, "ewma_ratio_milli")
+		}
+	}
+}
+
+func BenchmarkAblationRuleDeletionPolicy(b *testing.B) {
+	c := mustCorpus(b, gen.DatasetA)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationDeletion(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			n := len(r.ConservativeTotals)
+			logResult(b, fmt.Sprintf(
+				"Ablation — rule deletion policy after %d weeks: conservative keeps %d rules, aggressive %d",
+				n, r.ConservativeTotals[n-1], r.AggressiveTotals[n-1]))
+		}
+	}
+}
+
+func BenchmarkSeverityFilterBaseline(b *testing.B) {
+	c := mustCorpus(b, gen.DatasetA)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.SeverityBaseline(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logResult(b, fmt.Sprintf(
+				"Baseline — vendor severity filter retention: sev<=1 %.3e, sev<=3 %.3e, sev<=5 %.3e; digest ratio %.3e",
+				r.Retention[1], r.Retention[3], r.Retention[5], r.DigestRatio))
+		}
+	}
+}
+
+// Microbenchmarks: raw throughput of the pipeline stages.
+
+func BenchmarkStageTemplateLearning(b *testing.B) {
+	c := mustCorpus(b, gen.DatasetA)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := template.Learn(c.Learn.Messages, template.Options{})
+		if len(ts) == 0 {
+			b.Fatal("no templates")
+		}
+	}
+	b.ReportMetric(float64(len(c.Learn.Messages)), "msgs/op")
+}
+
+func BenchmarkStageAugment(b *testing.B) {
+	c := mustCorpus(b, gen.DatasetA)
+	msgs := c.Online.Messages
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		m := &msgs[n%len(msgs)]
+		n++
+		_ = c.KB.Augment(m)
+	}
+}
+
+func BenchmarkStageRuleMining(b *testing.B) {
+	c := mustCorpus(b, gen.DatasetA)
+	events := core.RuleEvents(c.KB.AugmentAll(c.Learn.Messages))
+	cfg := experiments.ParamsFor(gen.DatasetA).Rules
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rules.Mine(events, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(events)), "msgs/op")
+}
+
+func BenchmarkStageFullDigest(b *testing.B) {
+	c := mustCorpus(b, gen.DatasetA)
+	d, err := core.NewDigester(c.KB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := d.Digest(c.Online.Messages)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(res.Events)), "events")
+		}
+	}
+	b.ReportMetric(float64(len(c.Online.Messages)), "msgs/op")
+}
+
+func BenchmarkTrendAudit(b *testing.B) {
+	// Needs >= 6 online days; derive a week-long low-rate profile when the
+	// small profile is active.
+	p := benchProfile()
+	if p.OnlineDuration < 6*24*time.Hour {
+		p.Name = "trend"
+		p.OnlineDuration = 7 * 24 * time.Hour
+		p.RateScale = 0.25
+	}
+	c, err := experiments.Load(gen.DatasetA, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TrendAudit(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logResult(b, fmt.Sprintf(
+				"Application — trend auditing (MERCURY-style): %d level shifts on raw per-router counts vs %d on event counts",
+				r.RawShifts, r.EventShifts))
+			b.ReportMetric(float64(r.RawShifts), "raw_shifts")
+			b.ReportMetric(float64(r.EventShifts), "event_shifts")
+		}
+	}
+}
+
+func BenchmarkMicroTemplateMatch(b *testing.B) {
+	c := mustCorpus(b, gen.DatasetA)
+	m := c.KB.Matcher()
+	detail := "Interface Serial1/0/1:0, changed state to down"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := m.Match("LINK-3-UPDOWN", detail); !ok {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkMicroSpatialMatch(b *testing.B) {
+	c := mustCorpus(b, gen.DatasetA)
+	dict := c.KB.Dictionary()
+	var a, x = pickTwoLocations(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dict.SpatialMatch(a, x)
+	}
+}
+
+func pickTwoLocations(c *experiments.Corpus) (locdict.Location, locdict.Location) {
+	plus := c.KB.AugmentAll(c.Online.Messages[:200])
+	a := plus[0].Loc
+	for i := range plus {
+		if plus[i].Loc.Router == a.Router && plus[i].Loc != a {
+			return a, plus[i].Loc
+		}
+	}
+	return a, locdict.RouterLoc(a.Router)
+}
+
+func BenchmarkMicroEWMAObserve(b *testing.B) {
+	g, err := temporal.NewGrouper(temporal.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	t0 := time.Date(2010, 1, 10, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Observe(t0.Add(time.Duration(i) * 10 * time.Second))
+	}
+}
+
+func BenchmarkMicroKnowledgeBaseSaveLoad(b *testing.B) {
+	c := mustCorpus(b, gen.DatasetA)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := c.KB.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.LoadKnowledgeBase(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

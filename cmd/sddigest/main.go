@@ -1,0 +1,118 @@
+// Command sddigest runs the online half of SyslogDigest: it reads a learned
+// knowledge base and a syslog stream and prints prioritized event digests,
+// one line per event:
+//
+//	start|end|locations|label|N msgs
+//
+// Usage:
+//
+//	sddigest -kb kb.json -syslog live.log [-top 20] [-stage T+R+C] [-raw]
+//
+// -raw additionally prints each event's raw message indices so the original
+// lines can be retrieved (the paper's index field).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"syslogdigest"
+	"syslogdigest/internal/event"
+	"syslogdigest/internal/syslogmsg"
+)
+
+func main() {
+	var (
+		kbPath     = flag.String("kb", "kb.json", "knowledge-base JSON from sdlearn")
+		syslogPath = flag.String("syslog", "", "syslog file or glob to digest (required)")
+		top        = flag.Int("top", 0, "print only the top N events (0 = all)")
+		stageFlag  = flag.String("stage", "T+R+C", "grouping stages: T, T+R, or T+R+C")
+		raw        = flag.Bool("raw", false, "print raw message indices per event")
+		show       = flag.Int("show", 0, "print up to N raw syslog lines per event (drill-down)")
+		asJSON     = flag.Bool("json", false, "emit newline-delimited JSON instead of digest lines")
+	)
+	flag.Parse()
+	if *syslogPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	kf, err := os.Open(*kbPath)
+	if err != nil {
+		fatalf("open kb: %v", err)
+	}
+	kb, err := syslogdigest.LoadKnowledgeBase(kf)
+	kf.Close()
+	if err != nil {
+		fatalf("load kb: %v", err)
+	}
+
+	msgs, err := syslogmsg.ReadGlob(*syslogPath)
+	if err != nil {
+		fatalf("read syslog: %v", err)
+	}
+
+	d, err := syslogdigest.NewDigester(kb)
+	if err != nil {
+		fatalf("digester: %v", err)
+	}
+	switch strings.ToUpper(*stageFlag) {
+	case "T":
+		d.SetStage(syslogdigest.StageTemporal)
+	case "T+R":
+		d.SetStage(syslogdigest.StageTemporalRules)
+	case "T+R+C":
+		d.SetStage(syslogdigest.StageFull)
+	default:
+		fatalf("unknown -stage %q (want T, T+R, or T+R+C)", *stageFlag)
+	}
+
+	res, err := d.Digest(msgs)
+	if err != nil {
+		fatalf("digest: %v", err)
+	}
+	var store *syslogmsg.Store
+	if *show > 0 {
+		store, err = syslogmsg.NewStore(msgs)
+		if err != nil {
+			fatalf("index store: %v", err)
+		}
+	}
+	n := len(res.Events)
+	if *top > 0 && *top < n {
+		n = *top
+	}
+	if *asJSON {
+		if err := event.WriteJSON(os.Stdout, res.Events[:n]); err != nil {
+			fatalf("write json: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "%d messages -> %d events (compression ratio %.3e)\n",
+			len(msgs), len(res.Events), res.CompressionRatio())
+		return
+	}
+	for _, e := range res.Events[:n] {
+		fmt.Println(e.Digest())
+		if *raw {
+			fmt.Printf("  raw indices: %v\n", e.RawIndexes)
+		}
+		if store != nil {
+			lines := store.GetAll(e.RawIndexes)
+			for i, m := range lines {
+				if i == *show {
+					fmt.Printf("  ... %d more\n", len(lines)-*show)
+					break
+				}
+				fmt.Printf("  %s\n", m.Format())
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d messages -> %d events (compression ratio %.3e)\n",
+		len(msgs), len(res.Events), res.CompressionRatio())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sddigest: "+format+"\n", args...)
+	os.Exit(1)
+}

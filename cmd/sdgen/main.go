@@ -1,0 +1,117 @@
+// Command sdgen generates a synthetic dataset: router configs, a syslog
+// stream, ground-truth conditions, and trouble tickets.
+//
+// Usage:
+//
+//	sdgen -kind A -routers 60 -days 7 -seed 42 -out ./dataset
+//
+// The output directory receives:
+//
+//	configs/<router>.cfg   one rendered config per router
+//	syslog.log             the serialized message stream
+//	conditions.tsv         ground-truth conditions (kind, span, routers, ...)
+//	tickets.tsv            synthesized trouble tickets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"syslogdigest/internal/gen"
+	"syslogdigest/internal/netconf"
+	"syslogdigest/internal/syslogmsg"
+	"syslogdigest/internal/tickets"
+)
+
+func main() {
+	var (
+		kindFlag = flag.String("kind", "A", "dataset kind: A (ISP/V1) or B (IPTV/V2)")
+		routers  = flag.Int("routers", 60, "number of routers")
+		days     = flag.Float64("days", 1, "simulated days of traffic")
+		seed     = flag.Int64("seed", 42, "random seed")
+		rate     = flag.Float64("rate", 1, "condition rate scale")
+		start    = flag.String("start", "2009-09-01 00:00:00", "simulation start (UTC, '2006-01-02 15:04:05')")
+		out      = flag.String("out", "dataset", "output directory")
+	)
+	flag.Parse()
+
+	kind := gen.DatasetA
+	switch strings.ToUpper(*kindFlag) {
+	case "A":
+	case "B":
+		kind = gen.DatasetB
+	default:
+		fatalf("unknown -kind %q (want A or B)", *kindFlag)
+	}
+	startAt, err := time.Parse(syslogmsg.TimeLayout, *start)
+	if err != nil {
+		fatalf("bad -start: %v", err)
+	}
+
+	ds, err := gen.Generate(gen.Spec{
+		Kind: kind, Routers: *routers, Seed: *seed,
+		Start: startAt.UTC(), Duration: time.Duration(*days * 24 * float64(time.Hour)),
+		RateScale: *rate,
+	})
+	if err != nil {
+		fatalf("generate: %v", err)
+	}
+
+	cfgDir := filepath.Join(*out, "configs")
+	if err := os.MkdirAll(cfgDir, 0o755); err != nil {
+		fatalf("mkdir: %v", err)
+	}
+	for _, c := range ds.Net.Configs {
+		path := filepath.Join(cfgDir, c.Hostname+".cfg")
+		if err := os.WriteFile(path, []byte(netconf.Render(c)), 0o644); err != nil {
+			fatalf("write %s: %v", path, err)
+		}
+	}
+
+	logPath := filepath.Join(*out, "syslog.log")
+	f, err := os.Create(logPath)
+	if err != nil {
+		fatalf("create %s: %v", logPath, err)
+	}
+	if err := syslogmsg.WriteAll(f, ds.Messages); err != nil {
+		fatalf("write syslog: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("close syslog: %v", err)
+	}
+
+	var conds strings.Builder
+	conds.WriteString("kind\tstart\tend\tregion\trouters\tmessages\tdetail\n")
+	for _, c := range ds.Conditions {
+		fmt.Fprintf(&conds, "%s\t%s\t%s\t%s\t%s\t%d\t%s\n",
+			c.Kind, c.Start.Format(syslogmsg.TimeLayout), c.End.Format(syslogmsg.TimeLayout),
+			c.Region, strings.Join(c.Routers, ","), c.Messages, c.Detail)
+	}
+	if err := os.WriteFile(filepath.Join(*out, "conditions.tsv"), []byte(conds.String()), 0o644); err != nil {
+		fatalf("write conditions: %v", err)
+	}
+
+	tks := tickets.FromConditions(ds.Conditions, tickets.Options{Seed: *seed})
+	tf, err := os.Create(filepath.Join(*out, "tickets.tsv"))
+	if err != nil {
+		fatalf("create tickets: %v", err)
+	}
+	if err := tickets.WriteTSV(tf, tks); err != nil {
+		fatalf("write tickets: %v", err)
+	}
+	if err := tf.Close(); err != nil {
+		fatalf("close tickets: %v", err)
+	}
+
+	fmt.Printf("dataset %s: %d routers, %d messages, %d conditions, %d tickets -> %s\n",
+		kind, len(ds.Net.Configs), len(ds.Messages), len(ds.Conditions), len(tks), *out)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sdgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Command sdkb inspects a learned knowledge base: parameters, templates
+// (with expert names), the mined rule set, and the chattiest signatures —
+// the audit surface the paper offers domain experts before they adjust
+// anything.
+//
+// Usage:
+//
+//	sdkb -kb kb.json [-freq 20] [-pairs]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"syslogdigest"
+)
+
+func main() {
+	var (
+		kbPath = flag.String("kb", "kb.json", "knowledge-base JSON from sdlearn")
+		freq   = flag.Int("freq", 15, "show the top N signatures by historical frequency")
+		pairs  = flag.Bool("pairs", false, "also list undirected rule pairs (the expert review view)")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*kbPath)
+	if err != nil {
+		fatalf("open kb: %v", err)
+	}
+	kb, err := syslogdigest.LoadKnowledgeBase(f)
+	f.Close()
+	if err != nil {
+		fatalf("load kb: %v", err)
+	}
+	if err := kb.Report(os.Stdout, *freq); err != nil {
+		fatalf("report: %v", err)
+	}
+	if *pairs {
+		fmt.Println("\nundirected rule pairs:")
+		for _, line := range kb.RulesNarrative() {
+			fmt.Println("  " + line)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sdkb: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Command sdvalidate runs the paper's §5.3 validation as a standalone
+// workflow: given a knowledge base, a syslog stream, and a trouble-ticket
+// export, it digests the stream, matches the most-investigated tickets
+// against the ranked events, and reports how high the matching events rank.
+//
+// Usage:
+//
+//	sdvalidate -kb kb.json -syslog ds/syslog.log -tickets ds/tickets.tsv [-top 30]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"syslogdigest"
+	"syslogdigest/internal/tickets"
+)
+
+func main() {
+	var (
+		kbPath     = flag.String("kb", "kb.json", "knowledge-base JSON from sdlearn")
+		syslogPath = flag.String("syslog", "", "syslog stream (required)")
+		ticketPath = flag.String("tickets", "", "trouble-ticket TSV (required)")
+		top        = flag.Int("top", 30, "number of most-investigated tickets to validate")
+		slack      = flag.Duration("slack", 5*time.Minute, "event-span slack around ticket creation")
+	)
+	flag.Parse()
+	if *syslogPath == "" || *ticketPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	kf, err := os.Open(*kbPath)
+	if err != nil {
+		fatalf("open kb: %v", err)
+	}
+	kb, err := syslogdigest.LoadKnowledgeBase(kf)
+	kf.Close()
+	if err != nil {
+		fatalf("load kb: %v", err)
+	}
+	sf, err := os.Open(*syslogPath)
+	if err != nil {
+		fatalf("open syslog: %v", err)
+	}
+	msgs, err := syslogdigest.ReadMessages(sf)
+	sf.Close()
+	if err != nil {
+		fatalf("read syslog: %v", err)
+	}
+	tf, err := os.Open(*ticketPath)
+	if err != nil {
+		fatalf("open tickets: %v", err)
+	}
+	tks, err := tickets.ReadTSV(tf)
+	tf.Close()
+	if err != nil {
+		fatalf("read tickets: %v", err)
+	}
+
+	d, err := syslogdigest.NewDigester(kb)
+	if err != nil {
+		fatalf("digester: %v", err)
+	}
+	res, err := d.Digest(msgs)
+	if err != nil {
+		fatalf("digest: %v", err)
+	}
+
+	topTks := tickets.TopK(tks, *top)
+	ms := tickets.MatchEvents(topTks, res.Events, tickets.DictRegionOf(kb.Dictionary()), *slack)
+	s := tickets.Summarize(ms, 0.05)
+
+	fmt.Printf("%d events from %d messages; validating top %d of %d tickets\n\n",
+		len(res.Events), len(msgs), len(topTks), len(tks))
+	fmt.Printf("%-10s %-22s %-8s %-7s %-8s\n", "ticket", "kind", "updates", "rank", "rank-pct")
+	for _, m := range ms {
+		rank := "-"
+		pct := "-"
+		if m.EventRank >= 0 {
+			rank = fmt.Sprintf("%d", m.EventRank)
+			pct = fmt.Sprintf("%.1f%%", m.RankPct*100)
+		}
+		fmt.Printf("%-10s %-22s %-8d %-7s %-8s\n", m.Ticket.ID, m.Ticket.Kind, m.Ticket.Updates, rank, pct)
+	}
+	fmt.Printf("\nmatched %d/%d; %d within the top 5%% of events; worst matched rank pct %.1f%%\n",
+		s.Matched, s.Tickets, s.WithinTopPct, s.WorstRankPct*100)
+	if s.Matched < s.Tickets {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sdvalidate: "+format+"\n", args...)
+	os.Exit(1)
+}

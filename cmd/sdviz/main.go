@@ -1,0 +1,156 @@
+// Command sdviz renders the Figures 14/15 comparison as an ASCII network
+// health map: for a time window of a syslog stream, the per-router picture
+// an events-based view gives versus the raw-message view.
+//
+// Usage:
+//
+//	sdviz -kb kb.json -syslog live.log [-at "2009-12-05 16:00:00"] [-window 10m]
+//
+// Without -at, the busiest window of the stream is chosen.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"syslogdigest"
+	"syslogdigest/internal/syslogmsg"
+)
+
+func main() {
+	var (
+		kbPath     = flag.String("kb", "kb.json", "knowledge-base JSON from sdlearn")
+		syslogPath = flag.String("syslog", "", "syslog stream (required)")
+		atFlag     = flag.String("at", "", "window start (UTC '2006-01-02 15:04:05'); empty = busiest window")
+		window     = flag.Duration("window", 10*time.Minute, "window length")
+	)
+	flag.Parse()
+	if *syslogPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	kf, err := os.Open(*kbPath)
+	if err != nil {
+		fatalf("open kb: %v", err)
+	}
+	kb, err := syslogdigest.LoadKnowledgeBase(kf)
+	kf.Close()
+	if err != nil {
+		fatalf("load kb: %v", err)
+	}
+	sf, err := os.Open(*syslogPath)
+	if err != nil {
+		fatalf("open syslog: %v", err)
+	}
+	msgs, err := syslogdigest.ReadMessages(sf)
+	sf.Close()
+	if err != nil {
+		fatalf("read syslog: %v", err)
+	}
+	if len(msgs) == 0 {
+		fatalf("empty syslog stream")
+	}
+
+	var at time.Time
+	if *atFlag != "" {
+		at, err = time.Parse(syslogmsg.TimeLayout, *atFlag)
+		if err != nil {
+			fatalf("bad -at: %v", err)
+		}
+	} else {
+		at = busiest(msgs, *window)
+	}
+
+	var batch []syslogdigest.Message
+	for i := range msgs {
+		if !msgs[i].Time.Before(at) && msgs[i].Time.Before(at.Add(*window)) {
+			batch = append(batch, msgs[i])
+		}
+	}
+	d, err := syslogdigest.NewDigester(kb)
+	if err != nil {
+		fatalf("digester: %v", err)
+	}
+	res, err := d.Digest(batch)
+	if err != nil {
+		fatalf("digest: %v", err)
+	}
+
+	msgCount := map[string]int{}
+	for i := range batch {
+		msgCount[batch[i].Router]++
+	}
+	evCount := map[string]int{}
+	for _, e := range res.Events {
+		for _, r := range e.Routers {
+			evCount[r]++
+		}
+	}
+	routers := make([]string, 0, len(msgCount))
+	for r := range msgCount {
+		routers = append(routers, r)
+	}
+	sort.Slice(routers, func(i, j int) bool {
+		if msgCount[routers[i]] != msgCount[routers[j]] {
+			return msgCount[routers[i]] > msgCount[routers[j]]
+		}
+		return routers[i] < routers[j]
+	})
+
+	fmt.Printf("network health map %s .. %s (%d messages, %d events)\n\n",
+		at.Format(syslogmsg.TimeLayout), at.Add(*window).Format(syslogmsg.TimeLayout),
+		len(batch), len(res.Events))
+	fmt.Printf("%-10s %-22s %-30s\n", "router", "events view", "raw syslog view")
+	for _, r := range routers {
+		fmt.Printf("%-10s %-22s %-30s (%d msgs, %d events)\n",
+			r, dots(evCount[r], 1, 20), dots(msgCount[r], 25, 30), msgCount[r], evCount[r])
+	}
+	fmt.Println("\ntop events in window:")
+	n := len(res.Events)
+	if n > 5 {
+		n = 5
+	}
+	for _, e := range res.Events[:n] {
+		fmt.Println("  " + e.Digest())
+	}
+}
+
+// dots renders n (scaled down by per) as a bar capped at max.
+func dots(n, per, max int) string {
+	k := (n + per - 1) / per
+	if k > max {
+		k = max
+	}
+	if k < 0 {
+		k = 0
+	}
+	return strings.Repeat("*", k)
+}
+
+func busiest(msgs []syslogdigest.Message, window time.Duration) time.Time {
+	best, bestN := msgs[0].Time, 0
+	j := 0
+	for i := range msgs {
+		if j < i {
+			j = i
+		}
+		deadline := msgs[i].Time.Add(window)
+		for j < len(msgs) && msgs[j].Time.Before(deadline) {
+			j++
+		}
+		if n := j - i; n > bestN {
+			best, bestN = msgs[i].Time, n
+		}
+	}
+	return best
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sdviz: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// iptvpim: the paper's §6.1 troubleshooting walkthrough.
+//
+// In the IPTV backbone, live streams ride PIM multicast; each pair of
+// multicast-tree neighbors is protected by a fast-reroute secondary path, so
+// a PIM neighbor session should only drop on a DUAL failure. The paper
+// describes an intriguing incident: the secondary path had silently failed
+// and was retrying every five minutes, so when the primary link later went
+// down the PIM session dropped — and SyslogDigest pulled the whole story
+// (retries hours earlier, link failure, PIM loss, hop-router churn) into ONE
+// event spanning multiple routers, layers, and protocols.
+//
+// This example injects exactly that scenario into the simulator and shows
+// the digested event an operator would start from.
+//
+// Run with: go run ./examples/iptvpim
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"time"
+
+	"syslogdigest"
+	"syslogdigest/internal/gen"
+)
+
+func main() {
+	hist := gen.Spec{
+		Kind: gen.DatasetB, Routers: 24, Seed: 21,
+		Start:    time.Date(2009, 9, 1, 0, 0, 0, 0, time.UTC),
+		Duration: 3 * 24 * time.Hour, RateScale: 0.5,
+	}
+	// PIM incidents are rare but must appear in history often enough for
+	// their co-occurrence rules to clear the support threshold (the paper
+	// learns on three months; this example compresses that into days).
+	hist.Rates.PIMFailure = 4
+	history, err := gen.Generate(hist)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The incident day: force a PIM dual-failure into the mix.
+	spec := gen.Spec{
+		Kind: gen.DatasetB, Routers: 24, Seed: 26,
+		Start:    time.Date(2009, 12, 5, 0, 0, 0, 0, time.UTC),
+		Duration: 24 * time.Hour, RateScale: 0.5,
+	}
+	spec.Rates.PIMFailure = 3
+	day, err := gen.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kb, err := syslogdigest.NewLearner(syslogdigest.DefaultParams()).Learn(history.Messages, history.Net.Configs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := syslogdigest.NewDigester(kb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := d.Digest(day.Messages)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("digested %d messages into %d events\n\n", len(day.Messages), len(res.Events))
+
+	// Find the PIM neighbor loss event.
+	var pim *syslogdigest.Event
+	for i := range res.Events {
+		if strings.Contains(res.Events[i].Label, "pim neighbor") {
+			pim = &res.Events[i]
+			break
+		}
+	}
+	if pim == nil {
+		log.Fatal("no PIM event found (unexpected for this seed)")
+	}
+
+	fmt.Println("the PIM neighbor loss event, ranked", pim.ID+1, "of", len(res.Events), ":")
+	fmt.Println("  " + pim.Digest())
+	fmt.Printf("  spans %s across routers %v\n\n", pim.Span().Round(time.Second), pim.Routers)
+
+	// Break the event down the way an operator would read it: which error
+	// codes, on which routers, over what sub-spans. This is the cross-layer
+	// story the paper describes operators reconstructing by hand.
+	byIdx := make(map[uint64]*syslogdigest.Message)
+	for i := range day.Messages {
+		byIdx[day.Messages[i].Index] = &day.Messages[i]
+	}
+	type key struct{ router, code string }
+	counts := make(map[key]int)
+	first := make(map[key]time.Time)
+	for _, idx := range pim.RawIndexes {
+		m := byIdx[idx]
+		k := key{m.Router, m.Code}
+		counts[k]++
+		if t, ok := first[k]; !ok || m.Time.Before(t) {
+			first[k] = m.Time
+		}
+	}
+	keys := make([]key, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return first[keys[i]].Before(first[keys[j]]) })
+	fmt.Println("event anatomy (first occurrence, router, error code, count):")
+	for _, k := range keys {
+		fmt.Printf("  %s  %-7s %-42s x%d\n",
+			first[k].Format("15:04:05"), k.router, k.code, counts[k])
+	}
+
+	fmt.Println("\nnote the five-minute tunnel retries starting hours before the PIM loss —")
+	fmt.Println("the signature that told the paper's operators the secondary path was already dead.")
+}

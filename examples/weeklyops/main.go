@@ -1,0 +1,106 @@
+// weeklyops: the maintenance loop the paper's introduction motivates.
+//
+// Commercial tools need their parsers and message-relationship models
+// "constantly updated to keep up with network changes" — a router OS
+// upgrade introduces new formats, and unprogrammed issues fly under the
+// radar. SyslogDigest's answer is periodic re-learning: weekly rule updates
+// (conservative deletion) and template refresh with stable IDs.
+//
+// This example simulates six operational weeks. After week 3, an "OS
+// upgrade" starts emitting a brand-new message format; the weekly refresh
+// picks it up automatically — no parser was written.
+//
+// Run with: go run ./examples/weeklyops
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"syslogdigest"
+	"syslogdigest/internal/gen"
+)
+
+func main() {
+	const weekDur = 24 * time.Hour // scaled "week" of traffic
+	start := time.Date(2009, 9, 1, 0, 0, 0, 0, time.UTC)
+
+	// Week 1 bootstraps the knowledge base.
+	week1, err := gen.Generate(gen.Spec{
+		Kind: gen.DatasetA, Routers: 20, Seed: 61,
+		Start: start, Duration: weekDur, RateScale: 0.4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	learner := syslogdigest.NewLearner(syslogdigest.DefaultParams())
+	kb, err := learner.Learn(week1.Messages, week1.Net.Configs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("week 1: bootstrap — %d templates, %d rules\n", len(kb.Templates), kb.RuleBase.Len())
+
+	for week := 2; week <= 6; week++ {
+		ds, err := gen.Generate(gen.Spec{
+			Kind: gen.DatasetA, Routers: 20, Seed: 61 + int64(week)*13,
+			Start:    start.Add(time.Duration(week-1) * weekDur),
+			Duration: weekDur, RateScale: 0.4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		msgs := ds.Messages
+		// From week 4 on, upgraded routers emit a new message format.
+		if week >= 4 {
+			t0 := msgs[0].Time
+			for i := 0; i < 60; i++ {
+				msgs = append(msgs, syslogdigest.Message{
+					Time:   t0.Add(time.Duration(i*19) * time.Minute),
+					Router: "ar003",
+					Code:   "IFMGR-4-STATEQUEUE",
+					Detail: fmt.Sprintf("Interface state queue depth %d exceeded watermark on Serial1/%d/1:0", 50+i%40, i%4),
+				})
+			}
+		}
+		st, err := learner.Relearn(kb, msgs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("week %d: refresh — templates kept %d, new %d; rules total %d (+%d/-%d)\n",
+			week, st.KeptTemplates, st.NewTemplates, st.Rules.Total, st.Rules.Added, st.Rules.Deleted)
+		if week == 4 {
+			for _, tpl := range kb.Templates {
+				if strings.HasPrefix(tpl.Code, "IFMGR") {
+					fmt.Printf("        picked up the upgrade's new format: %s\n", tpl)
+				}
+			}
+		}
+	}
+
+	// The refreshed base digests the new format without anyone writing a
+	// parser for it.
+	d, err := syslogdigest.NewDigester(kb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := time.Date(2009, 12, 1, 0, 0, 0, 0, time.UTC)
+	var live []syslogdigest.Message
+	for i := 0; i < 12; i++ {
+		live = append(live, syslogdigest.Message{
+			Time:   t0.Add(time.Duration(i*45) * time.Second),
+			Router: "ar003",
+			Code:   "IFMGR-4-STATEQUEUE",
+			Detail: fmt.Sprintf("Interface state queue depth %d exceeded watermark on Serial1/2/1:0", 60+i),
+		})
+	}
+	res, err := d.Digest(live)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlive: %d new-format messages -> %d event(s):\n", len(live), len(res.Events))
+	for _, e := range res.Events {
+		fmt.Println("  " + e.Digest())
+	}
+}

@@ -1,0 +1,3 @@
+module syslogdigest
+
+go 1.22

@@ -1,0 +1,83 @@
+// Package baseline implements the comparators this reproduction measures
+// SyslogDigest against:
+//
+//   - SeverityFilter: what commercial tools do by default — keep only
+//     messages at or above a vendor severity. The paper argues (§2) that
+//     vendor severities misrank events; the filter's compression comes at
+//     the cost of dropping whole classes of conditions.
+//   - FixedWindowGrouper: the naive alternative to learned temporal
+//     grouping — bucket each (template, router) stream into fixed time
+//     windows. Used by the ablation benches to show what the EWMA model
+//     buys.
+//
+// The §5.2.1 template ground truth lives with the generator (gen.
+// GroundTruthTemplates), since the simulator's emission formats play the
+// role of vendor documentation.
+package baseline
+
+import (
+	"time"
+
+	"syslogdigest/internal/syslogmsg"
+)
+
+// SeverityFilter keeps messages whose vendor severity is at or below (more
+// important than) MaxSeverity. Unknown-severity messages are dropped, which
+// is exactly the failure mode the paper warns about.
+type SeverityFilter struct {
+	MaxSeverity int
+}
+
+// Apply returns the retained messages.
+func (f SeverityFilter) Apply(msgs []syslogmsg.Message) []syslogmsg.Message {
+	var out []syslogmsg.Message
+	for i := range msgs {
+		ci := syslogmsg.ParseCode(msgs[i].Code)
+		if ci.Severity >= 0 && ci.Severity <= f.MaxSeverity {
+			out = append(out, msgs[i])
+		}
+	}
+	return out
+}
+
+// Retention is the fraction of messages kept.
+func (f SeverityFilter) Retention(msgs []syslogmsg.Message) float64 {
+	if len(msgs) == 0 {
+		return 0
+	}
+	return float64(len(f.Apply(msgs))) / float64(len(msgs))
+}
+
+// FixedWindowGrouper groups each (code, router) stream into fixed windows:
+// a message within Window of the group's start joins it, otherwise a new
+// group opens. No learning, no adaptation.
+type FixedWindowGrouper struct {
+	Window time.Duration
+}
+
+// Groups returns the number of groups the batch collapses to.
+func (g FixedWindowGrouper) Groups(msgs []syslogmsg.Message) int {
+	if g.Window <= 0 {
+		return len(msgs)
+	}
+	type key struct{ router, code string }
+	starts := make(map[key]time.Time)
+	groups := 0
+	for i := range msgs {
+		k := key{msgs[i].Router, msgs[i].Code}
+		start, ok := starts[k]
+		if !ok || msgs[i].Time.Sub(start) > g.Window {
+			groups++
+			starts[k] = msgs[i].Time
+		}
+	}
+	return groups
+}
+
+// CompressionRatio is groups/messages (1 for empty input).
+func (g FixedWindowGrouper) CompressionRatio(msgs []syslogmsg.Message) float64 {
+	if len(msgs) == 0 {
+		return 1
+	}
+	return float64(g.Groups(msgs)) / float64(len(msgs))
+}

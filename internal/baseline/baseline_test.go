@@ -1,0 +1,83 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"syslogdigest/internal/syslogmsg"
+)
+
+var t0 = time.Date(2010, 1, 10, 0, 0, 0, 0, time.UTC)
+
+func msg(secs int, router, code string) syslogmsg.Message {
+	return syslogmsg.Message{
+		Time: t0.Add(time.Duration(secs) * time.Second), Router: router, Code: code, Detail: "d",
+	}
+}
+
+func TestSeverityFilter(t *testing.T) {
+	msgs := []syslogmsg.Message{
+		msg(0, "r1", "SYS-1-CPURISINGTHRESHOLD"), // sev 1
+		msg(1, "r1", "LINK-3-UPDOWN"),            // sev 3
+		msg(2, "r1", "LINEPROTO-5-UPDOWN"),       // sev 5
+		msg(3, "r1", "TCP-6-BADAUTH"),            // sev 6
+		msg(4, "r1", "NOSEVERITYCODE"),           // unknown, dropped
+	}
+	f := SeverityFilter{MaxSeverity: 3}
+	kept := f.Apply(msgs)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d, want 2", len(kept))
+	}
+	if kept[0].Code != "SYS-1-CPURISINGTHRESHOLD" || kept[1].Code != "LINK-3-UPDOWN" {
+		t.Fatalf("kept wrong messages: %v", kept)
+	}
+	if got := f.Retention(msgs); got != 0.4 {
+		t.Fatalf("retention = %v", got)
+	}
+	if got := f.Retention(nil); got != 0 {
+		t.Fatalf("empty retention = %v", got)
+	}
+	// The paper's point: severity filtering keeps the (operationally less
+	// interesting) CPU message and drops the line-protocol fallout.
+	f = SeverityFilter{MaxSeverity: 1}
+	kept = f.Apply(msgs)
+	if len(kept) != 1 || kept[0].Code != "SYS-1-CPURISINGTHRESHOLD" {
+		t.Fatalf("severity-1 filter kept %v", kept)
+	}
+}
+
+func TestFixedWindowGrouper(t *testing.T) {
+	msgs := []syslogmsg.Message{
+		msg(0, "r1", "A-1-X"),
+		msg(30, "r1", "A-1-X"), // same window (60s)
+		msg(61, "r1", "A-1-X"), // new window
+		msg(62, "r2", "A-1-X"), // different router: own window
+		msg(63, "r1", "B-1-Y"), // different code: own window
+	}
+	g := FixedWindowGrouper{Window: time.Minute}
+	if got := g.Groups(msgs); got != 4 {
+		t.Fatalf("groups = %d, want 4", got)
+	}
+	if got := g.CompressionRatio(msgs); got != 0.8 {
+		t.Fatalf("ratio = %v", got)
+	}
+	if got := g.CompressionRatio(nil); got != 1 {
+		t.Fatalf("empty ratio = %v", got)
+	}
+	// Degenerate window: every message its own group.
+	if got := (FixedWindowGrouper{}).Groups(msgs); got != len(msgs) {
+		t.Fatalf("zero-window groups = %d", got)
+	}
+}
+
+func TestFixedWindowWiderWindowCompressesMore(t *testing.T) {
+	var msgs []syslogmsg.Message
+	for i := 0; i < 100; i++ {
+		msgs = append(msgs, msg(i*10, "r1", "A-1-X"))
+	}
+	narrow := FixedWindowGrouper{Window: 30 * time.Second}.Groups(msgs)
+	wide := FixedWindowGrouper{Window: 10 * time.Minute}.Groups(msgs)
+	if wide >= narrow {
+		t.Fatalf("wide window %d >= narrow %d", wide, narrow)
+	}
+}

@@ -1,0 +1,271 @@
+// Package collector implements the syslog transport side of the system: the
+// paper's networks run collectors that every router streams its syslog to
+// (via the standardized syslog protocol, RFC 5424/3164), and SyslogDigest's
+// online half consumes the collected feed.
+//
+// Collector listens on UDP (datagram-per-message, classic syslog) and/or
+// TCP (newline-framed, octet-stuffing style) and parses each message with
+// syslogmsg.ParseWire, which accepts RFC 5424, RFC 3164 and the
+// repository's own line format. Parsed messages are handed to a caller
+// handler in arrival order per connection; malformed input is counted and
+// dropped, never fatal — an operational collector must survive garbage.
+//
+// Shutdown is graceful: Close unblocks the listeners and waits for every
+// per-connection goroutine to drain.
+package collector
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"syslogdigest/internal/syslogmsg"
+)
+
+// Handler receives each successfully parsed message. Handlers are called
+// from multiple goroutines (one per TCP connection plus the UDP loop) and
+// must be safe for concurrent use.
+type Handler func(m syslogmsg.Message)
+
+// Config configures a Collector.
+type Config struct {
+	// UDPAddr is the UDP listen address ("127.0.0.1:0" for an ephemeral
+	// port); empty disables UDP.
+	UDPAddr string
+	// TCPAddr is the TCP listen address; empty disables TCP.
+	TCPAddr string
+	// Year is applied to year-less RFC 3164 timestamps; 0 means the
+	// current year.
+	Year int
+	// OnError, when non-nil, observes per-line parse errors (for logging);
+	// errors never stop the collector.
+	OnError func(err error)
+	// MaxLineBytes caps one TCP line / UDP datagram; 0 means 64 KiB.
+	MaxLineBytes int
+}
+
+// Stats are the collector's monotonic counters.
+type Stats struct {
+	Received uint64 // messages successfully parsed and delivered
+	Dropped  uint64 // malformed lines dropped
+	Conns    uint64 // TCP connections accepted
+}
+
+// Collector is a running syslog listener pair.
+type Collector struct {
+	cfg     Config
+	handler Handler
+
+	udp net.PacketConn
+	tcp net.Listener
+
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	started  bool
+	closed   bool
+	received atomic.Uint64
+	dropped  atomic.Uint64
+	conns    atomic.Uint64
+	nextIdx  atomic.Uint64
+}
+
+// New creates a collector; Start binds and begins serving.
+func New(cfg Config, handler Handler) (*Collector, error) {
+	if handler == nil {
+		return nil, errors.New("collector: nil handler")
+	}
+	if cfg.UDPAddr == "" && cfg.TCPAddr == "" {
+		return nil, errors.New("collector: no listen addresses configured")
+	}
+	if cfg.MaxLineBytes == 0 {
+		cfg.MaxLineBytes = 64 * 1024
+	}
+	return &Collector{cfg: cfg, handler: handler}, nil
+}
+
+// Start binds the configured listeners and serves until Close.
+func (c *Collector) Start() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return errors.New("collector: already started")
+	}
+	if c.closed {
+		return errors.New("collector: already closed")
+	}
+	if c.cfg.UDPAddr != "" {
+		pc, err := net.ListenPacket("udp", c.cfg.UDPAddr)
+		if err != nil {
+			return fmt.Errorf("collector: udp listen: %w", err)
+		}
+		// Syslog arrives in bursts (one storm = hundreds of datagrams in a
+		// few milliseconds); a deep kernel buffer is the only defense UDP
+		// has against drops. Best effort — not all platforms honor it.
+		if uc, ok := pc.(*net.UDPConn); ok {
+			_ = uc.SetReadBuffer(4 << 20)
+		}
+		c.udp = pc
+		c.wg.Add(1)
+		go c.serveUDP(pc)
+	}
+	if c.cfg.TCPAddr != "" {
+		ln, err := net.Listen("tcp", c.cfg.TCPAddr)
+		if err != nil {
+			if c.udp != nil {
+				c.udp.Close()
+			}
+			return fmt.Errorf("collector: tcp listen: %w", err)
+		}
+		c.tcp = ln
+		c.wg.Add(1)
+		go c.serveTCP(ln)
+	}
+	c.started = true
+	return nil
+}
+
+// UDPAddr returns the bound UDP address (nil when UDP is disabled).
+func (c *Collector) UDPAddr() net.Addr {
+	if c.udp == nil {
+		return nil
+	}
+	return c.udp.LocalAddr()
+}
+
+// TCPAddr returns the bound TCP address (nil when TCP is disabled).
+func (c *Collector) TCPAddr() net.Addr {
+	if c.tcp == nil {
+		return nil
+	}
+	return c.tcp.Addr()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Collector) Stats() Stats {
+	return Stats{
+		Received: c.received.Load(),
+		Dropped:  c.dropped.Load(),
+		Conns:    c.conns.Load(),
+	}
+}
+
+// Close stops the listeners and waits for in-flight deliveries to finish.
+// It is idempotent.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	udp, tcp := c.udp, c.tcp
+	c.mu.Unlock()
+
+	var first error
+	if udp != nil {
+		if err := udp.Close(); err != nil {
+			first = err
+		}
+	}
+	if tcp != nil {
+		if err := tcp.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.wg.Wait()
+	return first
+}
+
+func (c *Collector) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+func (c *Collector) serveUDP(pc net.PacketConn) {
+	defer c.wg.Done()
+	buf := make([]byte, c.cfg.MaxLineBytes)
+	for {
+		n, _, err := pc.ReadFrom(buf)
+		if err != nil {
+			if c.isClosed() {
+				return
+			}
+			c.observe(fmt.Errorf("collector: udp read: %w", err))
+			continue
+		}
+		// One datagram usually carries one message, but tolerate senders
+		// that batch lines.
+		c.deliverLines(string(buf[:n]))
+	}
+}
+
+func (c *Collector) serveTCP(ln net.Listener) {
+	defer c.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if c.isClosed() {
+				return
+			}
+			c.observe(fmt.Errorf("collector: accept: %w", err))
+			continue
+		}
+		c.conns.Add(1)
+		c.wg.Add(1)
+		go c.serveConn(conn)
+	}
+}
+
+func (c *Collector) serveConn(conn net.Conn) {
+	defer c.wg.Done()
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), c.cfg.MaxLineBytes)
+	for sc.Scan() {
+		c.deliverLine(sc.Text())
+	}
+	if err := sc.Err(); err != nil && !c.isClosed() {
+		c.observe(fmt.Errorf("collector: conn read: %w", err))
+	}
+}
+
+// deliverLines splits a datagram payload into lines and delivers each.
+func (c *Collector) deliverLines(payload string) {
+	start := 0
+	for i := 0; i <= len(payload); i++ {
+		if i == len(payload) || payload[i] == '\n' {
+			if i > start {
+				c.deliverLine(payload[start:i])
+			}
+			start = i + 1
+		}
+	}
+}
+
+func (c *Collector) deliverLine(line string) {
+	if line == "" {
+		return
+	}
+	if line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	idx := c.nextIdx.Add(1) - 1
+	m, err := syslogmsg.ParseWire(line, idx, c.cfg.Year)
+	if err != nil {
+		c.dropped.Add(1)
+		c.observe(err)
+		return
+	}
+	c.received.Add(1)
+	c.handler(m)
+}
+
+func (c *Collector) observe(err error) {
+	if c.cfg.OnError != nil {
+		c.cfg.OnError(err)
+	}
+}

@@ -1,0 +1,406 @@
+// Package core wires the paper's components into the two halves of Figure 1:
+//
+//   - Learner (offline domain knowledge learning): template signature
+//     identification over historical syslog, location dictionary
+//     construction from router configs, temporal pattern calibration, and
+//     association rule mining — producing a KnowledgeBase;
+//   - Digester (online processing): signature matching and location parsing
+//     augment raw messages into Syslog+ messages, the three grouping passes
+//     form events, and prioritization ranks them for presentation.
+//
+// The KnowledgeBase serializes to JSON so learning and digesting can run as
+// separate processes (cmd/sdlearn, cmd/sddigest), mirroring the paper's
+// periodic-offline/continuous-online split.
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"syslogdigest/internal/event"
+	"syslogdigest/internal/expert"
+	"syslogdigest/internal/grouping"
+	"syslogdigest/internal/locdict"
+	"syslogdigest/internal/locparse"
+	"syslogdigest/internal/netconf"
+	"syslogdigest/internal/rules"
+	"syslogdigest/internal/syslogmsg"
+	"syslogdigest/internal/template"
+	"syslogdigest/internal/temporal"
+)
+
+// PlusMessage is a Syslog+ message: the raw message augmented with its
+// matched template and parsed locations (§3.1).
+type PlusMessage struct {
+	syslogmsg.Message
+	// Template is the matched template ID, or -1 when no learned template
+	// of the message's code matches.
+	Template int
+	// Loc is the primary (finest) location; AllLocs every resolved one.
+	Loc     locdict.Location
+	AllLocs []locdict.Location
+	// Peers are other routers the message references.
+	Peers []string
+}
+
+// Params bundles every tunable of the pipeline; the zero value is filled
+// with the paper's Table 6 defaults on use.
+type Params struct {
+	// Template tunes offline template learning.
+	Template template.Options
+	// Temporal are the online grouping EWMA parameters (learned offline
+	// when Calibrate is enabled).
+	Temporal temporal.Params
+	// Rules tunes association mining; Rules.Window doubles as the
+	// rule-based grouping window W.
+	Rules rules.Config
+	// CrossWindow is the cross-router near-simultaneity bound (1s).
+	CrossWindow time.Duration
+	// CalibrateTemporal makes Learn sweep alpha/beta grids instead of
+	// trusting Temporal as given.
+	CalibrateTemporal bool
+}
+
+// DefaultParams returns the paper's Table 6 configuration for dataset A;
+// dataset B differs only in W (40s) and alpha (0.075).
+func DefaultParams() Params {
+	return Params{
+		Temporal:    temporal.DefaultParams(),
+		Rules:       rules.Config{Window: 120 * time.Second, SPmin: 0.0005, ConfMin: 0.8},
+		CrossWindow: time.Second,
+	}
+}
+
+func (p Params) normalize() Params {
+	if p.Temporal == (temporal.Params{}) {
+		p.Temporal = temporal.DefaultParams()
+	}
+	if p.Temporal.Smin == 0 {
+		p.Temporal.Smin = time.Second
+	}
+	if p.Temporal.Smax == 0 {
+		p.Temporal.Smax = 3 * time.Hour
+	}
+	if p.Rules.Window == 0 {
+		p.Rules.Window = 120 * time.Second
+	}
+	if p.Rules.SPmin == 0 {
+		p.Rules.SPmin = 0.0005
+	}
+	if p.Rules.ConfMin == 0 {
+		p.Rules.ConfMin = 0.8
+	}
+	if p.CrossWindow == 0 {
+		p.CrossWindow = time.Second
+	}
+	return p
+}
+
+// KnowledgeBase is the output of offline learning and the input of online
+// digesting.
+type KnowledgeBase struct {
+	Params    Params
+	Templates []template.Template
+	RuleBase  *rules.RuleBase
+	Freq      *event.FreqTable
+	Configs   []*netconf.Config
+	// ExpertNames are operator-assigned template names (template ID →
+	// display name), the paper's optional expert input for presentation.
+	ExpertNames map[int]string
+
+	matcher *template.Matcher
+	dict    *locdict.Dictionary
+	parser  *locparse.Parser
+}
+
+// finish builds the derived indexes after the learned fields are set.
+func (kb *KnowledgeBase) finish() error {
+	if kb.RuleBase == nil {
+		kb.RuleBase = rules.NewRuleBase()
+	}
+	if kb.Freq == nil {
+		kb.Freq = event.NewFreqTable()
+	}
+	kb.matcher = template.NewMatcher(kb.Templates)
+	dict, err := locdict.Build(kb.Configs)
+	if err != nil {
+		return fmt.Errorf("core: location dictionary: %w", err)
+	}
+	kb.dict = dict
+	kb.parser = locparse.New(dict)
+	return nil
+}
+
+// Dictionary exposes the location dictionary (read-only use).
+func (kb *KnowledgeBase) Dictionary() *locdict.Dictionary { return kb.dict }
+
+// Matcher exposes the template matcher (read-only use).
+func (kb *KnowledgeBase) Matcher() *template.Matcher { return kb.matcher }
+
+// Augment converts one raw message into a Syslog+ message using the learned
+// templates and location dictionary.
+func (kb *KnowledgeBase) Augment(m *syslogmsg.Message) PlusMessage {
+	pm := PlusMessage{Message: *m, Template: -1}
+	if t, ok := kb.matcher.Match(m.Code, m.Detail); ok {
+		pm.Template = t.ID
+	}
+	info := kb.parser.Parse(m)
+	pm.Loc = info.Primary
+	pm.AllLocs = info.All
+	pm.Peers = info.PeerRouters
+	return pm
+}
+
+// AugmentAll converts a batch.
+func (kb *KnowledgeBase) AugmentAll(msgs []syslogmsg.Message) []PlusMessage {
+	out := make([]PlusMessage, len(msgs))
+	for i := range msgs {
+		out[i] = kb.Augment(&msgs[i])
+	}
+	return out
+}
+
+// Learner runs the offline domain knowledge learning of Figure 1.
+type Learner struct {
+	params Params
+}
+
+// NewLearner builds a learner; zero-value fields in params take Table 6
+// defaults.
+func NewLearner(params Params) *Learner {
+	return &Learner{params: params.normalize()}
+}
+
+// Learn builds a knowledge base from historical messages and router
+// configs. When CalibrateTemporal is set, alpha and beta are chosen by the
+// §5.2.3 compression-ratio sweep over the historical streams.
+func (l *Learner) Learn(historical []syslogmsg.Message, configs []*netconf.Config) (*KnowledgeBase, error) {
+	kb := &KnowledgeBase{
+		Params:    l.params,
+		Templates: template.Learn(historical, l.params.Template),
+		Configs:   configs,
+	}
+	if err := kb.finish(); err != nil {
+		return nil, err
+	}
+
+	// Augment the history once; every remaining learning step consumes the
+	// Syslog+ view.
+	plus := kb.AugmentAll(historical)
+
+	// Signature frequency per router (scoring input).
+	kb.Freq = event.NewFreqTable()
+	for i := range plus {
+		kb.Freq.Add(plus[i].Router, plus[i].Template, 1)
+	}
+
+	// Temporal calibration over per-(template, location) streams.
+	if l.params.CalibrateTemporal {
+		streams := TemporalStreams(plus)
+		alphas := []float64{0.01, 0.025, 0.05, 0.075, 0.1, 0.2, 0.3, 0.45, 0.6}
+		betas := []float64{2, 3, 4, 5, 6, 7}
+		best, err := temporal.Calibrate(streams, alphas, betas, l.params.Temporal)
+		if err != nil {
+			return nil, fmt.Errorf("core: temporal calibration: %w", err)
+		}
+		kb.Params.Temporal = best
+	}
+
+	// Association rule mining over the whole history.
+	res, err := rules.Mine(RuleEvents(plus), l.params.Rules)
+	if err != nil {
+		return nil, fmt.Errorf("core: rule mining: %w", err)
+	}
+	kb.RuleBase = rules.NewRuleBase()
+	kb.RuleBase.Update(res)
+	return kb, nil
+}
+
+// UpdateRules applies one period's incremental mining (the paper's weekly
+// refresh) to the knowledge base.
+func (l *Learner) UpdateRules(kb *KnowledgeBase, period []syslogmsg.Message) (rules.UpdateStats, error) {
+	plus := kb.AugmentAll(period)
+	res, err := rules.Mine(RuleEvents(plus), l.params.Rules)
+	if err != nil {
+		return rules.UpdateStats{}, fmt.Errorf("core: rule mining: %w", err)
+	}
+	return kb.RuleBase.Update(res), nil
+}
+
+// TemporalStreams collects the sorted arrival times of each (template,
+// location) stream, the input to temporal calibration.
+func TemporalStreams(plus []PlusMessage) [][]time.Time {
+	type key struct {
+		template int
+		loc      string
+	}
+	m := make(map[key][]time.Time)
+	for i := range plus {
+		k := key{plus[i].Template, plus[i].Loc.Key()}
+		m[k] = append(m[k], plus[i].Time)
+	}
+	out := make([][]time.Time, 0, len(m))
+	for _, ts := range m {
+		// Streams arrive in global time order per key because callers pass
+		// time-sorted history; enforce anyway for safety.
+		for i := 1; i < len(ts); i++ {
+			if ts[i].Before(ts[i-1]) {
+				sortTimes(ts)
+				break
+			}
+		}
+		out = append(out, ts)
+	}
+	return out
+}
+
+func sortTimes(ts []time.Time) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].Before(ts[j-1]); j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// RuleEvents projects Syslog+ messages onto the rule miner's input.
+func RuleEvents(plus []PlusMessage) []rules.Event {
+	out := make([]rules.Event, len(plus))
+	for i := range plus {
+		out[i] = rules.Event{Time: plus[i].Time, Router: plus[i].Router, Template: plus[i].Template}
+	}
+	return out
+}
+
+// Stage selects how much of the grouping pipeline runs (Table 7).
+type Stage int
+
+const (
+	// StageTemporal runs temporal grouping only (T).
+	StageTemporal Stage = iota
+	// StageTemporalRules adds rule-based grouping (T+R).
+	StageTemporalRules
+	// StageFull adds cross-router grouping (T+R+C).
+	StageFull
+)
+
+// DigestResult is one online batch's output.
+type DigestResult struct {
+	Events      []event.Event
+	Messages    []PlusMessage
+	ActiveRules map[rules.PairKey]int
+}
+
+// CompressionRatio is events/messages (1 for an empty batch).
+func (r *DigestResult) CompressionRatio() float64 {
+	if len(r.Messages) == 0 {
+		return 1
+	}
+	return float64(len(r.Events)) / float64(len(r.Messages))
+}
+
+// Digester is the online half of SyslogDigest.
+type Digester struct {
+	kb      *KnowledgeBase
+	stage   Stage
+	builder *event.Builder
+	labeler *event.Labeler
+}
+
+// NewDigester builds a digester over a learned knowledge base.
+func NewDigester(kb *KnowledgeBase) (*Digester, error) {
+	if kb == nil || kb.matcher == nil {
+		return nil, fmt.Errorf("core: knowledge base not initialized")
+	}
+	labeler := event.NewLabeler(kb.Templates)
+	for id, name := range kb.ExpertNames {
+		labeler.SetName(id, name)
+	}
+	return &Digester{
+		kb:      kb,
+		stage:   StageFull,
+		builder: event.NewBuilder(kb.Freq, labeler),
+		labeler: labeler,
+	}, nil
+}
+
+// SetStage restricts the grouping pipeline (for the Table 7 ablation).
+func (d *Digester) SetStage(s Stage) { d.stage = s }
+
+// Labeler exposes the event labeler for expert naming overrides.
+func (d *Digester) Labeler() *event.Labeler { return d.labeler }
+
+// Digest processes one batch of raw messages into ranked events. Large
+// batches augment in parallel (the knowledge base is immutable during
+// digesting).
+func (d *Digester) Digest(msgs []syslogmsg.Message) (*DigestResult, error) {
+	var plus []PlusMessage
+	if len(msgs) >= 4096 {
+		plus = d.kb.AugmentAllParallel(msgs, 0)
+	} else {
+		plus = d.kb.AugmentAll(msgs)
+	}
+	return d.DigestPlus(plus)
+}
+
+// DigestPlus processes a batch that is already augmented.
+func (d *Digester) DigestPlus(plus []PlusMessage) (*DigestResult, error) {
+	cfg := grouping.Config{
+		Temporal:    d.kb.Params.Temporal,
+		RuleWindow:  d.kb.Params.Rules.Window,
+		CrossWindow: d.kb.Params.CrossWindow,
+	}
+	switch d.stage {
+	case StageTemporal:
+		cfg.OnlyTemporal = true
+	case StageTemporalRules:
+		cfg.TemporalAndRules = true
+	}
+	g, err := grouping.New(d.kb.dict, d.kb.RuleBase, cfg)
+	if err != nil {
+		return nil, err
+	}
+	batch := make([]grouping.Message, len(plus))
+	raw := make([]uint64, len(plus))
+	for i := range plus {
+		batch[i] = grouping.Message{
+			Seq:      i,
+			Time:     plus[i].Time,
+			Router:   plus[i].Router,
+			Template: plus[i].Template,
+			Loc:      plus[i].Loc,
+			AllLocs:  plus[i].AllLocs,
+			Peers:    plus[i].Peers,
+		}
+		raw[i] = plus[i].Index
+	}
+	res, err := g.Group(batch)
+	if err != nil {
+		return nil, err
+	}
+	events := d.builder.Build(batch, res, raw)
+	return &DigestResult{Events: events, Messages: plus, ActiveRules: res.ActiveRules}, nil
+}
+
+// ApplyExpert parses and applies domain-expert adjustments (see the expert
+// package) to the knowledge base: asserted/removed rules take effect in the
+// rule base, and template names persist in ExpertNames so every digester
+// built from this base presents them. Returns the number of directives that
+// took effect.
+func (kb *KnowledgeBase) ApplyExpert(r io.Reader) (int, error) {
+	ds, err := expert.Parse(r, kb.Templates)
+	if err != nil {
+		return 0, err
+	}
+	applied := expert.Apply(ds, kb.RuleBase, nil)
+	for _, d := range ds {
+		if d.Kind == expert.KindName {
+			if kb.ExpertNames == nil {
+				kb.ExpertNames = make(map[int]string)
+			}
+			kb.ExpertNames[d.X] = d.Name
+			applied++
+		}
+	}
+	return applied, nil
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"syslogdigest/internal/event"
+	"syslogdigest/internal/netconf"
+	"syslogdigest/internal/rules"
+	"syslogdigest/internal/template"
+)
+
+// The JSON form of the knowledge base is the contract between cmd/sdlearn
+// and cmd/sddigest. Router configs are embedded as their rendered text —
+// the config *is* the serialization of the location dictionary, exactly as
+// in the offline learning design.
+
+type kbJSON struct {
+	Params    paramsJSON        `json:"params"`
+	Templates []templateJSON    `json:"templates"`
+	Rules     []rules.Rule      `json:"rules"`
+	Freq      []event.FreqEntry `json:"freq"`
+	Configs   []string          `json:"configs"`
+	Names     map[int]string    `json:"expert_names,omitempty"`
+}
+
+type paramsJSON struct {
+	Alpha         float64 `json:"alpha"`
+	Beta          float64 `json:"beta"`
+	SminSeconds   float64 `json:"smin_seconds"`
+	SmaxSeconds   float64 `json:"smax_seconds"`
+	WindowSeconds float64 `json:"rule_window_seconds"`
+	SPmin         float64 `json:"spmin"`
+	ConfMin       float64 `json:"confmin"`
+	CrossSeconds  float64 `json:"cross_window_seconds"`
+}
+
+type templateJSON struct {
+	ID    int      `json:"id"`
+	Code  string   `json:"code"`
+	Words []string `json:"words"`
+}
+
+// Save writes the knowledge base as JSON.
+func (kb *KnowledgeBase) Save(w io.Writer) error {
+	out := kbJSON{
+		Params: paramsJSON{
+			Alpha:         kb.Params.Temporal.Alpha,
+			Beta:          kb.Params.Temporal.Beta,
+			SminSeconds:   kb.Params.Temporal.Smin.Seconds(),
+			SmaxSeconds:   kb.Params.Temporal.Smax.Seconds(),
+			WindowSeconds: kb.Params.Rules.Window.Seconds(),
+			SPmin:         kb.Params.Rules.SPmin,
+			ConfMin:       kb.Params.Rules.ConfMin,
+			CrossSeconds:  kb.Params.CrossWindow.Seconds(),
+		},
+		Rules: kb.RuleBase.Rules(),
+		Freq:  kb.Freq.Entries(),
+		Names: kb.ExpertNames,
+	}
+	for _, t := range kb.Templates {
+		out.Templates = append(out.Templates, templateJSON{ID: t.ID, Code: t.Code, Words: t.Words})
+	}
+	for _, c := range kb.Configs {
+		out.Configs = append(out.Configs, netconf.Render(c))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// LoadKnowledgeBase reads a knowledge base previously written by Save and
+// rebuilds all derived indexes (template matcher, location dictionary).
+func LoadKnowledgeBase(r io.Reader) (*KnowledgeBase, error) {
+	var in kbJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decode knowledge base: %w", err)
+	}
+	kb := &KnowledgeBase{
+		Params: Params{
+			Template: template.Options{},
+		},
+	}
+	kb.Params.Temporal.Alpha = in.Params.Alpha
+	kb.Params.Temporal.Beta = in.Params.Beta
+	kb.Params.Temporal.Smin = secs(in.Params.SminSeconds)
+	kb.Params.Temporal.Smax = secs(in.Params.SmaxSeconds)
+	kb.Params.Rules.Window = secs(in.Params.WindowSeconds)
+	kb.Params.Rules.SPmin = in.Params.SPmin
+	kb.Params.Rules.ConfMin = in.Params.ConfMin
+	kb.Params.CrossWindow = secs(in.Params.CrossSeconds)
+	kb.Params = kb.Params.normalize()
+
+	for _, t := range in.Templates {
+		kb.Templates = append(kb.Templates, template.Template{ID: t.ID, Code: t.Code, Words: t.Words})
+	}
+	kb.RuleBase = rules.NewRuleBase()
+	for _, r := range in.Rules {
+		kb.RuleBase.Add(r)
+	}
+	kb.Freq = event.NewFreqTable()
+	for _, e := range in.Freq {
+		kb.Freq.Add(e.Router, e.Template, e.Count)
+	}
+	if len(in.Names) > 0 {
+		kb.ExpertNames = in.Names
+	}
+	for i, text := range in.Configs {
+		cfg, err := netconf.Parse(text)
+		if err != nil {
+			return nil, fmt.Errorf("core: config %d: %w", i, err)
+		}
+		kb.Configs = append(kb.Configs, cfg)
+	}
+	if err := kb.finish(); err != nil {
+		return nil, err
+	}
+	return kb, nil
+}
+
+func secs(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"syslogdigest/internal/syslogmsg"
+	"time"
+)
+
+// Streamer adapts the batch Digester to a continuous message feed, the
+// shape of the paper's online system. Messages buffer until a quiet
+// boundary — a gap longer than Smax, across which no grouping method can
+// connect messages (temporal grouping never bridges Smax, and the rule/
+// cross windows are far smaller) — then the closed batch digests as a unit.
+// A buffer cap forces a flush during pathological storms; only in that case
+// can an event be split across flushes.
+type Streamer struct {
+	d         *Digester
+	buf       []syslogmsg.Message
+	last      time.Time
+	gap       time.Duration
+	maxBuffer int
+}
+
+// NewStreamer wraps a digester. maxBuffer <= 0 defaults to 500000 messages.
+func NewStreamer(d *Digester, maxBuffer int) *Streamer {
+	if maxBuffer <= 0 {
+		maxBuffer = 500_000
+	}
+	gap := d.kb.Params.Temporal.Smax
+	if w := d.kb.Params.Rules.Window; w > gap {
+		gap = w
+	}
+	return &Streamer{d: d, gap: gap, maxBuffer: maxBuffer}
+}
+
+// Push ingests one message (nondecreasing time order expected). When the
+// message opens a new quiet-separated window, the previous window is
+// digested and returned; otherwise the result is nil.
+func (s *Streamer) Push(m syslogmsg.Message) (*DigestResult, error) {
+	if len(s.buf) > 0 && m.Time.Before(s.last) {
+		return nil, fmt.Errorf("core: streamer requires nondecreasing timestamps (got %v after %v)", m.Time, s.last)
+	}
+	var res *DigestResult
+	if len(s.buf) > 0 && (m.Time.Sub(s.last) > s.gap || len(s.buf) >= s.maxBuffer) {
+		var err error
+		res, err = s.Flush()
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.buf = append(s.buf, m)
+	s.last = m.Time
+	return res, nil
+}
+
+// Pending returns the number of buffered, not-yet-digested messages.
+func (s *Streamer) Pending() int { return len(s.buf) }
+
+// Flush digests whatever is buffered and resets the window. It returns nil
+// when nothing is pending.
+func (s *Streamer) Flush() (*DigestResult, error) {
+	if len(s.buf) == 0 {
+		return nil, nil
+	}
+	batch := s.buf
+	s.buf = nil
+	return s.d.Digest(batch)
+}

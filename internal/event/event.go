@@ -1,0 +1,247 @@
+// Package event turns message groups into prioritized, presentable network
+// events (§4.2.4).
+//
+// Each group from the grouping stage becomes one Event carrying its time
+// span, participating routers and locations, the distinct templates
+// involved, and the raw message indices for drill-down. Events are scored
+//
+//	score = Σ_m  l_m / log(f_m)
+//
+// summing over the group's messages, where l_m is the level weight of the
+// message's location (router-level conditions outweigh interface-level ones
+// 1000:1) and f_m is the historical frequency of the message's template on
+// its router — rare signatures matter more, the logarithm keeping the very
+// rare from dominating outright. Ranking is by descending score.
+package event
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"syslogdigest/internal/grouping"
+	"syslogdigest/internal/locdict"
+)
+
+// FreqTable records how often each (router, template) signature occurred in
+// the learning period; it supplies f_m during scoring.
+type FreqTable struct {
+	counts map[freqKey]int64
+}
+
+type freqKey struct {
+	router   string
+	template int
+}
+
+// NewFreqTable returns an empty table.
+func NewFreqTable() *FreqTable {
+	return &FreqTable{counts: make(map[freqKey]int64)}
+}
+
+// Add accumulates n occurrences of template on router.
+func (f *FreqTable) Add(router string, template int, n int64) {
+	f.counts[freqKey{router, template}] += n
+}
+
+// Get returns the recorded frequency (0 when never seen).
+func (f *FreqTable) Get(router string, template int) int64 {
+	return f.counts[freqKey{router, template}]
+}
+
+// Len returns the number of distinct (router, template) entries.
+func (f *FreqTable) Len() int { return len(f.counts) }
+
+// Entries returns all entries in deterministic order, for serialization.
+func (f *FreqTable) Entries() []FreqEntry {
+	out := make([]FreqEntry, 0, len(f.counts))
+	for k, v := range f.counts {
+		out = append(out, FreqEntry{Router: k.router, Template: k.template, Count: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Router != out[j].Router {
+			return out[i].Router < out[j].Router
+		}
+		return out[i].Template < out[j].Template
+	})
+	return out
+}
+
+// FreqEntry is one serializable frequency record.
+type FreqEntry struct {
+	Router   string `json:"router"`
+	Template int    `json:"template"`
+	Count    int64  `json:"count"`
+}
+
+// Event is one network event: a group of related syslog messages presented
+// as a unit.
+type Event struct {
+	ID          int
+	Start, End  time.Time
+	Routers     []string           // distinct, sorted
+	Locations   []locdict.Location // one presentation location per router
+	Templates   []int              // distinct template IDs, sorted
+	MessageSeqs []int              // batch positions of member messages
+	RawIndexes  []uint64           // raw syslog indices for retrieval
+	Label       string
+	Score       float64
+}
+
+// Size returns the number of raw messages in the event.
+func (e *Event) Size() int { return len(e.MessageSeqs) }
+
+// Span returns the event duration.
+func (e *Event) Span() time.Duration { return e.End.Sub(e.Start) }
+
+// Builder assembles and scores events.
+type Builder struct {
+	freq    *FreqTable
+	labeler *Labeler
+}
+
+// NewBuilder creates a builder. freq may be nil (all frequencies treated as
+// unseen); labeler may be nil (default heuristics).
+func NewBuilder(freq *FreqTable, labeler *Labeler) *Builder {
+	if freq == nil {
+		freq = NewFreqTable()
+	}
+	if labeler == nil {
+		labeler = NewLabeler(nil)
+	}
+	return &Builder{freq: freq, labeler: labeler}
+}
+
+// Build converts a grouping result into events, sorted by descending score
+// (rank order). rawIndex maps batch Seq to the raw syslog message index; a
+// nil rawIndex uses the Seq itself.
+func (b *Builder) Build(msgs []grouping.Message, res *grouping.Result, rawIndex []uint64) []Event {
+	bySeq := make([]*grouping.Message, len(msgs))
+	for i := range msgs {
+		bySeq[msgs[i].Seq] = &msgs[i]
+	}
+	events := make([]Event, 0, len(res.Groups))
+	for _, members := range res.Groups {
+		e := Event{ID: len(events)}
+		routers := make(map[string]bool)
+		templates := make(map[int]bool)
+		perRouterLocs := make(map[string][]locdict.Location)
+		for _, seq := range members {
+			m := bySeq[seq]
+			if m == nil {
+				continue
+			}
+			if e.Start.IsZero() || m.Time.Before(e.Start) {
+				e.Start = m.Time
+			}
+			if m.Time.After(e.End) {
+				e.End = m.Time
+			}
+			routers[m.Router] = true
+			templates[m.Template] = true
+			perRouterLocs[m.Router] = append(perRouterLocs[m.Router], m.Loc)
+			e.MessageSeqs = append(e.MessageSeqs, seq)
+			if rawIndex != nil {
+				e.RawIndexes = append(e.RawIndexes, rawIndex[seq])
+			} else {
+				e.RawIndexes = append(e.RawIndexes, uint64(seq))
+			}
+			// Scoring: l_m / log(f_m). The +e guard keeps the denominator
+			// at least 1 for signatures never seen in history (f = 0).
+			f := float64(b.freq.Get(m.Router, m.Template))
+			e.Score += m.Loc.Level.Weight() / math.Log(f+math.E)
+		}
+		for r := range routers {
+			e.Routers = append(e.Routers, r)
+		}
+		sort.Strings(e.Routers)
+		for _, r := range e.Routers {
+			e.Locations = append(e.Locations, presentationLoc(r, perRouterLocs[r]))
+		}
+		for t := range templates {
+			e.Templates = append(e.Templates, t)
+		}
+		sort.Ints(e.Templates)
+		sort.Ints(e.MessageSeqs)
+		sort.Slice(e.RawIndexes, func(i, j int) bool { return e.RawIndexes[i] < e.RawIndexes[j] })
+		e.Label = b.labeler.EventLabel(e.Templates)
+		events = append(events, e)
+	}
+	Rank(events)
+	for i := range events {
+		events[i].ID = i
+	}
+	return events
+}
+
+// presentationLoc picks a router's display location: the coarsest level
+// present (a router-level message subsumes interface detail — §4.2.4), and
+// among that level's locations the most common, ties broken
+// lexicographically.
+func presentationLoc(router string, locs []locdict.Location) locdict.Location {
+	best := locdict.LevelInterface
+	for _, l := range locs {
+		if l.Level > best {
+			best = l.Level
+		}
+	}
+	if best == locdict.LevelRouter {
+		return locdict.RouterLoc(router)
+	}
+	counts := make(map[locdict.Location]int)
+	for _, l := range locs {
+		if l.Level == best {
+			counts[l]++
+		}
+	}
+	var pick locdict.Location
+	pickN := -1
+	for l, n := range counts {
+		if n > pickN || (n == pickN && l.Key() < pick.Key()) {
+			pick, pickN = l, n
+		}
+	}
+	return pick
+}
+
+// Rank sorts events by descending score, breaking ties by earlier start and
+// then by first raw index so the order is total and deterministic.
+func Rank(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Score != events[j].Score {
+			return events[i].Score > events[j].Score
+		}
+		if !events[i].Start.Equal(events[j].Start) {
+			return events[i].Start.Before(events[j].Start)
+		}
+		fi, fj := uint64(0), uint64(0)
+		if len(events[i].RawIndexes) > 0 {
+			fi = events[i].RawIndexes[0]
+		}
+		if len(events[j].RawIndexes) > 0 {
+			fj = events[j].RawIndexes[0]
+		}
+		return fi < fj
+	})
+}
+
+// Digest renders the event as the paper's one-line presentation:
+//
+//	start|end|r1 Serial1/0.10/10:0 r2 Serial1/0.20/20:0|link flap, line protocol flap|16 msgs
+func (e *Event) Digest() string {
+	const layout = "2006-01-02 15:04:05"
+	locs := ""
+	for i, l := range e.Locations {
+		if i > 0 {
+			locs += " "
+		}
+		if l.Level == locdict.LevelRouter {
+			locs += l.Router
+		} else {
+			locs += l.Router + " " + l.Name
+		}
+	}
+	return fmt.Sprintf("%s|%s|%s|%s|%d msgs",
+		e.Start.Format(layout), e.End.Format(layout), locs, e.Label, e.Size())
+}

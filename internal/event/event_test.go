@@ -1,0 +1,251 @@
+package event
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"syslogdigest/internal/grouping"
+	"syslogdigest/internal/locdict"
+	"syslogdigest/internal/template"
+)
+
+var t0 = time.Date(2010, 1, 10, 0, 0, 0, 0, time.UTC)
+
+func flapTemplates() []template.Template {
+	return []template.Template{
+		template.MustTemplate(1, "LINK-3-UPDOWN|Interface *, changed state to down"),
+		template.MustTemplate(2, "LINEPROTO-5-UPDOWN|Line protocol on Interface *, changed state to down"),
+		template.MustTemplate(3, "LINK-3-UPDOWN|Interface *, changed state to up"),
+		template.MustTemplate(4, "LINEPROTO-5-UPDOWN|Line protocol on Interface *, changed state to up"),
+		template.MustTemplate(5, "SYS-1-CPURISINGTHRESHOLD|Threshold: Total CPU Utilization(Total/Intr): *"),
+		template.MustTemplate(6, "BGP-5-ADJCHANGE|neighbor * vpn vrf * Down Peer closed the session"),
+		template.MustTemplate(7, "PIM-5-NBRCHG|neighbor * Down"),
+	}
+}
+
+func toyBatch() ([]grouping.Message, *grouping.Result) {
+	l1 := locdict.IntfLoc("r1", "Serial1/0.10/10:0")
+	l2 := locdict.IntfLoc("r2", "Serial1/0.20/20:0")
+	msgs := []grouping.Message{
+		{Seq: 0, Time: t0, Router: "r1", Template: 1, Loc: l1},
+		{Seq: 1, Time: t0, Router: "r2", Template: 1, Loc: l2},
+		{Seq: 2, Time: t0.Add(time.Second), Router: "r1", Template: 2, Loc: l1},
+		{Seq: 3, Time: t0.Add(31 * time.Second), Router: "r1", Template: 3, Loc: l1},
+		// A separate router-level CPU event.
+		{Seq: 4, Time: t0.Add(time.Hour), Router: "r9", Template: 5, Loc: locdict.RouterLoc("r9")},
+	}
+	res := &grouping.Result{
+		GroupOf: []int{0, 0, 0, 0, 1},
+		Groups:  [][]int{{0, 1, 2, 3}, {4}},
+	}
+	return msgs, res
+}
+
+func TestBuildAssemblesEvent(t *testing.T) {
+	msgs, res := toyBatch()
+	b := NewBuilder(nil, NewLabeler(flapTemplates()))
+	events := b.Build(msgs, res, []uint64{100, 101, 102, 103, 104})
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	// Find the flap event (4 messages).
+	var flap, cpu *Event
+	for i := range events {
+		if events[i].Size() == 4 {
+			flap = &events[i]
+		} else {
+			cpu = &events[i]
+		}
+	}
+	if flap == nil || cpu == nil {
+		t.Fatalf("events malformed: %+v", events)
+	}
+	if !flap.Start.Equal(t0) || !flap.End.Equal(t0.Add(31*time.Second)) {
+		t.Fatalf("span = %v..%v", flap.Start, flap.End)
+	}
+	if flap.Span() != 31*time.Second {
+		t.Fatalf("Span = %v", flap.Span())
+	}
+	if strings.Join(flap.Routers, ",") != "r1,r2" {
+		t.Fatalf("Routers = %v", flap.Routers)
+	}
+	if len(flap.Templates) != 3 || flap.Templates[0] != 1 {
+		t.Fatalf("Templates = %v", flap.Templates)
+	}
+	if flap.RawIndexes[0] != 100 || flap.RawIndexes[3] != 103 {
+		t.Fatalf("RawIndexes = %v", flap.RawIndexes)
+	}
+	// IDs follow rank order.
+	if events[0].ID != 0 || events[1].ID != 1 {
+		t.Fatalf("IDs not rank-ordered: %d, %d", events[0].ID, events[1].ID)
+	}
+}
+
+func TestScoringRareAndHighLevelWins(t *testing.T) {
+	freq := NewFreqTable()
+	freq.Add("r1", 1, 100000) // template 1 is common on r1
+	freq.Add("r9", 5, 2)      // template 5 is rare on r9
+
+	msgs := []grouping.Message{
+		{Seq: 0, Time: t0, Router: "r1", Template: 1, Loc: locdict.IntfLoc("r1", "Serial1/0/1:0")},
+		{Seq: 1, Time: t0, Router: "r9", Template: 5, Loc: locdict.RouterLoc("r9")},
+	}
+	res := &grouping.Result{GroupOf: []int{0, 1}, Groups: [][]int{{0}, {1}}}
+	b := NewBuilder(freq, NewLabeler(flapTemplates()))
+	events := b.Build(msgs, res, nil)
+	// The rare, router-level event must rank first.
+	if events[0].Routers[0] != "r9" {
+		t.Fatalf("rank order wrong: %+v", events)
+	}
+	if events[0].Score <= events[1].Score {
+		t.Fatalf("scores not ordered: %v <= %v", events[0].Score, events[1].Score)
+	}
+	// Spot-check the formula: l/log(f+e) for the interface message.
+	want := 1.0 / math.Log(100000+math.E)
+	if diff := math.Abs(events[1].Score - want); diff > 1e-9 {
+		t.Fatalf("score = %v, want %v", events[1].Score, want)
+	}
+}
+
+func TestScoreSizeMatters(t *testing.T) {
+	// More messages, higher score (severity proxy).
+	loc := locdict.IntfLoc("r1", "Serial1/0/1:0")
+	var msgs []grouping.Message
+	for i := 0; i < 5; i++ {
+		msgs = append(msgs, grouping.Message{Seq: i, Time: t0, Router: "r1", Template: 1, Loc: loc})
+	}
+	res := &grouping.Result{GroupOf: []int{0, 0, 0, 0, 1}, Groups: [][]int{{0, 1, 2, 3}, {4}}}
+	events := NewBuilder(nil, nil).Build(msgs, res, nil)
+	if events[0].Size() != 4 {
+		t.Fatalf("larger group should rank first: %+v", events)
+	}
+	if events[0].Score != 4*events[1].Score {
+		t.Fatalf("score should scale with size: %v vs %v", events[0].Score, events[1].Score)
+	}
+}
+
+func TestPresentationLocCoarsestWins(t *testing.T) {
+	locs := []locdict.Location{
+		locdict.IntfLoc("r1", "Serial1/0/1:0"),
+		locdict.RouterLoc("r1"),
+		locdict.IntfLoc("r1", "Serial1/0/2:0"),
+	}
+	got := presentationLoc("r1", locs)
+	if got != locdict.RouterLoc("r1") {
+		t.Fatalf("presentationLoc = %v, want router level", got)
+	}
+	// Without the router-level message, the most common interface shows.
+	locs = []locdict.Location{
+		locdict.IntfLoc("r1", "Serial1/0/1:0"),
+		locdict.IntfLoc("r1", "Serial1/0/2:0"),
+		locdict.IntfLoc("r1", "Serial1/0/1:0"),
+	}
+	got = presentationLoc("r1", locs)
+	if got.Name != "Serial1/0/1:0" {
+		t.Fatalf("presentationLoc = %v", got)
+	}
+}
+
+func TestDigestFormat(t *testing.T) {
+	msgs, res := toyBatch()
+	b := NewBuilder(nil, NewLabeler(flapTemplates()))
+	events := b.Build(msgs, res, nil)
+	var flap *Event
+	for i := range events {
+		if events[i].Size() == 4 {
+			flap = &events[i]
+		}
+	}
+	d := flap.Digest()
+	parts := strings.Split(d, "|")
+	if len(parts) != 5 {
+		t.Fatalf("digest fields = %d: %q", len(parts), d)
+	}
+	if parts[0] != "2010-01-10 00:00:00" || parts[1] != "2010-01-10 00:00:31" {
+		t.Fatalf("digest times wrong: %q", d)
+	}
+	if !strings.Contains(parts[2], "r1 Serial1/0.10/10:0") || !strings.Contains(parts[2], "r2 Serial1/0.20/20:0") {
+		t.Fatalf("digest locations wrong: %q", parts[2])
+	}
+	if !strings.Contains(parts[3], "link flap") {
+		t.Fatalf("digest label = %q, want link flap", parts[3])
+	}
+	if parts[4] != "4 msgs" {
+		t.Fatalf("digest size field = %q", parts[4])
+	}
+}
+
+func TestLabelerFlapCollapse(t *testing.T) {
+	l := NewLabeler(flapTemplates())
+	got := l.EventLabel([]int{1, 2, 3, 4})
+	if got != "line protocol flap, link flap" {
+		t.Fatalf("EventLabel = %q", got)
+	}
+}
+
+func TestLabelerTemplateNames(t *testing.T) {
+	l := NewLabeler(flapTemplates())
+	cases := map[int]string{
+		1: "link down",
+		3: "link up",
+		5: "system high",
+		6: "bgp session down",
+		7: "pim neighbor down",
+	}
+	for id, want := range cases {
+		if got := l.TemplateName(id); got != want {
+			t.Errorf("TemplateName(%d) = %q, want %q", id, got, want)
+		}
+	}
+	if got := l.TemplateName(99); got != "signature 99" {
+		t.Errorf("unknown template name = %q", got)
+	}
+}
+
+func TestLabelerCustomOverride(t *testing.T) {
+	l := NewLabeler(flapTemplates())
+	l.SetName(6, "vpn peer loss")
+	if got := l.TemplateName(6); got != "vpn peer loss" {
+		t.Fatalf("override = %q", got)
+	}
+	if got := l.EventLabel([]int{6}); got != "vpn peer loss" {
+		t.Fatalf("EventLabel with override = %q", got)
+	}
+}
+
+func TestFreqTable(t *testing.T) {
+	f := NewFreqTable()
+	f.Add("r1", 1, 5)
+	f.Add("r1", 1, 3)
+	f.Add("r2", 1, 7)
+	if f.Get("r1", 1) != 8 || f.Get("r2", 1) != 7 || f.Get("r3", 1) != 0 {
+		t.Fatal("counts wrong")
+	}
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	es := f.Entries()
+	if len(es) != 2 || es[0].Router != "r1" || es[1].Router != "r2" {
+		t.Fatalf("Entries = %+v", es)
+	}
+}
+
+func TestRankDeterministicTies(t *testing.T) {
+	a := Event{Score: 1, Start: t0, RawIndexes: []uint64{5}}
+	b := Event{Score: 1, Start: t0, RawIndexes: []uint64{2}}
+	evs := []Event{a, b}
+	Rank(evs)
+	if evs[0].RawIndexes[0] != 2 {
+		t.Fatalf("tie-break by raw index failed: %+v", evs)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for n, want := range map[int]string{0: "0", 7: "7", 42: "42", -3: "-3", 1234: "1234"} {
+		if got := itoa(n); got != want {
+			t.Errorf("itoa(%d) = %q", n, got)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package event
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"syslogdigest/internal/locdict"
+)
+
+// JSON export: the machine-readable face of the digest, for feeding events
+// into ticketing, visualization, or correlation systems (the paper's §6
+// applications consume digests programmatically).
+
+// eventJSON is the wire form of one event.
+type eventJSON struct {
+	ID        int            `json:"id"`
+	Start     time.Time      `json:"start"`
+	End       time.Time      `json:"end"`
+	Label     string         `json:"label"`
+	Score     float64        `json:"score"`
+	Routers   []string       `json:"routers"`
+	Locations []locationJSON `json:"locations"`
+	Templates []int          `json:"templates"`
+	Messages  int            `json:"messages"`
+	RawIndex  []uint64       `json:"raw_indices"`
+}
+
+type locationJSON struct {
+	Router string `json:"router"`
+	Level  string `json:"level"`
+	Name   string `json:"name,omitempty"`
+}
+
+// MarshalJSON renders the event in its export form.
+func (e Event) MarshalJSON() ([]byte, error) {
+	out := eventJSON{
+		ID:        e.ID,
+		Start:     e.Start.UTC(),
+		End:       e.End.UTC(),
+		Label:     e.Label,
+		Score:     e.Score,
+		Routers:   e.Routers,
+		Templates: e.Templates,
+		Messages:  e.Size(),
+		RawIndex:  e.RawIndexes,
+	}
+	for _, l := range e.Locations {
+		out.Locations = append(out.Locations, locationJSON{
+			Router: l.Router, Level: l.Level.String(), Name: l.Name,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// WriteJSON writes events as newline-delimited JSON (one event per line),
+// the friendliest shape for log pipelines.
+func WriteJSON(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for i := range events {
+		if err := enc.Encode(events[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// levelFromString reverses Level.String for import tooling.
+func levelFromString(s string) (locdict.Level, bool) {
+	switch s {
+	case "interface":
+		return locdict.LevelInterface, true
+	case "port":
+		return locdict.LevelPort, true
+	case "slot":
+		return locdict.LevelSlot, true
+	case "router":
+		return locdict.LevelRouter, true
+	}
+	return 0, false
+}
+
+// UnmarshalJSON parses the export form back into an Event (used by
+// downstream tooling and tests; RawIndexes and MessageSeqs are restored as
+// far as the wire form carries them).
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var in eventJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*e = Event{
+		ID:         in.ID,
+		Start:      in.Start,
+		End:        in.End,
+		Label:      in.Label,
+		Score:      in.Score,
+		Routers:    in.Routers,
+		Templates:  in.Templates,
+		RawIndexes: in.RawIndex,
+	}
+	for _, l := range in.Locations {
+		lvl, ok := levelFromString(l.Level)
+		if !ok {
+			lvl = locdict.LevelRouter
+		}
+		e.Locations = append(e.Locations, locdict.Location{Router: l.Router, Level: lvl, Name: l.Name})
+	}
+	// MessageSeqs are batch-local and not exported; reconstruct a
+	// placeholder of matching size so Size() stays truthful.
+	e.MessageSeqs = make([]int, in.Messages)
+	for i := range e.MessageSeqs {
+		e.MessageSeqs[i] = i
+	}
+	return nil
+}

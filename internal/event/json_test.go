@@ -1,0 +1,117 @@
+package event
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"syslogdigest/internal/locdict"
+)
+
+func sampleEvent() Event {
+	t0 := time.Date(2010, 1, 10, 0, 0, 0, 0, time.UTC)
+	return Event{
+		ID:    3,
+		Start: t0, End: t0.Add(31 * time.Second),
+		Label: "link flap", Score: 12.5,
+		Routers: []string{"r1", "r2"},
+		Locations: []locdict.Location{
+			locdict.IntfLoc("r1", "Serial1/0.10/10:0"),
+			locdict.RouterLoc("r2"),
+		},
+		Templates:   []int{1, 2, 3},
+		MessageSeqs: []int{0, 1, 2, 3},
+		RawIndexes:  []uint64{100, 101, 102, 103},
+	}
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	in := sampleEvent()
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Event
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Label != in.Label || out.Score != in.Score {
+		t.Fatalf("identity drift: %+v", out)
+	}
+	if !out.Start.Equal(in.Start) || !out.End.Equal(in.End) {
+		t.Fatalf("span drift: %v..%v", out.Start, out.End)
+	}
+	if len(out.Routers) != 2 || len(out.Templates) != 3 || len(out.RawIndexes) != 4 {
+		t.Fatalf("fields drift: %+v", out)
+	}
+	if out.Size() != in.Size() {
+		t.Fatalf("Size drift: %d != %d", out.Size(), in.Size())
+	}
+	if out.Locations[0] != in.Locations[0] || out.Locations[1] != in.Locations[1] {
+		t.Fatalf("locations drift: %+v", out.Locations)
+	}
+}
+
+func TestEventJSONFields(t *testing.T) {
+	data, err := json.Marshal(sampleEvent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"id", "start", "end", "label", "score", "routers", "locations", "templates", "messages", "raw_indices"} {
+		if _, ok := m[field]; !ok {
+			t.Errorf("export missing field %q", field)
+		}
+	}
+	if m["messages"].(float64) != 4 {
+		t.Fatalf("messages = %v", m["messages"])
+	}
+	locs := m["locations"].([]any)
+	first := locs[0].(map[string]any)
+	if first["level"] != "interface" || first["router"] != "r1" {
+		t.Fatalf("location export = %v", first)
+	}
+	// Router-level location omits the empty name.
+	second := locs[1].(map[string]any)
+	if _, ok := second["name"]; ok {
+		t.Fatalf("router-level location carries a name: %v", second)
+	}
+}
+
+func TestWriteJSONNDJSON(t *testing.T) {
+	events := []Event{sampleEvent(), sampleEvent()}
+	events[1].ID = 4
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d: %v", lines+1, err)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("NDJSON lines = %d", lines)
+	}
+}
+
+func TestLevelFromString(t *testing.T) {
+	for _, l := range []locdict.Level{locdict.LevelInterface, locdict.LevelPort, locdict.LevelSlot, locdict.LevelRouter} {
+		back, ok := levelFromString(l.String())
+		if !ok || back != l {
+			t.Errorf("level round trip failed for %v", l)
+		}
+	}
+	if _, ok := levelFromString("bogus"); ok {
+		t.Error("bogus level accepted")
+	}
+}

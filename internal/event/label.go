@@ -1,0 +1,194 @@
+package event
+
+import (
+	"sort"
+	"strings"
+
+	"syslogdigest/internal/syslogmsg"
+	"syslogdigest/internal/template"
+)
+
+// Labeler names templates and events. The paper's presentation shows "the
+// combinations of message signatures within the group" with optional expert
+// naming ("link flap" for a group containing LINK-DOWN and LINK-UP); this
+// labeler provides vendor-agnostic heuristic names plus an override hook
+// for exactly that expert input.
+type Labeler struct {
+	templates map[int]template.Template
+	custom    map[int]string
+}
+
+// NewLabeler indexes the learned templates. A nil slice is allowed —
+// unknown template IDs are labeled "signature <id>".
+func NewLabeler(templates []template.Template) *Labeler {
+	l := &Labeler{
+		templates: make(map[int]template.Template, len(templates)),
+		custom:    make(map[int]string),
+	}
+	for _, t := range templates {
+		l.templates[t.ID] = t
+	}
+	return l
+}
+
+// SetName registers an expert-provided name for one template.
+func (l *Labeler) SetName(id int, name string) { l.custom[id] = name }
+
+// subjects maps code facilities/modules to human subjects.
+var subjects = map[string]string{
+	"LINK":       "link",
+	"LINEPROTO":  "line protocol",
+	"BGP":        "bgp session",
+	"OSPF":       "ospf adjacency",
+	"ISIS":       "isis adjacency",
+	"PIM":        "pim neighbor",
+	"LDP":        "ldp session",
+	"CONTROLLER": "controller",
+	"SNMP":       "link",
+	"SVCMGR":     "sap",
+	"MPLS":       "mpls tunnel",
+	"MPLS_TE":    "mpls tunnel",
+	"ENV":        "environment",
+	"ENVMON":     "environment",
+	"SYS":        "system",
+	"SEC":        "security",
+	"TCP":        "tcp",
+	"SSH":        "ssh",
+	"FTP":        "ftp",
+	"PLATFORM":   "linecard",
+	"CHASSIS":    "chassis",
+	"TUNNEL":     "tunnel",
+}
+
+// TemplateName returns the short name for one template ID.
+func (l *Labeler) TemplateName(id int) string {
+	if n, ok := l.custom[id]; ok {
+		return n
+	}
+	t, ok := l.templates[id]
+	if !ok {
+		return "signature " + itoa(id)
+	}
+	info := syslogmsg.ParseCode(t.Code)
+	subject := subjects[strings.ToUpper(info.Facility)]
+	if subject == "" {
+		subject = strings.ToLower(info.Facility)
+	}
+	if subject == "" {
+		subject = strings.ToLower(t.Code)
+	}
+	switch classifyState(t) {
+	case stateDown:
+		return subject + " down"
+	case stateUp:
+		return subject + " up"
+	case stateHigh:
+		return subject + " high"
+	case stateNormal:
+		return subject + " normal"
+	case stateFail:
+		return subject + " failure"
+	case stateRetry:
+		return subject + " retry"
+	}
+	// Fall back to the mnemonic, e.g. "system CONFIG_I".
+	if info.Mnemonic != "" && info.Mnemonic != t.Code {
+		return subject + " " + strings.ToLower(info.Mnemonic)
+	}
+	return subject
+}
+
+type state int
+
+const (
+	stateOther state = iota
+	stateDown
+	stateUp
+	stateHigh
+	stateNormal
+	stateFail
+	stateRetry
+)
+
+// classifyState inspects the template's words and code for a state hint.
+func classifyState(t template.Template) state {
+	joined := strings.ToLower(strings.Join(t.Words, " "))
+	mn := strings.ToLower(t.Code)
+	switch {
+	case strings.Contains(joined, "not operational"):
+		return stateDown
+	case strings.Contains(mn, "rising"):
+		return stateHigh
+	case strings.Contains(mn, "falling"):
+		return stateNormal
+	case hasWord(joined, "down") || hasWord(joined, "dropped") || hasWord(joined, "lost") ||
+		hasWord(joined, "idle") || strings.Contains(mn, "linkdown"):
+		return stateDown
+	case hasWord(joined, "up") || hasWord(joined, "established") || hasWord(joined, "restored") ||
+		strings.Contains(joined, "loading done") || strings.Contains(joined, "operational") ||
+		strings.Contains(mn, "linkup"):
+		return stateUp
+	case strings.Contains(joined, "retry") || strings.Contains(joined, "retrying"):
+		return stateRetry
+	case strings.Contains(joined, "fail") || strings.Contains(joined, "failed") ||
+		strings.Contains(joined, "invalid") || strings.Contains(joined, "bad"):
+		return stateFail
+	}
+	return stateOther
+}
+
+func hasWord(s, w string) bool {
+	for _, tok := range strings.Fields(s) {
+		tok = strings.Trim(tok, ",.:;()")
+		if tok == w {
+			return true
+		}
+	}
+	return false
+}
+
+// EventLabel names an event from its distinct template IDs: per-template
+// names are computed, "<subject> down" + "<subject> up" pairs collapse to
+// "<subject> flap", and the distinct names are joined sorted.
+func (l *Labeler) EventLabel(templateIDs []int) string {
+	names := make(map[string]bool)
+	for _, id := range templateIDs {
+		names[l.TemplateName(id)] = true
+	}
+	// Collapse down+up into flap.
+	for n := range names {
+		if subject, ok := strings.CutSuffix(n, " down"); ok && names[subject+" up"] {
+			delete(names, subject+" down")
+			delete(names, subject+" up")
+			names[subject+" flap"] = true
+		}
+	}
+	out := make([]string, 0, len(names))
+	for n := range names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ", ")
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

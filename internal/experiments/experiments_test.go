@@ -1,0 +1,476 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"syslogdigest/internal/gen"
+)
+
+// Both corpora are cached by Load, so the whole file pays generation and
+// learning once per dataset.
+
+func corpus(t *testing.T, kind gen.DatasetKind) *Corpus {
+	t.Helper()
+	c, err := Load(kind, SmallProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestLoadCaches(t *testing.T) {
+	a := corpus(t, gen.DatasetA)
+	b := corpus(t, gen.DatasetA)
+	if a != b {
+		t.Fatal("Load did not cache")
+	}
+	if a.Kind != gen.DatasetA || len(a.Learn.Messages) == 0 || len(a.Online.Messages) == 0 {
+		t.Fatal("corpus malformed")
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	for _, kind := range []gen.DatasetKind{gen.DatasetA, gen.DatasetB} {
+		rows, err := Table5(corpus(t, kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 3 {
+			t.Fatalf("rows = %d", len(rows))
+		}
+		// Lower SPmin admits more types and covers at least as many
+		// messages; even the strictest keeps coverage near-total (the
+		// paper's point: a few chatty types carry almost all messages).
+		for i := 1; i < len(rows); i++ {
+			if rows[i].SPmin >= rows[i-1].SPmin {
+				t.Fatal("rows not ordered by decreasing SPmin")
+			}
+			if rows[i].TopTypePct < rows[i-1].TopTypePct-1e-12 {
+				t.Fatalf("type share not monotone: %+v", rows)
+			}
+			if rows[i].CoveragePct < rows[i-1].CoveragePct-1e-12 {
+				t.Fatalf("coverage not monotone: %+v", rows)
+			}
+		}
+		if rows[0].CoveragePct < 0.95 {
+			t.Fatalf("dataset %v: strictest SPmin coverage %.3f, want >= 0.95", kind, rows[0].CoveragePct)
+		}
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	rows, err := Figure6(corpus(t, gen.DatasetA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within one SPmin, rules decrease (weakly) as Confmin rises.
+	bySP := make(map[float64][]Figure6Row)
+	for _, r := range rows {
+		bySP[r.SPmin] = append(bySP[r.SPmin], r)
+	}
+	if len(bySP) != 3 {
+		t.Fatalf("SPmin series = %d", len(bySP))
+	}
+	for sp, series := range bySP {
+		for i := 1; i < len(series); i++ {
+			if series[i].Rules > series[i-1].Rules {
+				t.Fatalf("SPmin %g: rules grew with Confmin: %+v", sp, series)
+			}
+		}
+		if series[0].Rules == 0 {
+			t.Fatalf("SPmin %g mined no rules at Confmin 0.5", sp)
+		}
+	}
+	// Higher SPmin yields (weakly) fewer rules at equal Confmin.
+	for i := range Figure6ConfMins {
+		a := bySP[0.001][i].Rules
+		b := bySP[0.0001][i].Rules
+		if a > b {
+			t.Fatalf("stricter SPmin mined more rules at Confmin %v", Figure6ConfMins[i])
+		}
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	for _, kind := range []gen.DatasetKind{gen.DatasetA, gen.DatasetB} {
+		rows, err := Figure7(corpus(t, kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rule count grows (weakly) with W...
+		for i := 1; i < len(rows); i++ {
+			if rows[i].Rules < rows[i-1].Rules {
+				t.Fatalf("dataset %v: rules shrank as W grew: %+v", kind, rows)
+			}
+		}
+		// ...and the growth rate diminishes: rules gained per second after
+		// the knee is well below the rate before it (knee: 120s for A, 40s
+		// for B).
+		knee := 120.0
+		if kind == gen.DatasetB {
+			knee = 40.0
+		}
+		var atKnee, last Figure7Row
+		for _, r := range rows {
+			if r.W.Seconds() <= knee {
+				atKnee = r
+			}
+			last = r
+		}
+		first := rows[0]
+		before := float64(atKnee.Rules-first.Rules) / (atKnee.W.Seconds() - first.W.Seconds())
+		after := float64(last.Rules-atKnee.Rules) / (last.W.Seconds() - atKnee.W.Seconds())
+		if atKnee.Rules == 0 {
+			t.Fatalf("dataset %v: no rules at the knee", kind)
+		}
+		if after >= before {
+			t.Fatalf("dataset %v: rule growth did not diminish after %vs (before=%.3f/s after=%.3f/s)",
+				kind, knee, before, after)
+		}
+	}
+}
+
+func TestRuleEvolutionStabilizes(t *testing.T) {
+	for _, kind := range []gen.DatasetKind{gen.DatasetA, gen.DatasetB} {
+		rows, err := RuleEvolution(corpus(t, kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != corpus(t, kind).Profile.Weeks-1 {
+			t.Fatalf("weeks = %d", len(rows))
+		}
+		// Churn in the final week is small relative to the base.
+		final := rows[len(rows)-1]
+		if final.Total == 0 {
+			t.Fatalf("dataset %v: empty rule base after evolution", kind)
+		}
+		churn := float64(final.Added+final.Deleted) / float64(final.Total)
+		if churn > 0.6 {
+			t.Fatalf("dataset %v: final churn %.2f too high: %+v", kind, churn, rows)
+		}
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	for _, kind := range []gen.DatasetKind{gen.DatasetA, gen.DatasetB} {
+		pts, err := Figure10(corpus(t, kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The best alpha is small (paper: 0.05 / 0.075), and the largest
+		// alpha is strictly worse than the best.
+		best := pts[0]
+		for _, p := range pts {
+			if p.Ratio < best.Ratio {
+				best = p
+			}
+		}
+		if best.Alpha > 0.2 {
+			t.Fatalf("dataset %v: best alpha %v, want small", kind, best.Alpha)
+		}
+		last := pts[len(pts)-1]
+		if last.Ratio <= best.Ratio {
+			t.Fatalf("dataset %v: alpha=%v not worse than best: %v <= %v",
+				kind, last.Alpha, last.Ratio, best.Ratio)
+		}
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	for _, kind := range []gen.DatasetKind{gen.DatasetA, gen.DatasetB} {
+		pts, err := Figure11(corpus(t, kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ratio decreases with beta, with diminishing improvement.
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Ratio > pts[i-1].Ratio {
+				t.Fatalf("dataset %v: ratio rose with beta: %+v", kind, pts)
+			}
+		}
+		firstGain := pts[0].Ratio - pts[1].Ratio
+		lastGain := pts[len(pts)-2].Ratio - pts[len(pts)-1].Ratio
+		if lastGain > firstGain {
+			t.Fatalf("dataset %v: improvement did not diminish: %+v", kind, pts)
+		}
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	for _, kind := range []gen.DatasetKind{gen.DatasetA, gen.DatasetB} {
+		rows, err := Table7(corpus(t, kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 3 {
+			t.Fatalf("rows = %d", len(rows))
+		}
+		if !(rows[0].Ratio > rows[1].Ratio && rows[1].Ratio > rows[2].Ratio) {
+			t.Fatalf("dataset %v: stages not strictly improving: %+v", kind, rows)
+		}
+		if rows[2].Ratio > 0.02 {
+			t.Fatalf("dataset %v: full-pipeline ratio %.3e too weak", kind, rows[2].Ratio)
+		}
+	}
+	// Dataset B compresses better than A, as in the paper.
+	a, _ := Table7(corpus(t, gen.DatasetA))
+	b, _ := Table7(corpus(t, gen.DatasetB))
+	if b[2].Ratio >= a[2].Ratio {
+		t.Fatalf("dataset B ratio %.3e not below A's %.3e", b[2].Ratio, a[2].Ratio)
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	rows, err := Figure12(corpus(t, gen.DatasetA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no days")
+	}
+	for _, r := range rows {
+		if r.Messages == 0 {
+			t.Fatalf("day %d has no messages", r.Day)
+		}
+		ratio := float64(r.Events) / float64(r.Messages)
+		if ratio > 0.05 {
+			t.Fatalf("day %d ratio %.3e too weak", r.Day, ratio)
+		}
+		if r.ActiveRules == 0 {
+			t.Fatalf("day %d used no rules", r.Day)
+		}
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	rows, err := Figure13(corpus(t, gen.DatasetA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 10 {
+		t.Fatalf("routers = %d", len(rows))
+	}
+	// Sorted by messages descending.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Messages > rows[i-1].Messages {
+			t.Fatal("rows not sorted")
+		}
+	}
+	// The paper's robust observation: routers with more messages compress
+	// better. The busiest router's events/messages ratio must sit below
+	// the network-wide per-router average ratio.
+	var sumRatio float64
+	n := 0
+	for _, r := range rows {
+		if r.Messages == 0 {
+			continue
+		}
+		sumRatio += float64(r.Events) / float64(r.Messages)
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no active routers")
+	}
+	avgRatio := sumRatio / float64(n)
+	topRatio := float64(rows[0].Events) / float64(rows[0].Messages)
+	if topRatio >= avgRatio {
+		t.Fatalf("busiest router ratio %.3e not below average %.3e", topRatio, avgRatio)
+	}
+}
+
+func TestTemplateAccuracyBand(t *testing.T) {
+	a := TemplateAccuracy(corpus(t, gen.DatasetA))
+	b := TemplateAccuracy(corpus(t, gen.DatasetB))
+	if a.Accuracy < 0.6 || b.Accuracy < 0.6 {
+		t.Fatalf("small-profile accuracy too low: A=%.2f B=%.2f", a.Accuracy, b.Accuracy)
+	}
+	if a.Accuracy > 1 || b.Accuracy > 1 {
+		t.Fatal("accuracy above 1")
+	}
+}
+
+func TestTicketValidation(t *testing.T) {
+	for _, kind := range []gen.DatasetKind{gen.DatasetA, gen.DatasetB} {
+		tv, err := TicketValidation(corpus(t, kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := tv.Summary
+		if s.Tickets == 0 {
+			t.Fatalf("dataset %v: no tickets", kind)
+		}
+		// Every top ticket must match some event (the paper's "does not
+		// miss important incidents"), and the bulk must sit high in the
+		// ranking. Top-5% granularity is coarse at small scale, so the
+		// assertion is on the worst matched rank.
+		if s.Matched != s.Tickets {
+			t.Fatalf("dataset %v: %d/%d top tickets unmatched", kind, s.Tickets-s.Matched, s.Tickets)
+		}
+		if s.WorstRankPct > 0.5 {
+			t.Fatalf("dataset %v: worst matched rank %.2f beyond the top half", kind, s.WorstRankPct)
+		}
+	}
+}
+
+func TestFigures4And5(t *testing.T) {
+	exs, err := Figures4And5(corpus(t, gen.DatasetA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exs) == 0 {
+		t.Skip("no exemplar conditions at this seed")
+	}
+	for _, e := range exs {
+		if len(e.Times) < 4 {
+			t.Fatalf("exemplar %q too small", e.Kind)
+		}
+		if e.Groups <= 0 || e.Groups > len(e.Times) {
+			t.Fatalf("exemplar %q groups = %d of %d", e.Kind, e.Groups, len(e.Times))
+		}
+		// Temporal grouping must compress the exemplar heavily.
+		if float64(e.Groups)/float64(len(e.Times)) > 0.25 {
+			t.Fatalf("exemplar %q barely grouped: %d/%d", e.Kind, e.Groups, len(e.Times))
+		}
+	}
+}
+
+func TestHealthMap(t *testing.T) {
+	rows, err := HealthMap(corpus(t, gen.DatasetA), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("empty health map")
+	}
+	totalMsgs, totalEvents := 0, 0
+	for _, r := range rows {
+		totalMsgs += r.Messages
+		totalEvents += r.Events
+	}
+	if totalMsgs == 0 {
+		t.Fatal("busiest window has no messages")
+	}
+	if totalEvents >= totalMsgs {
+		t.Fatal("events view not smaller than raw view")
+	}
+}
+
+func TestAblationMasking(t *testing.T) {
+	r := AblationMasking(corpus(t, gen.DatasetA))
+	// Without masking, accuracy degrades (location values fragment
+	// templates) — the design-choice justification.
+	if r.WithoutMasking >= r.WithMasking {
+		t.Fatalf("masking did not help: %+v", r)
+	}
+}
+
+func TestAblationTemporal(t *testing.T) {
+	r, err := AblationTemporal(corpus(t, gen.DatasetA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Fixed) == 0 || r.EWMARatio <= 0 {
+		t.Fatalf("ablation malformed: %+v", r)
+	}
+	// The learned model beats comparable fixed windows (30s and 2m).
+	for _, f := range r.Fixed[:2] {
+		if r.EWMARatio >= f.Ratio {
+			t.Fatalf("EWMA %.3e not better than fixed %v %.3e", r.EWMARatio, f.Window, f.Ratio)
+		}
+	}
+}
+
+func TestAblationDeletion(t *testing.T) {
+	r, err := AblationDeletion(corpus(t, gen.DatasetA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(r.ConservativeTotals)
+	if n == 0 || len(r.AggressiveTotals) != n {
+		t.Fatalf("ablation malformed: %+v", r)
+	}
+	// Conservative retention keeps at least as many rules every period.
+	for i := range r.ConservativeTotals {
+		if r.ConservativeTotals[i] < r.AggressiveTotals[i] {
+			t.Fatalf("conservative base smaller than aggressive at week %d: %+v", i+1, r)
+		}
+	}
+}
+
+func TestSeverityBaseline(t *testing.T) {
+	r, err := SeverityBaseline(corpus(t, gen.DatasetA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Severity filtering at the "important" level still keeps far more
+	// lines than the digest has events — the paper's §2 argument.
+	if r.Retention[3] <= r.DigestRatio {
+		t.Fatalf("severity filter at 3 (%.3e) beat digest (%.3e)?", r.Retention[3], r.DigestRatio)
+	}
+	if r.Retention[5] < r.Retention[3] || r.Retention[3] < r.Retention[1] {
+		t.Fatalf("retention not monotone in severity: %+v", r.Retention)
+	}
+}
+
+func TestTable6(t *testing.T) {
+	row, err := Table6(corpus(t, gen.DatasetA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Alpha <= 0 || row.Alpha > 0.2 {
+		t.Fatalf("calibrated alpha %v outside the small band", row.Alpha)
+	}
+	if row.Beta < 2 || row.Beta > 7 {
+		t.Fatalf("calibrated beta %v outside grid", row.Beta)
+	}
+	if row.W.Seconds() != 120 || row.SPmin != 0.0005 || row.ConfMin != 0.8 {
+		t.Fatalf("table row constants wrong: %+v", row)
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	c := corpus(t, gen.DatasetA)
+	t5, _ := Table5(c)
+	t7, _ := Table7(c)
+	f7, _ := Figure7(c)
+	f12, _ := Figure12(c)
+	f13, _ := Figure13(c)
+	for name, s := range map[string]string{
+		"table5":   RenderTable5("A", t5),
+		"table7":   RenderTable7("A", t7),
+		"figure7":  RenderFigure7("A", f7),
+		"figure12": RenderFigure12("A", f12),
+		"figure13": RenderFigure13("A", f13, 5),
+	} {
+		if len(s) < 40 {
+			t.Errorf("renderer %s output too short: %q", name, s)
+		}
+	}
+}
+
+func TestTrendAudit(t *testing.T) {
+	// The small profile's 2 online days are below the detector's minimum;
+	// the function must say so rather than fabricate series.
+	if _, err := TrendAudit(corpus(t, gen.DatasetA)); err == nil {
+		t.Fatal("2-day online period accepted")
+	}
+	// A week-long low-rate corpus exercises the real comparison.
+	p := SmallProfile()
+	p.Name = "trend"
+	p.OnlineDuration = 7 * 24 * time.Hour
+	p.RateScale = 0.25
+	c, err := Load(gen.DatasetA, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := TrendAudit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's claim: raw message counts fake at least as many behavior
+	// changes as event counts show.
+	if r.EventShifts > r.RawShifts {
+		t.Fatalf("events (%d shifts) noisier than raw messages (%d)", r.EventShifts, r.RawShifts)
+	}
+}

@@ -1,0 +1,367 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+
+	"syslogdigest/internal/core"
+	"syslogdigest/internal/gen"
+	"syslogdigest/internal/rules"
+	"syslogdigest/internal/syslogmsg"
+	"syslogdigest/internal/temporal"
+)
+
+// Figure6Row is one point of Figure 6: rules vs Confmin per SPmin, dataset
+// A, W fixed at 60s.
+type Figure6Row struct {
+	SPmin   float64
+	ConfMin float64
+	Rules   int
+}
+
+// Figure6ConfMins is the paper's x-axis.
+var Figure6ConfMins = []float64{0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9}
+
+// Figure6 sweeps Confmin and SPmin at W=60s.
+func Figure6(c *Corpus) ([]Figure6Row, error) {
+	events := c.ruleEvents()
+	var rows []Figure6Row
+	for _, sp := range Table5SPmins {
+		// One mining pass per (SPmin, ConfMin); counts are cheapest to
+		// recompute from a low-threshold pass, but Mine is fast enough and
+		// this keeps each point exactly the production code path.
+		for _, cm := range Figure6ConfMins {
+			cfg := ParamsFor(c.Kind).Rules
+			cfg.Window = 60 * time.Second
+			cfg.SPmin = sp
+			cfg.ConfMin = cm
+			res, err := rules.Mine(events, cfg)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Figure6Row{SPmin: sp, ConfMin: cm, Rules: len(res.Rules)})
+		}
+	}
+	return rows, nil
+}
+
+// Figure7Row is one point of Figure 7: rules vs window size W.
+type Figure7Row struct {
+	W     time.Duration
+	Rules int
+}
+
+// Figure7Windows is the paper's sweep range (5s–300s).
+var Figure7Windows = []time.Duration{
+	5 * time.Second, 10 * time.Second, 20 * time.Second, 30 * time.Second,
+	40 * time.Second, 60 * time.Second, 90 * time.Second, 120 * time.Second,
+	180 * time.Second, 240 * time.Second, 300 * time.Second,
+}
+
+// Figure7 sweeps W at Confmin=0.8, SPmin=0.0005.
+func Figure7(c *Corpus) ([]Figure7Row, error) {
+	events := c.ruleEvents()
+	rows := make([]Figure7Row, 0, len(Figure7Windows))
+	for _, w := range Figure7Windows {
+		cfg := ParamsFor(c.Kind).Rules
+		cfg.Window = w
+		res, err := rules.Mine(events, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Figure7Row{W: w, Rules: len(res.Rules)})
+	}
+	return rows, nil
+}
+
+// WeekRow is one period of Figures 8/9: rule-base evolution under weekly
+// incremental updates.
+type WeekRow struct {
+	Week    int
+	Total   int
+	Added   int
+	Deleted int
+}
+
+// RuleEvolution runs Weeks periodic updates, each over WeekDuration of
+// fresh traffic (week w uses seed Seed+w so weeks differ, as real weeks
+// do). Week 1 initializes the base; rows cover weeks 2..Weeks as in the
+// paper's figures.
+func RuleEvolution(c *Corpus) ([]WeekRow, error) {
+	p := c.Profile
+	cfg := ParamsFor(c.Kind).Rules
+	rb := rules.NewRuleBase()
+	var rows []WeekRow
+	start := time.Date(2009, 9, 1, 0, 0, 0, 0, time.UTC)
+	for week := 1; week <= p.Weeks; week++ {
+		ds, err := gen.Generate(gen.Spec{
+			Kind: c.Kind, Routers: p.Routers, Seed: p.Seed + int64(week)*77,
+			Start:    start.Add(time.Duration(week-1) * p.WeekDuration),
+			Duration: p.WeekDuration, RateScale: p.RateScale,
+		})
+		if err != nil {
+			return nil, err
+		}
+		plus := c.KB.AugmentAll(ds.Messages)
+		res, err := rules.Mine(core.RuleEvents(plus), cfg)
+		if err != nil {
+			return nil, err
+		}
+		st := rb.Update(res)
+		if week >= 2 {
+			rows = append(rows, WeekRow{Week: week, Total: st.Total, Added: st.Added, Deleted: st.Deleted})
+		}
+	}
+	return rows, nil
+}
+
+// Figure10 sweeps alpha at beta=2 over the online streams, returning the
+// temporal-stage compression ratio curve.
+func Figure10(c *Corpus) ([]temporal.SweepPoint, error) {
+	alphas := []float64{0.01, 0.025, 0.05, 0.075, 0.1, 0.15, 0.2, 0.3, 0.45, 0.6}
+	return temporal.SweepAlpha(c.onlineStreams(), alphas, 2, c.baseTemporal())
+}
+
+// Figure11 sweeps beta from 2 to 7 at the dataset's default alpha.
+func Figure11(c *Corpus) ([]temporal.SweepPoint, error) {
+	betas := []float64{2, 3, 4, 5, 6, 7}
+	return temporal.SweepBeta(c.onlineStreams(), betas, c.baseTemporal().Alpha, c.baseTemporal())
+}
+
+// DayRow is one day of Figure 12: messages, events and active rules.
+type DayRow struct {
+	Day         int
+	Messages    int
+	Events      int
+	ActiveRules int
+}
+
+// Figure12 digests the online period day by day.
+func Figure12(c *Corpus) ([]DayRow, error) {
+	d, err := core.NewDigester(c.KB)
+	if err != nil {
+		return nil, err
+	}
+	start := c.Online.Spec.Start
+	days := int(c.Online.Spec.Duration.Hours() / 24)
+	if days == 0 {
+		days = 1
+	}
+	var rows []DayRow
+	for day := 0; day < days; day++ {
+		lo := start.Add(time.Duration(day) * 24 * time.Hour)
+		hi := lo.Add(24 * time.Hour)
+		var batch []syslogmsg.Message
+		for i := range c.Online.Messages {
+			m := &c.Online.Messages[i]
+			if !m.Time.Before(lo) && m.Time.Before(hi) {
+				batch = append(batch, *m)
+			}
+		}
+		res, err := d.Digest(batch)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, DayRow{
+			Day:         day + 1,
+			Messages:    len(batch),
+			Events:      len(res.Events),
+			ActiveRules: len(res.ActiveRules),
+		})
+	}
+	return rows, nil
+}
+
+// RouterRow is one router of Figure 13: raw messages vs events.
+type RouterRow struct {
+	Router   string
+	Messages int
+	Events   int
+}
+
+// Figure13 digests the whole online period and buckets by router. An event
+// spanning multiple routers counts once per participating router, matching
+// the paper's per-router event plot. Rows sort by descending message count.
+func Figure13(c *Corpus) ([]RouterRow, error) {
+	d, err := core.NewDigester(c.KB)
+	if err != nil {
+		return nil, err
+	}
+	res, err := d.Digest(c.Online.Messages)
+	if err != nil {
+		return nil, err
+	}
+	msgs := make(map[string]int)
+	for i := range c.Online.Messages {
+		msgs[c.Online.Messages[i].Router]++
+	}
+	events := make(map[string]int)
+	for _, e := range res.Events {
+		for _, r := range e.Routers {
+			events[r]++
+		}
+	}
+	rows := make([]RouterRow, 0, len(msgs))
+	for r, n := range msgs {
+		rows = append(rows, RouterRow{Router: r, Messages: n, Events: events[r]})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Messages != rows[j].Messages {
+			return rows[i].Messages > rows[j].Messages
+		}
+		return rows[i].Router < rows[j].Router
+	})
+	return rows, nil
+}
+
+// PatternExemplar is one Figure 4/5-style time series: the arrivals of one
+// condition's messages plus the temporal model's read of them.
+type PatternExemplar struct {
+	Kind     string
+	Times    []time.Time
+	Groups   int
+	Periodic bool
+	Period   time.Duration
+}
+
+// Figures4And5 extracts exemplar temporal patterns from the online corpus:
+// a controller-instability burst cluster (Figure 4) and a periodic
+// TCP-bad-auth / login-scan stream (Figure 5).
+func Figures4And5(c *Corpus) ([]PatternExemplar, error) {
+	wantPeriodic := "tcp-bad-auth"
+	wantBurst := "controller-instability"
+	if c.Kind == gen.DatasetB {
+		wantPeriodic = "login-scan"
+		wantBurst = "link-flap"
+	}
+	var out []PatternExemplar
+	for _, kind := range []string{wantBurst, wantPeriodic} {
+		cond := largestCondition(c.Online.Conditions, kind)
+		if cond == nil {
+			continue
+		}
+		times := conditionTimes(c.Online, cond)
+		ids, err := temporal.GroupStream(times, c.baseTemporal())
+		if err != nil {
+			return nil, err
+		}
+		groups := 0
+		if len(ids) > 0 {
+			groups = ids[len(ids)-1] + 1
+		}
+		ex := PatternExemplar{Kind: kind, Times: times, Groups: groups}
+		if per, ok := temporal.DetectPeriodic(times, 0.9); ok {
+			ex.Periodic = true
+			ex.Period = per.Period
+		}
+		out = append(out, ex)
+	}
+	return out, nil
+}
+
+func largestCondition(conds []gen.Condition, kind string) *gen.Condition {
+	var best *gen.Condition
+	for i := range conds {
+		if conds[i].Kind != kind {
+			continue
+		}
+		if best == nil || conds[i].Messages > best.Messages {
+			best = &conds[i]
+		}
+	}
+	return best
+}
+
+// conditionTimes collects the message times on the condition's first router
+// within its span — the single-stream view the paper plots.
+func conditionTimes(ds *gen.Dataset, cond *gen.Condition) []time.Time {
+	var out []time.Time
+	router := cond.Routers[0]
+	for i := range ds.Messages {
+		m := &ds.Messages[i]
+		if m.Router != router || m.Time.Before(cond.Start) || m.Time.After(cond.End) {
+			continue
+		}
+		out = append(out, m.Time)
+	}
+	return out
+}
+
+// HealthMapRow is one router of the Figures 14/15 snapshot: what an
+// events-based map shows vs a raw-message map, over one update window.
+type HealthMapRow struct {
+	Router   string
+	Region   string
+	Messages int
+	Events   int
+}
+
+// HealthMap digests a 10-minute window around the online period's busiest
+// moment and reports both views.
+func HealthMap(c *Corpus, window time.Duration) ([]HealthMapRow, error) {
+	if window <= 0 {
+		window = 10 * time.Minute
+	}
+	at := busiestWindow(c.Online, window)
+	var batch []syslogmsg.Message
+	for i := range c.Online.Messages {
+		m := &c.Online.Messages[i]
+		if !m.Time.Before(at) && m.Time.Before(at.Add(window)) {
+			batch = append(batch, *m)
+		}
+	}
+	d, err := core.NewDigester(c.KB)
+	if err != nil {
+		return nil, err
+	}
+	res, err := d.Digest(batch)
+	if err != nil {
+		return nil, err
+	}
+	msgs := make(map[string]int)
+	for i := range batch {
+		msgs[batch[i].Router]++
+	}
+	events := make(map[string]int)
+	for _, e := range res.Events {
+		for _, r := range e.Routers {
+			events[r]++
+		}
+	}
+	dict := c.KB.Dictionary()
+	rows := make([]HealthMapRow, 0, len(msgs))
+	for r, n := range msgs {
+		rows = append(rows, HealthMapRow{Router: r, Region: dict.Region(r), Messages: n, Events: events[r]})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Messages != rows[j].Messages {
+			return rows[i].Messages > rows[j].Messages
+		}
+		return rows[i].Router < rows[j].Router
+	})
+	return rows, nil
+}
+
+// busiestWindow finds the window start with the most messages. Messages
+// are time-sorted, so a two-pointer sweep anchored at each message finds
+// the densest window in linear time.
+func busiestWindow(ds *gen.Dataset, window time.Duration) time.Time {
+	if len(ds.Messages) == 0 {
+		return ds.Spec.Start
+	}
+	best, bestN := ds.Messages[0].Time, 0
+	j := 0
+	for i := range ds.Messages {
+		if j < i {
+			j = i
+		}
+		deadline := ds.Messages[i].Time.Add(window)
+		for j < len(ds.Messages) && ds.Messages[j].Time.Before(deadline) {
+			j++
+		}
+		if n := j - i; n > bestN {
+			best, bestN = ds.Messages[i].Time, n
+		}
+	}
+	return best
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"syslogdigest/internal/temporal"
+)
+
+// Rendering helpers shared by cmd/sdbench and the bench harness: each
+// returns a plain-text table in the paper's layout.
+
+// RenderTable5 renders support-sensitivity rows for one dataset.
+func RenderTable5(dataset string, rows []Table5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5 — sensitivity of minimal support (dataset %s)\n", dataset)
+	fmt.Fprintf(&b, "%-10s %-12s %-12s\n", "SPmin", "Top types", "Coverage")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10g %-12s %-12s\n", r.SPmin, pct(r.TopTypePct), pct(r.CoveragePct))
+	}
+	return b.String()
+}
+
+// RenderTable6 renders the chosen-parameters table.
+func RenderTable6(rows []Table6Row) string {
+	var b strings.Builder
+	b.WriteString("Table 6 — parameter setting in SyslogDigest\n")
+	fmt.Fprintf(&b, "%-8s %-8s %-6s %-8s %-9s %-8s\n", "Dataset", "alpha", "beta", "W", "SPmin", "Confmin")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-8g %-6g %-8s %-9g %-8g\n",
+			r.Dataset, r.Alpha, r.Beta, r.W, r.SPmin, r.ConfMin)
+	}
+	return b.String()
+}
+
+// RenderTable7 renders staged compression ratios for one dataset.
+func RenderTable7(dataset string, rows []Table7Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 7 — compression ratio by methodology (dataset %s)\n", dataset)
+	fmt.Fprintf(&b, "%-8s %-8s %-12s\n", "Stage", "Events", "Ratio")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-8d %.3e\n", r.Stage, r.Events, r.Ratio)
+	}
+	return b.String()
+}
+
+// RenderFigure6 renders the rules-vs-confidence series.
+func RenderFigure6(rows []Figure6Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 6 — rules vs Confmin per SPmin (dataset A, W=60s)\n")
+	fmt.Fprintf(&b, "%-10s %-9s %-6s\n", "SPmin", "Confmin", "Rules")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10g %-9.2f %-6d\n", r.SPmin, r.ConfMin, r.Rules)
+	}
+	return b.String()
+}
+
+// RenderFigure7 renders the rules-vs-window series for one dataset.
+func RenderFigure7(dataset string, rows []Figure7Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7 — rules vs window size (dataset %s, Confmin=0.8, SPmin=0.0005)\n", dataset)
+	fmt.Fprintf(&b, "%-8s %-6s\n", "W", "Rules")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-6d\n", r.W, r.Rules)
+	}
+	return b.String()
+}
+
+// RenderRuleEvolution renders the weekly evolution (Figures 8/9).
+func RenderRuleEvolution(dataset string, rows []WeekRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figures 8/9 — rule base evolution (dataset %s)\n", dataset)
+	fmt.Fprintf(&b, "%-6s %-7s %-7s %-8s\n", "Week", "Total", "Added", "Deleted")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6d %-7d %-7d %-8d\n", r.Week, r.Total, r.Added, r.Deleted)
+	}
+	return b.String()
+}
+
+// RenderSweep renders an alpha or beta sweep (Figures 10/11).
+func RenderSweep(title, varName string, pts []temporal.SweepPoint) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "%-8s %-12s\n", varName, "Ratio")
+	for _, p := range pts {
+		x := p.Alpha
+		if varName == "beta" {
+			x = p.Beta
+		}
+		fmt.Fprintf(&b, "%-8g %.4e\n", x, p.Ratio)
+	}
+	return b.String()
+}
+
+// RenderFigure12 renders the per-day counts.
+func RenderFigure12(dataset string, rows []DayRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 12 — per-day messages, events, active rules (dataset %s)\n", dataset)
+	fmt.Fprintf(&b, "%-5s %-10s %-8s %-12s %-10s\n", "Day", "Messages", "Events", "ActiveRules", "Ratio")
+	for _, r := range rows {
+		ratio := 0.0
+		if r.Messages > 0 {
+			ratio = float64(r.Events) / float64(r.Messages)
+		}
+		fmt.Fprintf(&b, "%-5d %-10d %-8d %-12d %.3e\n", r.Day, r.Messages, r.Events, r.ActiveRules, ratio)
+	}
+	return b.String()
+}
+
+// RenderFigure13 renders the per-router distribution (top n routers).
+func RenderFigure13(dataset string, rows []RouterRow, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 13 — per-router messages vs events (dataset %s, top %d by messages)\n", dataset, n)
+	fmt.Fprintf(&b, "%-8s %-10s %-8s %-12s\n", "Router", "Messages", "Events", "Ratio")
+	for i, r := range rows {
+		if i >= n {
+			break
+		}
+		ratio := 0.0
+		if r.Messages > 0 {
+			ratio = float64(r.Events) / float64(r.Messages)
+		}
+		fmt.Fprintf(&b, "%-8s %-10d %-8d %.3e\n", r.Router, r.Messages, r.Events, ratio)
+	}
+	return b.String()
+}
+
+// RenderExemplars renders the Figures 4/5 temporal pattern exemplars.
+func RenderExemplars(dataset string, exs []PatternExemplar) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figures 4/5 — temporal pattern exemplars (dataset %s)\n", dataset)
+	for _, e := range exs {
+		fmt.Fprintf(&b, "%-24s msgs=%-5d groups=%-4d", e.Kind, len(e.Times), e.Groups)
+		if e.Periodic {
+			fmt.Fprintf(&b, " periodic, period=%s", e.Period.Round(1e9))
+		}
+		b.WriteByte('\n')
+		// A coarse one-line timeline: 60 buckets over the span, '#' where
+		// messages land.
+		if len(e.Times) > 1 {
+			span := e.Times[len(e.Times)-1].Sub(e.Times[0])
+			if span > 0 {
+				buckets := make([]bool, 60)
+				for _, t := range e.Times {
+					i := int(float64(t.Sub(e.Times[0])) / float64(span) * 59)
+					buckets[i] = true
+				}
+				b.WriteString("  |")
+				for _, hit := range buckets {
+					if hit {
+						b.WriteByte('#')
+					} else {
+						b.WriteByte('.')
+					}
+				}
+				b.WriteString("|\n")
+			}
+		}
+	}
+	return b.String()
+}
+
+// RenderHealthMap renders the Figures 14/15 comparison.
+func RenderHealthMap(dataset string, rows []HealthMapRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figures 14/15 — health map snapshot (dataset %s, 10 min window)\n", dataset)
+	fmt.Fprintf(&b, "%-8s %-7s %-10s %-7s %s\n", "Router", "Region", "Messages", "Events", "events-view vs raw-view")
+	for _, r := range rows {
+		if r.Messages == 0 && r.Events == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %-7s %-10d %-7d %s | %s\n",
+			r.Router, r.Region, r.Messages, r.Events,
+			bar(r.Events, 20), bar(r.Messages/10+1, 40))
+	}
+	return b.String()
+}
+
+func bar(n, max int) string {
+	if n > max {
+		n = max
+	}
+	if n < 0 {
+		n = 0
+	}
+	return strings.Repeat("o", n)
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.2f%%", f*100) }

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"syslogdigest/internal/core"
+	"syslogdigest/internal/gen"
+	"syslogdigest/internal/rules"
+	"syslogdigest/internal/temporal"
+)
+
+// Table5Row is one row of the paper's Table 5: for an SPmin, the share of
+// template types eligible for mining and the share of messages they cover.
+type Table5Row struct {
+	SPmin       float64
+	TopTypePct  float64
+	CoveragePct float64
+}
+
+// Table5SPmins are the paper's three settings.
+var Table5SPmins = []float64{0.001, 0.0005, 0.0001}
+
+// Table5 computes support sensitivity on the learning corpus.
+func Table5(c *Corpus) ([]Table5Row, error) {
+	cfg := ParamsFor(c.Kind).Rules
+	cfg.SPmin = 1e-9 // mine everything; the profile applies thresholds after
+	res, err := rules.Mine(c.ruleEvents(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	msgCount := make(map[int]int)
+	for i := range c.LearnPlus {
+		msgCount[c.LearnPlus[i].Template]++
+	}
+	rows := make([]Table5Row, 0, len(Table5SPmins))
+	for _, sp := range Table5SPmins {
+		p := res.Profile(sp, msgCount)
+		rows = append(rows, Table5Row{SPmin: sp, TopTypePct: p.TopTypePct, CoveragePct: p.CoveragePct})
+	}
+	return rows, nil
+}
+
+// Table6Row reports a dataset's chosen parameters (the paper's Table 6).
+type Table6Row struct {
+	Dataset string
+	Alpha   float64
+	Beta    float64
+	W       time.Duration
+	SPmin   float64
+	ConfMin float64
+}
+
+// Table6 reports the parameters in use, with alpha and beta re-derived by
+// the §5.2.3 calibration sweep over the learning streams (so the table is
+// an output of the system, not an input).
+func Table6(c *Corpus) (Table6Row, error) {
+	alphas := []float64{0.025, 0.05, 0.075, 0.1, 0.2}
+	betas := []float64{2, 3, 4, 5, 6, 7}
+	best, err := temporal.Calibrate(c.learnStreams(), alphas, betas, c.baseTemporal())
+	if err != nil {
+		return Table6Row{}, err
+	}
+	p := ParamsFor(c.Kind)
+	return Table6Row{
+		Dataset: c.Kind.String(),
+		Alpha:   best.Alpha,
+		Beta:    best.Beta,
+		W:       p.Rules.Window,
+		SPmin:   p.Rules.SPmin,
+		ConfMin: p.Rules.ConfMin,
+	}, nil
+}
+
+// Table7Row is one row of Table 7: the compression ratio after each
+// grouping stage.
+type Table7Row struct {
+	Stage  string
+	Events int
+	Ratio  float64
+}
+
+// Table7 runs the online pipeline at each stage over the online corpus.
+func Table7(c *Corpus) ([]Table7Row, error) {
+	d, err := core.NewDigester(c.KB)
+	if err != nil {
+		return nil, err
+	}
+	stages := []struct {
+		name string
+		s    core.Stage
+	}{
+		{"T", core.StageTemporal},
+		{"T+R", core.StageTemporalRules},
+		{"T+R+C", core.StageFull},
+	}
+	rows := make([]Table7Row, 0, len(stages))
+	for _, st := range stages {
+		d.SetStage(st.s)
+		res, err := d.Digest(c.Online.Messages)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table7Row{Stage: st.name, Events: len(res.Events), Ratio: res.CompressionRatio()})
+	}
+	return rows, nil
+}
+
+// TemplateAccuracyResult is the §5.2.1 validation outcome.
+type TemplateAccuracyResult struct {
+	Dataset  string
+	Learned  int
+	Truth    int
+	Matched  int
+	Accuracy float64
+}
+
+// TemplateAccuracy compares learned templates against the generator's
+// ground truth.
+func TemplateAccuracy(c *Corpus) TemplateAccuracyResult {
+	truth := gen.GroundTruthTemplates(c.Kind)
+	matched := 0
+	for _, g := range truth {
+		for _, l := range c.KB.Templates {
+			if l.Equal(g) {
+				matched++
+				break
+			}
+		}
+	}
+	r := TemplateAccuracyResult{
+		Dataset: c.Kind.String(),
+		Learned: len(c.KB.Templates),
+		Truth:   len(truth),
+		Matched: matched,
+	}
+	if r.Truth > 0 {
+		r.Accuracy = float64(r.Matched) / float64(r.Truth)
+	}
+	return r
+}
+
+// String renders the accuracy result.
+func (r TemplateAccuracyResult) String() string {
+	return fmt.Sprintf("dataset %s: %d/%d ground-truth templates matched (%.1f%%), %d learned",
+		r.Dataset, r.Matched, r.Truth, r.Accuracy*100, r.Learned)
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"syslogdigest/internal/baseline"
+	"syslogdigest/internal/core"
+	"syslogdigest/internal/gen"
+	"syslogdigest/internal/rules"
+	"syslogdigest/internal/template"
+	"syslogdigest/internal/tickets"
+	"syslogdigest/internal/trend"
+)
+
+// TicketValidationResult is the §5.3 outcome plus its inputs.
+type TicketValidationResult struct {
+	Summary tickets.Summary
+	Matches []tickets.Match
+}
+
+// TicketValidation synthesizes trouble tickets from the online period's
+// ground-truth conditions, takes the top 30 by investigation count, and
+// matches them against the ranked event digests (location agreement at the
+// region level, event span covering ticket creation).
+func TicketValidation(c *Corpus) (TicketValidationResult, error) {
+	tks := tickets.FromConditions(c.Online.Conditions, tickets.Options{Seed: c.Profile.Seed})
+	top := tickets.TopK(tks, 30)
+	d, err := core.NewDigester(c.KB)
+	if err != nil {
+		return TicketValidationResult{}, err
+	}
+	res, err := d.Digest(c.Online.Messages)
+	if err != nil {
+		return TicketValidationResult{}, err
+	}
+	ms := tickets.MatchEvents(top, res.Events, tickets.DictRegionOf(c.KB.Dictionary()), 5*time.Minute)
+	return TicketValidationResult{
+		Summary: tickets.Summarize(ms, 0.05),
+		Matches: ms,
+	}, nil
+}
+
+// AblationMaskingResult compares template accuracy with and without
+// location pre-masking (design choice 1 in DESIGN.md).
+type AblationMaskingResult struct {
+	WithMasking    float64
+	WithoutMasking float64
+	LearnedWith    int
+	LearnedWithout int
+}
+
+// AblationMasking re-learns templates with masking disabled and compares
+// ground-truth accuracy.
+func AblationMasking(c *Corpus) AblationMaskingResult {
+	truth := gen.GroundTruthTemplates(c.Kind)
+	with := c.KB.Templates
+	without := template.Learn(c.Learn.Messages, template.Options{NoPreMask: true})
+	return AblationMaskingResult{
+		WithMasking:    template.FractionMatching(with, truth),
+		WithoutMasking: template.FractionMatching(without, truth),
+		LearnedWith:    len(with),
+		LearnedWithout: len(without),
+	}
+}
+
+// AblationTemporalResult compares the learned EWMA temporal grouping
+// against the naive fixed-window baseline at several window sizes.
+type AblationTemporalResult struct {
+	EWMARatio float64
+	Fixed     []FixedWindowPoint
+}
+
+// FixedWindowPoint is one baseline setting.
+type FixedWindowPoint struct {
+	Window time.Duration
+	Ratio  float64
+}
+
+// AblationTemporal measures the temporal-stage compression of the learned
+// model vs fixed windows over the online corpus.
+func AblationTemporal(c *Corpus) (AblationTemporalResult, error) {
+	d, err := core.NewDigester(c.KB)
+	if err != nil {
+		return AblationTemporalResult{}, err
+	}
+	d.SetStage(core.StageTemporal)
+	res, err := d.Digest(c.Online.Messages)
+	if err != nil {
+		return AblationTemporalResult{}, err
+	}
+	out := AblationTemporalResult{EWMARatio: res.CompressionRatio()}
+	for _, w := range []time.Duration{30 * time.Second, 2 * time.Minute, 10 * time.Minute, time.Hour} {
+		fw := baseline.FixedWindowGrouper{Window: w}
+		out.Fixed = append(out.Fixed, FixedWindowPoint{
+			Window: w,
+			Ratio:  fw.CompressionRatio(c.Online.Messages),
+		})
+	}
+	return out, nil
+}
+
+// AblationDeletionResult compares the paper's conservative rule deletion
+// against an aggressive variant that also deletes rules whose antecedent
+// was absent in the period.
+type AblationDeletionResult struct {
+	ConservativeTotals []int
+	AggressiveTotals   []int
+}
+
+// AblationDeletion replays the weekly evolution under both policies. The
+// aggressive policy is implemented by rebuilding the base from scratch each
+// period (keeping only rules re-minable this period), which is exactly
+// "delete unless re-confirmed".
+func AblationDeletion(c *Corpus) (AblationDeletionResult, error) {
+	p := c.Profile
+	cfg := ParamsFor(c.Kind).Rules
+	conservative := rules.NewRuleBase()
+	var out AblationDeletionResult
+	aggressiveLive := map[rules.PairKey]bool{}
+	start := c.Learn.Spec.Start
+	for week := 1; week <= p.Weeks; week++ {
+		ds, err := gen.Generate(gen.Spec{
+			Kind: c.Kind, Routers: p.Routers, Seed: p.Seed + int64(week)*77,
+			Start:    start.Add(time.Duration(week-1) * p.WeekDuration),
+			Duration: p.WeekDuration, RateScale: p.RateScale,
+		})
+		if err != nil {
+			return out, err
+		}
+		plus := c.KB.AugmentAll(ds.Messages)
+		res, err := rules.Mine(core.RuleEvents(plus), cfg)
+		if err != nil {
+			return out, err
+		}
+		conservative.Update(res)
+		aggressiveLive = map[rules.PairKey]bool{}
+		for _, r := range res.Rules {
+			aggressiveLive[rules.PairKey{X: r.X, Y: r.Y}] = true
+		}
+		out.ConservativeTotals = append(out.ConservativeTotals, conservative.Len())
+		out.AggressiveTotals = append(out.AggressiveTotals, len(aggressiveLive))
+	}
+	return out, nil
+}
+
+// SeverityBaselineResult contrasts vendor-severity filtering with digest
+// compression: the filter reduces volume but discards whole message
+// classes, whereas digesting keeps every message reachable through its
+// event.
+type SeverityBaselineResult struct {
+	Retention   map[int]float64 // max severity -> fraction of messages kept
+	DigestRatio float64
+}
+
+// SeverityBaseline computes the comparison on the online corpus.
+func SeverityBaseline(c *Corpus) (SeverityBaselineResult, error) {
+	d, err := core.NewDigester(c.KB)
+	if err != nil {
+		return SeverityBaselineResult{}, err
+	}
+	res, err := d.Digest(c.Online.Messages)
+	if err != nil {
+		return SeverityBaselineResult{}, err
+	}
+	out := SeverityBaselineResult{
+		Retention:   make(map[int]float64),
+		DigestRatio: res.CompressionRatio(),
+	}
+	for _, sev := range []int{1, 3, 5} {
+		out.Retention[sev] = baseline.SeverityFilter{MaxSeverity: sev}.Retention(c.Online.Messages)
+	}
+	return out, nil
+}
+
+// TrendAuditResult compares MERCURY-style level-shift auditing on raw
+// per-router message counts vs digested per-router event counts — the
+// intro's claim that trend analysis over events is more meaningful: message
+// storms fake "behavior changes" that event counts do not show.
+type TrendAuditResult struct {
+	RawShifts   int
+	EventShifts int
+}
+
+// TrendAudit runs the detector over both views of the online period.
+func TrendAudit(c *Corpus) (TrendAuditResult, error) {
+	var out TrendAuditResult
+	days := int(c.Online.Spec.Duration.Hours() / 24)
+	if days < 6 {
+		return out, fmt.Errorf("experiments: trend audit needs >= 6 online days, have %d", days)
+	}
+	rawCounter, err := trend.NewCounter(c.Online.Spec.Start, 24*time.Hour, days)
+	if err != nil {
+		return out, err
+	}
+	for i := range c.Online.Messages {
+		rawCounter.Add(c.Online.Messages[i].Router, c.Online.Messages[i].Time)
+	}
+
+	d, err := core.NewDigester(c.KB)
+	if err != nil {
+		return out, err
+	}
+	res, err := d.Digest(c.Online.Messages)
+	if err != nil {
+		return out, err
+	}
+	evCounter, err := trend.NewCounter(c.Online.Spec.Start, 24*time.Hour, days)
+	if err != nil {
+		return out, err
+	}
+	for _, e := range res.Events {
+		for _, r := range e.Routers {
+			evCounter.Add(r, e.Start)
+		}
+	}
+
+	cfg := trend.Config{MinFactor: 2, MinSigma: 3, MinRun: 3}
+	out.RawShifts = len(trend.DetectAll(rawCounter.Series(), cfg))
+	out.EventShifts = len(trend.DetectAll(evCounter.Series(), cfg))
+	return out, nil
+}

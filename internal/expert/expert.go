@@ -1,0 +1,203 @@
+// Package expert implements the optional domain-expert input channel from
+// the paper's architecture (Figure 1): "Domain experts can be asked to
+// comment on and/or adjust such associations ... but this is entirely
+// optional", and presentation naming — "Domain experts can certainly assign
+// a name for each type of event".
+//
+// Adjustments are a plain text file, one directive per line:
+//
+//	# comments and blank lines are ignored
+//	name LINK-3-UPDOWN|Interface *, changed state to down => link down
+//	rule add LINK-3-UPDOWN|Interface *, changed state to down => LINEPROTO-5-UPDOWN|Line protocol on Interface *, changed state to down
+//	rule del BGP-5-ADJCHANGE|neighbor * vpn vrf * Up => SYS-5-CONFIG_I|Configured from console by admin on vty0 (*)
+//
+// Templates are referenced by their display pattern (code|words), the form
+// operators see in reports, and resolved against the knowledge base's
+// learned templates; directives naming unknown templates are reported as
+// errors so typos do not silently no-op.
+package expert
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"syslogdigest/internal/event"
+	"syslogdigest/internal/rules"
+	"syslogdigest/internal/template"
+)
+
+// Directive is one parsed adjustment.
+type Directive struct {
+	Line int
+	Kind Kind
+	// X and Y are resolved template IDs (Y unused for names).
+	X, Y int
+	Name string
+}
+
+// Kind is a directive type.
+type Kind int
+
+const (
+	// KindName assigns a display name to a template.
+	KindName Kind = iota
+	// KindRuleAdd inserts an association rule X => Y.
+	KindRuleAdd
+	// KindRuleDel removes the association rule X => Y (both directions).
+	KindRuleDel
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindName:
+		return "name"
+	case KindRuleAdd:
+		return "rule add"
+	case KindRuleDel:
+		return "rule del"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// resolver maps template display patterns to IDs.
+type resolver struct {
+	byPattern map[string]int
+}
+
+func newResolver(templates []template.Template) *resolver {
+	r := &resolver{byPattern: make(map[string]int, len(templates))}
+	for _, t := range templates {
+		r.byPattern[t.String()] = t.ID
+	}
+	return r
+}
+
+func (r *resolver) resolve(ref string) (int, error) {
+	// Accept both "CODE|words" and the display form "CODE words".
+	key := ref
+	if i := strings.IndexByte(ref, '|'); i >= 0 {
+		key = ref[:i] + " " + ref[i+1:]
+	}
+	if id, ok := r.byPattern[key]; ok {
+		return id, nil
+	}
+	return 0, fmt.Errorf("no learned template matches %q", ref)
+}
+
+// Parse reads directives against a set of learned templates. All errors are
+// accumulated so an operator sees every problem in one pass.
+func Parse(r io.Reader, templates []template.Template) ([]Directive, error) {
+	res := newResolver(templates)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), 1024*1024)
+	var out []Directive
+	var errs []string
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		d, err := parseLine(line, lineNo, res)
+		if err != nil {
+			errs = append(errs, err.Error())
+			continue
+		}
+		out = append(out, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("expert: read: %w", err)
+	}
+	if len(errs) > 0 {
+		return out, fmt.Errorf("expert: %d bad directive(s):\n  %s", len(errs), strings.Join(errs, "\n  "))
+	}
+	return out, nil
+}
+
+func parseLine(line string, lineNo int, res *resolver) (Directive, error) {
+	bad := func(format string, args ...any) (Directive, error) {
+		return Directive{}, fmt.Errorf("line %d: "+format, append([]any{lineNo}, args...)...)
+	}
+	switch {
+	case strings.HasPrefix(line, "name "):
+		rest := strings.TrimPrefix(line, "name ")
+		ref, name, ok := cutArrow(rest)
+		if !ok || name == "" {
+			return bad("name directive needs '<template> => <name>'")
+		}
+		id, err := res.resolve(ref)
+		if err != nil {
+			return bad("%v", err)
+		}
+		return Directive{Line: lineNo, Kind: KindName, X: id, Name: name}, nil
+	case strings.HasPrefix(line, "rule add "), strings.HasPrefix(line, "rule del "):
+		kind := KindRuleAdd
+		rest := strings.TrimPrefix(line, "rule add ")
+		if strings.HasPrefix(line, "rule del ") {
+			kind = KindRuleDel
+			rest = strings.TrimPrefix(line, "rule del ")
+		}
+		xref, yref, ok := cutArrow(rest)
+		if !ok {
+			return bad("rule directive needs '<template> => <template>'")
+		}
+		x, err := res.resolve(xref)
+		if err != nil {
+			return bad("%v", err)
+		}
+		y, err := res.resolve(yref)
+		if err != nil {
+			return bad("%v", err)
+		}
+		return Directive{Line: lineNo, Kind: kind, X: x, Y: y}, nil
+	default:
+		return bad("unknown directive %q", line)
+	}
+}
+
+func cutArrow(s string) (left, right string, ok bool) {
+	i := strings.Index(s, "=>")
+	if i < 0 {
+		return "", "", false
+	}
+	return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+2:]), true
+}
+
+// Apply executes directives against a rule base and labeler. Either target
+// may be nil to skip that class of directive. It returns how many
+// directives took effect.
+func Apply(ds []Directive, rb *rules.RuleBase, labeler *event.Labeler) int {
+	applied := 0
+	for _, d := range ds {
+		switch d.Kind {
+		case KindName:
+			if labeler != nil {
+				labeler.SetName(d.X, d.Name)
+				applied++
+			}
+		case KindRuleAdd:
+			if rb != nil {
+				// Expert rules carry full confidence: they are asserted,
+				// not mined, and the conservative updater will keep them
+				// unless the data actively contradicts them.
+				rb.Add(rules.Rule{X: d.X, Y: d.Y, Support: 0, Conf: 1})
+				applied++
+			}
+		case KindRuleDel:
+			if rb != nil {
+				if rb.Remove(d.X, d.Y) {
+					applied++
+				}
+				if rb.Remove(d.Y, d.X) {
+					applied++
+				}
+			}
+		}
+	}
+	return applied
+}

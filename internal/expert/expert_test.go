@@ -1,0 +1,132 @@
+package expert
+
+import (
+	"strings"
+	"testing"
+
+	"syslogdigest/internal/event"
+	"syslogdigest/internal/rules"
+	"syslogdigest/internal/template"
+)
+
+func testTemplates() []template.Template {
+	return []template.Template{
+		template.MustTemplate(0, "LINK-3-UPDOWN|Interface *, changed state to down"),
+		template.MustTemplate(1, "LINEPROTO-5-UPDOWN|Line protocol on Interface *, changed state to down"),
+		template.MustTemplate(2, "BGP-5-ADJCHANGE|neighbor * vpn vrf * Up"),
+	}
+}
+
+func TestParseDirectives(t *testing.T) {
+	input := `
+# a comment
+name LINK-3-UPDOWN|Interface *, changed state to down => carrier loss
+
+rule add LINK-3-UPDOWN|Interface *, changed state to down => LINEPROTO-5-UPDOWN|Line protocol on Interface *, changed state to down
+rule del BGP-5-ADJCHANGE|neighbor * vpn vrf * Up => LINK-3-UPDOWN|Interface *, changed state to down
+`
+	ds, err := Parse(strings.NewReader(input), testTemplates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 3 {
+		t.Fatalf("directives = %d", len(ds))
+	}
+	if ds[0].Kind != KindName || ds[0].X != 0 || ds[0].Name != "carrier loss" {
+		t.Fatalf("name directive = %+v", ds[0])
+	}
+	if ds[1].Kind != KindRuleAdd || ds[1].X != 0 || ds[1].Y != 1 {
+		t.Fatalf("add directive = %+v", ds[1])
+	}
+	if ds[2].Kind != KindRuleDel || ds[2].X != 2 || ds[2].Y != 0 {
+		t.Fatalf("del directive = %+v", ds[2])
+	}
+}
+
+func TestParseDisplayFormAccepted(t *testing.T) {
+	// Operators may paste the display form (space after code) directly.
+	input := "name LINK-3-UPDOWN Interface *, changed state to down => carrier loss\n"
+	ds, err := Parse(strings.NewReader(input), testTemplates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].X != 0 {
+		t.Fatalf("directives = %+v", ds)
+	}
+}
+
+func TestParseAccumulatesErrors(t *testing.T) {
+	input := `
+name NOPE-1-NOPE|does not exist => x
+rule add also bad
+frobnicate
+name LINK-3-UPDOWN|Interface *, changed state to down => ok
+`
+	ds, err := Parse(strings.NewReader(input), testTemplates())
+	if err == nil {
+		t.Fatal("bad directives accepted")
+	}
+	// The good directive still parsed, and the error mentions all three
+	// problems.
+	if len(ds) != 1 {
+		t.Fatalf("good directives = %d", len(ds))
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "3 bad directive") {
+		t.Fatalf("error = %q", msg)
+	}
+}
+
+func TestApply(t *testing.T) {
+	ds := []Directive{
+		{Kind: KindName, X: 0, Name: "carrier loss"},
+		{Kind: KindRuleAdd, X: 0, Y: 1},
+		{Kind: KindRuleDel, X: 2, Y: 0},
+	}
+	rb := rules.NewRuleBase()
+	rb.Add(rules.Rule{X: 2, Y: 0, Conf: 0.9})
+	labeler := event.NewLabeler(testTemplates())
+
+	n := Apply(ds, rb, labeler)
+	if n != 3 {
+		t.Fatalf("applied = %d", n)
+	}
+	if !rb.HasPair(0, 1) {
+		t.Fatal("expert rule not added")
+	}
+	if rb.HasPair(2, 0) {
+		t.Fatal("expert deletion did not take")
+	}
+	if got := labeler.TemplateName(0); got != "carrier loss" {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+func TestApplyNilTargets(t *testing.T) {
+	ds := []Directive{{Kind: KindName, X: 0, Name: "x"}, {Kind: KindRuleAdd, X: 0, Y: 1}}
+	if n := Apply(ds, nil, nil); n != 0 {
+		t.Fatalf("applied to nil targets: %d", n)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindName.String() != "name" || KindRuleAdd.String() != "rule add" || KindRuleDel.String() != "rule del" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+// TestExpertRuleSurvivesConservativeUpdate: an asserted rule whose
+// antecedent never occurs in the next period must survive (conf carries 1.0
+// and absence is not contradiction).
+func TestExpertRuleSurvivesConservativeUpdate(t *testing.T) {
+	rb := rules.NewRuleBase()
+	Apply([]Directive{{Kind: KindRuleAdd, X: 7, Y: 8}}, rb, nil)
+	res, err := rules.Mine(nil, rules.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb.Update(res)
+	if !rb.Has(7, 8) {
+		t.Fatal("expert rule deleted by an empty period")
+	}
+}

@@ -1,0 +1,275 @@
+package gen
+
+import "syslogdigest/internal/template"
+
+// Format couples a message-emission format with the masked template a
+// perfect learner would recover from it. The same table drives both the
+// simulator (emission) and the §5.2.1 ground truth (validation) — the
+// simulator IS the "router OS" of this reproduction, so its printf formats
+// are the vendor documentation.
+type Format struct {
+	Code string
+	// Fmt is the fmt.Sprintf pattern used by the emitters.
+	Fmt string
+	// Truth is the masked template the learner should discover. A few
+	// formats are deliberately awkward (compound value tokens the masker
+	// cannot recognize, or more sub types than the pruning limit K): for
+	// those the learner is *expected* to miss, which is what keeps the
+	// measured template accuracy near the paper's 94% rather than 100%.
+	Truth string
+}
+
+// Dataset A (tier-1 ISP backbone, vendor V1) formats.
+var formatsA = []Format{
+	{
+		Code:  "LINK-3-UPDOWN",
+		Fmt:   "Interface %s, changed state to down",
+		Truth: "Interface *, changed state to down",
+	},
+	{
+		Code:  "LINK-3-UPDOWN",
+		Fmt:   "Interface %s, changed state to up",
+		Truth: "Interface *, changed state to up",
+	},
+	{
+		Code:  "LINEPROTO-5-UPDOWN",
+		Fmt:   "Line protocol on Interface %s, changed state to down",
+		Truth: "Line protocol on Interface *, changed state to down",
+	},
+	{
+		Code:  "LINEPROTO-5-UPDOWN",
+		Fmt:   "Line protocol on Interface %s, changed state to up",
+		Truth: "Line protocol on Interface *, changed state to up",
+	},
+	{
+		Code:  "OSPF-5-ADJCHG",
+		Fmt:   "Process 1, Nbr %s on %s from FULL to DOWN, Neighbor Down: Interface down or detached",
+		Truth: "Process 1, Nbr * on * from FULL to DOWN, Neighbor Down: Interface down or detached",
+	},
+	{
+		Code:  "OSPF-5-ADJCHG",
+		Fmt:   "Process 1, Nbr %s on %s from LOADING to FULL, Loading Done",
+		Truth: "Process 1, Nbr * on * from LOADING to FULL, Loading Done",
+	},
+	{
+		Code:  "CONTROLLER-5-UPDOWN",
+		Fmt:   "Controller T3 %s, changed state to down",
+		Truth: "Controller T3 *, changed state to down",
+	},
+	{
+		Code:  "CONTROLLER-5-UPDOWN",
+		Fmt:   "Controller T3 %s, changed state to up",
+		Truth: "Controller T3 *, changed state to up",
+	},
+	{
+		Code: "SYS-1-CPURISINGTHRESHOLD",
+		// The compound "95%/1%," and "(Pid/Util):" tokens defeat value
+		// masking, as in the paper's real message — learned template will
+		// be an approximation.
+		Fmt:   "Threshold: Total CPU Utilization(Total/Intr): %d%%/1%%, Top 3 processes (Pid/Util): %d/%d%%, %d/%d%%, %d/%d%%",
+		Truth: "Threshold: Total CPU Utilization(Total/Intr): * Top 3 processes (Pid/Util): *",
+	},
+	{
+		Code:  "SYS-1-CPUFALLINGTHRESHOLD",
+		Fmt:   "Threshold: Total CPU Utilization(Total/Intr) %d%%/1%%.",
+		Truth: "Threshold: Total CPU Utilization(Total/Intr) *",
+	},
+	{
+		Code:  "BGP-5-ADJCHANGE",
+		Fmt:   "neighbor %s vpn vrf %s Up",
+		Truth: "neighbor * vpn vrf * Up",
+	},
+	{
+		Code:  "BGP-5-ADJCHANGE",
+		Fmt:   "neighbor %s vpn vrf %s Down Interface flap",
+		Truth: "neighbor * vpn vrf * Down Interface flap",
+	},
+	{
+		Code:  "BGP-5-ADJCHANGE",
+		Fmt:   "neighbor %s vpn vrf %s Down BGP Notification sent",
+		Truth: "neighbor * vpn vrf * Down BGP Notification sent",
+	},
+	{
+		Code:  "BGP-5-ADJCHANGE",
+		Fmt:   "neighbor %s vpn vrf %s Down BGP Notification received",
+		Truth: "neighbor * vpn vrf * Down BGP Notification received",
+	},
+	{
+		Code:  "BGP-5-ADJCHANGE",
+		Fmt:   "neighbor %s vpn vrf %s Down Peer closed the session",
+		Truth: "neighbor * vpn vrf * Down Peer closed the session",
+	},
+	{
+		Code:  "TCP-6-BADAUTH",
+		Fmt:   "Invalid MD5 digest from %s:%d to %s:179",
+		Truth: "Invalid MD5 digest from * to *",
+	},
+	{
+		Code: "SEC-6-IPACCESSLOGP",
+		// "a.b.c.d(port)," defeats the masker; learner approximates.
+		Fmt:   "list 199 denied tcp %s(%d) -> %s(%d), 1 packet",
+		Truth: "list 199 denied tcp * -> * 1 packet",
+	},
+	{
+		Code:  "SYS-5-CONFIG_I",
+		Fmt:   "Configured from console by admin on vty0 (%s)",
+		Truth: "Configured from console by admin on vty0 (*)",
+	},
+	{
+		Code:  "ENV-2-TEMPHIGH",
+		Fmt:   "Temperature measured at %dC exceeds threshold on Slot %d",
+		Truth: "Temperature measured at * exceeds threshold on Slot *",
+	},
+	{
+		Code:  "MPLS_TE-5-LSP",
+		Fmt:   "LSP to %s state changed to down",
+		Truth: "LSP to * state changed to down",
+	},
+	{
+		Code:  "MPLS_TE-5-LSP",
+		Fmt:   "LSP to %s state changed to up",
+		Truth: "LSP to * state changed to up",
+	},
+	{
+		Code:  "ISIS-4-ADJCHANGE",
+		Fmt:   "Adjacency to %s on %s dropped",
+		Truth: "Adjacency to * on * dropped",
+	},
+	{
+		Code:  "ISIS-4-ADJCHANGE",
+		Fmt:   "Adjacency to %s on %s established",
+		Truth: "Adjacency to * on * established",
+	},
+}
+
+// diagReasons are PLATFORM-3-DIAG sub types. Eight of them — at most the
+// pruning limit K=10 — so a well-fed learner keeps them distinct.
+var diagReasons = []string{
+	"parity error detected", "bus timeout observed", "fabric crc error",
+	"queue overflow detected", "clock drift excessive", "memory scrub failed",
+	"asic watchdog fired", "backplane seating fault",
+}
+
+// platformDiagFormats expands the diag reasons into per-reason formats.
+func platformDiagFormats() []Format {
+	out := make([]Format, len(diagReasons))
+	for i, r := range diagReasons {
+		out[i] = Format{
+			Code:  "PLATFORM-3-DIAG",
+			Fmt:   "Slot %d diagnostic: " + r,
+			Truth: "Slot * diagnostic: " + r,
+		}
+	}
+	return out
+}
+
+// Dataset B (IPTV backbone, vendor V2) formats.
+var formatsB = []Format{
+	{
+		Code:  "SNMP-WARNING-linkDown",
+		Fmt:   "Interface %s is not operational",
+		Truth: "Interface * is not operational",
+	},
+	{
+		Code:  "SNMP-WARNING-linkup",
+		Fmt:   "Interface %s is operational",
+		Truth: "Interface * is operational",
+	},
+	{
+		Code:  "SVCMGR-MAJOR-sapPortStateChangeProcessed",
+		Fmt:   "The status of all affected SAPs on port %s has been updated",
+		Truth: "The status of all affected SAPs on port * has been updated",
+	},
+	{
+		Code:  "PIM-MAJOR-pimNbrLoss",
+		Fmt:   "PIM neighbor %s on interface %s lost",
+		Truth: "PIM neighbor * on interface * lost",
+	},
+	{
+		Code:  "PIM-MINOR-pimNbrUp",
+		Fmt:   "PIM neighbor %s on interface %s established",
+		Truth: "PIM neighbor * on interface * established",
+	},
+	{
+		Code:  "MPLS-MINOR-mplsTunnelDown",
+		Fmt:   "MPLS tunnel to %s changed state to down",
+		Truth: "MPLS tunnel to * changed state to down",
+	},
+	{
+		Code:  "MPLS-MINOR-mplsTunnelUp",
+		Fmt:   "MPLS tunnel to %s changed state to up",
+		Truth: "MPLS tunnel to * changed state to up",
+	},
+	{
+		Code:  "MPLS-MINOR-mplsTunnelRetry",
+		Fmt:   "MPLS tunnel to %s connection retry %d",
+		Truth: "MPLS tunnel to * connection retry *",
+	},
+	{
+		Code:  "BGP-WARNING-bgpPeerDown",
+		Fmt:   "BGP peer %s vrf %s moved from established to idle",
+		Truth: "BGP peer * vrf * moved from established to idle",
+	},
+	{
+		Code:  "BGP-WARNING-bgpPeerUp",
+		Fmt:   "BGP peer %s vrf %s moved to established",
+		Truth: "BGP peer * vrf * moved to established",
+	},
+	{
+		Code:  "SECURITY-WARNING-ftpLoginFail",
+		Fmt:   "ftp login failure for user admin from %s",
+		Truth: "ftp login failure for user admin from *",
+	},
+	{
+		Code:  "SECURITY-WARNING-sshLoginFail",
+		Fmt:   "ssh login failure for user admin from %s",
+		Truth: "ssh login failure for user admin from *",
+	},
+	{
+		Code:  "SYSTEM-MINOR-cpuHigh",
+		Fmt:   "CPU utilization %d%% exceeds high watermark",
+		Truth: "CPU utilization * exceeds high watermark",
+	},
+	{
+		Code:  "SYSTEM-MINOR-memHigh",
+		Fmt:   "Memory utilization %d%% exceeds high watermark",
+		Truth: "Memory utilization * exceeds high watermark",
+	},
+	{
+		Code:  "SYSTEM-MINOR-configChange",
+		Fmt:   "Configuration changed by user admin from %s",
+		Truth: "Configuration changed by user admin from *",
+	},
+	{
+		Code:  "CHASSIS-MAJOR-fanFail",
+		Fmt:   "Fan tray %d failure detected",
+		Truth: "Fan tray * failure detected",
+	},
+	{
+		Code:  "CHASSIS-MINOR-fanRestore",
+		Fmt:   "Fan tray %d restored",
+		Truth: "Fan tray * restored",
+	},
+}
+
+// Formats returns the emission formats of a dataset kind.
+func Formats(kind DatasetKind) []Format {
+	switch kind {
+	case DatasetA:
+		return append(append([]Format(nil), formatsA...), platformDiagFormats()...)
+	case DatasetB:
+		return append([]Format(nil), formatsB...)
+	}
+	return nil
+}
+
+// GroundTruthTemplates renders the dataset's intended templates, the oracle
+// for the §5.2.1 template-accuracy experiment. IDs are sequential.
+func GroundTruthTemplates(kind DatasetKind) []template.Template {
+	fs := Formats(kind)
+	out := make([]template.Template, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, template.MustTemplate(len(out), f.Code+"|"+f.Truth))
+	}
+	return out
+}

@@ -1,0 +1,295 @@
+package gen
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Dataset A scenarios: vendor V1, tier-1 ISP backbone.
+
+// linkFlapA simulates a flapping link episode — the workhorse condition of
+// the paper's running example (Table 2). A layer-1 link bounces repeatedly;
+// every bounce fires LINK and LINEPROTO messages on both ends one second
+// apart, usually OSPF (and sometimes ISIS) adjacency fallout, sometimes the
+// causing controller's own flap ~20s earlier (the 10–30s implicit-delay
+// rules of §5.2.2), and — when an outage outlasts the BGP hold timer — BGP
+// session messages ~90–120s in.
+func (s *sim) linkFlapA(start time.Time) {
+	link, ok := s.randLink()
+	if !ok {
+		return
+	}
+	s.beginCondition("link-flap", start, []string{link.A, link.B}, link.AIntf)
+	defer s.endCondition()
+
+	duration := s.between(10*time.Minute, 3*time.Hour)
+	period := s.between(10*time.Second, 45*time.Second)
+	upDelay := s.between(3*time.Second, 20*time.Second)
+	withOSPF := s.rng.Float64() < 0.6
+	withISIS := s.rng.Float64() < 0.3
+	controllerDriven := s.rng.Float64() < 0.4 && strings.HasPrefix(link.AIntf, "Serial")
+	ctlPath := ""
+	if controllerDriven {
+		var slot int
+		if _, err := fmt.Sscanf(link.AIntf, "Serial%d/", &slot); err == nil {
+			ctlPath = fmt.Sprintf("%d/0", slot)
+		} else {
+			controllerDriven = false
+		}
+	}
+	lbA, lbB := s.loopbackIP(link.A), s.loopbackIP(link.B)
+
+	end := start.Add(duration)
+	for t := start; t.Before(end); {
+		longOutage := s.rng.Float64() < 0.15
+		var upAt time.Time
+		if longOutage {
+			upAt = t.Add(s.between(95*time.Second, 240*time.Second))
+		} else {
+			upAt = t.Add(s.jitter(upDelay, 0.4))
+		}
+
+		if controllerDriven {
+			s.emit(t.Add(-s.between(15*time.Second, 25*time.Second)), link.A,
+				"CONTROLLER-5-UPDOWN", fmt.Sprintf("Controller T3 %s, changed state to down", ctlPath))
+		}
+		s.emit(t, link.A, "LINK-3-UPDOWN", fmt.Sprintf("Interface %s, changed state to down", link.AIntf))
+		s.emit(t, link.B, "LINK-3-UPDOWN", fmt.Sprintf("Interface %s, changed state to down", link.BIntf))
+		s.emit(t.Add(time.Second), link.A, "LINEPROTO-5-UPDOWN",
+			fmt.Sprintf("Line protocol on Interface %s, changed state to down", link.AIntf))
+		s.emit(t.Add(time.Second), link.B, "LINEPROTO-5-UPDOWN",
+			fmt.Sprintf("Line protocol on Interface %s, changed state to down", link.BIntf))
+		if withOSPF {
+			s.emit(t.Add(2*time.Second), link.A, "OSPF-5-ADJCHG",
+				fmt.Sprintf("Process 1, Nbr %s on %s from FULL to DOWN, Neighbor Down: Interface down or detached", lbB, link.AIntf))
+			s.emit(t.Add(2*time.Second), link.B, "OSPF-5-ADJCHG",
+				fmt.Sprintf("Process 1, Nbr %s on %s from FULL to DOWN, Neighbor Down: Interface down or detached", lbA, link.BIntf))
+		}
+		if withISIS {
+			s.emit(t.Add(2*time.Second), link.A, "ISIS-4-ADJCHANGE",
+				fmt.Sprintf("Adjacency to %s on %s dropped", link.B, link.AIntf))
+			s.emit(t.Add(2*time.Second), link.B, "ISIS-4-ADJCHANGE",
+				fmt.Sprintf("Adjacency to %s on %s dropped", link.A, link.BIntf))
+		}
+		if longOutage {
+			bgpAt := t.Add(s.between(90*time.Second, 120*time.Second))
+			reason := bgpDownReasons[s.rng.Intn(len(bgpDownReasons))]
+			vrf := s.randVRF()
+			s.emit(bgpAt, link.A, "BGP-5-ADJCHANGE", fmt.Sprintf("neighbor %s vpn vrf %s Down %s", lbB, vrf, reason))
+			s.emit(bgpAt, link.B, "BGP-5-ADJCHANGE", fmt.Sprintf("neighbor %s vpn vrf %s Down %s", lbA, vrf, reason))
+			s.emit(upAt.Add(s.between(30*time.Second, 90*time.Second)), link.A, "BGP-5-ADJCHANGE",
+				fmt.Sprintf("neighbor %s vpn vrf %s Up", lbB, vrf))
+			s.emit(upAt.Add(s.between(30*time.Second, 90*time.Second)), link.B, "BGP-5-ADJCHANGE",
+				fmt.Sprintf("neighbor %s vpn vrf %s Up", lbA, vrf))
+		}
+
+		if controllerDriven {
+			ctlUp := upAt.Add(-s.between(15*time.Second, 25*time.Second))
+			if !ctlUp.After(t) {
+				ctlUp = t.Add(time.Second)
+			}
+			s.emit(ctlUp, link.A, "CONTROLLER-5-UPDOWN",
+				fmt.Sprintf("Controller T3 %s, changed state to up", ctlPath))
+		}
+		s.emit(upAt, link.A, "LINK-3-UPDOWN", fmt.Sprintf("Interface %s, changed state to up", link.AIntf))
+		s.emit(upAt, link.B, "LINK-3-UPDOWN", fmt.Sprintf("Interface %s, changed state to up", link.BIntf))
+		s.emit(upAt.Add(time.Second), link.A, "LINEPROTO-5-UPDOWN",
+			fmt.Sprintf("Line protocol on Interface %s, changed state to up", link.AIntf))
+		s.emit(upAt.Add(time.Second), link.B, "LINEPROTO-5-UPDOWN",
+			fmt.Sprintf("Line protocol on Interface %s, changed state to up", link.BIntf))
+		if withOSPF {
+			loadAt := upAt.Add(s.between(5*time.Second, 30*time.Second))
+			s.emit(loadAt, link.A, "OSPF-5-ADJCHG",
+				fmt.Sprintf("Process 1, Nbr %s on %s from LOADING to FULL, Loading Done", lbB, link.AIntf))
+			s.emit(loadAt, link.B, "OSPF-5-ADJCHG",
+				fmt.Sprintf("Process 1, Nbr %s on %s from LOADING to FULL, Loading Done", lbA, link.BIntf))
+		}
+		if withISIS {
+			estAt := upAt.Add(s.between(3*time.Second, 15*time.Second))
+			s.emit(estAt, link.A, "ISIS-4-ADJCHANGE", fmt.Sprintf("Adjacency to %s on %s established", link.B, link.AIntf))
+			s.emit(estAt, link.B, "ISIS-4-ADJCHANGE", fmt.Sprintf("Adjacency to %s on %s established", link.A, link.BIntf))
+		}
+		// Occasional double-fires: the same transition logged again within
+		// a couple of seconds (real routers do this). The impulsive short
+		// gaps are what make a fast-adapting EWMA (large alpha) collapse
+		// its prediction and then break on the next normal-period arrival —
+		// the effect behind Figure 10's preference for small alpha.
+		if s.rng.Float64() < 0.3 {
+			s.emit(t.Add(2*time.Second), link.A, "LINK-3-UPDOWN",
+				fmt.Sprintf("Interface %s, changed state to down", link.AIntf))
+			s.emit(t.Add(2*time.Second), link.B, "LINK-3-UPDOWN",
+				fmt.Sprintf("Interface %s, changed state to down", link.BIntf))
+		}
+		if s.rng.Float64() < 0.3 {
+			s.emit(upAt.Add(2*time.Second), link.A, "LINK-3-UPDOWN",
+				fmt.Sprintf("Interface %s, changed state to up", link.AIntf))
+			s.emit(upAt.Add(2*time.Second), link.B, "LINK-3-UPDOWN",
+				fmt.Sprintf("Interface %s, changed state to up", link.BIntf))
+		}
+
+		next := upAt.Add(s.jitter(period, 0.3))
+		if !next.After(t) {
+			next = t.Add(time.Second)
+		}
+		t = next
+	}
+}
+
+var bgpDownReasons = []string{
+	"Interface flap",
+	"BGP Notification sent",
+	"BGP Notification received",
+	"Peer closed the session",
+}
+
+func (s *sim) randVRF() string {
+	return fmt.Sprintf("1000:%d", 1000+s.rng.Intn(5))
+}
+
+// controllerInstability is Figure 4's pattern: one controller bounces every
+// few seconds for an extended interval.
+func (s *sim) controllerInstability(start time.Time) {
+	cfg := s.randRouter()
+	path := "1/0"
+	if len(cfg.Controllers) > 0 {
+		path = cfg.Controllers[s.rng.Intn(len(cfg.Controllers))].Path
+	}
+	s.beginCondition("controller-instability", start, []string{cfg.Hostname}, path)
+	defer s.endCondition()
+
+	duration := s.between(10*time.Minute, 2*time.Hour)
+	period := s.between(5*time.Second, 40*time.Second)
+	end := start.Add(duration)
+	for t := start; t.Before(end); {
+		s.emit(t, cfg.Hostname, "CONTROLLER-5-UPDOWN",
+			fmt.Sprintf("Controller T3 %s, changed state to down", path))
+		upAt := t.Add(s.between(time.Second, 10*time.Second))
+		s.emit(upAt, cfg.Hostname, "CONTROLLER-5-UPDOWN",
+			fmt.Sprintf("Controller T3 %s, changed state to up", path))
+		t = upAt.Add(s.jitter(period, 0.3))
+	}
+}
+
+// bgpFlapA bounces one iBGP session a few times; both ends log adjacency
+// changes referencing the peer's loopback (the MPLS-VPN flavor of Table 3).
+func (s *sim) bgpFlapA(start time.Time) {
+	sess, ok := s.randSession()
+	if !ok {
+		return
+	}
+	s.beginCondition("bgp-flap", start, []string{sess.A, sess.B}, sess.BIP)
+	defer s.endCondition()
+
+	vrf := sess.VRF
+	if vrf == "" {
+		vrf = s.randVRF()
+	}
+	cycles := 1 + s.rng.Intn(4)
+	t := start
+	for i := 0; i < cycles; i++ {
+		reason := bgpDownReasons[s.rng.Intn(len(bgpDownReasons))]
+		s.emit(t, sess.A, "BGP-5-ADJCHANGE", fmt.Sprintf("neighbor %s vpn vrf %s Down %s", sess.BIP, vrf, reason))
+		s.emit(t, sess.B, "BGP-5-ADJCHANGE", fmt.Sprintf("neighbor %s vpn vrf %s Down %s", sess.AIP, vrf, reason))
+		upAt := t.Add(s.between(time.Minute, 10*time.Minute))
+		s.emit(upAt, sess.A, "BGP-5-ADJCHANGE", fmt.Sprintf("neighbor %s vpn vrf %s Up", sess.BIP, vrf))
+		s.emit(upAt, sess.B, "BGP-5-ADJCHANGE", fmt.Sprintf("neighbor %s vpn vrf %s Up", sess.AIP, vrf))
+		t = upAt.Add(s.between(time.Minute, 10*time.Minute))
+	}
+}
+
+// cpuSpikeA fires the rising/falling CPU threshold pair of Table 1.
+func (s *sim) cpuSpikeA(start time.Time) {
+	cfg := s.hotRouter()
+	s.beginCondition("cpu-spike", start, []string{cfg.Hostname}, "cpu")
+	defer s.endCondition()
+
+	util := 85 + s.rng.Intn(14)
+	p1, p2, p3 := 60+s.rng.Intn(20), 3+s.rng.Intn(10), 1+s.rng.Intn(4)
+	s.emit(start, cfg.Hostname, "SYS-1-CPURISINGTHRESHOLD",
+		fmt.Sprintf("Threshold: Total CPU Utilization(Total/Intr): %d%%/1%%, Top 3 processes (Pid/Util): %d/%d%%, %d/%d%%, %d/%d%%",
+			util, 2+s.rng.Intn(9), p1, 8+s.rng.Intn(20), p2, 7+s.rng.Intn(30), p3))
+	s.emit(start.Add(s.between(time.Minute, 30*time.Minute)), cfg.Hostname, "SYS-1-CPUFALLINGTHRESHOLD",
+		fmt.Sprintf("Threshold: Total CPU Utilization(Total/Intr) %d%%/1%%.", 20+s.rng.Intn(15)))
+}
+
+// tcpBadAuthA is Figure 5's pattern: an outside party probes the BGP port
+// on a timer, producing near-periodic bad-authentication messages for
+// hours.
+func (s *sim) tcpBadAuthA(start time.Time) {
+	cfg := s.hotRouter()
+	s.beginCondition("tcp-bad-auth", start, []string{cfg.Hostname}, "md5 probe")
+	defer s.endCondition()
+
+	duration := s.between(time.Hour, 6*time.Hour)
+	period := s.jitter(5*time.Minute, 0.2)
+	scanner := s.scannerIP()
+	lb := s.loopbackIP(cfg.Hostname)
+	end := start.Add(duration)
+	for t := start; t.Before(end); t = t.Add(s.jitter(period, 0.1)) {
+		s.emit(t, cfg.Hostname, "TCP-6-BADAUTH",
+			fmt.Sprintf("Invalid MD5 digest from %s:%d to %s:179", scanner, 1024+s.rng.Intn(60000), lb))
+	}
+}
+
+// scanNoiseA is a singleton ACL-deny log line.
+func (s *sim) scanNoiseA(start time.Time) {
+	cfg := s.hotRouter()
+	s.beginCondition("scan-noise", start, []string{cfg.Hostname}, "acl deny")
+	defer s.endCondition()
+	s.emit(start, cfg.Hostname, "SEC-6-IPACCESSLOGP",
+		fmt.Sprintf("list 199 denied tcp %s(%d) -> %s(%d), 1 packet",
+			s.scannerIP(), 1024+s.rng.Intn(60000), s.loopbackIP(cfg.Hostname), 179))
+}
+
+// configChangeA is a singleton operator-login configuration message.
+func (s *sim) configChangeA(start time.Time) {
+	cfg := s.hotRouter()
+	s.beginCondition("config-change", start, []string{cfg.Hostname}, "config")
+	defer s.endCondition()
+	s.emit(start, cfg.Hostname, "SYS-5-CONFIG_I",
+		fmt.Sprintf("Configured from console by admin on vty0 (10.255.1.%d)", 1+s.rng.Intn(250)))
+}
+
+// envAlarmA couples a temperature alarm with a burst of platform
+// diagnostics minutes later — the source of an ENV<->PLATFORM rule.
+func (s *sim) envAlarmA(start time.Time) {
+	cfg := s.randRouter()
+	s.beginCondition("env-alarm", start, []string{cfg.Hostname}, "temperature")
+	defer s.endCondition()
+
+	slot := 1 + s.rng.Intn(4)
+	s.emit(start, cfg.Hostname, "ENV-2-TEMPHIGH",
+		fmt.Sprintf("Temperature measured at %dC exceeds threshold on Slot %d", 40+s.rng.Intn(25), slot))
+	n := 4 + s.rng.Intn(6)
+	for i := 0; i < n; i++ {
+		at := start.Add(s.between(10*time.Second, 90*time.Second))
+		reason := diagReasons[s.rng.Intn(len(diagReasons))]
+		// Diagnostics fire across chassis positions (1-16), not just the
+		// overheating slot — the wide value range is what lets the learner
+		// wildcard the slot while keeping the reason literal.
+		s.emit(at, cfg.Hostname, "PLATFORM-3-DIAG",
+			fmt.Sprintf("Slot %d diagnostic: %s", 1+s.rng.Intn(16), reason))
+	}
+}
+
+// lspFlapA bounces an MPLS-TE LSP toward a random remote router.
+func (s *sim) lspFlapA(start time.Time) {
+	cfg := s.randRouter()
+	other := s.randRouter()
+	for other.Hostname == cfg.Hostname {
+		other = s.randRouter()
+	}
+	s.beginCondition("lsp-flap", start, []string{cfg.Hostname}, other.Hostname)
+	defer s.endCondition()
+
+	dest := s.loopbackIP(other.Hostname)
+	cycles := 1 + s.rng.Intn(3)
+	t := start
+	for i := 0; i < cycles; i++ {
+		s.emit(t, cfg.Hostname, "MPLS_TE-5-LSP", fmt.Sprintf("LSP to %s state changed to down", dest))
+		upAt := t.Add(s.between(10*time.Second, 2*time.Minute))
+		s.emit(upAt, cfg.Hostname, "MPLS_TE-5-LSP", fmt.Sprintf("LSP to %s state changed to up", dest))
+		t = upAt.Add(s.between(30*time.Second, 5*time.Minute))
+	}
+}

@@ -1,0 +1,271 @@
+package gen
+
+import (
+	"fmt"
+	"time"
+)
+
+// Dataset B scenarios: vendor V2, IPTV backbone.
+
+// linkFlapB is the V2 flavor of a flapping link: SNMP linkDown/linkup on
+// both ends with SVCMGR SAP-update fallout one second later.
+func (s *sim) linkFlapB(start time.Time) {
+	link, ok := s.randLink()
+	if !ok {
+		return
+	}
+	s.beginCondition("link-flap", start, []string{link.A, link.B}, link.AIntf)
+	defer s.endCondition()
+
+	duration := s.between(30*time.Minute, 4*time.Hour)
+	period := s.between(10*time.Second, 40*time.Second)
+	// Each transition updates every SAP riding the port; IPTV ports carry
+	// several, so one flap fans out into a burst of SVCMGR messages.
+	saps := 2 + s.rng.Intn(4)
+	lbA, lbB := s.loopbackIP(link.A), s.loopbackIP(link.B)
+	end := start.Add(duration)
+	for t := start; t.Before(end); {
+		s.emit(t, link.A, "SNMP-WARNING-linkDown", fmt.Sprintf("Interface %s is not operational", link.AIntf))
+		s.emit(t, link.B, "SNMP-WARNING-linkDown", fmt.Sprintf("Interface %s is not operational", link.BIntf))
+		for k := 0; k < saps; k++ {
+			s.emit(t.Add(time.Second), link.A, "SVCMGR-MAJOR-sapPortStateChangeProcessed",
+				fmt.Sprintf("The status of all affected SAPs on port %s has been updated", link.AIntf))
+			s.emit(t.Add(time.Second), link.B, "SVCMGR-MAJOR-sapPortStateChangeProcessed",
+				fmt.Sprintf("The status of all affected SAPs on port %s has been updated", link.BIntf))
+		}
+		upAt := t.Add(s.between(3*time.Second, 30*time.Second))
+		// Outages outlasting the BGP hold timer tear down the session over
+		// the link: router-scope messages on both ends (~90-120s in).
+		if s.rng.Float64() < 0.15 {
+			upAt = t.Add(s.between(95*time.Second, 240*time.Second))
+			bgpAt := t.Add(s.between(90*time.Second, 120*time.Second))
+			vrf := s.randVRF()
+			s.emit(bgpAt, link.A, "BGP-WARNING-bgpPeerDown",
+				fmt.Sprintf("BGP peer %s vrf %s moved from established to idle", lbB, vrf))
+			s.emit(bgpAt, link.B, "BGP-WARNING-bgpPeerDown",
+				fmt.Sprintf("BGP peer %s vrf %s moved from established to idle", lbA, vrf))
+			s.emit(upAt.Add(s.between(30*time.Second, 90*time.Second)), link.A, "BGP-WARNING-bgpPeerUp",
+				fmt.Sprintf("BGP peer %s vrf %s moved to established", lbB, vrf))
+			s.emit(upAt.Add(s.between(30*time.Second, 90*time.Second)), link.B, "BGP-WARNING-bgpPeerUp",
+				fmt.Sprintf("BGP peer %s vrf %s moved to established", lbA, vrf))
+		}
+		s.emit(upAt, link.A, "SNMP-WARNING-linkup", fmt.Sprintf("Interface %s is operational", link.AIntf))
+		s.emit(upAt, link.B, "SNMP-WARNING-linkup", fmt.Sprintf("Interface %s is operational", link.BIntf))
+		s.emit(upAt.Add(time.Second), link.A, "SVCMGR-MAJOR-sapPortStateChangeProcessed",
+			fmt.Sprintf("The status of all affected SAPs on port %s has been updated", link.AIntf))
+		if s.rng.Float64() < 0.1 {
+			s.emit(upAt.Add(2*time.Second), link.A, "SNMP-WARNING-linkup",
+				fmt.Sprintf("Interface %s is operational", link.AIntf))
+		}
+		t = upAt.Add(s.jitter(period, 0.3))
+	}
+}
+
+// pimDualFailureB reproduces the §6.1 troubleshooting case: the secondary
+// path between two multicast-tree neighbors has silently failed and is
+// retrying every five minutes; when the primary link later fails, the PIM
+// neighbor session — which fast re-route should have protected — drops,
+// scattering messages across both endpoints and the secondary path's hop
+// router.
+func (s *sim) pimDualFailureB(start time.Time) {
+	if len(s.net.Paths) == 0 {
+		return
+	}
+	path := s.net.Paths[s.rng.Intn(len(s.net.Paths))]
+	routers := append([]string{path.A, path.B}, path.Hops...)
+	s.beginCondition("pim-dual-failure", start, routers, path.Name)
+	defer s.endCondition()
+
+	lbA, lbB := s.loopbackIP(path.A), s.loopbackIP(path.B)
+	// The secondary tunnel has been retrying every 5 minutes since well
+	// before the primary failure (several-minutes-apart messages are what
+	// made the paper's manual time-window search so hard).
+	retryStart := start.Add(-s.between(time.Hour, 2*time.Hour))
+	primaryFail := start
+	recover := start.Add(s.between(10*time.Minute, 30*time.Minute))
+	// Both directions of the secondary tunnel are down, so both endpoints
+	// retry on their five-minute timers.
+	retry := 1
+	for t := retryStart; t.Before(recover); t = t.Add(s.jitter(5*time.Minute, 0.05)) {
+		s.emit(t, path.A, "MPLS-MINOR-mplsTunnelRetry", fmt.Sprintf("MPLS tunnel to %s connection retry %d", lbB, retry))
+		s.emit(t.Add(2*time.Second), path.B, "MPLS-MINOR-mplsTunnelRetry", fmt.Sprintf("MPLS tunnel to %s connection retry %d", lbA, retry))
+		retry++
+	}
+	s.emit(retryStart, path.A, "MPLS-MINOR-mplsTunnelDown", fmt.Sprintf("MPLS tunnel to %s changed state to down", lbB))
+	s.emit(retryStart.Add(time.Second), path.B, "MPLS-MINOR-mplsTunnelDown", fmt.Sprintf("MPLS tunnel to %s changed state to down", lbA))
+
+	// Primary link failure: find the link between the endpoints.
+	var aIntf, bIntf string
+	for _, lk := range s.net.Links {
+		if (lk.A == path.A && lk.B == path.B) || (lk.A == path.B && lk.B == path.A) {
+			aIntf, bIntf = lk.AIntf, lk.BIntf
+			if lk.A != path.A {
+				aIntf, bIntf = lk.BIntf, lk.AIntf
+			}
+			break
+		}
+	}
+	if aIntf == "" {
+		aIntf, bIntf = "1/1/1", "1/1/1"
+	}
+	s.emit(primaryFail, path.A, "SNMP-WARNING-linkDown", fmt.Sprintf("Interface %s is not operational", aIntf))
+	s.emit(primaryFail, path.B, "SNMP-WARNING-linkDown", fmt.Sprintf("Interface %s is not operational", bIntf))
+	s.emit(primaryFail.Add(time.Second), path.A, "SVCMGR-MAJOR-sapPortStateChangeProcessed",
+		fmt.Sprintf("The status of all affected SAPs on port %s has been updated", aIntf))
+	s.emit(primaryFail.Add(time.Second), path.B, "SVCMGR-MAJOR-sapPortStateChangeProcessed",
+		fmt.Sprintf("The status of all affected SAPs on port %s has been updated", bIntf))
+	// Fast re-route immediately attempts the secondary path and fails:
+	// a burst of triggered (non-timer) retries right at the failure. These
+	// are the messages that stitch the hours-old retry stream into the
+	// incident — they land inside the rule window of the PIM loss.
+	for _, off := range []time.Duration{time.Second, 10 * time.Second, 30 * time.Second} {
+		s.emit(primaryFail.Add(off), path.A, "MPLS-MINOR-mplsTunnelRetry",
+			fmt.Sprintf("MPLS tunnel to %s connection retry %d", lbB, retry))
+		s.emit(primaryFail.Add(off+time.Second), path.B, "MPLS-MINOR-mplsTunnelRetry",
+			fmt.Sprintf("MPLS tunnel to %s connection retry %d", lbA, retry))
+		retry++
+	}
+	// With both paths dead, PIM notices on both ends, and the multicast
+	// SAPs riding the session get reprocessed right after.
+	s.emit(primaryFail.Add(2*time.Second), path.A, "PIM-MAJOR-pimNbrLoss",
+		fmt.Sprintf("PIM neighbor %s on interface %s lost", lbB, aIntf))
+	s.emit(primaryFail.Add(2*time.Second), path.B, "PIM-MAJOR-pimNbrLoss",
+		fmt.Sprintf("PIM neighbor %s on interface %s lost", lbA, bIntf))
+	s.emit(primaryFail.Add(4*time.Second), path.A, "SVCMGR-MAJOR-sapPortStateChangeProcessed",
+		fmt.Sprintf("The status of all affected SAPs on port %s has been updated", aIntf))
+	s.emit(primaryFail.Add(4*time.Second), path.B, "SVCMGR-MAJOR-sapPortStateChangeProcessed",
+		fmt.Sprintf("The status of all affected SAPs on port %s has been updated", bIntf))
+	// The hop router sees transit SAP churn.
+	for _, hop := range path.Hops {
+		s.emit(primaryFail.Add(3*time.Second), hop, "SVCMGR-MAJOR-sapPortStateChangeProcessed",
+			fmt.Sprintf("The status of all affected SAPs on port %s has been updated", "1/1/1"))
+	}
+
+	// Recovery: one last triggered retry finally succeeds and the tunnel
+	// comes back, followed by the PIM session.
+	s.emit(recover, path.A, "SNMP-WARNING-linkup", fmt.Sprintf("Interface %s is operational", aIntf))
+	s.emit(recover, path.B, "SNMP-WARNING-linkup", fmt.Sprintf("Interface %s is operational", bIntf))
+	s.emit(recover.Add(2*time.Second), path.A, "PIM-MINOR-pimNbrUp",
+		fmt.Sprintf("PIM neighbor %s on interface %s established", lbB, aIntf))
+	s.emit(recover.Add(2*time.Second), path.B, "PIM-MINOR-pimNbrUp",
+		fmt.Sprintf("PIM neighbor %s on interface %s established", lbA, bIntf))
+	s.emit(recover.Add(4*time.Second), path.A, "MPLS-MINOR-mplsTunnelRetry",
+		fmt.Sprintf("MPLS tunnel to %s connection retry %d", lbB, retry))
+	s.emit(recover.Add(4*time.Second), path.B, "MPLS-MINOR-mplsTunnelRetry",
+		fmt.Sprintf("MPLS tunnel to %s connection retry %d", lbA, retry))
+	s.emit(recover.Add(5*time.Second), path.A, "MPLS-MINOR-mplsTunnelUp",
+		fmt.Sprintf("MPLS tunnel to %s changed state to up", lbB))
+	s.emit(recover.Add(6*time.Second), path.B, "MPLS-MINOR-mplsTunnelUp",
+		fmt.Sprintf("MPLS tunnel to %s changed state to up", lbA))
+}
+
+// bgpFlapB bounces one BGP session, V2 style.
+func (s *sim) bgpFlapB(start time.Time) {
+	sess, ok := s.randSession()
+	if !ok {
+		return
+	}
+	s.beginCondition("bgp-flap", start, []string{sess.A, sess.B}, sess.BIP)
+	defer s.endCondition()
+
+	vrf := sess.VRF
+	if vrf == "" {
+		vrf = s.randVRF()
+	}
+	cycles := 1 + s.rng.Intn(3)
+	t := start
+	for i := 0; i < cycles; i++ {
+		s.emit(t, sess.A, "BGP-WARNING-bgpPeerDown", fmt.Sprintf("BGP peer %s vrf %s moved from established to idle", sess.BIP, vrf))
+		s.emit(t, sess.B, "BGP-WARNING-bgpPeerDown", fmt.Sprintf("BGP peer %s vrf %s moved from established to idle", sess.AIP, vrf))
+		upAt := t.Add(s.between(time.Minute, 8*time.Minute))
+		s.emit(upAt, sess.A, "BGP-WARNING-bgpPeerUp", fmt.Sprintf("BGP peer %s vrf %s moved to established", sess.BIP, vrf))
+		s.emit(upAt, sess.B, "BGP-WARNING-bgpPeerUp", fmt.Sprintf("BGP peer %s vrf %s moved to established", sess.AIP, vrf))
+		t = upAt.Add(s.between(2*time.Minute, 10*time.Minute))
+	}
+}
+
+// cpuHighB emits a CPU watermark message, sometimes with a memory sibling.
+func (s *sim) cpuHighB(start time.Time) {
+	cfg := s.hotRouter()
+	s.beginCondition("cpu-high", start, []string{cfg.Hostname}, "cpu")
+	defer s.endCondition()
+	s.emit(start, cfg.Hostname, "SYSTEM-MINOR-cpuHigh",
+		fmt.Sprintf("CPU utilization %d%% exceeds high watermark", 85+s.rng.Intn(14)))
+	if s.rng.Float64() < 0.5 {
+		s.emit(start.Add(s.between(5*time.Second, 60*time.Second)), cfg.Hostname, "SYSTEM-MINOR-memHigh",
+			fmt.Sprintf("Memory utilization %d%% exceeds high watermark", 80+s.rng.Intn(19)))
+	}
+}
+
+// loginScanB is dataset B's periodic pattern: an ftp login failure followed
+// ~35 seconds later by an ssh login failure from the same source, repeating
+// on a timer — the origin of the paper's W=30–40s ftp/ssh rule.
+func (s *sim) loginScanB(start time.Time) {
+	cfg := s.hotRouter()
+	s.beginCondition("login-scan", start, []string{cfg.Hostname}, "login probes")
+	defer s.endCondition()
+
+	duration := s.between(30*time.Minute, 3*time.Hour)
+	period := s.jitter(4*time.Minute, 0.2)
+	scanner := s.scannerIP()
+	end := start.Add(duration)
+	for t := start; t.Before(end); t = t.Add(s.jitter(period, 0.1)) {
+		s.emit(t, cfg.Hostname, "SECURITY-WARNING-ftpLoginFail",
+			fmt.Sprintf("ftp login failure for user admin from %s", scanner))
+		s.emit(t.Add(s.between(30*time.Second, 40*time.Second)), cfg.Hostname, "SECURITY-WARNING-sshLoginFail",
+			fmt.Sprintf("ssh login failure for user admin from %s", scanner))
+	}
+}
+
+// sapNoiseB is a singleton SAP update (operational churn).
+func (s *sim) sapNoiseB(start time.Time) {
+	cfg := s.randRouter()
+	s.beginCondition("sap-noise", start, []string{cfg.Hostname}, "sap churn")
+	defer s.endCondition()
+	port := "1/1/1"
+	if len(cfg.Interfaces) > 1 {
+		ifc := cfg.Interfaces[1+s.rng.Intn(len(cfg.Interfaces)-1)]
+		if ifc.Name != "system" {
+			port = ifc.Name
+		}
+	}
+	s.emit(start, cfg.Hostname, "SVCMGR-MAJOR-sapPortStateChangeProcessed",
+		fmt.Sprintf("The status of all affected SAPs on port %s has been updated", port))
+}
+
+// configChangeB is a singleton provisioning message.
+func (s *sim) configChangeB(start time.Time) {
+	cfg := s.hotRouter()
+	s.beginCondition("config-change", start, []string{cfg.Hostname}, "config")
+	defer s.endCondition()
+	s.emit(start, cfg.Hostname, "SYSTEM-MINOR-configChange",
+		fmt.Sprintf("Configuration changed by user admin from 10.255.2.%d", 1+s.rng.Intn(250)))
+}
+
+// fanFailB is a hardware alarm pair.
+func (s *sim) fanFailB(start time.Time) {
+	cfg := s.randRouter()
+	s.beginCondition("fan-fail", start, []string{cfg.Hostname}, "fan")
+	defer s.endCondition()
+	tray := 1 + s.rng.Intn(3)
+	s.emit(start, cfg.Hostname, "CHASSIS-MAJOR-fanFail", fmt.Sprintf("Fan tray %d failure detected", tray))
+	s.emit(start.Add(s.between(time.Minute, time.Hour)), cfg.Hostname, "CHASSIS-MINOR-fanRestore",
+		fmt.Sprintf("Fan tray %d restored", tray))
+}
+
+// tunnelFlapB bounces a configured secondary tunnel without PIM fallout.
+func (s *sim) tunnelFlapB(start time.Time) {
+	if len(s.net.Paths) == 0 {
+		return
+	}
+	path := s.net.Paths[s.rng.Intn(len(s.net.Paths))]
+	s.beginCondition("tunnel-flap", start, []string{path.A, path.B}, path.Name)
+	defer s.endCondition()
+
+	lbA, lbB := s.loopbackIP(path.A), s.loopbackIP(path.B)
+	s.emit(start, path.A, "MPLS-MINOR-mplsTunnelDown", fmt.Sprintf("MPLS tunnel to %s changed state to down", lbB))
+	s.emit(start.Add(time.Second), path.B, "MPLS-MINOR-mplsTunnelDown", fmt.Sprintf("MPLS tunnel to %s changed state to down", lbA))
+	upAt := start.Add(s.between(30*time.Second, 5*time.Minute))
+	s.emit(upAt, path.A, "MPLS-MINOR-mplsTunnelUp", fmt.Sprintf("MPLS tunnel to %s changed state to up", lbB))
+	s.emit(upAt.Add(time.Second), path.B, "MPLS-MINOR-mplsTunnelUp", fmt.Sprintf("MPLS tunnel to %s changed state to up", lbA))
+}

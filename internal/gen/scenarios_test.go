@@ -1,0 +1,284 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Statistical tests on the scenario emitters: DESIGN.md claims the
+// simulator reproduces the relational structure the paper's mining depends
+// on (co-occurrence delays, timer periods, cross-router symmetry). These
+// tests pin those properties.
+
+// datasetWith draws one dataset with only the selected scenario enabled.
+func datasetWith(t *testing.T, kind DatasetKind, tweak func(*Rates), seed int64) *Dataset {
+	t.Helper()
+	spec := Spec{Kind: kind, Routers: 20, Seed: seed, Duration: 48 * time.Hour}
+	off := Rates{
+		LinkFlap: -1, Controller: -1, BGPFlap: -1, CPUSpike: -1,
+		PeriodicMsg: -1, Noise: -1, Config: -1, EnvAlarm: -1,
+		TunnelFlap: -1, PIMFailure: -1,
+	}
+	spec.Rates = off
+	tweak(&spec.Rates)
+	ds, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestLinkFlapSymmetry: every LINK-down on one end has a same-second
+// counterpart on the other end — the structure cross-router grouping needs.
+func TestLinkFlapSymmetry(t *testing.T) {
+	ds := datasetWith(t, DatasetA, func(r *Rates) { r.LinkFlap = 5 }, 11)
+	if len(ds.Messages) == 0 {
+		t.Skip("no flaps drawn")
+	}
+	type key struct {
+		at     time.Time
+		detail string
+	}
+	byTime := make(map[time.Time]map[string]int)
+	for _, m := range ds.Messages {
+		if m.Code != "LINK-3-UPDOWN" {
+			continue
+		}
+		if byTime[m.Time] == nil {
+			byTime[m.Time] = make(map[string]int)
+		}
+		byTime[m.Time][m.Router]++
+	}
+	symmetric, lone := 0, 0
+	for _, routers := range byTime {
+		if len(routers) >= 2 {
+			symmetric++
+		} else {
+			lone++
+		}
+	}
+	if symmetric == 0 {
+		t.Fatal("no same-second link messages across routers")
+	}
+	// Double-fires can land on one side only; they must stay a small
+	// minority.
+	if lone > symmetric {
+		t.Fatalf("lone link seconds (%d) exceed symmetric ones (%d)", lone, symmetric)
+	}
+}
+
+// TestLineProtoFollowsLink: LINEPROTO fallout is exactly one second after
+// its LINK message — the 1s co-occurrence that the W sweep's earliest rules
+// capture.
+func TestLineProtoFollowsLink(t *testing.T) {
+	ds := datasetWith(t, DatasetA, func(r *Rates) { r.LinkFlap = 5 }, 12)
+	linkAt := make(map[string]map[time.Time]bool) // router -> times
+	for _, m := range ds.Messages {
+		if m.Code == "LINK-3-UPDOWN" {
+			if linkAt[m.Router] == nil {
+				linkAt[m.Router] = make(map[time.Time]bool)
+			}
+			linkAt[m.Router][m.Time] = true
+		}
+	}
+	checked, matched := 0, 0
+	for _, m := range ds.Messages {
+		if m.Code != "LINEPROTO-5-UPDOWN" {
+			continue
+		}
+		checked++
+		if linkAt[m.Router][m.Time.Add(-time.Second)] {
+			matched++
+		}
+	}
+	if checked == 0 {
+		t.Skip("no line protocol messages drawn")
+	}
+	if float64(matched)/float64(checked) < 0.95 {
+		t.Fatalf("only %d/%d LINEPROTO messages trail a LINK message by 1s", matched, checked)
+	}
+}
+
+// TestControllerLeadsLink: controller-driven episodes put the controller
+// message 15-25s before the link message — the paper's 10-30s implicit
+// delay band.
+func TestControllerLeadsLink(t *testing.T) {
+	ds := datasetWith(t, DatasetA, func(r *Rates) { r.LinkFlap = 10 }, 13)
+	var ctl []Message0
+	linkDown := make(map[string][]time.Time)
+	for _, m := range ds.Messages {
+		if m.Code == "CONTROLLER-5-UPDOWN" && strings.Contains(m.Detail, "to down") {
+			ctl = append(ctl, Message0{m.Router, m.Time})
+		}
+		if m.Code == "LINK-3-UPDOWN" && strings.Contains(m.Detail, "to down") {
+			linkDown[m.Router] = append(linkDown[m.Router], m.Time)
+		}
+	}
+	if len(ctl) == 0 {
+		t.Skip("no controller-driven episodes drawn")
+	}
+	inBand := 0
+	for _, c := range ctl {
+		for _, lt := range linkDown[c.router] {
+			d := lt.Sub(c.at)
+			if d >= 10*time.Second && d <= 30*time.Second {
+				inBand++
+				break
+			}
+		}
+	}
+	if float64(inBand)/float64(len(ctl)) < 0.8 {
+		t.Fatalf("only %d/%d controller-down messages precede a link-down by 10-30s", inBand, len(ctl))
+	}
+}
+
+// Message0 is a minimal (router, time) pair for the tests above.
+type Message0 struct {
+	router string
+	at     time.Time
+}
+
+// TestTCPBadAuthPeriod: the Figure 5 stream fires near its 5-minute timer.
+func TestTCPBadAuthPeriod(t *testing.T) {
+	ds := datasetWith(t, DatasetA, func(r *Rates) { r.PeriodicMsg = 6 }, 14)
+	// One probe episode = one scanner: key streams by (router, scanner) so
+	// overlapping episodes on a hot router don't interleave.
+	byRouter := make(map[string][]time.Time)
+	for _, m := range ds.Messages {
+		if m.Code == "TCP-6-BADAUTH" {
+			scanner := strings.Fields(m.Detail)[4]              // "... digest from <ip:port> to ..."
+			scanner = scanner[:strings.IndexByte(scanner, ':')] // the port varies per probe
+			byRouter[m.Router+"|"+scanner] = append(byRouter[m.Router+"|"+scanner], m.Time)
+		}
+	}
+	streams := 0
+	for _, ts := range byRouter {
+		if len(ts) < 5 {
+			continue
+		}
+		streams++
+		var gaps []float64
+		for i := 1; i < len(ts); i++ {
+			gaps = append(gaps, ts[i].Sub(ts[i-1]).Seconds())
+		}
+		inBand := 0
+		for _, g := range gaps {
+			if g >= 180 && g <= 420 {
+				inBand++
+			}
+		}
+		if float64(inBand)/float64(len(gaps)) < 0.8 {
+			t.Fatalf("bad-auth gaps not near the 5-minute timer: %v", gaps[:min(8, len(gaps))])
+		}
+	}
+	if streams == 0 {
+		t.Skip("no bad-auth streams drawn")
+	}
+}
+
+// TestBGPHoldTimerBand: long-outage BGP messages land 90-120s after the
+// link failure (the source of dataset A's W=120s knee).
+func TestBGPHoldTimerBand(t *testing.T) {
+	ds := datasetWith(t, DatasetA, func(r *Rates) { r.LinkFlap = 10 }, 15)
+	linkDown := make(map[string][]time.Time)
+	for _, m := range ds.Messages {
+		if m.Code == "LINK-3-UPDOWN" && strings.Contains(m.Detail, "to down") {
+			linkDown[m.Router] = append(linkDown[m.Router], m.Time)
+		}
+	}
+	checked, inBand := 0, 0
+	for _, m := range ds.Messages {
+		if m.Code != "BGP-5-ADJCHANGE" || !strings.Contains(m.Detail, "Down") {
+			continue
+		}
+		checked++
+		for _, lt := range linkDown[m.Router] {
+			d := m.Time.Sub(lt)
+			if d >= 90*time.Second && d <= 120*time.Second {
+				inBand++
+				break
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no long outages drawn")
+	}
+	if float64(inBand)/float64(checked) < 0.9 {
+		t.Fatalf("only %d/%d BGP downs in the 90-120s hold-timer band", inBand, checked)
+	}
+}
+
+// TestLoginScanDelayBand: dataset B's ssh failures trail ftp failures by
+// 30-40s (the W=30-40s rule of §5.2.2).
+func TestLoginScanDelayBand(t *testing.T) {
+	ds := datasetWith(t, DatasetB, func(r *Rates) { r.PeriodicMsg = 6 }, 16)
+	ftp := make(map[string][]time.Time)
+	for _, m := range ds.Messages {
+		if m.Code == "SECURITY-WARNING-ftpLoginFail" {
+			ftp[m.Router] = append(ftp[m.Router], m.Time)
+		}
+	}
+	checked, inBand := 0, 0
+	for _, m := range ds.Messages {
+		if m.Code != "SECURITY-WARNING-sshLoginFail" {
+			continue
+		}
+		checked++
+		for _, ft := range ftp[m.Router] {
+			d := m.Time.Sub(ft)
+			if d >= 29*time.Second && d <= 41*time.Second {
+				inBand++
+				break
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no login scans drawn")
+	}
+	if float64(inBand)/float64(checked) < 0.95 {
+		t.Fatalf("only %d/%d ssh failures trail an ftp failure by 30-40s", inBand, checked)
+	}
+}
+
+// TestPIMRetryTimer: dual-failure retries tick at ~5 minutes on both
+// endpoints.
+func TestPIMRetryTimer(t *testing.T) {
+	ds := datasetWith(t, DatasetB, func(r *Rates) { r.PIMFailure = 2 }, 17)
+	// Group retries per (router, tunnel destination): concurrent dual
+	// failures on different paths must not interleave in one stream.
+	byStream := make(map[string][]time.Time)
+	for _, m := range ds.Messages {
+		if m.Code == "MPLS-MINOR-mplsTunnelRetry" {
+			fields := strings.Fields(m.Detail) // "MPLS tunnel to <ip> connection retry N"
+			byStream[m.Router+"|"+fields[3]] = append(byStream[m.Router+"|"+fields[3]], m.Time)
+		}
+	}
+	if len(byStream) < 2 {
+		t.Skip("no dual failures drawn")
+	}
+	for stream, ts := range byStream {
+		if len(ts) < 6 {
+			continue
+		}
+		inBand := 0
+		for i := 1; i < len(ts); i++ {
+			g := ts[i].Sub(ts[i-1]).Seconds()
+			// Timer tick, a gap spanning separate incidents, or the
+			// triggered burst at the failure instant.
+			if (g >= 240 && g <= 360) || g > 3600 || g <= 30 {
+				inBand++
+			}
+		}
+		if float64(inBand)/float64(len(ts)-1) < 0.8 {
+			t.Fatalf("stream %s: retry gaps not timer-dominated", stream)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

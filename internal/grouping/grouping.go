@@ -1,0 +1,277 @@
+// Package grouping implements the paper's three online grouping methods
+// (§4.2) that turn a stream of augmented (Syslog+) messages into candidate
+// network events:
+//
+//   - temporal grouping (§4.2.1): messages with the same template at the
+//     same location whose interarrivals follow the learned temporal pattern
+//     join one group;
+//   - rule-based grouping (§4.2.2): messages with *different* templates on
+//     the same router join when an association rule connects their
+//     templates, they fall within the mining window W, and their locations
+//     spatially match; rule direction is ignored;
+//   - cross-router grouping (§4.2.3): messages with the same template on
+//     connected locations of *different* routers (two ends of a link,
+//     session, or path) join when nearly simultaneous (≤1s by default).
+//
+// All three passes emit merges into one union-find, so — as the paper
+// argues — the order of application cannot change the final partition.
+// Every message starts as its own singleton group; a group is an event.
+package grouping
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"syslogdigest/internal/locdict"
+	"syslogdigest/internal/rules"
+	"syslogdigest/internal/temporal"
+)
+
+// Message is one augmented (Syslog+) message as grouping sees it: the raw
+// fields that matter plus template and location annotations.
+type Message struct {
+	Seq      int // caller-assigned position in the batch, 0-based and dense
+	Time     time.Time
+	Router   string
+	Template int
+	Loc      locdict.Location   // primary (finest) location
+	AllLocs  []locdict.Location // all resolved locations, finest first
+	Peers    []string           // peer routers referenced by the message
+}
+
+// Config tunes the grouping passes.
+type Config struct {
+	// Temporal are the EWMA parameters for pass 1.
+	Temporal temporal.Params
+	// RuleWindow is W for pass 2; messages further apart than this never
+	// rule-group. Zero defaults to 120s.
+	RuleWindow time.Duration
+	// CrossWindow is the near-simultaneity bound for pass 3. Zero
+	// defaults to 1s.
+	CrossWindow time.Duration
+	// MaxScan caps how many following messages one message is compared
+	// against within a window, bounding worst-case storm cost. Zero
+	// defaults to 256.
+	MaxScan int
+	// Stage selection for the Table 7 ablation; all false means all on.
+	OnlyTemporal     bool // T
+	TemporalAndRules bool // T+R
+}
+
+func (c Config) normalize() Config {
+	if c.RuleWindow == 0 {
+		c.RuleWindow = 120 * time.Second
+	}
+	if c.CrossWindow == 0 {
+		c.CrossWindow = time.Second
+	}
+	if c.MaxScan == 0 {
+		c.MaxScan = 256
+	}
+	return c
+}
+
+func (c Config) useRules() bool { return !c.OnlyTemporal }
+func (c Config) useCross() bool { return !c.OnlyTemporal && !c.TemporalAndRules }
+
+// Result is the grouped partition of one batch.
+type Result struct {
+	// GroupOf maps message Seq to a dense group id; ids are ordered by
+	// each group's earliest message Seq.
+	GroupOf []int
+	// Groups lists message Seqs per group id, each ascending.
+	Groups [][]int
+	// ActiveRules counts, per unordered template pair, how many rule-based
+	// merges actually fired (the "active rules" of Figure 12).
+	ActiveRules map[rules.PairKey]int
+}
+
+// Grouper applies the three passes using learned knowledge.
+type Grouper struct {
+	dict *locdict.Dictionary
+	rb   *rules.RuleBase
+	cfg  Config
+}
+
+// New builds a grouper. dict may not be nil; rb may be nil when rule-based
+// grouping is disabled or no rules were learned.
+func New(dict *locdict.Dictionary, rb *rules.RuleBase, cfg Config) (*Grouper, error) {
+	if dict == nil {
+		return nil, fmt.Errorf("grouping: nil dictionary")
+	}
+	if rb == nil {
+		rb = rules.NewRuleBase()
+	}
+	if _, err := temporal.NewGrouper(cfg.Temporal); err != nil {
+		return nil, err
+	}
+	return &Grouper{dict: dict, rb: rb, cfg: cfg.normalize()}, nil
+}
+
+// Group partitions a batch of messages into events. Messages must carry
+// dense Seq values 0..len-1 (any order in the slice).
+func (g *Grouper) Group(msgs []Message) (*Result, error) {
+	n := len(msgs)
+	for i := range msgs {
+		if msgs[i].Seq < 0 || msgs[i].Seq >= n {
+			return nil, fmt.Errorf("grouping: message %d has Seq %d outside [0, %d)", i, msgs[i].Seq, n)
+		}
+	}
+	uf := newUnionFind(n)
+	res := &Result{ActiveRules: make(map[rules.PairKey]int)}
+
+	// One time-sorted view is shared by passes 2 and 3.
+	byTime := make([]*Message, n)
+	for i := range msgs {
+		byTime[i] = &msgs[i]
+	}
+	sort.SliceStable(byTime, func(i, j int) bool {
+		if !byTime[i].Time.Equal(byTime[j].Time) {
+			return byTime[i].Time.Before(byTime[j].Time)
+		}
+		return byTime[i].Seq < byTime[j].Seq
+	})
+
+	if err := g.temporalPass(byTime, uf); err != nil {
+		return nil, err
+	}
+	if g.cfg.useRules() {
+		g.rulePass(byTime, uf, res.ActiveRules)
+	}
+	if g.cfg.useCross() {
+		g.crossPass(byTime, uf)
+	}
+
+	g.finalize(msgs, uf, res)
+	return res, nil
+}
+
+// temporalPass runs the learned interarrival model per (template, location)
+// stream, merging consecutive same-group messages.
+func (g *Grouper) temporalPass(byTime []*Message, uf *unionFind) error {
+	type streamKey struct {
+		template int
+		loc      string
+	}
+	groupers := make(map[streamKey]*temporal.Grouper)
+	lastSeq := make(map[streamKey]int)
+	for _, m := range byTime {
+		key := streamKey{m.Template, m.Loc.Key()}
+		tg := groupers[key]
+		if tg == nil {
+			var err error
+			tg, err = temporal.NewGrouper(g.cfg.Temporal)
+			if err != nil {
+				return err
+			}
+			groupers[key] = tg
+		}
+		if tg.Observe(m.Time) {
+			uf.union(lastSeq[key], m.Seq)
+		}
+		lastSeq[key] = m.Seq
+	}
+	return nil
+}
+
+// rulePass scans each router's time-ordered messages with window W and
+// merges rule-connected, spatially-matched pairs.
+func (g *Grouper) rulePass(byTime []*Message, uf *unionFind, active map[rules.PairKey]int) {
+	byRouter := make(map[string][]*Message)
+	for _, m := range byTime {
+		byRouter[m.Router] = append(byRouter[m.Router], m)
+	}
+	for _, stream := range byRouter {
+		for i, mi := range stream {
+			deadline := mi.Time.Add(g.cfg.RuleWindow)
+			scanned := 0
+			for j := i + 1; j < len(stream) && scanned < g.cfg.MaxScan; j++ {
+				mj := stream[j]
+				if mj.Time.After(deadline) {
+					break
+				}
+				scanned++
+				if mi.Template == mj.Template {
+					continue // same-template grouping is pass 1's job
+				}
+				if !g.rb.HasPair(mi.Template, mj.Template) {
+					continue
+				}
+				if !g.dict.SpatialMatch(mi.Loc, mj.Loc) {
+					continue
+				}
+				if uf.union(mi.Seq, mj.Seq) {
+					pk := rules.PairKey{X: mi.Template, Y: mj.Template}
+					if pk.X > pk.Y {
+						pk.X, pk.Y = pk.Y, pk.X
+					}
+					active[pk]++
+				}
+			}
+		}
+	}
+}
+
+// crossPass merges same-template messages on connected locations of
+// different routers within the near-simultaneity window.
+func (g *Grouper) crossPass(byTime []*Message, uf *unionFind) {
+	for i, mi := range byTime {
+		deadline := mi.Time.Add(g.cfg.CrossWindow)
+		scanned := 0
+		for j := i + 1; j < len(byTime) && scanned < g.cfg.MaxScan; j++ {
+			mj := byTime[j]
+			if mj.Time.After(deadline) {
+				break
+			}
+			scanned++
+			if mi.Template != mj.Template || mi.Router == mj.Router {
+				continue
+			}
+			if uf.same(mi.Seq, mj.Seq) {
+				continue
+			}
+			if g.dict.Connected(mi.Loc, mj.Loc) || g.peerHinted(mi, mj) || g.peerHinted(mj, mi) {
+				uf.union(mi.Seq, mj.Seq)
+			}
+		}
+	}
+}
+
+// peerHinted reports whether message a explicitly references b's router as
+// a peer (e.g. via a BGP neighbor address) — direct evidence of the
+// cross-router relation even when locations are router-level.
+func (g *Grouper) peerHinted(a, b *Message) bool {
+	for _, p := range a.Peers {
+		if p == b.Router {
+			return true
+		}
+	}
+	return false
+}
+
+// finalize converts the union-find into dense, deterministic group ids.
+func (g *Grouper) finalize(msgs []Message, uf *unionFind, res *Result) {
+	n := len(msgs)
+	res.GroupOf = make([]int, n)
+	rootToID := make(map[int]int)
+	for seq := 0; seq < n; seq++ {
+		root := uf.find(seq)
+		id, ok := rootToID[root]
+		if !ok {
+			id = len(res.Groups)
+			rootToID[root] = id
+			res.Groups = append(res.Groups, nil)
+		}
+		res.GroupOf[seq] = id
+		res.Groups[id] = append(res.Groups[id], seq)
+	}
+}
+
+// CompressionRatio is #groups / #messages for this result (1 for empty).
+func (r *Result) CompressionRatio() float64 {
+	if len(r.GroupOf) == 0 {
+		return 1
+	}
+	return float64(len(r.Groups)) / float64(len(r.GroupOf))
+}

@@ -1,0 +1,43 @@
+package grouping
+
+// unionFind is a classic disjoint-set forest with path compression and
+// union by rank.
+type unionFind struct {
+	parent []int
+	rank   []byte
+}
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n), rank: make([]byte, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// union merges the sets of a and b, reporting whether a merge happened.
+func (u *unionFind) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	return true
+}
+
+// same reports whether a and b are in one set.
+func (u *unionFind) same(a, b int) bool { return u.find(a) == u.find(b) }

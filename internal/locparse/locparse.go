@@ -1,0 +1,139 @@
+// Package locparse extracts location information from syslog message text
+// (§4.1.2's online half, "Location Parsing" in Figure 1).
+//
+// A message's detail can embed several location-shaped values: the
+// interface the condition occurred on, the neighbor's IP address, sometimes
+// remote or outright invalid addresses (scans). Naive pattern matching
+// cannot tell them apart; locparse classifies each candidate token by shape
+// (textutil) and then grounds it against the location dictionary:
+//
+//   - values resolving on the originating router become its locations, the
+//     finest of which is the message's primary location;
+//   - IP addresses owned by *another* router (link far ends, BGP neighbor
+//     loopbacks) become peer-router hints used by cross-router grouping;
+//   - everything else (scanner addresses, counters that look like paths)
+//     is reported as unresolved and ignored by grouping.
+package locparse
+
+import (
+	"strings"
+
+	"syslogdigest/internal/locdict"
+	"syslogdigest/internal/syslogmsg"
+	"syslogdigest/internal/textutil"
+)
+
+// Info is the location outcome for one message.
+type Info struct {
+	// Primary is the finest location resolved on the originating router;
+	// when nothing resolves it degrades to the router itself.
+	Primary locdict.Location
+	// All contains every distinct on-router location resolved, finest
+	// first. It always includes Primary.
+	All []locdict.Location
+	// PeerRouters are other routers referenced by the message (via IPs
+	// they own), deduplicated in order of appearance.
+	PeerRouters []string
+	// Unresolved are location-shaped tokens that ground to nothing.
+	Unresolved []string
+}
+
+// Parser resolves message locations against a dictionary.
+type Parser struct {
+	dict *locdict.Dictionary
+}
+
+// New builds a parser.
+func New(dict *locdict.Dictionary) *Parser {
+	return &Parser{dict: dict}
+}
+
+// Parse extracts and grounds the locations of one message.
+func (p *Parser) Parse(m *syslogmsg.Message) Info {
+	info := Info{Primary: locdict.RouterLoc(m.Router)}
+	seenLoc := make(map[locdict.Location]bool)
+	seenPeer := make(map[string]bool)
+
+	prevWord := ""
+	for _, tok := range textutil.Tokenize(m.Detail) {
+		core, _, _ := textutil.TrimWord(tok)
+		if core == "" {
+			continue
+		}
+		class := textutil.Classify(core)
+		switch class {
+		case textutil.ClassInterface, textutil.ClassPortPath:
+			p.ground(m.Router, core, &info, seenLoc, seenPeer)
+		case textutil.ClassIPv4:
+			// Strip :port or /len decoration before ownership lookup.
+			ip := core
+			if i := strings.IndexAny(ip, ":/"); i >= 0 {
+				ip = ip[:i]
+			}
+			p.ground(m.Router, ip, &info, seenLoc, seenPeer)
+		case textutil.ClassNumber:
+			// Bare numbers are locations only in explicit contexts such as
+			// "Slot 2" or "slot 2 ...".
+			if strings.EqualFold(prevWord, "slot") || strings.EqualFold(prevWord, "linecard") {
+				p.ground(m.Router, core, &info, seenLoc, seenPeer)
+			}
+		}
+		prevWord = core
+	}
+
+	// Pick the finest resolved location as primary; All is sorted finest
+	// first with stable order of appearance within a level.
+	if len(info.All) > 0 {
+		best := 0
+		for i, l := range info.All {
+			if l.Level < info.All[best].Level {
+				best = i
+			}
+		}
+		info.Primary = info.All[best]
+	}
+	info.All = append(info.All, locdict.RouterLoc(m.Router))
+	sortByLevel(info.All)
+	return info
+}
+
+// ground resolves one candidate token, routing it into locations, peer
+// hints, or the unresolved list.
+func (p *Parser) ground(router, token string, info *Info, seenLoc map[locdict.Location]bool, seenPeer map[string]bool) {
+	if loc, ok := p.dict.Normalize(router, token); ok {
+		if !seenLoc[loc] {
+			seenLoc[loc] = true
+			info.All = append(info.All, loc)
+		}
+		return
+	}
+	// Not ours: maybe a neighbor's address.
+	if owner, _, ok := p.dict.ResolveIP(token); ok && owner != router {
+		if !seenPeer[owner] {
+			seenPeer[owner] = true
+			info.PeerRouters = append(info.PeerRouters, owner)
+		}
+		return
+	}
+	// A session peer referenced by an address we do not own (e.g. an
+	// eBGP neighbor outside the dictionary) — still a peer hint when the
+	// session is configured.
+	if peer, ok := p.dict.SessionPeer(router, token); ok {
+		if !seenPeer[peer] {
+			seenPeer[peer] = true
+			info.PeerRouters = append(info.PeerRouters, peer)
+		}
+		return
+	}
+	info.Unresolved = append(info.Unresolved, token)
+}
+
+// sortByLevel stable-sorts locations finest (interface) first.
+func sortByLevel(locs []locdict.Location) {
+	// Insertion sort keeps it simple and stable for the short slices here.
+	for i := 1; i < len(locs); i++ {
+		for j := i; j > 0 && locs[j].Level < locs[j-1].Level; j-- {
+			locs[j], locs[j-1] = locs[j-1], locs[j]
+		}
+	}
+}

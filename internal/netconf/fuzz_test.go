@@ -1,0 +1,27 @@
+package netconf
+
+import "testing"
+
+// FuzzParse: config parsing faces operator-authored files; whatever the
+// bytes, Parse must return an error or a config that re-renders and
+// re-parses cleanly (render/parse is a retraction).
+func FuzzParse(f *testing.F) {
+	f.Add("hostname r1\n!\ninterface Serial1/0/1:0\n ip address 10.0.0.1 255.255.255.252\n!\n")
+	f.Add("system name \"b1\"\nport 1/1/1 address 10.0.0.1/30\n")
+	f.Add("hostname x\nrouter bgp 65000\n neighbor 10.0.0.2 remote-as 65000\n!\n")
+	f.Add("!")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		cfg, err := Parse(text)
+		if err != nil {
+			return
+		}
+		again, err := Parse(Render(cfg))
+		if err != nil {
+			t.Fatalf("re-parse of rendered config failed: %v\n%s", err, Render(cfg))
+		}
+		if again.Hostname != cfg.Hostname || len(again.Interfaces) != len(cfg.Interfaces) {
+			t.Fatalf("render/parse drift: %+v vs %+v", again, cfg)
+		}
+	})
+}

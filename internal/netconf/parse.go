@@ -1,0 +1,309 @@
+package netconf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"syslogdigest/internal/syslogmsg"
+)
+
+// Parse parses a config in either dialect, auto-detecting which one it is.
+// V2 configs start with a "system name" line; everything else is treated as
+// the V1 block dialect.
+func Parse(text string) (*Config, error) {
+	trimmed := strings.TrimSpace(text)
+	if strings.HasPrefix(trimmed, "system name") {
+		return parseV2(text)
+	}
+	return parseV1(text)
+}
+
+// validHostname restricts hostnames to the router-legal alphabet; config
+// files with junk hostnames are rejected rather than propagated.
+func validHostname(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '-' || c == '_' || c == '.'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func parseV1(text string) (*Config, error) {
+	c := &Config{Vendor: syslogmsg.VendorV1}
+	var curIntf *Interface
+	var curTunnel *Tunnel
+	inBGP := false
+
+	endBlock := func() {
+		if curIntf != nil {
+			c.Interfaces = append(c.Interfaces, *curIntf)
+			curIntf = nil
+		}
+		if curTunnel != nil {
+			c.Tunnels = append(c.Tunnels, *curTunnel)
+			curTunnel = nil
+		}
+		inBGP = false
+	}
+
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimRight(raw, " \t\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "!") {
+			// Comment or block terminator; "! region XX" carries data.
+			fields := strings.Fields(line[1:])
+			if len(fields) == 2 && fields[0] == "region" {
+				c.Region = fields[1]
+			}
+			endBlock()
+			continue
+		}
+		indented := line[0] == ' '
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if !indented {
+			endBlock()
+			switch fields[0] {
+			case "hostname":
+				if len(fields) != 2 {
+					return nil, fmt.Errorf("netconf: line %d: bad hostname", lineNo+1)
+				}
+				c.Hostname = fields[1]
+			case "interface":
+				if len(fields) != 2 {
+					return nil, fmt.Errorf("netconf: line %d: bad interface", lineNo+1)
+				}
+				name := fields[1]
+				if strings.HasPrefix(name, "Tunnel") {
+					curTunnel = &Tunnel{Name: name}
+				} else {
+					curIntf = &Interface{Name: name}
+				}
+			case "controller":
+				if len(fields) != 3 {
+					return nil, fmt.Errorf("netconf: line %d: bad controller", lineNo+1)
+				}
+				c.Controllers = append(c.Controllers, Controller{Kind: fields[1], Path: fields[2]})
+			case "router":
+				if len(fields) == 3 && fields[1] == "bgp" {
+					as, err := strconv.Atoi(fields[2])
+					if err != nil {
+						return nil, fmt.Errorf("netconf: line %d: bad AS %q", lineNo+1, fields[2])
+					}
+					c.LocalAS = as
+					inBGP = true
+				}
+			default:
+				return nil, fmt.Errorf("netconf: line %d: unknown statement %q", lineNo+1, fields[0])
+			}
+			continue
+		}
+		// Indented line within a block.
+		switch {
+		case curIntf != nil:
+			switch fields[0] {
+			case "description":
+				curIntf.Description = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "description"))
+			case "ip":
+				if len(fields) == 4 && fields[1] == "address" {
+					plen, err := MaskToPrefixLen(fields[3])
+					if err != nil {
+						return nil, fmt.Errorf("netconf: line %d: %v", lineNo+1, err)
+					}
+					curIntf.IP = fields[2]
+					curIntf.PrefixLen = plen
+				}
+			case "ppp":
+				if len(fields) == 4 && fields[1] == "multilink" && fields[2] == "group" {
+					curIntf.Bundle = fields[3]
+				}
+			}
+		case curTunnel != nil:
+			if len(fields) >= 3 && fields[0] == "tunnel" {
+				switch fields[1] {
+				case "destination":
+					curTunnel.DestinationIP = fields[2]
+				case "path":
+					if fields[2] == "via" {
+						curTunnel.Hops = append([]string(nil), fields[3:]...)
+					}
+				}
+			}
+		case inBGP:
+			if fields[0] == "neighbor" && len(fields) >= 4 && fields[2] == "remote-as" {
+				as, err := strconv.Atoi(fields[3])
+				if err != nil {
+					return nil, fmt.Errorf("netconf: line %d: bad remote-as", lineNo+1)
+				}
+				n := BGPNeighbor{IP: fields[1], RemoteAS: as}
+				if len(fields) == 6 && fields[4] == "vrf" {
+					n.VRF = fields[5]
+				}
+				c.Neighbors = append(c.Neighbors, n)
+			}
+		}
+	}
+	endBlock()
+	if !validHostname(c.Hostname) {
+		return nil, fmt.Errorf("netconf: missing or invalid hostname %q", c.Hostname)
+	}
+	return c, nil
+}
+
+// splitQuoted splits on spaces but keeps "quoted strings" as single fields
+// (quotes stripped).
+func splitQuoted(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQ := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			if inQ {
+				out = append(out, cur.String()) // may be empty string
+				cur.Reset()
+			} else {
+				flush()
+			}
+			inQ = !inQ
+		case c == ' ' && !inQ:
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return out
+}
+
+func parseV2(text string) (*Config, error) {
+	c := &Config{Vendor: syslogmsg.VendorV2}
+	parseAddr := func(s string) (ip string, plen int, err error) {
+		i := strings.IndexByte(s, '/')
+		if i < 0 {
+			return "", 0, fmt.Errorf("netconf: address %q missing prefix length", s)
+		}
+		plen, err = strconv.Atoi(s[i+1:])
+		if err != nil || plen < 0 || plen > 32 {
+			return "", 0, fmt.Errorf("netconf: bad prefix length in %q", s)
+		}
+		if _, err := ParseIPv4(s[:i]); err != nil {
+			return "", 0, err
+		}
+		return s[:i], plen, nil
+	}
+
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := splitQuoted(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("netconf: line %d: short line %q", lineNo+1, line)
+		}
+		switch fields[0] {
+		case "system":
+			switch fields[1] {
+			case "name":
+				if len(fields) != 3 {
+					return nil, fmt.Errorf("netconf: line %d: bad system name", lineNo+1)
+				}
+				c.Hostname = fields[2]
+			case "region":
+				if len(fields) == 3 {
+					c.Region = fields[2]
+				}
+			case "address":
+				if len(fields) != 3 {
+					return nil, fmt.Errorf("netconf: line %d: bad system address", lineNo+1)
+				}
+				ip, plen, err := parseAddr(fields[2])
+				if err != nil {
+					return nil, fmt.Errorf("netconf: line %d: %v", lineNo+1, err)
+				}
+				c.Interfaces = append(c.Interfaces, Interface{Name: "system", IP: ip, PrefixLen: plen})
+			}
+		case "port":
+			ifc := Interface{Name: fields[1]}
+			i := 2
+			for i < len(fields) {
+				switch fields[i] {
+				case "address":
+					if i+1 >= len(fields) {
+						return nil, fmt.Errorf("netconf: line %d: dangling address", lineNo+1)
+					}
+					ip, plen, err := parseAddr(fields[i+1])
+					if err != nil {
+						return nil, fmt.Errorf("netconf: line %d: %v", lineNo+1, err)
+					}
+					ifc.IP, ifc.PrefixLen = ip, plen
+					i += 2
+				case "bundle":
+					if i+1 >= len(fields) {
+						return nil, fmt.Errorf("netconf: line %d: dangling bundle", lineNo+1)
+					}
+					ifc.Bundle = fields[i+1]
+					i += 2
+				case "description":
+					if i+1 >= len(fields) {
+						return nil, fmt.Errorf("netconf: line %d: dangling description", lineNo+1)
+					}
+					ifc.Description = fields[i+1]
+					i += 2
+				default:
+					return nil, fmt.Errorf("netconf: line %d: unknown port attribute %q", lineNo+1, fields[i])
+				}
+			}
+			c.Interfaces = append(c.Interfaces, ifc)
+		case "bgp":
+			if len(fields) < 5 || fields[1] != "neighbor" || fields[3] != "as" {
+				return nil, fmt.Errorf("netconf: line %d: bad bgp line %q", lineNo+1, line)
+			}
+			as, err := strconv.Atoi(fields[4])
+			if err != nil {
+				return nil, fmt.Errorf("netconf: line %d: bad AS", lineNo+1)
+			}
+			n := BGPNeighbor{IP: fields[2], RemoteAS: as}
+			if len(fields) == 7 && fields[5] == "vrf" {
+				n.VRF = fields[6]
+			}
+			c.Neighbors = append(c.Neighbors, n)
+			c.LocalAS = as // iBGP assumption; harmless for dictionary purposes
+		case "tunnel":
+			if len(fields) < 4 || fields[2] != "destination" {
+				return nil, fmt.Errorf("netconf: line %d: bad tunnel line %q", lineNo+1, line)
+			}
+			t := Tunnel{Name: fields[1], DestinationIP: fields[3]}
+			if len(fields) > 5 && fields[4] == "via" {
+				t.Hops = append([]string(nil), fields[5:]...)
+			}
+			c.Tunnels = append(c.Tunnels, t)
+		default:
+			return nil, fmt.Errorf("netconf: line %d: unknown statement %q", lineNo+1, fields[0])
+		}
+	}
+	if !validHostname(c.Hostname) {
+		return nil, fmt.Errorf("netconf: missing or invalid hostname %q", c.Hostname)
+	}
+	return c, nil
+}

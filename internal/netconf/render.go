@@ -1,0 +1,134 @@
+package netconf
+
+import (
+	"fmt"
+	"strings"
+
+	"syslogdigest/internal/syslogmsg"
+)
+
+// Render serializes a Config in its vendor's dialect. Unknown vendors render
+// in the V1 dialect, which is the more expressive of the two.
+func Render(c *Config) string {
+	if c.Vendor == syslogmsg.VendorV2 {
+		return renderV2(c)
+	}
+	return renderV1(c)
+}
+
+// renderV1 emits a Cisco-like block configuration:
+//
+//	hostname ar1
+//	! region TX
+//	interface Serial1/0/10:0
+//	 description link to ar2 Serial1/0/20:0
+//	 ip address 10.0.0.1 255.255.255.252
+//	 ppp multilink group Multilink1
+//	!
+//	controller T3 1/0
+//	!
+//	router bgp 65000
+//	 neighbor 10.0.0.2 remote-as 65000
+//	 neighbor 10.1.0.2 remote-as 65000 vrf 1000:1001
+//	!
+//	interface Tunnel1
+//	 tunnel destination 192.168.0.5
+//	 tunnel path via ar3 ar4
+func renderV1(c *Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hostname %s\n", c.Hostname)
+	if c.Region != "" {
+		fmt.Fprintf(&b, "! region %s\n", c.Region)
+	}
+	b.WriteString("!\n")
+	for i := range c.Interfaces {
+		ifc := &c.Interfaces[i]
+		fmt.Fprintf(&b, "interface %s\n", ifc.Name)
+		if ifc.Description != "" {
+			fmt.Fprintf(&b, " description %s\n", ifc.Description)
+		}
+		if ifc.IP != "" {
+			mask, err := PrefixLenToMask(ifc.PrefixLen)
+			if err == nil {
+				fmt.Fprintf(&b, " ip address %s %s\n", ifc.IP, mask)
+			}
+		}
+		if ifc.Bundle != "" {
+			fmt.Fprintf(&b, " ppp multilink group %s\n", ifc.Bundle)
+		}
+		b.WriteString("!\n")
+	}
+	for _, ctl := range c.Controllers {
+		fmt.Fprintf(&b, "controller %s %s\n!\n", ctl.Kind, ctl.Path)
+	}
+	if len(c.Neighbors) > 0 || c.LocalAS != 0 {
+		fmt.Fprintf(&b, "router bgp %d\n", c.LocalAS)
+		for _, n := range c.Neighbors {
+			if n.VRF != "" {
+				fmt.Fprintf(&b, " neighbor %s remote-as %d vrf %s\n", n.IP, n.RemoteAS, n.VRF)
+			} else {
+				fmt.Fprintf(&b, " neighbor %s remote-as %d\n", n.IP, n.RemoteAS)
+			}
+		}
+		b.WriteString("!\n")
+	}
+	for _, t := range c.Tunnels {
+		fmt.Fprintf(&b, "interface %s\n tunnel destination %s\n", t.Name, t.DestinationIP)
+		if len(t.Hops) > 0 {
+			fmt.Fprintf(&b, " tunnel path via %s\n", strings.Join(t.Hops, " "))
+		}
+		b.WriteString("!\n")
+	}
+	return b.String()
+}
+
+// renderV2 emits a flatter line-oriented configuration:
+//
+//	system name "br1"
+//	system region "TX"
+//	system address 192.168.1.1/32
+//	port 1/1/1 address 10.0.0.1/30 description "link to br2 1/1/2"
+//	port 1/1/2 bundle lag-1
+//	bgp neighbor 10.0.0.2 as 65001
+//	bgp neighbor 10.2.0.2 as 65001 vrf 1000:1002
+//	tunnel "sec-br5" destination 192.168.1.5 via br3 br4
+func renderV2(c *Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "system name %q\n", c.Hostname)
+	if c.Region != "" {
+		fmt.Fprintf(&b, "system region %q\n", c.Region)
+	}
+	for i := range c.Interfaces {
+		ifc := &c.Interfaces[i]
+		if ifc.Name == "system" {
+			fmt.Fprintf(&b, "system address %s/%d\n", ifc.IP, ifc.PrefixLen)
+			continue
+		}
+		fmt.Fprintf(&b, "port %s", ifc.Name)
+		if ifc.IP != "" {
+			fmt.Fprintf(&b, " address %s/%d", ifc.IP, ifc.PrefixLen)
+		}
+		if ifc.Bundle != "" {
+			fmt.Fprintf(&b, " bundle %s", ifc.Bundle)
+		}
+		if ifc.Description != "" {
+			fmt.Fprintf(&b, " description %q", ifc.Description)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range c.Neighbors {
+		fmt.Fprintf(&b, "bgp neighbor %s as %d", n.IP, n.RemoteAS)
+		if n.VRF != "" {
+			fmt.Fprintf(&b, " vrf %s", n.VRF)
+		}
+		b.WriteByte('\n')
+	}
+	for _, t := range c.Tunnels {
+		fmt.Fprintf(&b, "tunnel %q destination %s", t.Name, t.DestinationIP)
+		if len(t.Hops) > 0 {
+			fmt.Fprintf(&b, " via %s", strings.Join(t.Hops, " "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,336 @@
+package netconf
+
+import (
+	"fmt"
+	"math/rand"
+
+	"syslogdigest/internal/syslogmsg"
+)
+
+// Spec describes a synthetic network to generate. The defaults (via
+// Normalize) produce a backbone-shaped topology: a densely connected core
+// and edge routers dual-homed into it, which is the structure of both
+// networks studied in the paper.
+type Spec struct {
+	NamePrefix        string // router name prefix; default "r"
+	Vendor            syslogmsg.Vendor
+	Routers           int      // total routers; minimum 4
+	Seed              int64    // RNG seed; same seed, same network
+	Regions           []string // coarse geography labels cycled over routers
+	MultilinkFraction float64  // fraction of edge uplinks that are 2-member bundles
+	TunnelPairs       int      // number of secondary-path tunnels to configure
+	LocalAS           int      // default 65000
+}
+
+// Normalize fills zero fields with defaults and clamps nonsense values.
+func (s *Spec) Normalize() {
+	if s.NamePrefix == "" {
+		s.NamePrefix = "r"
+	}
+	if s.Routers < 4 {
+		s.Routers = 4
+	}
+	if len(s.Regions) == 0 {
+		s.Regions = []string{"TX", "GA", "NY", "CA", "IL", "WA", "FL", "MO"}
+	}
+	if s.MultilinkFraction < 0 {
+		s.MultilinkFraction = 0
+	}
+	if s.MultilinkFraction > 1 {
+		s.MultilinkFraction = 1
+	}
+	if s.LocalAS == 0 {
+		s.LocalAS = 65000
+	}
+	if s.Vendor == syslogmsg.VendorUnknown {
+		s.Vendor = syslogmsg.VendorV1
+	}
+}
+
+// Link is the ground truth for one point-to-point adjacency. For bundled
+// links AIntf/BIntf name the bundle interface and MemberIntfs the physical
+// members on each side.
+type Link struct {
+	A, B         string // router hostnames; A < B ordering not guaranteed
+	AIntf, BIntf string
+	AMembers     []string // physical members when bundled (A side)
+	BMembers     []string
+	Subnet       string // "10.0.0.0/30" style key
+	Core         bool   // both endpoints in the core mesh
+}
+
+// Session is the ground truth for one BGP session.
+type Session struct {
+	A, B     string
+	AIP, BIP string // the loopback addresses used for peering
+	VRF      string
+}
+
+// PathPair is the ground truth for one configured secondary path (tunnel).
+type PathPair struct {
+	A, B string
+	Name string
+	Hops []string
+}
+
+// Network bundles generated configs with their ground truth.
+type Network struct {
+	Spec     Spec
+	Configs  []*Config
+	Links    []Link
+	Sessions []Session
+	Paths    []PathPair
+}
+
+// Router returns the config with the given hostname, or nil.
+func (n *Network) Router(name string) *Config {
+	for _, c := range n.Configs {
+		if c.Hostname == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// CoreCount returns the number of core routers for r total routers: one
+// fifth of the network, at least 3.
+func CoreCount(r int) int {
+	n := r / 5
+	if n < 3 {
+		n = 3
+	}
+	if n > r-1 {
+		n = r - 1
+	}
+	return n
+}
+
+// builder tracks per-router interface allocation state during generation.
+type builder struct {
+	cfg       *Config
+	vendor    syslogmsg.Vendor
+	nextSlot  int
+	slotPorts int // ports used in current slot
+	bundleN   int
+}
+
+const portsPerSlot = 4
+
+// allocPort returns the next (slot, port) pair for this router.
+func (b *builder) allocPort() (slot, port int) {
+	if b.slotPorts == portsPerSlot {
+		b.nextSlot++
+		b.slotPorts = 0
+	}
+	if b.nextSlot == 0 {
+		b.nextSlot = 1
+	}
+	slot, port = b.nextSlot, b.slotPorts
+	b.slotPorts++
+	return slot, port
+}
+
+// intfName builds a vendor-appropriate interface name for a newly allocated
+// port. Core links use ethernet-style names, edge links serial-style.
+func (b *builder) intfName(core bool) string {
+	slot, port := b.allocPort()
+	if b.vendor == syslogmsg.VendorV2 {
+		return fmt.Sprintf("%d/1/%d", slot, port+1)
+	}
+	if core {
+		return fmt.Sprintf("TenGigE%d/%d", slot, port)
+	}
+	return fmt.Sprintf("Serial%d/%d/1:0", slot, port)
+}
+
+func (b *builder) bundleName() string {
+	b.bundleN++
+	if b.vendor == syslogmsg.VendorV2 {
+		return fmt.Sprintf("lag-%d", b.bundleN)
+	}
+	return fmt.Sprintf("Multilink%d", b.bundleN)
+}
+
+// Generate builds a deterministic synthetic network from spec.
+func Generate(spec Spec) (*Network, error) {
+	spec.Normalize()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	n := &Network{Spec: spec}
+
+	names := make([]string, spec.Routers)
+	builders := make([]*builder, spec.Routers)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s%03d", spec.NamePrefix, i+1)
+		cfg := &Config{
+			Hostname: names[i],
+			Vendor:   spec.Vendor,
+			Region:   spec.Regions[i%len(spec.Regions)],
+			LocalAS:  spec.LocalAS,
+		}
+		// Loopback / system address: 192.168.hi.lo.
+		lb := Interface{IP: fmt.Sprintf("192.168.%d.%d", (i+1)/250, (i+1)%250+1), PrefixLen: 32}
+		if spec.Vendor == syslogmsg.VendorV2 {
+			lb.Name = "system"
+		} else {
+			lb.Name = "Loopback0"
+		}
+		cfg.Interfaces = append(cfg.Interfaces, lb)
+		builders[i] = &builder{cfg: cfg, vendor: spec.Vendor}
+		n.Configs = append(n.Configs, cfg)
+	}
+
+	core := CoreCount(spec.Routers)
+	linkIdx := 0
+	addLink := func(a, b int, isCore, bundled bool) {
+		sub := linkIdx
+		linkIdx++
+		base := uint32(10)<<24 | uint32((sub>>6)&255)<<16 | uint32(sub&63)<<10
+		aIP := FormatIPv4(base + 1)
+		bIP := FormatIPv4(base + 2)
+		subnetKey, _ := SubnetKey(aIP, 30)
+		lk := Link{A: names[a], B: names[b], Subnet: subnetKey, Core: isCore}
+
+		if bundled {
+			// Two physical members per side plus a bundle interface
+			// carrying the IP.
+			for side, idx := range []int{a, b} {
+				bd := builders[idx]
+				bundle := bd.bundleName()
+				m1 := bd.intfName(isCore)
+				m2 := bd.intfName(isCore)
+				other := names[b]
+				ip := aIP
+				if side == 1 {
+					other = names[a]
+					ip = bIP
+				}
+				bd.cfg.Interfaces = append(bd.cfg.Interfaces,
+					Interface{Name: m1, Bundle: bundle},
+					Interface{Name: m2, Bundle: bundle},
+					Interface{
+						Name:        bundle,
+						IP:          ip,
+						PrefixLen:   30,
+						Description: fmt.Sprintf("link to %s", other),
+					},
+				)
+				if side == 0 {
+					lk.AIntf, lk.AMembers = bundle, []string{m1, m2}
+				} else {
+					lk.BIntf, lk.BMembers = bundle, []string{m1, m2}
+				}
+			}
+		} else {
+			ai := builders[a].intfName(isCore)
+			bi := builders[b].intfName(isCore)
+			builders[a].cfg.Interfaces = append(builders[a].cfg.Interfaces, Interface{
+				Name: ai, IP: aIP, PrefixLen: 30,
+				Description: fmt.Sprintf("link to %s %s", names[b], bi),
+			})
+			builders[b].cfg.Interfaces = append(builders[b].cfg.Interfaces, Interface{
+				Name: bi, IP: bIP, PrefixLen: 30,
+				Description: fmt.Sprintf("link to %s %s", names[a], ai),
+			})
+			lk.AIntf, lk.BIntf = ai, bi
+		}
+		n.Links = append(n.Links, lk)
+	}
+
+	// Core mesh: ring plus chords for redundancy.
+	for i := 0; i < core; i++ {
+		addLink(i, (i+1)%core, true, false)
+	}
+	for i := 0; i < core; i++ {
+		j := (i + core/2) % core
+		if j != i && j != (i+1)%core && i < j {
+			addLink(i, j, true, false)
+		}
+	}
+
+	// Edge routers: dual-homed to two distinct core routers.
+	for i := core; i < spec.Routers; i++ {
+		c1 := rng.Intn(core)
+		c2 := (c1 + 1 + rng.Intn(core-1)) % core
+		bundled1 := rng.Float64() < spec.MultilinkFraction
+		addLink(i, c1, false, bundled1)
+		addLink(i, c2, false, false)
+	}
+
+	// iBGP sessions over loopbacks: edge<->attached cores and core full mesh.
+	// A slice of VRFs gives some sessions MPLS-VPN flavor.
+	vrfs := []string{"", "", "1000:1001", "1000:1002", "", "1000:1003"}
+	addSession := func(a, b *Config) {
+		la, lb := a.Loopback(), b.Loopback()
+		if la == nil || lb == nil {
+			return
+		}
+		vrf := vrfs[rng.Intn(len(vrfs))]
+		a.Neighbors = append(a.Neighbors, BGPNeighbor{IP: lb.IP, RemoteAS: spec.LocalAS, VRF: vrf})
+		b.Neighbors = append(b.Neighbors, BGPNeighbor{IP: la.IP, RemoteAS: spec.LocalAS, VRF: vrf})
+		n.Sessions = append(n.Sessions, Session{
+			A: a.Hostname, B: b.Hostname, AIP: la.IP, BIP: lb.IP, VRF: vrf,
+		})
+	}
+	for i := 0; i < core; i++ {
+		for j := i + 1; j < core; j++ {
+			addSession(n.Configs[i], n.Configs[j])
+		}
+	}
+	seen := make(map[string]bool)
+	for _, lk := range n.Links {
+		if lk.Core {
+			continue
+		}
+		key := lk.A + "|" + lk.B
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		addSession(n.Router(lk.A), n.Router(lk.B))
+	}
+
+	// Secondary-path tunnels between edge-link endpoints, routed via a core
+	// hop (the IPTV fast-reroute design from the paper's Section 6.1).
+	tunnelN := 0
+	for _, lk := range n.Links {
+		if tunnelN >= spec.TunnelPairs {
+			break
+		}
+		if lk.Core {
+			continue
+		}
+		a, b := n.Router(lk.A), n.Router(lk.B)
+		hop := names[rng.Intn(core)]
+		if hop == lk.A || hop == lk.B {
+			continue
+		}
+		tunnelN++
+		name := fmt.Sprintf("Tunnel%d", tunnelN)
+		if spec.Vendor == syslogmsg.VendorV2 {
+			name = fmt.Sprintf("sec-%s-%s", lk.A, lk.B)
+		}
+		a.Tunnels = append(a.Tunnels, Tunnel{Name: name, DestinationIP: b.Loopback().IP, Hops: []string{hop}})
+		b.Tunnels = append(b.Tunnels, Tunnel{Name: name, DestinationIP: a.Loopback().IP, Hops: []string{hop}})
+		n.Paths = append(n.Paths, PathPair{A: lk.A, B: lk.B, Name: name, Hops: []string{hop}})
+	}
+
+	// Controllers: one per serial-bearing slot on V1 routers.
+	if spec.Vendor == syslogmsg.VendorV1 {
+		for _, bd := range builders {
+			slots := make(map[int]bool)
+			for _, ifc := range bd.cfg.Interfaces {
+				var s, p, ch int
+				if _, err := fmt.Sscanf(ifc.Name, "Serial%d/%d/%d:0", &s, &p, &ch); err == nil {
+					slots[s] = true
+				}
+			}
+			for s := 1; s <= bd.nextSlot; s++ {
+				if slots[s] {
+					bd.cfg.Controllers = append(bd.cfg.Controllers, Controller{Kind: "T3", Path: fmt.Sprintf("%d/0", s)})
+				}
+			}
+		}
+	}
+
+	return n, nil
+}

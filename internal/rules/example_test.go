@@ -1,0 +1,32 @@
+package rules_test
+
+import (
+	"fmt"
+	"time"
+
+	"syslogdigest/internal/rules"
+)
+
+// ExampleMine shows association mining on a stream where template 1 (a link
+// state change) is always followed one second later by template 2 (the line
+// protocol's reaction): the rule 1 ⇒ 2 is mined at full confidence.
+func ExampleMine() {
+	t0 := time.Date(2010, 1, 10, 0, 0, 0, 0, time.UTC)
+	var events []rules.Event
+	for i := 0; i < 50; i++ {
+		at := t0.Add(time.Duration(i) * 10 * time.Minute)
+		events = append(events,
+			rules.Event{Time: at, Router: "r1", Template: 1},
+			rules.Event{Time: at.Add(time.Second), Router: "r1", Template: 2},
+		)
+	}
+	res, err := rules.Mine(events, rules.Config{Window: 30 * time.Second, SPmin: 0.01, ConfMin: 0.8})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range res.Rules {
+		fmt.Printf("%d => %d conf=%.2f\n", r.X, r.Y, r.Conf)
+	}
+	// Output:
+	// 1 => 2 conf=1.00
+}

@@ -1,0 +1,126 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property tests over randomized event streams.
+
+func randomEvents(rng *rand.Rand, n int) []Event {
+	base := time.Date(2010, 1, 10, 0, 0, 0, 0, time.UTC)
+	routers := []string{"r1", "r2", "r3"}
+	out := make([]Event, n)
+	for i := range out {
+		out[i] = Event{
+			Time:     base.Add(time.Duration(rng.Intn(86400)) * time.Second),
+			Router:   routers[rng.Intn(len(routers))],
+			Template: rng.Intn(6),
+		}
+	}
+	return out
+}
+
+func TestMineInvariantsQuick(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sz%200) + 1
+		events := randomEvents(rng, n)
+		cfg := Config{Window: 60 * time.Second, SPmin: 0.001, ConfMin: 0.5}
+		res, err := Mine(events, cfg)
+		if err != nil {
+			return false
+		}
+		// One transaction per message.
+		if res.Transactions != n {
+			return false
+		}
+		// Item counts bounded by transactions; pair counts by min item count.
+		for _, c := range res.ItemTx {
+			if c < 1 || c > n {
+				return false
+			}
+		}
+		for pk, c := range res.PairTx {
+			if pk.X >= pk.Y {
+				return false // canonical ordering
+			}
+			if c > res.ItemTx[pk.X] || c > res.ItemTx[pk.Y] {
+				return false
+			}
+		}
+		// Every emitted rule satisfies its thresholds and bounds.
+		for _, r := range res.Rules {
+			if r.Conf < cfg.ConfMin || r.Conf > 1+1e-12 {
+				return false
+			}
+			if r.Support < 0 || r.Support > 1 {
+				return false
+			}
+			if float64(res.ItemTx[r.X])/float64(n) < cfg.SPmin {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mining is insensitive to input order (events are re-sorted per
+// router internally).
+func TestMineOrderInvariantQuick(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sz%150) + 2
+		events := randomEvents(rng, n)
+		shuffled := append([]Event(nil), events...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		cfg := Config{Window: 45 * time.Second, SPmin: 0.001, ConfMin: 0.6}
+		a, err := Mine(events, cfg)
+		if err != nil {
+			return false
+		}
+		b, err := Mine(shuffled, cfg)
+		if err != nil {
+			return false
+		}
+		if len(a.Rules) != len(b.Rules) || a.Transactions != b.Transactions {
+			return false
+		}
+		for i := range a.Rules {
+			if a.Rules[i] != b.Rules[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the rule base never contains a rule both directions of which
+// were deleted, and Update is idempotent on its own output.
+func TestRuleBaseUpdateIdempotentQuick(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		events := randomEvents(rng, int(sz%200)+10)
+		cfg := Config{Window: 60 * time.Second, SPmin: 0.001, ConfMin: 0.5}
+		res, err := Mine(events, cfg)
+		if err != nil {
+			return false
+		}
+		rb := NewRuleBase()
+		rb.Update(res)
+		n1 := rb.Len()
+		st := rb.Update(res)
+		return rb.Len() == n1 && st.Added == 0 && st.Deleted == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,368 @@
+// Package rules implements the paper's template-relationship learning
+// (§4.1.4): pairwise association-rule mining over router syslog streams.
+//
+// Transactions are built with a sliding window: messages are sorted in time
+// per router, and for each message the set of distinct templates appearing
+// within the next W seconds forms one transaction. An association rule
+// X ⇒ Y is kept when X's item support meets SPmin and conf(X ⇒ Y) =
+// supp(X∧Y)/supp(X) meets Confmin. Only pairs are mined (|X| = |Y| = 1),
+// exactly as in the paper: cheap to compute, easy for a domain expert to
+// audit, and transitive closure during grouping recovers larger clusters.
+//
+// RuleBase holds the evolving rule set and applies the paper's conservative
+// weekly update: new qualifying rules are added; an existing rule is deleted
+// only when the period's data actively contradicts it (its confidence is
+// re-measurable and falls below threshold) — a rule whose antecedent simply
+// didn't occur this period survives, since "it is quite possible X becomes
+// common again soon".
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Event is the minimal view of an augmented syslog message that mining
+// needs: when, where (router), and which template.
+type Event struct {
+	Time     time.Time
+	Router   string
+	Template int
+}
+
+// Config tunes mining.
+type Config struct {
+	// Window is W, the sliding transaction window. Zero defaults to 120s
+	// (the paper's dataset-A setting).
+	Window time.Duration
+	// SPmin is the minimum item support (fraction of transactions that
+	// contain the template) for a template to participate in rules. Zero
+	// defaults to 0.0005.
+	SPmin float64
+	// ConfMin is the minimum rule confidence. Zero defaults to 0.8.
+	ConfMin float64
+	// MaxItemsPerTx caps the distinct templates considered in one
+	// transaction; message storms otherwise make pair enumeration
+	// quadratic in storm size. Zero defaults to 64.
+	MaxItemsPerTx int
+	// MinEvidence is the minimum number of transactions containing X this
+	// period for conf(X ⇒ Y) to be considered re-measured (used by
+	// RuleBase deletion). Zero defaults to 5.
+	MinEvidence int
+}
+
+func (c Config) normalize() (Config, error) {
+	if c.Window == 0 {
+		c.Window = 120 * time.Second
+	}
+	if c.Window < 0 {
+		return c, fmt.Errorf("rules: negative window %v", c.Window)
+	}
+	if c.SPmin == 0 {
+		c.SPmin = 0.0005
+	}
+	if c.SPmin < 0 || c.SPmin > 1 {
+		return c, fmt.Errorf("rules: SPmin %v out of [0,1]", c.SPmin)
+	}
+	if c.ConfMin == 0 {
+		c.ConfMin = 0.8
+	}
+	if c.ConfMin < 0 || c.ConfMin > 1 {
+		return c, fmt.Errorf("rules: ConfMin %v out of [0,1]", c.ConfMin)
+	}
+	if c.MaxItemsPerTx == 0 {
+		c.MaxItemsPerTx = 64
+	}
+	if c.MinEvidence == 0 {
+		c.MinEvidence = 5
+	}
+	return c, nil
+}
+
+// Rule is one directional association rule X ⇒ Y between two template IDs.
+type Rule struct {
+	X, Y    int
+	Support float64 // supp(X ∧ Y): fraction of transactions containing both
+	Conf    float64 // supp(X ∧ Y) / supp(X)
+}
+
+// PairKey identifies the directional pair (X, Y).
+type PairKey struct{ X, Y int }
+
+// Result carries everything one mining run produced: the qualifying rules
+// plus the raw statistics RuleBase needs for conservative updates.
+type Result struct {
+	Transactions int
+	// ItemTx counts transactions containing each template.
+	ItemTx map[int]int
+	// PairTx counts transactions containing each unordered pair; keys are
+	// canonical with X < Y.
+	PairTx map[PairKey]int
+	// Rules are the directional rules meeting SPmin and ConfMin, sorted by
+	// (X, Y) for determinism.
+	Rules []Rule
+	cfg   Config
+}
+
+// Mine builds transactions from events (any order; sorted internally per
+// router) and mines pairwise rules.
+func Mine(events []Event, cfg Config) (*Result, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	byRouter := make(map[string][]Event)
+	for _, e := range events {
+		byRouter[e.Router] = append(byRouter[e.Router], e)
+	}
+	routers := make([]string, 0, len(byRouter))
+	for r := range byRouter {
+		routers = append(routers, r)
+	}
+	sort.Strings(routers)
+
+	res := &Result{
+		ItemTx: make(map[int]int),
+		PairTx: make(map[PairKey]int),
+		cfg:    cfg,
+	}
+	for _, r := range routers {
+		stream := byRouter[r]
+		sort.SliceStable(stream, func(i, j int) bool { return stream[i].Time.Before(stream[j].Time) })
+		mineStream(stream, cfg, res)
+	}
+
+	res.Rules = res.rulesFromStats()
+	return res, nil
+}
+
+// mineStream slides a window over one router's sorted events, emitting one
+// transaction per message.
+func mineStream(stream []Event, cfg Config, res *Result) {
+	j := 0
+	items := make([]int, 0, cfg.MaxItemsPerTx)
+	seen := make(map[int]bool, cfg.MaxItemsPerTx)
+	for i := range stream {
+		deadline := stream[i].Time.Add(cfg.Window)
+		if j < i {
+			j = i
+		}
+		for j < len(stream) && !stream[j].Time.After(deadline) {
+			j++
+		}
+		// Transaction = distinct templates in stream[i:j], capped.
+		items = items[:0]
+		for k := range seen {
+			delete(seen, k)
+		}
+		for k := i; k < j && len(items) < cfg.MaxItemsPerTx; k++ {
+			t := stream[k].Template
+			if !seen[t] {
+				seen[t] = true
+				items = append(items, t)
+			}
+		}
+		res.Transactions++
+		for _, t := range items {
+			res.ItemTx[t]++
+		}
+		for a := 0; a < len(items); a++ {
+			for b := a + 1; b < len(items); b++ {
+				x, y := items[a], items[b]
+				if x > y {
+					x, y = y, x
+				}
+				res.PairTx[PairKey{x, y}]++
+			}
+		}
+	}
+}
+
+// rulesFromStats derives the qualifying directional rules from counts.
+func (r *Result) rulesFromStats() []Rule {
+	if r.Transactions == 0 {
+		return nil
+	}
+	n := float64(r.Transactions)
+	var out []Rule
+	for pk, both := range r.PairTx {
+		supp := float64(both) / n
+		for _, dir := range [2]PairKey{{pk.X, pk.Y}, {pk.Y, pk.X}} {
+			suppX := float64(r.ItemTx[dir.X]) / n
+			if suppX < r.cfg.SPmin || suppX == 0 {
+				continue
+			}
+			conf := supp / suppX
+			if conf >= r.cfg.ConfMin {
+				out = append(out, Rule{X: dir.X, Y: dir.Y, Support: supp, Conf: conf})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].X != out[j].X {
+			return out[i].X < out[j].X
+		}
+		return out[i].Y < out[j].Y
+	})
+	return out
+}
+
+// Conf returns this period's measured confidence for X ⇒ Y and whether it
+// is re-measurable (X occurred in at least MinEvidence transactions).
+func (r *Result) Conf(x, y int) (conf float64, measurable bool) {
+	if r.ItemTx[x] < r.cfg.MinEvidence {
+		return 0, false
+	}
+	px, py := x, y
+	if px > py {
+		px, py = py, px
+	}
+	both := r.PairTx[PairKey{px, py}]
+	return float64(both) / float64(r.ItemTx[x]), true
+}
+
+// RuleBase is the evolving rule knowledge base.
+type RuleBase struct {
+	rules map[PairKey]Rule
+}
+
+// NewRuleBase returns an empty rule base.
+func NewRuleBase() *RuleBase {
+	return &RuleBase{rules: make(map[PairKey]Rule)}
+}
+
+// Len returns the number of directional rules.
+func (rb *RuleBase) Len() int { return len(rb.rules) }
+
+// Add inserts or replaces one rule directly. Normal operation goes through
+// Update; Add exists for loading a serialized knowledge base and for the
+// optional expert adjustment the paper mentions (a domain expert may insert
+// or correct rules by hand).
+func (rb *RuleBase) Add(r Rule) { rb.rules[PairKey{r.X, r.Y}] = r }
+
+// Remove deletes one directional rule, reporting whether it existed. The
+// expert-adjustment counterpart of Add.
+func (rb *RuleBase) Remove(x, y int) bool {
+	k := PairKey{x, y}
+	if _, ok := rb.rules[k]; !ok {
+		return false
+	}
+	delete(rb.rules, k)
+	return true
+}
+
+// Has reports whether the directional rule X ⇒ Y is present.
+func (rb *RuleBase) Has(x, y int) bool {
+	_, ok := rb.rules[PairKey{x, y}]
+	return ok
+}
+
+// HasPair reports whether either direction between the two templates is
+// present — grouping ignores rule direction (§4.2.2).
+func (rb *RuleBase) HasPair(x, y int) bool {
+	return rb.Has(x, y) || rb.Has(y, x)
+}
+
+// Rules returns all rules sorted by (X, Y).
+func (rb *RuleBase) Rules() []Rule {
+	out := make([]Rule, 0, len(rb.rules))
+	for _, r := range rb.rules {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].X != out[j].X {
+			return out[i].X < out[j].X
+		}
+		return out[i].Y < out[j].Y
+	})
+	return out
+}
+
+// Pairs returns the distinct unordered template pairs covered by the base.
+func (rb *RuleBase) Pairs() []PairKey {
+	seen := make(map[PairKey]bool)
+	for pk := range rb.rules {
+		k := pk
+		if k.X > k.Y {
+			k.X, k.Y = k.Y, k.X
+		}
+		seen[k] = true
+	}
+	out := make([]PairKey, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].X != out[j].X {
+			return out[i].X < out[j].X
+		}
+		return out[i].Y < out[j].Y
+	})
+	return out
+}
+
+// UpdateStats summarizes one periodic update.
+type UpdateStats struct {
+	Added, Deleted, Total int
+}
+
+// Update applies one period's mining result: qualifying rules are added,
+// and existing rules whose re-measured confidence falls below ConfMin are
+// deleted. A rule whose antecedent lacked evidence this period is kept.
+func (rb *RuleBase) Update(res *Result) UpdateStats {
+	var st UpdateStats
+	for _, r := range res.Rules {
+		k := PairKey{r.X, r.Y}
+		if _, ok := rb.rules[k]; !ok {
+			st.Added++
+		}
+		rb.rules[k] = r // refresh stats even when already present
+	}
+	for k := range rb.rules {
+		conf, measurable := res.Conf(k.X, k.Y)
+		if measurable && conf < res.cfg.ConfMin {
+			delete(rb.rules, k)
+			st.Deleted++
+		}
+	}
+	st.Total = len(rb.rules)
+	return st
+}
+
+// SupportProfile describes, for a given SPmin, which share of template
+// types qualifies for mining and what fraction of raw messages those types
+// cover — the two columns of the paper's Table 5.
+type SupportProfile struct {
+	SPmin         float64
+	TopTypePct    float64 // fraction of template types with support >= SPmin
+	CoveragePct   float64 // fraction of messages carried by those types
+	TypesTotal    int
+	TypesEligible int
+}
+
+// Profile computes the Table 5 row for one SPmin over a mining result plus
+// per-template raw message counts.
+func (r *Result) Profile(spmin float64, msgCount map[int]int) SupportProfile {
+	p := SupportProfile{SPmin: spmin}
+	if r.Transactions == 0 || len(msgCount) == 0 {
+		return p
+	}
+	n := float64(r.Transactions)
+	var covered, total int
+	for t, c := range msgCount {
+		total += c
+		p.TypesTotal++
+		if float64(r.ItemTx[t])/n >= spmin {
+			p.TypesEligible++
+			covered += c
+		}
+	}
+	if p.TypesTotal > 0 {
+		p.TopTypePct = float64(p.TypesEligible) / float64(p.TypesTotal)
+	}
+	if total > 0 {
+		p.CoveragePct = float64(covered) / float64(total)
+	}
+	return p
+}

@@ -1,0 +1,295 @@
+// Package stats provides small statistical helpers used across the
+// SyslogDigest pipeline: exponentially weighted moving averages, simple
+// linear regression, histograms, and quantiles. All functions are pure and
+// allocation-conscious; none of them depend on the rest of the repository.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EWMA is an exponentially weighted moving average with smoothing factor
+// Alpha in (0, 1]. A higher Alpha discounts older observations faster.
+// The zero value is not usable; construct with NewEWMA.
+type EWMA struct {
+	alpha   float64
+	value   float64
+	started bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor. Alpha is clamped
+// to the half-open interval (0, 1]; a non-positive alpha is replaced by a
+// tiny epsilon so that the average still moves.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 {
+		alpha = 1e-9
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Alpha returns the smoothing factor.
+func (e *EWMA) Alpha() float64 { return e.alpha }
+
+// Started reports whether at least one observation has been recorded.
+func (e *EWMA) Started() bool { return e.started }
+
+// Value returns the current smoothed value. It returns 0 before the first
+// observation.
+func (e *EWMA) Value() float64 { return e.value }
+
+// Observe folds a new observation into the average and returns the updated
+// value. The first observation initializes the average to the observation
+// itself, mirroring the common EWMA bootstrap.
+func (e *EWMA) Observe(x float64) float64 {
+	if !e.started {
+		e.value = x
+		e.started = true
+		return e.value
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+	return e.value
+}
+
+// Reset clears the average back to its pre-observation state.
+func (e *EWMA) Reset() {
+	e.value = 0
+	e.started = false
+}
+
+// LinearFit holds the result of an ordinary least squares fit y = A + B*x.
+type LinearFit struct {
+	A  float64 // intercept
+	B  float64 // slope
+	R2 float64 // coefficient of determination; 1 means perfect fit
+	N  int     // number of points fitted
+}
+
+// LinearRegression fits y = A + B*x by ordinary least squares. It returns an
+// error when fewer than two points are supplied or when all x values are
+// identical (the slope would be undefined).
+func LinearRegression(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, fmt.Errorf("stats: mismatched lengths %d and %d", len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 2 {
+		return LinearFit{}, fmt.Errorf("stats: need at least 2 points, got %d", n)
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, fmt.Errorf("stats: all x values identical")
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	r2 := 1.0
+	if syy > 0 {
+		// Residual sum of squares relative to total sum of squares.
+		ss := syy - b*sxy
+		r2 = 1 - ss/syy
+		if r2 < 0 {
+			r2 = 0
+		}
+	}
+	return LinearFit{A: a, B: b, R2: r2, N: n}, nil
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+// The input is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation of xs, or 0 when fewer
+// than two values are supplied.
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Histogram is a fixed-bucket counting histogram over float64 samples.
+type Histogram struct {
+	min, max float64
+	width    float64
+	counts   []int64
+	under    int64 // samples below min
+	over     int64 // samples at or above max
+	total    int64
+}
+
+// NewHistogram creates a histogram covering [min, max) with the given number
+// of equal-width buckets. It panics if max <= min or buckets < 1; both are
+// programmer errors, not data errors.
+func NewHistogram(min, max float64, buckets int) *Histogram {
+	if max <= min {
+		panic(fmt.Sprintf("stats: invalid histogram range [%v, %v)", min, max))
+	}
+	if buckets < 1 {
+		panic("stats: histogram needs at least one bucket")
+	}
+	return &Histogram{
+		min:    min,
+		max:    max,
+		width:  (max - min) / float64(buckets),
+		counts: make([]int64, buckets),
+	}
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(x float64) {
+	h.total++
+	switch {
+	case x < h.min:
+		h.under++
+	case x >= h.max:
+		h.over++
+	default:
+		i := int((x - h.min) / h.width)
+		if i >= len(h.counts) { // guard against float rounding at the top edge
+			i = len(h.counts) - 1
+		}
+		h.counts[i]++
+	}
+}
+
+// Total returns the number of samples observed, including out-of-range ones.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.counts[i] }
+
+// Buckets returns the number of in-range buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// OutOfRange returns the number of samples below min and at/above max.
+func (h *Histogram) OutOfRange() (under, over int64) { return h.under, h.over }
+
+// BucketBounds returns the half-open range [lo, hi) covered by bucket i.
+func (h *Histogram) BucketBounds(i int) (lo, hi float64) {
+	lo = h.min + float64(i)*h.width
+	return lo, lo + h.width
+}
+
+// Counter is a string-keyed frequency counter with deterministic iteration.
+type Counter struct {
+	counts map[string]int64
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter {
+	return &Counter{counts: make(map[string]int64)}
+}
+
+// Add increments key by n.
+func (c *Counter) Add(key string, n int64) { c.counts[key] += n }
+
+// Inc increments key by one.
+func (c *Counter) Inc(key string) { c.counts[key]++ }
+
+// Get returns the count for key (0 when absent).
+func (c *Counter) Get(key string) int64 { return c.counts[key] }
+
+// Len returns the number of distinct keys.
+func (c *Counter) Len() int { return len(c.counts) }
+
+// Total returns the sum over all keys.
+func (c *Counter) Total() int64 {
+	var t int64
+	for _, v := range c.counts {
+		t += v
+	}
+	return t
+}
+
+// KV is one (key, count) pair produced by TopK and SortedDesc.
+type KV struct {
+	Key   string
+	Count int64
+}
+
+// SortedDesc returns all pairs sorted by descending count, breaking ties by
+// ascending key so the ordering is deterministic.
+func (c *Counter) SortedDesc() []KV {
+	out := make([]KV, 0, len(c.counts))
+	for k, v := range c.counts {
+		out = append(out, KV{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// TopK returns the k most frequent pairs (all pairs when k exceeds Len).
+func (c *Counter) TopK(k int) []KV {
+	all := c.SortedDesc()
+	if k > len(all) {
+		k = len(all)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return all[:k]
+}

@@ -1,0 +1,266 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestEWMAFirstObservationInitializes(t *testing.T) {
+	e := NewEWMA(0.3)
+	if e.Started() {
+		t.Fatal("fresh EWMA reports started")
+	}
+	got := e.Observe(10)
+	if got != 10 {
+		t.Fatalf("first observation = %v, want 10", got)
+	}
+	if !e.Started() {
+		t.Fatal("EWMA not started after observation")
+	}
+}
+
+func TestEWMASmoothing(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Observe(10)
+	got := e.Observe(20) // 0.5*20 + 0.5*10
+	if !almostEqual(got, 15, 1e-12) {
+		t.Fatalf("second observation = %v, want 15", got)
+	}
+	got = e.Observe(15) // 0.5*15 + 0.5*15
+	if !almostEqual(got, 15, 1e-12) {
+		t.Fatalf("third observation = %v, want 15", got)
+	}
+}
+
+func TestEWMAAlphaClamping(t *testing.T) {
+	if a := NewEWMA(-1).Alpha(); a <= 0 {
+		t.Fatalf("negative alpha not clamped: %v", a)
+	}
+	if a := NewEWMA(2).Alpha(); a != 1 {
+		t.Fatalf("alpha > 1 not clamped: %v", a)
+	}
+}
+
+func TestEWMAReset(t *testing.T) {
+	e := NewEWMA(0.2)
+	e.Observe(5)
+	e.Reset()
+	if e.Started() || e.Value() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestEWMAAlphaOneTracksInput(t *testing.T) {
+	e := NewEWMA(1)
+	for _, x := range []float64{3, 9, -4, 0.5} {
+		if got := e.Observe(x); got != x {
+			t.Fatalf("alpha=1 EWMA = %v, want %v", got, x)
+		}
+	}
+}
+
+// Property: EWMA value always lies within [min, max] of observations seen.
+func TestEWMABoundedByObservations(t *testing.T) {
+	f := func(alpha float64, xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		a := math.Abs(math.Mod(alpha, 1))
+		if a == 0 {
+			a = 0.5
+		}
+		e := NewEWMA(a)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true // skip degenerate inputs
+			}
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+			v := e.Observe(x)
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearRegressionExactLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7, 9} // y = 1 + 2x
+	fit, err := LinearRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.A, 1, 1e-9) || !almostEqual(fit.B, 2, 1e-9) {
+		t.Fatalf("fit = %+v, want A=1 B=2", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-9) {
+		t.Fatalf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	if _, err := LinearRegression([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("want error for single point")
+	}
+	if _, err := LinearRegression([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("want error for mismatched lengths")
+	}
+	if _, err := LinearRegression([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("want error for constant x")
+	}
+}
+
+func TestLinearRegressionNoisyR2(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := []float64{0.1, 0.9, 2.2, 2.8, 4.1, 4.9} // roughly y = x
+	fit, err := LinearRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.R2 < 0.98 {
+		t.Fatalf("R2 = %v, want near 1 for near-linear data", fit.R2)
+	}
+	if !almostEqual(fit.B, 1, 0.1) {
+		t.Fatalf("slope = %v, want ~1", fit.B)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(empty) = %v, want 0", got)
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("Quantile(single) = %v, want 7", got)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !almostEqual(got, 5, 1e-9) {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := Stddev(xs); !almostEqual(got, 2, 1e-9) {
+		t.Fatalf("Stddev = %v, want 2", got)
+	}
+	if Mean(nil) != 0 || Stddev(nil) != 0 || Stddev([]float64{1}) != 0 {
+		t.Fatal("degenerate inputs should yield 0")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.999, 10, 100} {
+		h.Observe(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d, want 7", h.Total())
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Fatalf("OutOfRange = (%d, %d), want (1, 2)", under, over)
+	}
+	if h.Bucket(0) != 2 { // 0 and 1.9
+		t.Fatalf("Bucket(0) = %d, want 2", h.Bucket(0))
+	}
+	if h.Bucket(1) != 1 { // 2
+		t.Fatalf("Bucket(1) = %d, want 1", h.Bucket(1))
+	}
+	if h.Bucket(4) != 1 { // 9.999
+		t.Fatalf("Bucket(4) = %d, want 1", h.Bucket(4))
+	}
+	lo, hi := h.BucketBounds(2)
+	if !almostEqual(lo, 4, 1e-12) || !almostEqual(hi, 6, 1e-12) {
+		t.Fatalf("BucketBounds(2) = (%v, %v), want (4, 6)", lo, hi)
+	}
+}
+
+func TestHistogramPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for max <= min")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+// Property: histogram totals equal observations fed in.
+func TestHistogramTotalConserved(t *testing.T) {
+	f := func(xs []float64) bool {
+		h := NewHistogram(-100, 100, 7)
+		n := 0
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				continue
+			}
+			h.Observe(x)
+			n++
+		}
+		var inRange int64
+		for i := 0; i < h.Buckets(); i++ {
+			inRange += h.Bucket(i)
+		}
+		under, over := h.OutOfRange()
+		return h.Total() == int64(n) && inRange+under+over == h.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterOrderingDeterministic(t *testing.T) {
+	c := NewCounter()
+	c.Add("b", 5)
+	c.Add("a", 5)
+	c.Add("z", 9)
+	c.Inc("a") // a=6
+	got := c.SortedDesc()
+	want := []KV{{"z", 9}, {"a", 6}, {"b", 5}}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedDesc[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if top := c.TopK(2); len(top) != 2 || top[0].Key != "z" {
+		t.Fatalf("TopK(2) = %+v", top)
+	}
+	if top := c.TopK(99); len(top) != 3 {
+		t.Fatalf("TopK(99) len = %d, want 3", len(top))
+	}
+	if top := c.TopK(-1); len(top) != 0 {
+		t.Fatalf("TopK(-1) len = %d, want 0", len(top))
+	}
+	if c.Total() != 20 || c.Len() != 3 || c.Get("nope") != 0 {
+		t.Fatalf("Total/Len/Get wrong: %d %d %d", c.Total(), c.Len(), c.Get("nope"))
+	}
+}

@@ -1,0 +1,121 @@
+package syslogmsg
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Collectors commonly keep one file per router; the pipeline wants one
+// time-sorted stream. MergeReaders performs a k-way merge of independently
+// sorted streams, reassigning contiguous indices; ReadGlob does the same
+// for a filesystem pattern.
+
+// mergeItem is one head-of-stream entry in the merge heap.
+type mergeItem struct {
+	msg Message
+	src int
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	return SortByTime(&h[i].msg, &h[j].msg)
+}
+func (h mergeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)        { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	out := old[n-1]
+	*h = old[:n-1]
+	return out
+}
+
+// MergeReaders reads every stream (lenient parsing) and merges them by
+// timestamp. Streams whose internal order is imperfect are tolerated: each
+// is fully read and sorted before merging, so the cost is O(total log
+// total) in the worst case but a heap merge when inputs are already sorted.
+func MergeReaders(readers ...io.Reader) ([]Message, error) {
+	streams := make([][]Message, 0, len(readers))
+	for i, r := range readers {
+		sr := NewReader(r)
+		sr.SetLenient(true)
+		msgs, err := sr.ReadAll()
+		if err != nil {
+			return nil, fmt.Errorf("syslogmsg: stream %d: %w", i, err)
+		}
+		sorted := true
+		for j := 1; j < len(msgs); j++ {
+			if msgs[j].Time.Before(msgs[j-1].Time) {
+				sorted = false
+				break
+			}
+		}
+		if !sorted {
+			sort.SliceStable(msgs, func(a, b int) bool { return SortByTime(&msgs[a], &msgs[b]) })
+		}
+		if len(msgs) > 0 {
+			streams = append(streams, msgs)
+		}
+	}
+	return mergeSorted(streams), nil
+}
+
+// mergeSorted heap-merges per-stream sorted slices, assigning fresh indices.
+func mergeSorted(streams [][]Message) []Message {
+	total := 0
+	h := make(mergeHeap, 0, len(streams))
+	next := make([]int, len(streams))
+	for i, s := range streams {
+		total += len(s)
+		h = append(h, mergeItem{msg: s[0], src: i})
+		next[i] = 1
+	}
+	heap.Init(&h)
+	out := make([]Message, 0, total)
+	for h.Len() > 0 {
+		it := heap.Pop(&h).(mergeItem)
+		it.msg.Index = uint64(len(out))
+		out = append(out, it.msg)
+		if n := next[it.src]; n < len(streams[it.src]) {
+			heap.Push(&h, mergeItem{msg: streams[it.src][n], src: it.src})
+			next[it.src] = n + 1
+		}
+	}
+	return out
+}
+
+// ReadGlob reads and merges every file matching the pattern (or the single
+// file when the pattern contains no metacharacters). At least one file must
+// match.
+func ReadGlob(pattern string) ([]Message, error) {
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("syslogmsg: glob %q: %w", pattern, err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("syslogmsg: no files match %q", pattern)
+	}
+	sort.Strings(paths)
+	files := make([]io.Reader, 0, len(paths))
+	var closers []*os.File
+	defer func() {
+		for _, f := range closers {
+			f.Close()
+		}
+	}()
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, fmt.Errorf("syslogmsg: open %s: %w", p, err)
+		}
+		closers = append(closers, f)
+		files = append(files, f)
+	}
+	return MergeReaders(files...)
+}

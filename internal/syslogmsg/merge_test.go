@@ -1,0 +1,96 @@
+package syslogmsg
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func streamText(router string, times ...int) string {
+	var b strings.Builder
+	base := time.Date(2010, 1, 10, 0, 0, 0, 0, time.UTC)
+	for _, s := range times {
+		m := Message{Time: base.Add(time.Duration(s) * time.Second), Router: router, Code: "A-1-B", Detail: "d"}
+		b.WriteString(m.Format())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestMergeReaders(t *testing.T) {
+	a := streamText("r1", 0, 10, 20)
+	b := streamText("r2", 5, 15, 25)
+	c := streamText("r3", 1)
+	merged, err := MergeReaders(strings.NewReader(a), strings.NewReader(b), strings.NewReader(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 7 {
+		t.Fatalf("merged = %d messages", len(merged))
+	}
+	for i := range merged {
+		if merged[i].Index != uint64(i) {
+			t.Fatalf("index %d at position %d", merged[i].Index, i)
+		}
+		if i > 0 && merged[i].Time.Before(merged[i-1].Time) {
+			t.Fatalf("not time-sorted at %d", i)
+		}
+	}
+	wantRouters := []string{"r1", "r3", "r2", "r1", "r2", "r1", "r2"}
+	for i, w := range wantRouters {
+		if merged[i].Router != w {
+			t.Fatalf("position %d router %q, want %q", i, merged[i].Router, w)
+		}
+	}
+}
+
+func TestMergeReadersUnsortedInput(t *testing.T) {
+	// A stream with internal disorder is sorted before merging.
+	base := time.Date(2010, 1, 10, 0, 0, 0, 0, time.UTC)
+	var b strings.Builder
+	for _, s := range []int{20, 0, 10} {
+		m := Message{Time: base.Add(time.Duration(s) * time.Second), Router: "r1", Code: "A-1-B", Detail: "d"}
+		b.WriteString(m.Format() + "\n")
+	}
+	merged, err := MergeReaders(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Time.Before(merged[i-1].Time) {
+			t.Fatal("disordered stream not sorted")
+		}
+	}
+}
+
+func TestMergeReadersEmpty(t *testing.T) {
+	merged, err := MergeReaders(strings.NewReader(""), strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 0 {
+		t.Fatalf("merged = %d", len(merged))
+	}
+}
+
+func TestReadGlob(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "r1.log"), []byte(streamText("r1", 0, 10)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "r2.log"), []byte(streamText("r2", 5)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := ReadGlob(filepath.Join(dir, "*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 3 || merged[1].Router != "r2" {
+		t.Fatalf("merged = %+v", merged)
+	}
+	if _, err := ReadGlob(filepath.Join(dir, "*.nope")); err == nil {
+		t.Fatal("empty glob accepted")
+	}
+}

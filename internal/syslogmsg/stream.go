@@ -1,0 +1,106 @@
+package syslogmsg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Reader reads serialized messages line by line, assigning stream indices.
+// Blank lines and lines starting with '#' are skipped, so dataset files can
+// carry comments.
+type Reader struct {
+	sc      *bufio.Scanner
+	next    uint64
+	lenient bool
+	skipped int
+}
+
+// NewReader wraps r. Buffer capacity is raised to tolerate long detail
+// fields (router syslogs can exceed bufio's default 64KiB token only in
+// pathological cases, but cheap insurance).
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &Reader{sc: sc}
+}
+
+// SetLenient makes Read skip malformed lines instead of returning an error.
+// The number of skipped lines is available via Skipped. Operational syslog
+// feeds always contain some garbage; online processing must survive it.
+func (r *Reader) SetLenient(v bool) { r.lenient = v }
+
+// Skipped returns the number of malformed lines dropped in lenient mode.
+func (r *Reader) Skipped() int { return r.skipped }
+
+// Read returns the next message, or io.EOF at end of stream.
+func (r *Reader) Read() (Message, error) {
+	for r.sc.Scan() {
+		line := strings.TrimRight(r.sc.Text(), "\r\n")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m, err := ParseLine(line, r.next)
+		if err != nil {
+			if r.lenient {
+				r.skipped++
+				continue
+			}
+			return Message{}, err
+		}
+		r.next++
+		return m, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Message{}, fmt.Errorf("syslogmsg: scan: %w", err)
+	}
+	return Message{}, io.EOF
+}
+
+// ReadAll reads the whole stream into a slice.
+func (r *Reader) ReadAll() ([]Message, error) {
+	var out []Message
+	for {
+		m, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, m)
+	}
+}
+
+// Writer writes serialized messages, one per line.
+type Writer struct {
+	w *bufio.Writer
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write serializes one message.
+func (w *Writer) Write(m *Message) error {
+	if _, err := w.w.WriteString(m.Format()); err != nil {
+		return err
+	}
+	return w.w.WriteByte('\n')
+}
+
+// Flush flushes buffered output; call it before closing the underlying file.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// WriteAll writes a slice of messages and flushes.
+func WriteAll(w io.Writer, msgs []Message) error {
+	sw := NewWriter(w)
+	for i := range msgs {
+		if err := sw.Write(&msgs[i]); err != nil {
+			return err
+		}
+	}
+	return sw.Flush()
+}

@@ -1,0 +1,58 @@
+package template_test
+
+import (
+	"fmt"
+	"time"
+
+	"syslogdigest/internal/syslogmsg"
+	"syslogdigest/internal/template"
+)
+
+// ExampleLearn shows the paper's Table 3 → Table 4 reduction: twenty
+// BGP-5-ADJCHANGE messages with varying neighbor addresses and VRF ids
+// reduce to five masked sub-type templates.
+func ExampleLearn() {
+	details := []string{}
+	add := func(ip, vrf, tail string) {
+		for i := 0; i < 4; i++ {
+			details = append(details,
+				fmt.Sprintf("neighbor 192.168.%d.%s vpn vrf 1000:%s %s", 30+i, ip, vrf, tail))
+		}
+	}
+	add("42", "1001", "Up")
+	add("26", "1004", "Down Interface flap")
+	add("250", "1002", "Down BGP Notification sent")
+	add("13", "1000", "Down BGP Notification received")
+	add("230", "1004", "Down Peer closed the session")
+
+	var msgs []syslogmsg.Message
+	t0 := time.Date(2010, 1, 10, 0, 0, 0, 0, time.UTC)
+	for i, d := range details {
+		msgs = append(msgs, syslogmsg.Message{
+			Time: t0.Add(time.Duration(i) * time.Minute), Router: "ra",
+			Code: "BGP-5-ADJCHANGE", Detail: d,
+		})
+	}
+	for _, tpl := range template.Learn(msgs, template.Options{}) {
+		fmt.Println(tpl)
+	}
+	// Unordered output:
+	// BGP-5-ADJCHANGE neighbor * vpn vrf * Up
+	// BGP-5-ADJCHANGE neighbor * vpn vrf * Down Interface flap
+	// BGP-5-ADJCHANGE neighbor * vpn vrf * Down BGP Notification sent
+	// BGP-5-ADJCHANGE neighbor * vpn vrf * Down BGP Notification received
+	// BGP-5-ADJCHANGE neighbor * vpn vrf * Down Peer closed the session
+}
+
+// ExampleMatcher_Match shows online signature matching: the most specific
+// template whose literal words appear in order wins.
+func ExampleMatcher_Match() {
+	m := template.NewMatcher([]template.Template{
+		template.MustTemplate(0, "LINK-3-UPDOWN|Interface *, changed state to down"),
+		template.MustTemplate(1, "LINK-3-UPDOWN|Interface *, changed state to up"),
+	})
+	tpl, ok := m.Match("LINK-3-UPDOWN", "Interface Serial9/0/1:0, changed state to down")
+	fmt.Println(ok, tpl.ID)
+	// Output:
+	// true 0
+}

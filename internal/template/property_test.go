@@ -1,0 +1,133 @@
+package template
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"syslogdigest/internal/syslogmsg"
+)
+
+// Property tests over randomized corpora: whatever the mix of formats and
+// values, learning must terminate, produce bounded template sets, and cover
+// its own corpus.
+
+// randomCorpus emits messages from a random subset of synthetic formats
+// with random embedded values.
+func randomCorpus(rng *rand.Rand, n int) []syslogmsg.Message {
+	formats := []func() (string, string){
+		func() (string, string) {
+			return "LINK-3-UPDOWN", fmt.Sprintf("Interface Serial%d/%d/1:0, changed state to %s",
+				1+rng.Intn(4), rng.Intn(4), pick(rng, "down", "up"))
+		},
+		func() (string, string) {
+			return "BGP-5-ADJCHANGE", fmt.Sprintf("neighbor 10.%d.%d.%d vpn vrf 1000:%d %s",
+				rng.Intn(255), rng.Intn(255), rng.Intn(255), 1000+rng.Intn(4),
+				pick(rng, "Up", "Down Interface flap", "Down Peer closed the session"))
+		},
+		func() (string, string) {
+			return "SEC-6-LOGIN", fmt.Sprintf("login %s for user u%d from 203.0.113.%d",
+				pick(rng, "failed", "succeeded"), rng.Intn(1000), 1+rng.Intn(250))
+		},
+		func() (string, string) {
+			return "ENV-2-TEMP", fmt.Sprintf("Temperature %dC on Slot %d", 30+rng.Intn(40), 1+rng.Intn(16))
+		},
+	}
+	base := time.Date(2010, 1, 10, 0, 0, 0, 0, time.UTC)
+	out := make([]syslogmsg.Message, n)
+	for i := range out {
+		code, detail := formats[rng.Intn(len(formats))]()
+		out[i] = syslogmsg.Message{
+			Time: base.Add(time.Duration(i) * time.Minute), Router: "r1",
+			Code: code, Detail: detail,
+		}
+	}
+	return out
+}
+
+func pick(rng *rand.Rand, opts ...string) string { return opts[rng.Intn(len(opts))] }
+
+func TestLearnCoversOwnCorpusQuick(t *testing.T) {
+	f := func(seed int64, sz uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sz%500) + 20
+		corpus := randomCorpus(rng, n)
+		learned := Learn(corpus, Options{})
+		if len(learned) == 0 {
+			return false
+		}
+		// Bounded: never more templates than distinct (code, detail) pairs,
+		// and at most K leaf templates per code (pruning bound) times a
+		// small tree-branching factor.
+		if len(learned) > n {
+			return false
+		}
+		m := NewMatcher(learned)
+		for i := range corpus {
+			tpl, ok := m.Match(corpus[i].Code, corpus[i].Detail)
+			if !ok || tpl.Code != corpus[i].Code {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: learning is deterministic — same corpus, same templates, and
+// the matcher assigns the same IDs.
+func TestLearnDeterministicQuick(t *testing.T) {
+	f := func(seed int64, sz uint16) bool {
+		rng1 := rand.New(rand.NewSource(seed))
+		rng2 := rand.New(rand.NewSource(seed))
+		n := int(sz%300) + 10
+		a := Learn(randomCorpus(rng1, n), Options{})
+		b := Learn(randomCorpus(rng2, n), Options{})
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if !a[i].Equal(b[i]) || a[i].ID != b[i].ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every learned template's literal words appear, in order, in at
+// least one corpus message of its code (templates are never hallucinated).
+func TestLearnedTemplatesGroundedQuick(t *testing.T) {
+	f := func(seed int64, sz uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		corpus := randomCorpus(rng, int(sz%300)+20)
+		learned := Learn(corpus, Options{})
+		m := NewMatcher(learned)
+		for _, tpl := range learned {
+			grounded := false
+			for i := range corpus {
+				if corpus[i].Code != tpl.Code {
+					continue
+				}
+				if got, ok := m.Match(corpus[i].Code, corpus[i].Detail); ok && got.ID == tpl.ID {
+					grounded = true
+					break
+				}
+			}
+			if !grounded {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

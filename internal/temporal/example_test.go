@@ -1,0 +1,30 @@
+package temporal_test
+
+import (
+	"fmt"
+	"time"
+
+	"syslogdigest/internal/temporal"
+)
+
+// ExampleGroupStream shows the interarrival model at work: a timer-driven
+// stream (every 5 minutes) stays in one group once the model has seen a
+// single interval, and a multi-hour gap breaks it.
+func ExampleGroupStream() {
+	t0 := time.Date(2010, 1, 10, 0, 0, 0, 0, time.UTC)
+	arrivals := []time.Time{
+		t0,
+		t0.Add(5 * time.Minute),
+		t0.Add(10 * time.Minute),
+		t0.Add(15 * time.Minute),
+		t0.Add(8 * time.Hour), // long quiet spell: new group
+		t0.Add(8*time.Hour + 5*time.Minute),
+	}
+	ids, err := temporal.GroupStream(arrivals, temporal.DefaultParams())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ids)
+	// Output:
+	// [0 1 1 1 2 2]
+}

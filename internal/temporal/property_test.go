@@ -1,0 +1,104 @@
+package temporal
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property tests on the interarrival model.
+
+func randomStream(rng *rand.Rand, n int) []time.Time {
+	base := time.Date(2010, 1, 10, 0, 0, 0, 0, time.UTC)
+	offs := make([]int, n)
+	for i := range offs {
+		offs[i] = rng.Intn(48 * 3600)
+	}
+	sort.Ints(offs)
+	out := make([]time.Time, n)
+	for i, o := range offs {
+		out[i] = base.Add(time.Duration(o) * time.Second)
+	}
+	return out
+}
+
+func TestGroupStreamWellFormedQuick(t *testing.T) {
+	f := func(seed int64, sz uint8, alphaRaw uint8, betaRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sz%100) + 1
+		stream := randomStream(rng, n)
+		p := DefaultParams()
+		p.Alpha = float64(alphaRaw%100) / 100 // [0, 0.99]
+		p.Beta = 1 + float64(betaRaw%7)       // [1, 7]
+		ids, err := GroupStream(stream, p)
+		if err != nil {
+			return false
+		}
+		if len(ids) != n {
+			return false
+		}
+		if ids[0] != 0 {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if ids[i] != ids[i-1] && ids[i] != ids[i-1]+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a sub-Smin burst is always one group regardless of parameters.
+func TestBurstAlwaysGroupsQuick(t *testing.T) {
+	f := func(alphaRaw, betaRaw, sz uint8) bool {
+		p := DefaultParams()
+		p.Alpha = float64(alphaRaw%100) / 100
+		p.Beta = 1 + float64(betaRaw%7)
+		n := int(sz%50) + 2
+		base := time.Date(2010, 1, 10, 0, 0, 0, 0, time.UTC)
+		stream := make([]time.Time, n)
+		for i := range stream {
+			stream[i] = base.Add(time.Duration(i) * 500 * time.Millisecond)
+		}
+		ids, err := GroupStream(stream, p)
+		if err != nil {
+			return false
+		}
+		return ids[len(ids)-1] == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: compression ratio is monotone nonincreasing in beta for any
+// stream (a looser tolerance can only merge more).
+func TestRatioMonotoneInBetaQuick(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		stream := randomStream(rng, int(sz%80)+2)
+		prev := 2.0
+		for _, beta := range []float64{2, 3, 5, 7} {
+			p := DefaultParams()
+			p.Beta = beta
+			r, err := CompressionRatio([][]time.Time{stream}, p)
+			if err != nil {
+				return false
+			}
+			if r > prev+1e-12 {
+				return false
+			}
+			prev = r
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,305 @@
+// Package textutil holds the low-level text machinery shared by the template
+// learner and the location parser: whitespace tokenization, classification of
+// tokens that look like network locations or other high-variability values,
+// and masking of such tokens.
+//
+// The paper's template learner excludes "words denoting specific locations"
+// from signatures. Rather than hard-coding per-vendor formats, this package
+// recognizes the small set of syntactic shapes such values take in router
+// syslogs (IPv4 addresses, slot/port paths like 1/0/2, interface names like
+// Serial1/0.10/10:0, plain numbers, percentages) and replaces them with a
+// single mask rune.
+package textutil
+
+import (
+	"strings"
+)
+
+// Mask is the token that replaces a high-variability word during template
+// learning. It is a single asterisk, as in the paper's Table 4.
+const Mask = "*"
+
+// Tokenize splits a message detail into whitespace-separated words. It never
+// returns empty tokens; runs of whitespace collapse. Punctuation is kept
+// attached to words (router syslogs use trailing commas meaningfully, e.g.
+// "Serial1/0.10/20:0," — stripping is the caller's choice via TrimWord).
+func Tokenize(s string) []string {
+	return strings.Fields(s)
+}
+
+// TrimWord removes leading and trailing punctuation that routers commonly
+// attach to embedded values: commas, periods, colons, parens, brackets and
+// quotes. Interior punctuation (as in interface names) is preserved. It
+// returns the trimmed word and the trimmed prefix/suffix so callers can
+// reassemble the original token.
+func TrimWord(w string) (core, prefix, suffix string) {
+	const cutset = ",.:;()[]{}\"'"
+	start := 0
+	for start < len(w) && strings.ContainsRune(cutset, rune(w[start])) {
+		start++
+	}
+	end := len(w)
+	for end > start && strings.ContainsRune(cutset, rune(w[end-1])) {
+		end--
+	}
+	return w[start:end], w[:start], w[end:]
+}
+
+// TokenClass describes the syntactic shape of a word, used both for masking
+// during template learning and for candidate extraction during location
+// parsing.
+type TokenClass int
+
+const (
+	// ClassWord is a plain word with no location-like or numeric shape.
+	ClassWord TokenClass = iota
+	// ClassIPv4 is a dotted-quad IPv4 address, optionally with a /prefix or
+	// :port suffix.
+	ClassIPv4
+	// ClassPortPath is a slot/port path such as 1/0/2 or 2/0.
+	ClassPortPath
+	// ClassInterface is a named interface such as Serial1/0.10/10:0,
+	// GigabitEthernet0/1 or Multilink3.
+	ClassInterface
+	// ClassNumber is a bare integer or decimal, optionally with a % or unit
+	// suffix commonly seen in measurements (e.g. 95%, 42C).
+	ClassNumber
+	// ClassVRF is a VRF-style identifier NNN:NNNN.
+	ClassVRF
+	// ClassHex is a hexadecimal identifier such as 0x1A2B.
+	ClassHex
+)
+
+// interfacePrefixes are the interface-name stems recognized by Classify.
+// They cover the two simulated vendors; matching is case-insensitive on the
+// stem and requires a digit to follow.
+var interfacePrefixes = []string{
+	"Serial", "GigabitEthernet", "TenGigE", "FastEthernet", "Ethernet",
+	"POS", "Multilink", "Bundle-Ether", "Tunnel", "Loopback", "Vlan",
+	"Port-channel", "SONET", "ATM",
+}
+
+// Classify reports the TokenClass of a single word (after TrimWord). It is
+// deliberately conservative: when in doubt it returns ClassWord, because a
+// falsely masked constant word only makes a template slightly less specific,
+// whereas an unmasked variable word splits one template into many.
+func Classify(w string) TokenClass {
+	if w == "" {
+		return ClassWord
+	}
+	if isIPv4Like(w) {
+		return ClassIPv4
+	}
+	if isVRF(w) {
+		return ClassVRF
+	}
+	if isHex(w) {
+		return ClassHex
+	}
+	if isInterfaceName(w) {
+		return ClassInterface
+	}
+	if isPortPath(w) {
+		return ClassPortPath
+	}
+	if isNumberLike(w) {
+		return ClassNumber
+	}
+	return ClassWord
+}
+
+// MaskWord returns the word with location-denoting values (IP addresses,
+// interface names, port paths, VRF ids, hex ids) replaced by Mask,
+// preserving trimmed punctuation. Plain words — including bare numbers —
+// pass through unchanged: constants like "Process 1" or "list 199" must
+// survive into templates, while genuinely variable numbers are eliminated
+// by the template learner's frequency analysis and pruning (the paper's
+// masking likewise only covers "words denoting specific locations").
+func MaskWord(w string) string {
+	core, pre, suf := TrimWord(w)
+	switch Classify(core) {
+	case ClassIPv4, ClassInterface, ClassPortPath, ClassVRF, ClassHex:
+		return pre + Mask + suf
+	default:
+		return w
+	}
+}
+
+// MaskTokens masks every token in place-shape (returns a fresh slice).
+func MaskTokens(tokens []string) []string {
+	out := make([]string, len(tokens))
+	for i, t := range tokens {
+		out[i] = MaskWord(t)
+	}
+	return out
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// isIPv4Like accepts a.b.c.d with each octet 0-999 (syslogs occasionally log
+// malformed addresses; we still want them masked), optionally followed by
+// "/len" or ":port".
+func isIPv4Like(s string) bool {
+	// Strip one :port or /len suffix.
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		if !isDigits(s[i+1:]) {
+			return false
+		}
+		s = s[:i]
+	} else if i := strings.IndexByte(s, '/'); i >= 0 {
+		if !isDigits(s[i+1:]) {
+			return false
+		}
+		s = s[:i]
+	}
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return false
+	}
+	for _, p := range parts {
+		if len(p) == 0 || len(p) > 3 || !isDigits(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// isVRF accepts NNN:NNNN style route-distinguisher identifiers.
+func isVRF(s string) bool {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 || i == len(s)-1 {
+		return false
+	}
+	return isDigits(s[:i]) && isDigits(s[i+1:])
+}
+
+func isHex(s string) bool {
+	if !strings.HasPrefix(s, "0x") && !strings.HasPrefix(s, "0X") {
+		return false
+	}
+	rest := s[2:]
+	if rest == "" {
+		return false
+	}
+	for i := 0; i < len(rest); i++ {
+		c := rest[i]
+		ok := c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// isPortPath accepts slot/port paths: two or more slash-separated numeric
+// segments, where segments may carry a ".sub" or ":chan" tail (2/0.10/2:0).
+func isPortPath(s string) bool {
+	parts := strings.Split(s, "/")
+	if len(parts) < 2 {
+		return false
+	}
+	for _, p := range parts {
+		if !isPathSegment(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// isPathSegment accepts digit runs joined by '.' (sub-interface) and ':'
+// (channel) in any order: "12", "0.10", "10:0", "0.10:2", "1:0.100".
+func isPathSegment(p string) bool {
+	if p == "" {
+		return false
+	}
+	start := 0
+	for i := 0; i <= len(p); i++ {
+		if i == len(p) || p[i] == '.' || p[i] == ':' {
+			if !isDigits(p[start:i]) {
+				return false
+			}
+			start = i + 1
+		}
+	}
+	return true
+}
+
+// isInterfaceName accepts a known interface stem followed by a digit-leading
+// path, e.g. Serial1/0.10/10:0, GigabitEthernet0/1, Multilink7.
+func isInterfaceName(s string) bool {
+	for _, pre := range interfacePrefixes {
+		if len(s) > len(pre) && strings.EqualFold(s[:len(pre)], pre) {
+			rest := s[len(pre):]
+			if rest[0] >= '0' && rest[0] <= '9' {
+				// Remainder must be a path segment sequence.
+				if isPortPath(rest) || isPathSegment(rest) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isNumberLike accepts integers, decimals, percentages and simple
+// number+unit forms (95%, 3.2s, 42C, 71%,). Requires a leading digit.
+func isNumberLike(s string) bool {
+	if s == "" || s[0] < '0' || s[0] > '9' {
+		return false
+	}
+	seenDot := false
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if c >= '0' && c <= '9' {
+			i++
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			i++
+			continue
+		}
+		break
+	}
+	// Whatever remains must be a short unit suffix (letters or %). Two
+	// characters covers the units routers emit (%, C, s, ms, dB); longer
+	// tails (e.g. "0xZZ"-style identifiers) are not measurements.
+	rest := s[i:]
+	if len(rest) > 2 {
+		return false
+	}
+	for j := 0; j < len(rest); j++ {
+		c := rest[j]
+		ok := c == '%' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// InterfaceStem returns the interface-name stem (e.g. "Serial") and the
+// trailing path (e.g. "1/0.10/10:0") when w is an interface name, with
+// ok=false otherwise.
+func InterfaceStem(w string) (stem, path string, ok bool) {
+	for _, pre := range interfacePrefixes {
+		if len(w) > len(pre) && strings.EqualFold(w[:len(pre)], pre) {
+			rest := w[len(pre):]
+			if rest[0] >= '0' && rest[0] <= '9' && (isPortPath(rest) || isPathSegment(rest)) {
+				return pre, rest, true
+			}
+		}
+	}
+	return "", "", false
+}

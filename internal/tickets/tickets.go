@@ -1,0 +1,196 @@
+// Package tickets is the trouble-ticket substrate for the §5.3 validation.
+//
+// The paper obtains operational trouble tickets, ranks them by how many
+// times each was investigated/updated, takes the top 30, and checks that
+// every one matches a SyslogDigest event ranked in the top 5%: match means
+// the event's duration covers the ticket's creation time and the locations
+// agree at the state (region) level.
+//
+// Here tickets are sampled from the simulator's ground-truth conditions —
+// operations opens tickets for impactful conditions, and investigation
+// effort grows with incident size — and the same match predicate is
+// applied against digested events.
+package tickets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"syslogdigest/internal/event"
+	"syslogdigest/internal/gen"
+	"syslogdigest/internal/locdict"
+)
+
+// Ticket is one trouble ticket.
+type Ticket struct {
+	ID      string
+	Created time.Time
+	Updates int // times investigated/updated — the paper's importance proxy
+	Kind    string
+	Region  string
+	Routers []string
+}
+
+// Options tunes ticket synthesis.
+type Options struct {
+	// MinMessages is the condition size below which operations never opens
+	// a ticket. Zero means 10.
+	MinMessages int
+	// OpenProb is the probability an eligible condition gets a ticket.
+	// Zero means 0.6 (not every incident is ticketed).
+	OpenProb float64
+	// Seed drives sampling.
+	Seed int64
+}
+
+func (o Options) normalize() Options {
+	if o.MinMessages == 0 {
+		o.MinMessages = 10
+	}
+	if o.OpenProb == 0 {
+		o.OpenProb = 0.6
+	}
+	return o
+}
+
+// FromConditions synthesizes tickets from ground-truth conditions.
+func FromConditions(conds []gen.Condition, opt Options) []Ticket {
+	opt = opt.normalize()
+	rng := rand.New(rand.NewSource(opt.Seed ^ ick()))
+	var out []Ticket
+	for i, c := range conds {
+		if c.Messages < opt.MinMessages {
+			continue
+		}
+		if rng.Float64() >= opt.OpenProb {
+			continue
+		}
+		// Tickets open a little after the condition starts (detection lag)
+		// and are investigated more the bigger the incident.
+		lag := time.Duration(rng.Int63n(int64(5 * time.Minute)))
+		updates := 1 + int(math.Log2(float64(c.Messages))) + rng.Intn(4)
+		out = append(out, Ticket{
+			ID:      fmt.Sprintf("TK%06d", i+1),
+			Created: c.Start.Add(lag),
+			Updates: updates,
+			Kind:    c.Kind,
+			Region:  c.Region,
+			Routers: append([]string(nil), c.Routers...),
+		})
+	}
+	return out
+}
+
+// ick is a stable seed perturbation so that ticket sampling never
+// accidentally shares a random stream with the generator.
+func ick() int64 { return 0x71c4 }
+
+// TopK returns the k most-investigated tickets (all when k exceeds len),
+// the paper's "top 30 tickets" selection. Ties break by earlier creation.
+func TopK(ts []Ticket, k int) []Ticket {
+	sorted := append([]Ticket(nil), ts...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Updates != sorted[j].Updates {
+			return sorted[i].Updates > sorted[j].Updates
+		}
+		return sorted[i].Created.Before(sorted[j].Created)
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return sorted[:k]
+}
+
+// RegionOf maps a router to its region via the dictionary ("" unknown).
+type RegionOf func(router string) string
+
+// Match is the outcome of matching one ticket against ranked events.
+type Match struct {
+	Ticket Ticket
+	// EventRank is the 0-based rank of the best matching event, -1 when no
+	// event matches.
+	EventRank int
+	// RankPct is EventRank / total events (0 = top). Meaningless when
+	// EventRank is -1.
+	RankPct float64
+}
+
+// MatchEvents applies the paper's predicate: an event matches a ticket when
+// its [Start-slack, End+slack] span covers the ticket creation time and
+// some event router shares the ticket's region. Events must be in rank
+// order (as the digester returns them). The best (highest-ranked) matching
+// event is reported per ticket.
+func MatchEvents(tks []Ticket, events []event.Event, regionOf RegionOf, slack time.Duration) []Match {
+	out := make([]Match, 0, len(tks))
+	for _, tk := range tks {
+		m := Match{Ticket: tk, EventRank: -1}
+		for rank := range events {
+			e := &events[rank]
+			if tk.Created.Before(e.Start.Add(-slack)) || tk.Created.After(e.End.Add(slack)) {
+				continue
+			}
+			if !sameRegion(tk, e, regionOf) {
+				continue
+			}
+			m.EventRank = rank
+			if len(events) > 0 {
+				m.RankPct = float64(rank) / float64(len(events))
+			}
+			break
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func sameRegion(tk Ticket, e *event.Event, regionOf RegionOf) bool {
+	if tk.Region == "" {
+		return false
+	}
+	for _, r := range e.Routers {
+		if regionOf(r) == tk.Region {
+			return true
+		}
+	}
+	return false
+}
+
+// Summary condenses match results: how many tickets matched at all, and how
+// many matched an event within the given top fraction of the ranking.
+type Summary struct {
+	Tickets      int
+	Matched      int
+	WithinTopPct int
+	TopFraction  float64
+	WorstRankPct float64
+}
+
+// Summarize computes the §5.3 headline numbers for a top fraction (the
+// paper uses 0.05).
+func Summarize(ms []Match, topFraction float64) Summary {
+	s := Summary{Tickets: len(ms), TopFraction: topFraction}
+	for _, m := range ms {
+		if m.EventRank < 0 {
+			continue
+		}
+		s.Matched++
+		if m.RankPct <= topFraction {
+			s.WithinTopPct++
+		}
+		if m.RankPct > s.WorstRankPct {
+			s.WorstRankPct = m.RankPct
+		}
+	}
+	return s
+}
+
+// DictRegionOf adapts a location dictionary to a RegionOf.
+func DictRegionOf(d *locdict.Dictionary) RegionOf {
+	return func(router string) string { return d.Region(router) }
+}

@@ -1,0 +1,169 @@
+package tickets
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"syslogdigest/internal/event"
+	"syslogdigest/internal/gen"
+)
+
+var t0 = time.Date(2009, 12, 1, 0, 0, 0, 0, time.UTC)
+
+func conds() []gen.Condition {
+	return []gen.Condition{
+		{Kind: "link-flap", Start: t0, End: t0.Add(time.Hour), Routers: []string{"r1", "r2"}, Region: "TX", Messages: 500},
+		{Kind: "bgp-flap", Start: t0.Add(2 * time.Hour), End: t0.Add(3 * time.Hour), Routers: []string{"r3"}, Region: "GA", Messages: 60},
+		{Kind: "scan-noise", Start: t0.Add(4 * time.Hour), End: t0.Add(4 * time.Hour), Routers: []string{"r4"}, Region: "NY", Messages: 1},
+	}
+}
+
+func TestFromConditionsFiltersSmall(t *testing.T) {
+	ts := FromConditions(conds(), Options{MinMessages: 10, OpenProb: 1, Seed: 1})
+	if len(ts) != 2 {
+		t.Fatalf("tickets = %d, want 2 (noise filtered)", len(ts))
+	}
+	for _, tk := range ts {
+		if tk.Kind == "scan-noise" {
+			t.Fatal("singleton noise got a ticket")
+		}
+		if tk.Created.Before(t0) {
+			t.Fatal("ticket created before condition start")
+		}
+		if tk.Updates <= 0 {
+			t.Fatal("ticket has no updates")
+		}
+	}
+	// Bigger incidents are investigated more (log2(500) > log2(60) by 3).
+	if ts[0].Kind == "link-flap" && ts[1].Kind == "bgp-flap" {
+		if ts[0].Updates <= ts[1].Updates-4 {
+			t.Fatalf("update counts implausible: %d vs %d", ts[0].Updates, ts[1].Updates)
+		}
+	}
+}
+
+func TestFromConditionsDeterministic(t *testing.T) {
+	a := FromConditions(conds(), Options{Seed: 5})
+	b := FromConditions(conds(), Options{Seed: 5})
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic ticket count")
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Updates != b[i].Updates || !a[i].Created.Equal(b[i].Created) {
+			t.Fatalf("nondeterministic tickets at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	ts := []Ticket{
+		{ID: "a", Updates: 3, Created: t0},
+		{ID: "b", Updates: 9, Created: t0},
+		{ID: "c", Updates: 9, Created: t0.Add(-time.Hour)},
+		{ID: "d", Updates: 1, Created: t0},
+	}
+	top := TopK(ts, 2)
+	if len(top) != 2 || top[0].ID != "c" || top[1].ID != "b" {
+		t.Fatalf("TopK = %v", top)
+	}
+	if len(TopK(ts, 99)) != 4 || len(TopK(ts, -1)) != 0 {
+		t.Fatal("TopK bounds wrong")
+	}
+}
+
+func regionMap(m map[string]string) RegionOf {
+	return func(r string) string { return m[r] }
+}
+
+func TestMatchEvents(t *testing.T) {
+	regions := regionMap(map[string]string{"r1": "TX", "r2": "TX", "r3": "GA"})
+	events := []event.Event{
+		{Start: t0, End: t0.Add(time.Hour), Routers: []string{"r1", "r2"}},                  // rank 0
+		{Start: t0.Add(2 * time.Hour), End: t0.Add(3 * time.Hour), Routers: []string{"r3"}}, // rank 1
+	}
+	tks := []Ticket{
+		{ID: "x", Created: t0.Add(10 * time.Minute), Region: "TX"},
+		{ID: "y", Created: t0.Add(2*time.Hour + time.Minute), Region: "GA"},
+		{ID: "z", Created: t0.Add(10 * time.Hour), Region: "TX"},   // nothing covers
+		{ID: "w", Created: t0.Add(10 * time.Minute), Region: "CA"}, // wrong region
+	}
+	ms := MatchEvents(tks, events, regions, 0)
+	if ms[0].EventRank != 0 || ms[1].EventRank != 1 || ms[2].EventRank != -1 || ms[3].EventRank != -1 {
+		t.Fatalf("matches = %+v", ms)
+	}
+	s := Summarize(ms, 0.5)
+	if s.Tickets != 4 || s.Matched != 2 || s.WithinTopPct != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Tight top fraction: only the rank-0 match is within top 25%.
+	s = Summarize(ms, 0.25)
+	if s.WithinTopPct != 1 {
+		t.Fatalf("summary@0.25 = %+v", s)
+	}
+}
+
+func TestMatchEventsSlack(t *testing.T) {
+	regions := regionMap(map[string]string{"r1": "TX"})
+	events := []event.Event{
+		{Start: t0, End: t0.Add(time.Minute), Routers: []string{"r1"}},
+	}
+	tk := Ticket{ID: "x", Created: t0.Add(3 * time.Minute), Region: "TX"}
+	if ms := MatchEvents([]Ticket{tk}, events, regions, 0); ms[0].EventRank != -1 {
+		t.Fatal("match without slack should fail")
+	}
+	if ms := MatchEvents([]Ticket{tk}, events, regions, 5*time.Minute); ms[0].EventRank != 0 {
+		t.Fatal("match with slack should succeed")
+	}
+}
+
+func TestMatchEmptyRegionNeverMatches(t *testing.T) {
+	events := []event.Event{{Start: t0, End: t0.Add(time.Hour), Routers: []string{"r1"}}}
+	ms := MatchEvents([]Ticket{{Created: t0.Add(time.Minute)}}, events, regionMap(nil), 0)
+	if ms[0].EventRank != -1 {
+		t.Fatal("region-less ticket matched")
+	}
+}
+
+func TestTSVRoundTrip(t *testing.T) {
+	in := []Ticket{
+		{ID: "TK000001", Created: t0, Updates: 7, Kind: "link-flap", Region: "TX", Routers: []string{"r1", "r2"}},
+		{ID: "TK000002", Created: t0.Add(time.Hour), Updates: 3, Kind: "bgp-flap", Region: "GA", Routers: []string{"r3"}},
+		{ID: "TK000003", Created: t0.Add(2 * time.Hour), Updates: 1, Kind: "cpu-high", Region: "NY"},
+	}
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost tickets: %d != %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].ID != in[i].ID || out[i].Updates != in[i].Updates ||
+			!out[i].Created.Equal(in[i].Created) || out[i].Region != in[i].Region {
+			t.Fatalf("ticket %d drift: %+v vs %+v", i, out[i], in[i])
+		}
+		if len(out[i].Routers) != len(in[i].Routers) {
+			t.Fatalf("ticket %d routers drift: %v vs %v", i, out[i].Routers, in[i].Routers)
+		}
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	cases := []string{
+		"no header at all",
+		"id\tcreated\tupdates\tkind\tregion\trouters\nonly\tthree\tfields\n",
+		"id\tcreated\tupdates\tkind\tregion\trouters\nTK1\tnot-a-time\t3\tk\tTX\tr1\n",
+		"id\tcreated\tupdates\tkind\tregion\trouters\nTK1\t2009-12-01 00:00:00\tNaN\tk\tTX\tr1\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadTSV(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadTSV accepted %q", c)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package tickets
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"syslogdigest/internal/syslogmsg"
+)
+
+// TSV serialization: the format cmd/sdgen writes and cmd/sdvalidate reads,
+// mirroring how operational ticket dumps arrive as flat exports.
+//
+//	id<TAB>created<TAB>updates<TAB>kind<TAB>region<TAB>router1,router2
+
+// WriteTSV writes tickets with a header row.
+func WriteTSV(w io.Writer, ts []Ticket) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("id\tcreated\tupdates\tkind\tregion\trouters\n"); err != nil {
+		return err
+	}
+	for _, t := range ts {
+		_, err := fmt.Fprintf(bw, "%s\t%s\t%d\t%s\t%s\t%s\n",
+			t.ID, t.Created.Format(syslogmsg.TimeLayout), t.Updates, t.Kind, t.Region,
+			strings.Join(t.Routers, ","))
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTSV reads tickets written by WriteTSV (the header row is required).
+func ReadTSV(r io.Reader) ([]Ticket, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), 1024*1024)
+	var out []Ticket
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if lineNo == 1 {
+			if !strings.HasPrefix(line, "id\t") {
+				return nil, fmt.Errorf("tickets: missing TSV header")
+			}
+			continue
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 6 {
+			return nil, fmt.Errorf("tickets: line %d has %d fields, want 6", lineNo, len(fields))
+		}
+		created, err := parseTime(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("tickets: line %d: %v", lineNo, err)
+		}
+		updates, err := strconv.Atoi(fields[2])
+		if err != nil || updates < 0 {
+			return nil, fmt.Errorf("tickets: line %d: bad updates %q", lineNo, fields[2])
+		}
+		var routers []string
+		if fields[5] != "" {
+			routers = strings.Split(fields[5], ",")
+		}
+		out = append(out, Ticket{
+			ID: fields[0], Created: created, Updates: updates,
+			Kind: fields[3], Region: fields[4], Routers: routers,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tickets: read: %w", err)
+	}
+	return out, nil
+}
+
+func parseTime(s string) (time.Time, error) {
+	return time.Parse(syslogmsg.TimeLayout, s)
+}

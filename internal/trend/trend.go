@@ -1,0 +1,192 @@
+// Package trend implements the network-auditing application sketched in the
+// paper's introduction: MERCURY-style behavior-change detection that tracks
+// level shifts in syslog frequencies. The paper's point is that such
+// trend analysis becomes "much more meaningful" when it runs on digested
+// events rather than raw messages — one flapping link can shift a router's
+// raw LINK-message rate by orders of magnitude without any persistent
+// behavior change, while its event rate barely moves.
+//
+// The detector is deliberately simple and robust: daily (or any fixed
+// bucket) counts per series, compared before/after each candidate change
+// point; a level shift is flagged when the after-mean departs from the
+// before-mean by both a multiplicative factor and a noise-scaled margin.
+package trend
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"syslogdigest/internal/stats"
+)
+
+// Series is one counted signal: occurrences per fixed bucket.
+type Series struct {
+	Key    string // e.g. "router|template" or "router"
+	Start  time.Time
+	Bucket time.Duration
+	Counts []float64
+}
+
+// Counter accumulates bucketed counts for many keys.
+type Counter struct {
+	start  time.Time
+	bucket time.Duration
+	n      int
+	counts map[string][]float64
+}
+
+// NewCounter covers [start, start+n*bucket).
+func NewCounter(start time.Time, bucket time.Duration, n int) (*Counter, error) {
+	if bucket <= 0 || n <= 0 {
+		return nil, fmt.Errorf("trend: invalid bucketing (%v x %d)", bucket, n)
+	}
+	return &Counter{start: start, bucket: bucket, n: n, counts: make(map[string][]float64)}, nil
+}
+
+// Add counts one occurrence of key at time t; out-of-range times are
+// ignored (partial buckets at the edges would bias shift detection).
+func (c *Counter) Add(key string, t time.Time) {
+	d := t.Sub(c.start)
+	if d < 0 { // integer division truncates toward zero, so guard first
+		return
+	}
+	i := int(d / c.bucket)
+	if i >= c.n {
+		return
+	}
+	s := c.counts[key]
+	if s == nil {
+		s = make([]float64, c.n)
+		c.counts[key] = s
+	}
+	s[i]++
+}
+
+// Series returns all accumulated series, sorted by key.
+func (c *Counter) Series() []Series {
+	keys := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Series, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, Series{Key: k, Start: c.start, Bucket: c.bucket, Counts: c.counts[k]})
+	}
+	return out
+}
+
+// Shift is one detected level shift.
+type Shift struct {
+	Key    string
+	At     int // bucket index where the new level begins
+	When   time.Time
+	Before float64 // mean level before
+	After  float64 // mean level after
+	Factor float64 // After/Before (Inf when Before is 0)
+}
+
+// Config tunes detection.
+type Config struct {
+	// MinFactor is the multiplicative change required; 0 means 2.
+	MinFactor float64
+	// MinSigma is the noise-scaled margin: |after-before| must exceed
+	// MinSigma × stddev(before side). 0 means 3.
+	MinSigma float64
+	// MinRun is the minimum buckets on each side; 0 means 3.
+	MinRun int
+}
+
+func (c Config) normalize() Config {
+	if c.MinFactor == 0 {
+		c.MinFactor = 2
+	}
+	if c.MinSigma == 0 {
+		c.MinSigma = 3
+	}
+	if c.MinRun == 0 {
+		c.MinRun = 3
+	}
+	return c
+}
+
+// Detect scans one series for its strongest level shift, ok=false when
+// none qualifies. The candidate split maximizing the between-side contrast
+// is tested against both thresholds.
+func Detect(s Series, cfg Config) (Shift, bool) {
+	cfg = cfg.normalize()
+	n := len(s.Counts)
+	if n < 2*cfg.MinRun {
+		return Shift{}, false
+	}
+	bestAt, bestScore := -1, 0.0
+	for at := cfg.MinRun; at <= n-cfg.MinRun; at++ {
+		mb := stats.Mean(s.Counts[:at])
+		ma := stats.Mean(s.Counts[at:])
+		score := math.Abs(ma - mb)
+		if score > bestScore {
+			bestScore, bestAt = score, at
+		}
+	}
+	if bestAt < 0 {
+		return Shift{}, false
+	}
+	before := s.Counts[:bestAt]
+	after := s.Counts[bestAt:]
+	mb, ma := stats.Mean(before), stats.Mean(after)
+	sd := stats.Stddev(before)
+	if sd == 0 {
+		sd = math.Sqrt(mb) // Poisson-ish floor for flat baselines
+		if sd == 0 {
+			sd = 1
+		}
+	}
+	if math.Abs(ma-mb) < cfg.MinSigma*sd {
+		return Shift{}, false
+	}
+	lo, hi := mb, ma
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	factor := math.Inf(1)
+	if lo > 0 {
+		factor = hi / lo
+	}
+	if factor < cfg.MinFactor {
+		return Shift{}, false
+	}
+	f := ma / mb
+	if mb == 0 {
+		f = math.Inf(1)
+	}
+	return Shift{
+		Key:    s.Key,
+		At:     bestAt,
+		When:   s.Start.Add(time.Duration(bestAt) * s.Bucket),
+		Before: mb,
+		After:  ma,
+		Factor: f,
+	}, true
+}
+
+// DetectAll scans every series, returning qualifying shifts sorted by
+// descending contrast.
+func DetectAll(series []Series, cfg Config) []Shift {
+	var out []Shift
+	for _, s := range series {
+		if sh, ok := Detect(s, cfg); ok {
+			out = append(out, sh)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci := math.Abs(out[i].After - out[i].Before)
+		cj := math.Abs(out[j].After - out[j].Before)
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

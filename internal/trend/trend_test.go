@@ -1,0 +1,131 @@
+package trend
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2009, 12, 1, 0, 0, 0, 0, time.UTC)
+
+func series(counts ...float64) Series {
+	return Series{Key: "k", Start: t0, Bucket: 24 * time.Hour, Counts: counts}
+}
+
+func TestDetectCleanShift(t *testing.T) {
+	s := series(10, 11, 9, 10, 30, 31, 29, 30)
+	sh, ok := Detect(s, Config{})
+	if !ok {
+		t.Fatal("clean 3x shift not detected")
+	}
+	if sh.At != 4 {
+		t.Fatalf("At = %d, want 4", sh.At)
+	}
+	if sh.Factor < 2.5 || sh.Factor > 3.5 {
+		t.Fatalf("Factor = %v", sh.Factor)
+	}
+	if !sh.When.Equal(t0.Add(4 * 24 * time.Hour)) {
+		t.Fatalf("When = %v", sh.When)
+	}
+}
+
+func TestDetectDownShift(t *testing.T) {
+	s := series(40, 41, 39, 40, 10, 9, 11, 10)
+	sh, ok := Detect(s, Config{})
+	if !ok {
+		t.Fatal("downward shift not detected")
+	}
+	if sh.Factor >= 1 {
+		t.Fatalf("down shift Factor = %v, want < 1", sh.Factor)
+	}
+}
+
+func TestDetectRejectsFlat(t *testing.T) {
+	if _, ok := Detect(series(10, 11, 9, 10, 11, 9, 10, 10), Config{}); ok {
+		t.Fatal("flat series flagged")
+	}
+}
+
+func TestDetectRejectsSmallFactor(t *testing.T) {
+	// A crisp but small (1.3x) change: below MinFactor.
+	if _, ok := Detect(series(10, 10, 10, 10, 13, 13, 13, 13), Config{}); ok {
+		t.Fatal("1.3x change flagged at MinFactor=2")
+	}
+	// With both thresholds loosened (the flat baseline's Poisson floor
+	// makes sigma ~3.2), the same change is flagged.
+	if _, ok := Detect(series(10, 10, 10, 10, 13, 13, 13, 13), Config{MinFactor: 1.2, MinSigma: 0.9}); !ok {
+		t.Fatal("1.3x change not flagged with loose thresholds")
+	}
+}
+
+func TestDetectRejectsNoisy(t *testing.T) {
+	// Mean changes 2x but the baseline is so noisy the sigma test fails.
+	s := series(1, 40, 2, 39, 3, 41, 60, 2, 80, 1)
+	if _, ok := Detect(s, Config{MinSigma: 3}); ok {
+		t.Fatal("noise flagged as shift")
+	}
+}
+
+func TestDetectFromZeroBaseline(t *testing.T) {
+	s := series(0, 0, 0, 0, 12, 11, 13, 12)
+	sh, ok := Detect(s, Config{})
+	if !ok {
+		t.Fatal("appearance from zero not detected")
+	}
+	if !math.IsInf(sh.Factor, 1) {
+		t.Fatalf("Factor = %v, want +Inf", sh.Factor)
+	}
+}
+
+func TestDetectTooShort(t *testing.T) {
+	if _, ok := Detect(series(1, 2, 3, 4, 5), Config{MinRun: 3}); ok {
+		t.Fatal("short series flagged")
+	}
+}
+
+func TestCounterBucketsAndBounds(t *testing.T) {
+	c, err := NewCounter(t0, 24*time.Hour, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add("a", t0)
+	c.Add("a", t0.Add(23*time.Hour))
+	c.Add("a", t0.Add(25*time.Hour))
+	c.Add("a", t0.Add(-time.Hour))     // before range: ignored
+	c.Add("a", t0.Add(5*24*time.Hour)) // after range: ignored
+	c.Add("b", t0.Add(48*time.Hour))
+	ss := c.Series()
+	if len(ss) != 2 || ss[0].Key != "a" || ss[1].Key != "b" {
+		t.Fatalf("series = %+v", ss)
+	}
+	if ss[0].Counts[0] != 2 || ss[0].Counts[1] != 1 || ss[0].Counts[2] != 0 {
+		t.Fatalf("a counts = %v", ss[0].Counts)
+	}
+	if ss[1].Counts[2] != 1 {
+		t.Fatalf("b counts = %v", ss[1].Counts)
+	}
+}
+
+func TestNewCounterValidation(t *testing.T) {
+	if _, err := NewCounter(t0, 0, 4); err == nil {
+		t.Fatal("zero bucket accepted")
+	}
+	if _, err := NewCounter(t0, time.Hour, 0); err == nil {
+		t.Fatal("zero buckets accepted")
+	}
+}
+
+func TestDetectAllSorted(t *testing.T) {
+	ss := []Series{
+		{Key: "small", Start: t0, Bucket: time.Hour, Counts: []float64{5, 5, 5, 5, 15, 15, 15, 15}},
+		{Key: "big", Start: t0, Bucket: time.Hour, Counts: []float64{5, 5, 5, 5, 105, 105, 105, 105}},
+		{Key: "flat", Start: t0, Bucket: time.Hour, Counts: []float64{5, 5, 5, 5, 5, 5, 5, 5}},
+	}
+	got := DetectAll(ss, Config{})
+	if len(got) != 2 {
+		t.Fatalf("shifts = %+v", got)
+	}
+	if got[0].Key != "big" || got[1].Key != "small" {
+		t.Fatalf("order = %v, %v", got[0].Key, got[1].Key)
+	}
+}

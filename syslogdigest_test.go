@@ -1,0 +1,154 @@
+package syslogdigest_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"syslogdigest"
+	"syslogdigest/internal/gen"
+	"syslogdigest/internal/syslogmsg"
+)
+
+// TestPublicAPIEndToEnd drives the whole public surface the way an adopter
+// would: parse configs, learn from serialized history, save and reload the
+// knowledge base, digest a live stream read from its serialized form, and
+// drill back down from an event to its raw lines.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	history, err := gen.Generate(gen.Spec{
+		Kind: gen.DatasetA, Routers: 14, Seed: 77,
+		Start:    time.Date(2009, 9, 1, 0, 0, 0, 0, time.UTC),
+		Duration: 24 * time.Hour, RateScale: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := gen.Generate(gen.Spec{
+		Kind: gen.DatasetA, Routers: 14, Seed: 78,
+		Start:    time.Date(2009, 12, 1, 0, 0, 0, 0, time.UTC),
+		Duration: 12 * time.Hour, RateScale: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Configs round trip through their textual form.
+	var configs []*syslogdigest.RouterConfig
+	for _, cfg := range history.Net.Configs {
+		parsed, err := syslogdigest.ParseConfig(syslogdigest.RenderConfig(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		configs = append(configs, parsed)
+	}
+
+	// History round trips through the serialized stream form.
+	var buf bytes.Buffer
+	if err := syslogdigest.WriteMessages(&buf, history.Messages); err != nil {
+		t.Fatal(err)
+	}
+	histMsgs, err := syslogdigest.ReadMessages(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(histMsgs) != len(history.Messages) {
+		t.Fatalf("history round trip lost messages: %d != %d", len(histMsgs), len(history.Messages))
+	}
+
+	kb, err := syslogdigest.NewLearner(syslogdigest.DefaultParams()).Learn(histMsgs, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Knowledge base survives serialization.
+	var kbBuf bytes.Buffer
+	if err := kb.Save(&kbBuf); err != nil {
+		t.Fatal(err)
+	}
+	kb2, err := syslogdigest.LoadKnowledgeBase(&kbBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := syslogdigest.NewDigester(kb2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Digest(live.Messages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("no events")
+	}
+	if res.CompressionRatio() > 0.2 {
+		t.Fatalf("compression ratio %.3f too weak", res.CompressionRatio())
+	}
+
+	// Event drill-down: raw indices resolve back to original lines through
+	// the store.
+	store, err := syslogmsg.NewStore(live.Messages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.Events[0]
+	raws := store.GetAll(top.RawIndexes)
+	if len(raws) != top.Size() {
+		t.Fatalf("drill-down resolved %d of %d messages", len(raws), top.Size())
+	}
+	for _, m := range raws {
+		if m.Time.Before(top.Start) || m.Time.After(top.End) {
+			t.Fatalf("raw message %d outside event span", m.Index)
+		}
+		found := false
+		for _, r := range top.Routers {
+			if r == m.Router {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("raw message router %q not in event routers %v", m.Router, top.Routers)
+		}
+	}
+
+	// Digest line format contract.
+	for _, e := range res.Events[:3] {
+		parts := strings.Split(e.Digest(), "|")
+		if len(parts) != 5 {
+			t.Fatalf("digest line has %d fields: %q", len(parts), e.Digest())
+		}
+	}
+}
+
+// TestStagesExported checks the stage constants select distinct behavior
+// through the public API.
+func TestStagesExported(t *testing.T) {
+	history, err := gen.Generate(gen.Spec{
+		Kind: gen.DatasetA, Routers: 10, Seed: 9,
+		Duration: 12 * time.Hour, RateScale: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := syslogdigest.NewLearner(syslogdigest.DefaultParams()).Learn(history.Messages, history.Net.Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := syslogdigest.NewDigester(kb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[syslogdigest.Stage]int{}
+	for _, s := range []syslogdigest.Stage{syslogdigest.StageTemporal, syslogdigest.StageTemporalRules, syslogdigest.StageFull} {
+		d.SetStage(s)
+		res, err := d.Digest(history.Messages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[s] = len(res.Events)
+	}
+	if counts[syslogdigest.StageTemporal] < counts[syslogdigest.StageFull] {
+		t.Fatalf("stage ordering violated: %v", counts)
+	}
+}
