@@ -1,0 +1,29 @@
+# Pre-merge gate: `make check` is the required bar for every change (see
+# README "Install & test"). Each target is also usable on its own.
+
+GO ?= go
+
+.PHONY: check fmt vet test race build bench
+
+check: fmt vet race
+
+# gofmt -l prints offending files; fail if it prints anything.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

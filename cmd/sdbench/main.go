@@ -19,8 +19,10 @@ import (
 	"strings"
 	"time"
 
+	"syslogdigest/internal/core"
 	"syslogdigest/internal/experiments"
 	"syslogdigest/internal/gen"
+	"syslogdigest/internal/obs"
 )
 
 func main() {
@@ -157,6 +159,11 @@ func main() {
 			}
 			return b.String()
 		})
+		section(out, "Online pipeline metrics (internal/obs)", func() string {
+			s, err := pipelineMetrics(c)
+			check(err)
+			return s
+		})
 		section(out, "Ablations", func() string {
 			var b strings.Builder
 			am := experiments.AblationMasking(c)
@@ -188,6 +195,44 @@ func main() {
 	if len(table6) > 0 {
 		fmt.Fprintln(out, experiments.RenderTable6(table6))
 	}
+}
+
+// pipelineMetrics streams the dataset's online half through a fully
+// instrumented Streamer + Digester and renders the final metric snapshot —
+// the same counters a production deployment exports via -metrics.
+func pipelineMetrics(c *experiments.Corpus) (string, error) {
+	reg := obs.NewRegistry()
+	d, err := core.NewDigester(c.KB)
+	if err != nil {
+		return "", err
+	}
+	d.Instrument(reg)
+	st := core.NewStreamer(d, 0)
+	st.Instrument(reg)
+	for _, m := range c.Online.Messages {
+		if _, err := st.Push(m); err != nil {
+			return "", err
+		}
+	}
+	if _, err := st.Flush(); err != nil {
+		return "", err
+	}
+	snap := reg.Snapshot()
+	var b strings.Builder
+	for _, cv := range snap.Counters {
+		fmt.Fprintf(&b, "%-28s %d\n", cv.Name, cv.Value)
+	}
+	for _, gv := range snap.Gauges {
+		fmt.Fprintf(&b, "%-28s %.4g\n", gv.Name, gv.Value)
+	}
+	for _, hv := range snap.Histograms {
+		mean := 0.0
+		if hv.Count > 0 {
+			mean = hv.Sum / float64(hv.Count)
+		}
+		fmt.Fprintf(&b, "%-28s count=%d mean=%.4g sum=%.4g\n", hv.Name, hv.Count, mean, hv.Sum)
+	}
+	return b.String(), nil
 }
 
 func section(out io.Writer, title string, f func() string) {

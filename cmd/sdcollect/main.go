@@ -6,6 +6,12 @@
 // Usage:
 //
 //	sdcollect -kb kb.json -udp :5514 -tcp :5514 [-flush 30s]
+//	          [-metrics 127.0.0.1:9090]
+//
+// -metrics starts an HTTP exporter: /metrics serves every pipeline counter
+// (collector.* per transport, stream.*, digest.*, group.merges.*) as JSON;
+// /healthz reports readiness (knowledge base loaded) and liveness (the
+// flush loop has run within 3 flush intervals) — 503 otherwise.
 //
 // Try it against a generated dataset:
 //
@@ -26,19 +32,36 @@ import (
 
 	"syslogdigest"
 	"syslogdigest/internal/collector"
+	"syslogdigest/internal/obs"
 	"syslogdigest/internal/syslogmsg"
 )
 
 func main() {
 	var (
-		kbPath  = flag.String("kb", "kb.json", "knowledge-base JSON from sdlearn")
-		udpAddr = flag.String("udp", "127.0.0.1:5514", "UDP listen address ('' disables)")
-		tcpAddr = flag.String("tcp", "", "TCP listen address ('' disables)")
-		flush   = flag.Duration("flush", 30*time.Second, "micro-batch flush interval")
-		year    = flag.Int("year", 0, "year for RFC3164 timestamps (0 = current)")
-		verbose = flag.Bool("v", false, "log parse errors to stderr")
+		kbPath      = flag.String("kb", "kb.json", "knowledge-base JSON from sdlearn")
+		udpAddr     = flag.String("udp", "127.0.0.1:5514", "UDP listen address ('' disables)")
+		tcpAddr     = flag.String("tcp", "", "TCP listen address ('' disables)")
+		flush       = flag.Duration("flush", 30*time.Second, "micro-batch flush interval")
+		year        = flag.Int("year", 0, "year for RFC3164 timestamps (0 = current)")
+		verbose     = flag.Bool("v", false, "log parse errors to stderr")
+		metricsAddr = flag.String("metrics", "", "serve /metrics and /healthz on this address ('' disables)")
 	)
 	flag.Parse()
+
+	var (
+		reg    *obs.Registry
+		health *obs.Health
+	)
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		health = obs.NewHealth(3 * *flush)
+		srv, err := obs.Serve(*metricsAddr, reg, health)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "sdcollect: metrics on http://%s/metrics\n", srv.Addr())
+	}
 
 	kf, err := os.Open(*kbPath)
 	if err != nil {
@@ -53,12 +76,14 @@ func main() {
 	if err != nil {
 		fatalf("digester: %v", err)
 	}
+	d.Instrument(reg)
+	health.SetReady(true)
 
 	var (
 		mu    sync.Mutex
 		batch []syslogdigest.Message
 	)
-	cfg := collector.Config{UDPAddr: *udpAddr, TCPAddr: *tcpAddr, Year: *year}
+	cfg := collector.Config{UDPAddr: *udpAddr, TCPAddr: *tcpAddr, Year: *year, Metrics: reg}
 	if *verbose {
 		cfg.OnError = func(err error) { fmt.Fprintln(os.Stderr, "sdcollect:", err) }
 	}
@@ -85,6 +110,9 @@ func main() {
 		b := batch
 		batch = nil
 		mu.Unlock()
+		// The flush loop running is this process's liveness signal — an
+		// empty interval is healthy, a wedged loop is not.
+		health.Progress()
 		if len(b) == 0 {
 			return
 		}
@@ -113,8 +141,8 @@ func main() {
 			col.Close()
 			flushBatch()
 			st := col.Stats()
-			fmt.Fprintf(os.Stderr, "sdcollect: received %d, dropped %d, conns %d\n",
-				st.Received, st.Dropped, st.Conns)
+			fmt.Fprintf(os.Stderr, "sdcollect: received %d, dropped %d, truncated %d, oversized %d, conns %d\n",
+				st.Received, st.Dropped, st.Truncated, st.Oversized, st.Conns)
 			return
 		}
 	}

@@ -7,36 +7,62 @@
 // Usage:
 //
 //	sddigest -kb kb.json -syslog live.log [-top 20] [-stage T+R+C] [-raw]
+//	         [-metrics 127.0.0.1:9090]
 //
 // -raw additionally prints each event's raw message indices so the original
 // lines can be retrieved (the paper's index field).
+//
+// -metrics starts an HTTP exporter serving /metrics (pipeline counters and
+// stage-latency histograms as JSON) and /healthz (503 until the knowledge
+// base is loaded). With -metrics set, sddigest keeps serving after the
+// digest is printed until interrupted, so the final counters can be
+// scraped.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"syslogdigest"
 	"syslogdigest/internal/event"
+	"syslogdigest/internal/obs"
 	"syslogdigest/internal/syslogmsg"
 )
 
 func main() {
 	var (
-		kbPath     = flag.String("kb", "kb.json", "knowledge-base JSON from sdlearn")
-		syslogPath = flag.String("syslog", "", "syslog file or glob to digest (required)")
-		top        = flag.Int("top", 0, "print only the top N events (0 = all)")
-		stageFlag  = flag.String("stage", "T+R+C", "grouping stages: T, T+R, or T+R+C")
-		raw        = flag.Bool("raw", false, "print raw message indices per event")
-		show       = flag.Int("show", 0, "print up to N raw syslog lines per event (drill-down)")
-		asJSON     = flag.Bool("json", false, "emit newline-delimited JSON instead of digest lines")
+		kbPath      = flag.String("kb", "kb.json", "knowledge-base JSON from sdlearn")
+		syslogPath  = flag.String("syslog", "", "syslog file or glob to digest (required)")
+		top         = flag.Int("top", 0, "print only the top N events (0 = all)")
+		stageFlag   = flag.String("stage", "T+R+C", "grouping stages: T, T+R, or T+R+C")
+		raw         = flag.Bool("raw", false, "print raw message indices per event")
+		show        = flag.Int("show", 0, "print up to N raw syslog lines per event (drill-down)")
+		asJSON      = flag.Bool("json", false, "emit newline-delimited JSON instead of digest lines")
+		metricsAddr = flag.String("metrics", "", "serve /metrics and /healthz on this address ('' disables)")
 	)
 	flag.Parse()
 	if *syslogPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	var (
+		reg    *obs.Registry
+		health *obs.Health
+	)
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		health = obs.NewHealth(0)
+		srv, err := obs.Serve(*metricsAddr, reg, health)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "sddigest: metrics on http://%s/metrics\n", srv.Addr())
 	}
 
 	kf, err := os.Open(*kbPath)
@@ -48,6 +74,7 @@ func main() {
 	if err != nil {
 		fatalf("load kb: %v", err)
 	}
+	health.SetReady(true)
 
 	msgs, err := syslogmsg.ReadGlob(*syslogPath)
 	if err != nil {
@@ -58,6 +85,7 @@ func main() {
 	if err != nil {
 		fatalf("digester: %v", err)
 	}
+	d.Instrument(reg)
 	switch strings.ToUpper(*stageFlag) {
 	case "T":
 		d.SetStage(syslogdigest.StageTemporal)
@@ -90,6 +118,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "%d messages -> %d events (compression ratio %.3e)\n",
 			len(msgs), len(res.Events), res.CompressionRatio())
+		waitIfServing(*metricsAddr)
 		return
 	}
 	for _, e := range res.Events[:n] {
@@ -110,6 +139,19 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "%d messages -> %d events (compression ratio %.3e)\n",
 		len(msgs), len(res.Events), res.CompressionRatio())
+	waitIfServing(*metricsAddr)
+}
+
+// waitIfServing blocks until interrupt when the metrics exporter is up, so
+// the post-run counters remain scrapeable.
+func waitIfServing(addr string) {
+	if addr == "" {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "sddigest: digest done; serving metrics until interrupted (Ctrl-C to exit)")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,200 @@
+package syslogdigest_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"syslogdigest"
+	"syslogdigest/internal/collector"
+	"syslogdigest/internal/gen"
+	"syslogdigest/internal/obs"
+	"syslogdigest/internal/syslogmsg"
+)
+
+// TestLivePipelineObservability runs the whole online path — collector →
+// streamer → digester — over a generated feed with every stage publishing
+// into one obs registry and an HTTP exporter in front, then reconciles the
+// books end to end: every line sent is either received or accounted for as
+// dropped/oversized, everything received reaches the digester, and the
+// /metrics and /healthz endpoints agree with the in-process counters.
+func TestLivePipelineObservability(t *testing.T) {
+	ds, err := gen.Generate(gen.Spec{
+		Kind: gen.DatasetA, Routers: 12, Seed: 11,
+		Duration: 12 * time.Hour, RateScale: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := syslogdigest.NewLearner(syslogdigest.DefaultParams()).Learn(ds.Messages, ds.Net.Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	health := obs.NewHealth(0)
+	srv, err := obs.Serve("127.0.0.1:0", reg, health)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Readiness flips only once the knowledge base is loaded and the
+	// digester is built, mirroring the cmd wiring.
+	if code, _ := httpGet(t, srv.Addr(), "/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz before ready = %d, want 503", code)
+	}
+	d, err := syslogdigest.NewDigester(kb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Instrument(reg)
+	st := syslogdigest.NewStreamer(d, 0)
+	st.Instrument(reg)
+	health.SetReady(true)
+
+	var (
+		mu        sync.Mutex
+		digested  int
+		eventsOut int
+	)
+	col, err := collector.New(collector.Config{
+		TCPAddr: "127.0.0.1:0", MaxLineBytes: 2048, Metrics: reg,
+	}, func(m syslogmsg.Message) {
+		mu.Lock()
+		defer mu.Unlock()
+		res, err := st.Push(m)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if res != nil {
+			digested += len(res.Messages)
+			eventsOut += len(res.Events)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	// One connection carries the whole feed, with a garbage line and an
+	// oversized line injected mid-stream: both must be absorbed without
+	// losing any later message.
+	conn, err := net.Dial("tcp", col.TCPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := 0
+	for i, m := range ds.Messages {
+		if i == len(ds.Messages)/3 {
+			fmt.Fprintf(conn, "not a syslog line at all\n")
+			fmt.Fprintf(conn, "%s\n", strings.Repeat("x", 8000))
+		}
+		if _, err := fmt.Fprintf(conn, "%s\n", m.Format()); err != nil {
+			t.Fatal(err)
+		}
+		sent++
+	}
+	conn.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if col.Stats().Received == uint64(sent) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	res, err := st.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		digested += len(res.Messages)
+		eventsOut += len(res.Events)
+	}
+	mu.Unlock()
+
+	// In-process reconciliation: received == digested, and every sent line
+	// is accounted for.
+	cst := col.Stats()
+	if cst.Received != uint64(sent) {
+		t.Fatalf("received %d != sent %d (dropped %d oversized %d)", cst.Received, sent, cst.Dropped, cst.Oversized)
+	}
+	if cst.Dropped != 1 || cst.Oversized != 1 {
+		t.Fatalf("dropped %d oversized %d, want 1 and 1", cst.Dropped, cst.Oversized)
+	}
+	if uint64(digested) != cst.Received {
+		t.Fatalf("digested %d != received %d", digested, cst.Received)
+	}
+	if eventsOut == 0 || eventsOut >= digested {
+		t.Fatalf("events %d out of %d messages: no compression", eventsOut, digested)
+	}
+
+	// The exporter must tell the same story.
+	code, body := httpGet(t, srv.Addr(), "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	received := snap.Counter("collector.tcp.received")
+	drops := snap.Counter("collector.tcp.dropped") + snap.Counter("collector.tcp.oversized")
+	if received != uint64(sent) || drops != 2 {
+		t.Fatalf("exporter: received %d drops %d, want %d and 2", received, drops, sent)
+	}
+	if got := snap.Counter("digest.messages_in"); got != received {
+		t.Fatalf("exporter: digest.messages_in %d != collector received %d", got, received)
+	}
+	if got := snap.Counter("stream.pushed"); got != received {
+		t.Fatalf("exporter: stream.pushed %d != received %d", got, received)
+	}
+	if got := snap.Counter("digest.events_out"); got != uint64(eventsOut) {
+		t.Fatalf("exporter: events_out %d != %d", got, eventsOut)
+	}
+	merges := snap.Counter("group.merges.temporal") + snap.Counter("group.merges.rule") + snap.Counter("group.merges.cross")
+	if want := uint64(digested - eventsOut); merges != want {
+		t.Fatalf("exporter: merge total %d != messages-events %d", merges, want)
+	}
+	if h := snap.Histogram("digest.group_seconds"); h == nil || h.Count == 0 {
+		t.Fatalf("exporter: no group latency observations: %+v", h)
+	}
+
+	code, body = httpGet(t, srv.Addr(), "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz after run = %d (%s)", code, body)
+	}
+	var hst obs.Status
+	if err := json.Unmarshal(body, &hst); err != nil || !hst.Ready || !hst.Live {
+		t.Fatalf("healthz body: %s (err %v)", body, err)
+	}
+}
+
+func httpGet(t *testing.T, addr, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}

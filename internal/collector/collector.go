@@ -9,6 +9,16 @@
 // repository's own line format. Parsed messages are handed to a caller
 // handler in arrival order per connection; malformed input is counted and
 // dropped, never fatal — an operational collector must survive garbage.
+// Oversized input is likewise non-fatal: a TCP line longer than
+// MaxLineBytes is skipped (the connection stays up and later lines keep
+// flowing) and a UDP datagram larger than MaxLineBytes is dropped rather
+// than parsed as a truncated mangle. Both cases count in Stats and surface
+// through OnError, because silent loss is the one failure mode a
+// production feed cannot tolerate.
+//
+// Every counter is also published per transport into an optional
+// obs.Registry (Config.Metrics) under collector.udp.* / collector.tcp.*,
+// so an exporter can serve them live.
 //
 // Shutdown is graceful: Close unblocks the listeners and waits for every
 // per-connection goroutine to drain.
@@ -18,10 +28,12 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 
+	"syslogdigest/internal/obs"
 	"syslogdigest/internal/syslogmsg"
 )
 
@@ -40,18 +52,29 @@ type Config struct {
 	// Year is applied to year-less RFC 3164 timestamps; 0 means the
 	// current year.
 	Year int
-	// OnError, when non-nil, observes per-line parse errors (for logging);
-	// errors never stop the collector.
+	// OnError, when non-nil, observes per-line parse errors plus oversized
+	// and truncated input (for logging); errors never stop the collector.
 	OnError func(err error)
 	// MaxLineBytes caps one TCP line / UDP datagram; 0 means 64 KiB.
 	MaxLineBytes int
+	// Metrics, when non-nil, receives the collector's per-transport
+	// counters (collector.udp.*, collector.tcp.*). Stats works either way.
+	Metrics *obs.Registry
 }
 
-// Stats are the collector's monotonic counters.
+// Stats are the collector's monotonic counters, summed across transports.
 type Stats struct {
-	Received uint64 // messages successfully parsed and delivered
-	Dropped  uint64 // malformed lines dropped
-	Conns    uint64 // TCP connections accepted
+	Received  uint64 // messages successfully parsed and delivered
+	Dropped   uint64 // malformed lines dropped
+	Truncated uint64 // UDP datagrams larger than MaxLineBytes, dropped whole
+	Oversized uint64 // TCP lines longer than MaxLineBytes, skipped
+	Conns     uint64 // TCP connections accepted
+}
+
+// transportMetrics are one transport's counters.
+type transportMetrics struct {
+	received *obs.Counter
+	dropped  *obs.Counter
 }
 
 // Collector is a running syslog listener pair.
@@ -62,14 +85,17 @@ type Collector struct {
 	udp net.PacketConn
 	tcp net.Listener
 
-	wg       sync.WaitGroup
-	mu       sync.Mutex
-	started  bool
-	closed   bool
-	received atomic.Uint64
-	dropped  atomic.Uint64
-	conns    atomic.Uint64
-	nextIdx  atomic.Uint64
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	nextIdx atomic.Uint64
+
+	udpMet    transportMetrics
+	tcpMet    transportMetrics
+	truncated *obs.Counter // udp only
+	oversized *obs.Counter // tcp only
+	conns     *obs.Counter // tcp only
 }
 
 // New creates a collector; Start binds and begins serving.
@@ -83,7 +109,27 @@ func New(cfg Config, handler Handler) (*Collector, error) {
 	if cfg.MaxLineBytes == 0 {
 		cfg.MaxLineBytes = 64 * 1024
 	}
-	return &Collector{cfg: cfg, handler: handler}, nil
+	reg := cfg.Metrics
+	if reg == nil {
+		// Stats always reads from the counters; a private registry keeps
+		// the uninstrumented path identical to the instrumented one.
+		reg = obs.NewRegistry()
+	}
+	return &Collector{
+		cfg:     cfg,
+		handler: handler,
+		udpMet: transportMetrics{
+			received: reg.Counter("collector.udp.received"),
+			dropped:  reg.Counter("collector.udp.dropped"),
+		},
+		tcpMet: transportMetrics{
+			received: reg.Counter("collector.tcp.received"),
+			dropped:  reg.Counter("collector.tcp.dropped"),
+		},
+		truncated: reg.Counter("collector.udp.truncated"),
+		oversized: reg.Counter("collector.tcp.oversized"),
+		conns:     reg.Counter("collector.tcp.conns"),
+	}, nil
 }
 
 // Start binds the configured listeners and serves until Close.
@@ -146,9 +192,11 @@ func (c *Collector) TCPAddr() net.Addr {
 // Stats returns a snapshot of the counters.
 func (c *Collector) Stats() Stats {
 	return Stats{
-		Received: c.received.Load(),
-		Dropped:  c.dropped.Load(),
-		Conns:    c.conns.Load(),
+		Received:  c.udpMet.received.Value() + c.tcpMet.received.Value(),
+		Dropped:   c.udpMet.dropped.Value() + c.tcpMet.dropped.Value(),
+		Truncated: c.truncated.Value(),
+		Oversized: c.oversized.Value(),
+		Conns:     c.conns.Value(),
 	}
 }
 
@@ -187,7 +235,9 @@ func (c *Collector) isClosed() bool {
 
 func (c *Collector) serveUDP(pc net.PacketConn) {
 	defer c.wg.Done()
-	buf := make([]byte, c.cfg.MaxLineBytes)
+	// One byte beyond the cap distinguishes "exactly MaxLineBytes" (fine)
+	// from "larger, and ReadFrom silently discarded the rest" (truncated).
+	buf := make([]byte, c.cfg.MaxLineBytes+1)
 	for {
 		n, _, err := pc.ReadFrom(buf)
 		if err != nil {
@@ -197,9 +247,16 @@ func (c *Collector) serveUDP(pc net.PacketConn) {
 			c.observe(fmt.Errorf("collector: udp read: %w", err))
 			continue
 		}
+		if n > c.cfg.MaxLineBytes {
+			// The tail of the datagram is gone; parsing the remaining
+			// prefix would deliver a mangled message as if it were real.
+			c.truncated.Inc()
+			c.observe(fmt.Errorf("collector: udp datagram exceeds %d bytes, dropped (truncated by read)", c.cfg.MaxLineBytes))
+			continue
+		}
 		// One datagram usually carries one message, but tolerate senders
 		// that batch lines.
-		c.deliverLines(string(buf[:n]))
+		c.deliverLines(string(buf[:n]), &c.udpMet)
 	}
 }
 
@@ -214,39 +271,72 @@ func (c *Collector) serveTCP(ln net.Listener) {
 			c.observe(fmt.Errorf("collector: accept: %w", err))
 			continue
 		}
-		c.conns.Add(1)
+		c.conns.Inc()
 		c.wg.Add(1)
 		go c.serveConn(conn)
 	}
 }
 
+// serveConn reads newline-framed lines. A line longer than MaxLineBytes is
+// skipped and counted — bufio.Scanner would instead return ErrTooLong and
+// end the loop, silently discarding every later message on the connection
+// (one chatty router's single giant line used to blind the collector to
+// that router until it reconnected).
 func (c *Collector) serveConn(conn net.Conn) {
 	defer c.wg.Done()
 	defer conn.Close()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 4096), c.cfg.MaxLineBytes)
-	for sc.Scan() {
-		c.deliverLine(sc.Text())
+	// +1 so a line of exactly MaxLineBytes plus its newline still fits.
+	br := bufio.NewReaderSize(conn, c.cfg.MaxLineBytes+1)
+	for {
+		line, err := br.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			c.oversized.Inc()
+			c.observe(fmt.Errorf("collector: tcp line exceeds %d bytes, skipped", c.cfg.MaxLineBytes))
+			// Discard the rest of the oversized line, then continue with
+			// the next one.
+			for err == bufio.ErrBufferFull {
+				_, err = br.ReadSlice('\n')
+			}
+			if err != nil {
+				c.connDone(err)
+				return
+			}
+			continue
+		}
+		if len(line) > 0 && line[len(line)-1] == '\n' {
+			line = line[:len(line)-1]
+		}
+		if len(line) > 0 {
+			c.deliverLine(string(line), &c.tcpMet)
+		}
+		if err != nil {
+			c.connDone(err)
+			return
+		}
 	}
-	if err := sc.Err(); err != nil && !c.isClosed() {
+}
+
+// connDone reports a connection's terminal error (EOF is a clean close).
+func (c *Collector) connDone(err error) {
+	if err != io.EOF && !c.isClosed() {
 		c.observe(fmt.Errorf("collector: conn read: %w", err))
 	}
 }
 
 // deliverLines splits a datagram payload into lines and delivers each.
-func (c *Collector) deliverLines(payload string) {
+func (c *Collector) deliverLines(payload string, tm *transportMetrics) {
 	start := 0
 	for i := 0; i <= len(payload); i++ {
 		if i == len(payload) || payload[i] == '\n' {
 			if i > start {
-				c.deliverLine(payload[start:i])
+				c.deliverLine(payload[start:i], tm)
 			}
 			start = i + 1
 		}
 	}
 }
 
-func (c *Collector) deliverLine(line string) {
+func (c *Collector) deliverLine(line string, tm *transportMetrics) {
 	if line == "" {
 		return
 	}
@@ -256,11 +346,11 @@ func (c *Collector) deliverLine(line string) {
 	idx := c.nextIdx.Add(1) - 1
 	m, err := syslogmsg.ParseWire(line, idx, c.cfg.Year)
 	if err != nil {
-		c.dropped.Add(1)
+		tm.dropped.Inc()
 		c.observe(err)
 		return
 	}
-	c.received.Add(1)
+	tm.received.Inc()
 	c.handler(m)
 }
 

@@ -3,10 +3,12 @@ package collector
 import (
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"syslogdigest/internal/obs"
 	"syslogdigest/internal/syslogmsg"
 )
 
@@ -245,31 +247,181 @@ func TestIndicesMonotone(t *testing.T) {
 	}
 }
 
-func TestTCPOversizedLine(t *testing.T) {
+// TestTCPOversizedLineKeepsConnection is the regression test for the
+// silent-data-loss bug: an oversized line used to make bufio.Scanner return
+// ErrTooLong and serveConn abandon the whole connection, discarding every
+// later message from that router. Now the line is skipped, counted, and the
+// connection keeps delivering.
+func TestTCPOversizedLineKeepsConnection(t *testing.T) {
 	var s sink
-	c := startCollector(t, Config{TCPAddr: "127.0.0.1:0", Year: 2010, MaxLineBytes: 256}, s.handle)
+	reg := obs.NewRegistry()
+	c := startCollector(t, Config{TCPAddr: "127.0.0.1:0", Year: 2010, MaxLineBytes: 256, Metrics: reg}, s.handle)
 	conn, err := net.Dial("tcp", c.TCPAddr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
-	// A line beyond MaxLineBytes kills that connection's scanner but must
-	// not take the collector down.
-	big := make([]byte, 1024)
+	big := make([]byte, 4096)
 	for i := range big {
 		big[i] = 'x'
 	}
+	// good — oversized — good, all on ONE connection.
+	fmt.Fprintf(conn, "<189>Jan 10 00:00:15 r1 %%A-1-B: before\n")
 	conn.Write(big)
 	conn.Write([]byte("\n"))
+	fmt.Fprintf(conn, "<189>Jan 10 00:00:16 r1 %%A-1-B: after\n")
+	fmt.Fprintf(conn, "<189>Jan 10 00:00:17 r1 %%A-1-B: and another\n")
 	conn.Close()
 
-	// A fresh connection still works.
-	conn2, err := net.Dial("tcp", c.TCPAddr().String())
+	waitFor(t, func() bool { return s.len() == 3 })
+	got := s.snapshot()
+	if got[0].Detail != "before" || got[1].Detail != "after" || got[2].Detail != "and another" {
+		t.Fatalf("messages = %+v", got)
+	}
+	st := c.Stats()
+	if st.Received != 3 || st.Oversized != 1 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("collector.tcp.oversized") != 1 || snap.Counter("collector.tcp.received") != 3 {
+		t.Fatalf("metrics = %+v", snap.Counters)
+	}
+}
+
+// TestTCPOversizedSpanningBuffers sends a line many times the read buffer,
+// exercising the multi-ErrBufferFull discard loop, then a good line.
+func TestTCPOversizedSpanningBuffers(t *testing.T) {
+	var s sink
+	c := startCollector(t, Config{TCPAddr: "127.0.0.1:0", Year: 2010, MaxLineBytes: 64}, s.handle)
+	conn, err := net.Dial("tcp", c.TCPAddr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
-	fmt.Fprintf(conn2, "<189>Jan 10 00:00:15 r1 %%A-1-B: still alive\n")
-	conn2.Close()
+	big := make([]byte, 10_000)
+	for i := range big {
+		big[i] = 'y'
+	}
+	conn.Write(big)
+	conn.Write([]byte("\n"))
+	fmt.Fprintf(conn, "<189>Jan 10 00:00:15 r1 %%A-1-B: ok\n")
+	conn.Close()
 	waitFor(t, func() bool { return s.len() == 1 })
+	if st := c.Stats(); st.Oversized != 1 || st.Received != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestUDPTruncatedDatagram is the regression test for the UDP half of the
+// data-loss bug: a datagram larger than the read buffer used to be
+// silently cut by ReadFrom and its mangled prefix parsed as a real
+// message. Now it is dropped whole, counted, and surfaced via OnError.
+func TestUDPTruncatedDatagram(t *testing.T) {
+	var s sink
+	var errMu sync.Mutex
+	var errs []error
+	reg := obs.NewRegistry()
+	c := startCollector(t, Config{
+		UDPAddr: "127.0.0.1:0", Year: 2010, MaxLineBytes: 256, Metrics: reg,
+		OnError: func(err error) { errMu.Lock(); errs = append(errs, err); errMu.Unlock() },
+	}, s.handle)
+	conn, err := net.Dial("udp", c.UDPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// A valid message padded past MaxLineBytes: without truncation
+	// detection the cut prefix would still parse and be delivered.
+	big := []byte("<189>Jan 10 00:00:15 r1 %A-1-B: ")
+	for len(big) < 1024 {
+		big = append(big, 'z')
+	}
+	if _, err := conn.Write(big); err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("<189>Jan 10 00:00:16 r1 %A-1-B: small one"))
+
+	waitFor(t, func() bool { return s.len() == 1 })
+	waitFor(t, func() bool { return c.Stats().Truncated == 1 })
+	if got := s.snapshot()[0].Detail; got != "small one" {
+		t.Fatalf("delivered %q", got)
+	}
+	st := c.Stats()
+	if st.Received != 1 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if reg.Snapshot().Counter("collector.udp.truncated") != 1 {
+		t.Fatalf("metrics = %+v", reg.Snapshot().Counters)
+	}
+	errMu.Lock()
+	defer errMu.Unlock()
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Error(), "truncated") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("OnError never surfaced truncation: %v", errs)
+	}
+}
+
+// TestUDPExactMaxSizeNotTruncated: a datagram of exactly MaxLineBytes is
+// complete and must be delivered, not flagged.
+func TestUDPExactMaxSizeNotTruncated(t *testing.T) {
+	var s sink
+	max := 256
+	c := startCollector(t, Config{UDPAddr: "127.0.0.1:0", Year: 2010, MaxLineBytes: max}, s.handle)
+	conn, err := net.Dial("udp", c.UDPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("<189>Jan 10 00:00:15 r1 %A-1-B: ")
+	for len(msg) < max {
+		msg = append(msg, 'a')
+	}
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.len() == 1 })
+	if st := c.Stats(); st.Truncated != 0 || st.Received != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestPerTransportMetrics checks the registry splits counters by transport.
+func TestPerTransportMetrics(t *testing.T) {
+	var s sink
+	reg := obs.NewRegistry()
+	c := startCollector(t, Config{UDPAddr: "127.0.0.1:0", TCPAddr: "127.0.0.1:0", Year: 2010, Metrics: reg}, s.handle)
+	u, err := net.Dial("udp", c.UDPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	tc, err := net.Dial("tcp", c.TCPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Write([]byte("<189>Jan 10 00:00:15 u1 %A-1-B: via udp"))
+	u.Write([]byte("udp garbage"))
+	fmt.Fprintf(tc, "<189>Jan 10 00:00:16 t1 %%A-1-B: via tcp\n")
+	fmt.Fprintf(tc, "tcp garbage\n")
+	tc.Close()
+	waitFor(t, func() bool { return s.len() == 2 })
+	waitFor(t, func() bool { return c.Stats().Dropped == 2 })
+	snap := reg.Snapshot()
+	for name, want := range map[string]uint64{
+		"collector.udp.received": 1,
+		"collector.udp.dropped":  1,
+		"collector.tcp.received": 1,
+		"collector.tcp.dropped":  1,
+		"collector.tcp.conns":    1,
+	} {
+		if got := snap.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
 }
 
 func TestUDPEmptyAndCRLF(t *testing.T) {

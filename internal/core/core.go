@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"syslogdigest/internal/event"
@@ -24,6 +25,7 @@ import (
 	"syslogdigest/internal/locdict"
 	"syslogdigest/internal/locparse"
 	"syslogdigest/internal/netconf"
+	"syslogdigest/internal/obs"
 	"syslogdigest/internal/rules"
 	"syslogdigest/internal/syslogmsg"
 	"syslogdigest/internal/template"
@@ -256,11 +258,7 @@ func TemporalStreams(plus []PlusMessage) [][]time.Time {
 }
 
 func sortTimes(ts []time.Time) {
-	for i := 1; i < len(ts); i++ {
-		for j := i; j > 0 && ts[j].Before(ts[j-1]); j-- {
-			ts[j], ts[j-1] = ts[j-1], ts[j]
-		}
-	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Before(ts[j]) })
 }
 
 // RuleEvents projects Syslog+ messages onto the rule miner's input.
@@ -299,12 +297,30 @@ func (r *DigestResult) CompressionRatio() float64 {
 	return float64(len(r.Events)) / float64(len(r.Messages))
 }
 
+// digestMetrics are the digester's optional observability handles; the
+// zero value (all nil) records nothing, so the uninstrumented hot path
+// pays only the nil checks inside obs.
+type digestMetrics struct {
+	batches    *obs.Counter   // digest.batches
+	messagesIn *obs.Counter   // digest.messages_in
+	eventsOut  *obs.Counter   // digest.events_out
+	ratio      *obs.Gauge     // digest.compression_ratio (last batch)
+	batchSize  *obs.Histogram // digest.batch_size
+	augment    *obs.Histogram // digest.augment_seconds
+	group      *obs.Histogram // digest.group_seconds
+	build      *obs.Histogram // digest.build_seconds
+	mergeT     *obs.Counter   // group.merges.temporal
+	mergeR     *obs.Counter   // group.merges.rule
+	mergeC     *obs.Counter   // group.merges.cross
+}
+
 // Digester is the online half of SyslogDigest.
 type Digester struct {
 	kb      *KnowledgeBase
 	stage   Stage
 	builder *event.Builder
 	labeler *event.Labeler
+	met     digestMetrics
 }
 
 // NewDigester builds a digester over a learned knowledge base.
@@ -327,6 +343,27 @@ func NewDigester(kb *KnowledgeBase) (*Digester, error) {
 // SetStage restricts the grouping pipeline (for the Table 7 ablation).
 func (d *Digester) SetStage(s Stage) { d.stage = s }
 
+// Instrument publishes the digester's metrics (digest.*, group.merges.*)
+// into reg: wall-time histograms for the augment/group/build stages, batch
+// size and message/event counters, the last batch's compression ratio, and
+// per-pass grouping merge counts. A nil registry leaves the digester
+// uninstrumented.
+func (d *Digester) Instrument(reg *obs.Registry) {
+	d.met = digestMetrics{
+		batches:    reg.Counter("digest.batches"),
+		messagesIn: reg.Counter("digest.messages_in"),
+		eventsOut:  reg.Counter("digest.events_out"),
+		ratio:      reg.Gauge("digest.compression_ratio"),
+		batchSize:  reg.Histogram("digest.batch_size", obs.SizeBounds()),
+		augment:    reg.Histogram("digest.augment_seconds", obs.LatencyBounds()),
+		group:      reg.Histogram("digest.group_seconds", obs.LatencyBounds()),
+		build:      reg.Histogram("digest.build_seconds", obs.LatencyBounds()),
+		mergeT:     reg.Counter("group.merges.temporal"),
+		mergeR:     reg.Counter("group.merges.rule"),
+		mergeC:     reg.Counter("group.merges.cross"),
+	}
+}
+
 // Labeler exposes the event labeler for expert naming overrides.
 func (d *Digester) Labeler() *event.Labeler { return d.labeler }
 
@@ -334,12 +371,14 @@ func (d *Digester) Labeler() *event.Labeler { return d.labeler }
 // batches augment in parallel (the knowledge base is immutable during
 // digesting).
 func (d *Digester) Digest(msgs []syslogmsg.Message) (*DigestResult, error) {
+	start := time.Now()
 	var plus []PlusMessage
 	if len(msgs) >= 4096 {
 		plus = d.kb.AugmentAllParallel(msgs, 0)
 	} else {
 		plus = d.kb.AugmentAll(msgs)
 	}
+	d.met.augment.Observe(time.Since(start).Seconds())
 	return d.DigestPlus(plus)
 }
 
@@ -374,12 +413,26 @@ func (d *Digester) DigestPlus(plus []PlusMessage) (*DigestResult, error) {
 		}
 		raw[i] = plus[i].Index
 	}
+	groupStart := time.Now()
 	res, err := g.Group(batch)
 	if err != nil {
 		return nil, err
 	}
+	d.met.group.Observe(time.Since(groupStart).Seconds())
+	buildStart := time.Now()
 	events := d.builder.Build(batch, res, raw)
-	return &DigestResult{Events: events, Messages: plus, ActiveRules: res.ActiveRules}, nil
+	d.met.build.Observe(time.Since(buildStart).Seconds())
+
+	out := &DigestResult{Events: events, Messages: plus, ActiveRules: res.ActiveRules}
+	d.met.batches.Inc()
+	d.met.messagesIn.Add(uint64(len(plus)))
+	d.met.eventsOut.Add(uint64(len(events)))
+	d.met.batchSize.Observe(float64(len(plus)))
+	d.met.ratio.Set(out.CompressionRatio())
+	d.met.mergeT.Add(uint64(res.TemporalMerges))
+	d.met.mergeR.Add(uint64(res.RuleMerges))
+	d.met.mergeC.Add(uint64(res.CrossMerges))
+	return out, nil
 }
 
 // ApplyExpert parses and applies domain-expert adjustments (see the expert

@@ -35,6 +35,19 @@ type paramsJSON struct {
 	SPmin         float64 `json:"spmin"`
 	ConfMin       float64 `json:"confmin"`
 	CrossSeconds  float64 `json:"cross_window_seconds"`
+	// Template learning options and the calibration switch used to round-
+	// trip silently as zero values, so a reloaded knowledge base no longer
+	// matched the configuration it was learned with.
+	Template  templateOptsJSON `json:"template_options"`
+	Calibrate bool             `json:"calibrate_temporal,omitempty"`
+}
+
+type templateOptsJSON struct {
+	K                int     `json:"k,omitempty"`
+	MaxDepth         int     `json:"max_depth,omitempty"`
+	NoPreMask        bool    `json:"no_pre_mask,omitempty"`
+	MinChildFraction float64 `json:"min_child_fraction,omitempty"`
+	MinChildCount    int     `json:"min_child_count,omitempty"`
 }
 
 type templateJSON struct {
@@ -55,6 +68,14 @@ func (kb *KnowledgeBase) Save(w io.Writer) error {
 			SPmin:         kb.Params.Rules.SPmin,
 			ConfMin:       kb.Params.Rules.ConfMin,
 			CrossSeconds:  kb.Params.CrossWindow.Seconds(),
+			Template: templateOptsJSON{
+				K:                kb.Params.Template.K,
+				MaxDepth:         kb.Params.Template.MaxDepth,
+				NoPreMask:        kb.Params.Template.NoPreMask,
+				MinChildFraction: kb.Params.Template.MinChildFraction,
+				MinChildCount:    kb.Params.Template.MinChildCount,
+			},
+			Calibrate: kb.Params.CalibrateTemporal,
 		},
 		Rules: kb.RuleBase.Rules(),
 		Freq:  kb.Freq.Entries(),
@@ -80,7 +101,14 @@ func LoadKnowledgeBase(r io.Reader) (*KnowledgeBase, error) {
 	}
 	kb := &KnowledgeBase{
 		Params: Params{
-			Template: template.Options{},
+			Template: template.Options{
+				K:                in.Params.Template.K,
+				MaxDepth:         in.Params.Template.MaxDepth,
+				NoPreMask:        in.Params.Template.NoPreMask,
+				MinChildFraction: in.Params.Template.MinChildFraction,
+				MinChildCount:    in.Params.Template.MinChildCount,
+			},
+			CalibrateTemporal: in.Params.Calibrate,
 		},
 	}
 	kb.Params.Temporal.Alpha = in.Params.Alpha

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"syslogdigest/internal/obs"
 	"syslogdigest/internal/syslogmsg"
 	"time"
 )
@@ -18,8 +19,16 @@ type Streamer struct {
 	d         *Digester
 	buf       []syslogmsg.Message
 	last      time.Time
+	started   bool // a message has been pushed; last is meaningful
 	gap       time.Duration
 	maxBuffer int
+
+	mBuffered    *obs.Gauge   // stream.buffered
+	mPushed      *obs.Counter // stream.pushed
+	mFlushes     *obs.Counter // stream.flushes
+	mFlushGap    *obs.Counter // stream.flush.gap
+	mFlushCap    *obs.Counter // stream.flush.cap
+	mFlushManual *obs.Counter // stream.flush.manual
 }
 
 // NewStreamer wraps a digester. maxBuffer <= 0 defaults to 500000 messages.
@@ -34,23 +43,52 @@ func NewStreamer(d *Digester, maxBuffer int) *Streamer {
 	return &Streamer{d: d, gap: gap, maxBuffer: maxBuffer}
 }
 
+// Instrument publishes the streamer's metrics (stream.*) into reg. Call
+// before the first Push; a nil registry leaves the streamer uninstrumented
+// (every metric op then no-ops).
+func (s *Streamer) Instrument(reg *obs.Registry) {
+	s.mBuffered = reg.Gauge("stream.buffered")
+	s.mPushed = reg.Counter("stream.pushed")
+	s.mFlushes = reg.Counter("stream.flushes")
+	s.mFlushGap = reg.Counter("stream.flush.gap")
+	s.mFlushCap = reg.Counter("stream.flush.cap")
+	s.mFlushManual = reg.Counter("stream.flush.manual")
+}
+
 // Push ingests one message (nondecreasing time order expected). When the
 // message opens a new quiet-separated window, the previous window is
 // digested and returned; otherwise the result is nil.
+//
+// Monotonicity is enforced for the stream's lifetime, not per window: the
+// guard used to check only while the buffer was non-empty, so the first
+// message after a flush could silently jump backwards in time and produce
+// a batch whose span overlaps the one just digested.
 func (s *Streamer) Push(m syslogmsg.Message) (*DigestResult, error) {
-	if len(s.buf) > 0 && m.Time.Before(s.last) {
+	if s.started && m.Time.Before(s.last) {
 		return nil, fmt.Errorf("core: streamer requires nondecreasing timestamps (got %v after %v)", m.Time, s.last)
 	}
 	var res *DigestResult
-	if len(s.buf) > 0 && (m.Time.Sub(s.last) > s.gap || len(s.buf) >= s.maxBuffer) {
-		var err error
-		res, err = s.Flush()
-		if err != nil {
-			return nil, err
+	if len(s.buf) > 0 {
+		gapFlush := m.Time.Sub(s.last) > s.gap
+		capFlush := !gapFlush && len(s.buf) >= s.maxBuffer
+		if gapFlush || capFlush {
+			var err error
+			res, err = s.flush()
+			if err != nil {
+				return nil, err
+			}
+			if gapFlush {
+				s.mFlushGap.Inc()
+			} else {
+				s.mFlushCap.Inc()
+			}
 		}
 	}
 	s.buf = append(s.buf, m)
 	s.last = m.Time
+	s.started = true
+	s.mPushed.Inc()
+	s.mBuffered.Set(float64(len(s.buf)))
 	return res, nil
 }
 
@@ -58,12 +96,23 @@ func (s *Streamer) Push(m syslogmsg.Message) (*DigestResult, error) {
 func (s *Streamer) Pending() int { return len(s.buf) }
 
 // Flush digests whatever is buffered and resets the window. It returns nil
-// when nothing is pending.
+// when nothing is pending. The monotonicity guard persists across the
+// flush.
 func (s *Streamer) Flush() (*DigestResult, error) {
 	if len(s.buf) == 0 {
 		return nil, nil
 	}
+	res, err := s.flush()
+	if err == nil {
+		s.mFlushManual.Inc()
+	}
+	return res, err
+}
+
+func (s *Streamer) flush() (*DigestResult, error) {
 	batch := s.buf
 	s.buf = nil
+	s.mFlushes.Inc()
+	s.mBuffered.Set(0)
 	return s.d.Digest(batch)
 }

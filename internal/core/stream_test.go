@@ -1,0 +1,181 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"syslogdigest/internal/gen"
+	"syslogdigest/internal/obs"
+	"syslogdigest/internal/syslogmsg"
+)
+
+// TestStreamerMonotonicAcrossFlushes is the regression test for the
+// ordering-guard bug: the nondecreasing-timestamp check only applied while
+// the buffer was non-empty, so the first message after a Flush could go
+// backwards in time undetected and produce time-overlapping batches.
+func TestStreamerMonotonicAcrossFlushes(t *testing.T) {
+	kb, _ := learnSmall(t, gen.DatasetA)
+	d, _ := NewDigester(kb)
+	s := NewStreamer(d, 0)
+	t0 := time.Date(2010, 1, 1, 12, 0, 0, 0, time.UTC)
+	mk := func(at time.Time) syslogmsg.Message {
+		return syslogmsg.Message{Time: at, Router: "x", Code: "A-1-B", Detail: "d"}
+	}
+	if _, err := s.Push(mk(t0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Buffer is now empty; a message before t0 must still be rejected.
+	if _, err := s.Push(mk(t0.Add(-time.Hour))); err == nil {
+		t.Fatal("backwards message after flush accepted")
+	}
+	// Equal and later timestamps stay accepted.
+	if _, err := s.Push(mk(t0)); err != nil {
+		t.Fatalf("equal timestamp after flush rejected: %v", err)
+	}
+	if _, err := s.Push(mk(t0.Add(time.Second))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamerFlushReasons drives both automatic flush paths and the
+// manual one, checking the stream.* metrics tell them apart.
+func TestStreamerFlushReasons(t *testing.T) {
+	kb, _ := learnSmall(t, gen.DatasetA)
+	d, _ := NewDigester(kb)
+	s := NewStreamer(d, 3)
+	reg := obs.NewRegistry()
+	s.Instrument(reg)
+	t0 := time.Date(2010, 1, 1, 12, 0, 0, 0, time.UTC)
+	mk := func(at time.Time) syslogmsg.Message {
+		return syslogmsg.Message{Time: at, Router: "x", Code: "A-1-B", Detail: "d"}
+	}
+	// Fill to the cap: the 4th push forces a cap flush.
+	for i := 0; i < 4; i++ {
+		if _, err := s.Push(mk(t0.Add(time.Duration(i) * time.Second))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A quiet gap beyond Smax forces a gap flush.
+	if _, err := s.Push(mk(t0.Add(48 * time.Hour))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("stream.flush.cap"); got != 1 {
+		t.Errorf("cap flushes = %d, want 1", got)
+	}
+	if got := snap.Counter("stream.flush.gap"); got != 1 {
+		t.Errorf("gap flushes = %d, want 1", got)
+	}
+	if got := snap.Counter("stream.flush.manual"); got != 1 {
+		t.Errorf("manual flushes = %d, want 1", got)
+	}
+	if got := snap.Counter("stream.flushes"); got != 3 {
+		t.Errorf("total flushes = %d, want 3", got)
+	}
+	if got := snap.Counter("stream.pushed"); got != 5 {
+		t.Errorf("pushed = %d, want 5", got)
+	}
+	if got := snap.Gauge("stream.buffered"); got != 0 {
+		t.Errorf("buffered = %v after flush, want 0", got)
+	}
+}
+
+// TestDigesterMetrics digests one batch and reconciles every digest.* and
+// group.merges.* metric against the returned result.
+func TestDigesterMetrics(t *testing.T) {
+	kb, ds := learnSmall(t, gen.DatasetA)
+	d, _ := NewDigester(kb)
+	reg := obs.NewRegistry()
+	d.Instrument(reg)
+	res, err := d.Digest(ds.Messages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("digest.batches"); got != 1 {
+		t.Errorf("batches = %d", got)
+	}
+	if got := snap.Counter("digest.messages_in"); got != uint64(len(ds.Messages)) {
+		t.Errorf("messages_in = %d, want %d", got, len(ds.Messages))
+	}
+	if got := snap.Counter("digest.events_out"); got != uint64(len(res.Events)) {
+		t.Errorf("events_out = %d, want %d", got, len(res.Events))
+	}
+	if got := snap.Gauge("digest.compression_ratio"); got != res.CompressionRatio() {
+		t.Errorf("ratio = %v, want %v", got, res.CompressionRatio())
+	}
+	// Each stage histogram saw exactly one batch.
+	for _, name := range []string{"digest.augment_seconds", "digest.group_seconds", "digest.build_seconds", "digest.batch_size"} {
+		h := snap.Histogram(name)
+		if h == nil || h.Count != 1 {
+			t.Errorf("%s = %+v, want 1 observation", name, h)
+		}
+	}
+	// Every union-find merge removes one group, so messages - events must
+	// equal the per-pass merge total.
+	merges := snap.Counter("group.merges.temporal") + snap.Counter("group.merges.rule") + snap.Counter("group.merges.cross")
+	if want := uint64(len(ds.Messages) - len(res.Events)); merges != want {
+		t.Errorf("merge total = %d, want %d", merges, want)
+	}
+}
+
+// TestKnowledgeBaseRoundTripStable is the regression test for the config
+// round-trip bug: Save used to drop Params.Template and CalibrateTemporal,
+// so Save→Load→Save was not a fixed point and a reloaded knowledge base
+// silently reverted to default learning options.
+func TestKnowledgeBaseRoundTripStable(t *testing.T) {
+	params := DefaultParams()
+	params.Template.K = 7
+	params.Template.MaxDepth = 9
+	params.Template.MinChildFraction = 0.25
+	params.Template.MinChildCount = 3
+	params.Template.NoPreMask = true
+	kb, _ := learnSmallWith(t, gen.DatasetA, params)
+	kb.Params.CalibrateTemporal = true
+
+	var first bytes.Buffer
+	if err := kb.Save(&first); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadKnowledgeBase(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Params.Template != kb.Params.Template {
+		t.Fatalf("template options lost: %+v != %+v", loaded.Params.Template, kb.Params.Template)
+	}
+	if !loaded.Params.CalibrateTemporal {
+		t.Fatal("CalibrateTemporal lost")
+	}
+	var second bytes.Buffer
+	if err := loaded.Save(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("Save → Load → Save is not a fixed point")
+	}
+}
+
+// learnSmallWith is learnSmall with explicit params.
+func learnSmallWith(t *testing.T, kind gen.DatasetKind, params Params) (*KnowledgeBase, *gen.Dataset) {
+	t.Helper()
+	ds, err := gen.Generate(gen.Spec{
+		Kind: kind, Routers: 16, Seed: 3,
+		Duration: 36 * time.Hour, RateScale: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := NewLearner(params).Learn(ds.Messages, ds.Net.Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kb, ds
+}

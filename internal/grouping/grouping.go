@@ -85,6 +85,12 @@ type Result struct {
 	// ActiveRules counts, per unordered template pair, how many rule-based
 	// merges actually fired (the "active rules" of Figure 12).
 	ActiveRules map[rules.PairKey]int
+	// TemporalMerges, RuleMerges, and CrossMerges count the union-find
+	// merges each pass contributed (Table 7's T / R / C axes). Their sum is
+	// len(GroupOf) - len(Groups): every merge removes exactly one group.
+	TemporalMerges int
+	RuleMerges     int
+	CrossMerges    int
 }
 
 // Grouper applies the three passes using learned knowledge.
@@ -133,14 +139,14 @@ func (g *Grouper) Group(msgs []Message) (*Result, error) {
 		return byTime[i].Seq < byTime[j].Seq
 	})
 
-	if err := g.temporalPass(byTime, uf); err != nil {
+	if err := g.temporalPass(byTime, uf, &res.TemporalMerges); err != nil {
 		return nil, err
 	}
 	if g.cfg.useRules() {
-		g.rulePass(byTime, uf, res.ActiveRules)
+		g.rulePass(byTime, uf, res.ActiveRules, &res.RuleMerges)
 	}
 	if g.cfg.useCross() {
-		g.crossPass(byTime, uf)
+		g.crossPass(byTime, uf, &res.CrossMerges)
 	}
 
 	g.finalize(msgs, uf, res)
@@ -149,7 +155,7 @@ func (g *Grouper) Group(msgs []Message) (*Result, error) {
 
 // temporalPass runs the learned interarrival model per (template, location)
 // stream, merging consecutive same-group messages.
-func (g *Grouper) temporalPass(byTime []*Message, uf *unionFind) error {
+func (g *Grouper) temporalPass(byTime []*Message, uf *unionFind, merges *int) error {
 	type streamKey struct {
 		template int
 		loc      string
@@ -168,7 +174,9 @@ func (g *Grouper) temporalPass(byTime []*Message, uf *unionFind) error {
 			groupers[key] = tg
 		}
 		if tg.Observe(m.Time) {
-			uf.union(lastSeq[key], m.Seq)
+			if uf.union(lastSeq[key], m.Seq) {
+				*merges++
+			}
 		}
 		lastSeq[key] = m.Seq
 	}
@@ -177,7 +185,7 @@ func (g *Grouper) temporalPass(byTime []*Message, uf *unionFind) error {
 
 // rulePass scans each router's time-ordered messages with window W and
 // merges rule-connected, spatially-matched pairs.
-func (g *Grouper) rulePass(byTime []*Message, uf *unionFind, active map[rules.PairKey]int) {
+func (g *Grouper) rulePass(byTime []*Message, uf *unionFind, active map[rules.PairKey]int, merges *int) {
 	byRouter := make(map[string][]*Message)
 	for _, m := range byTime {
 		byRouter[m.Router] = append(byRouter[m.Router], m)
@@ -202,6 +210,7 @@ func (g *Grouper) rulePass(byTime []*Message, uf *unionFind, active map[rules.Pa
 					continue
 				}
 				if uf.union(mi.Seq, mj.Seq) {
+					*merges++
 					pk := rules.PairKey{X: mi.Template, Y: mj.Template}
 					if pk.X > pk.Y {
 						pk.X, pk.Y = pk.Y, pk.X
@@ -215,7 +224,7 @@ func (g *Grouper) rulePass(byTime []*Message, uf *unionFind, active map[rules.Pa
 
 // crossPass merges same-template messages on connected locations of
 // different routers within the near-simultaneity window.
-func (g *Grouper) crossPass(byTime []*Message, uf *unionFind) {
+func (g *Grouper) crossPass(byTime []*Message, uf *unionFind, merges *int) {
 	for i, mi := range byTime {
 		deadline := mi.Time.Add(g.cfg.CrossWindow)
 		scanned := 0
@@ -232,7 +241,9 @@ func (g *Grouper) crossPass(byTime []*Message, uf *unionFind) {
 				continue
 			}
 			if g.dict.Connected(mi.Loc, mj.Loc) || g.peerHinted(mi, mj) || g.peerHinted(mj, mi) {
-				uf.union(mi.Seq, mj.Seq)
+				if uf.union(mi.Seq, mj.Seq) {
+					*merges++
+				}
 			}
 		}
 	}

@@ -363,3 +363,78 @@ func TestUnionFind(t *testing.T) {
 		t.Fatal("separate components merged")
 	}
 }
+
+// TestPerPassMergeCounts checks the merge accounting invariant: every merge
+// removes exactly one group, so the per-pass counts must sum to
+// n - len(Groups), and each ablation stage must zero out the passes it
+// disables (Table 7's T / R / C axes).
+func TestPerPassMergeCounts(t *testing.T) {
+	msgs := table2Messages(t)
+	for _, tc := range []struct {
+		name    string
+		cfg     Config
+		noRule  bool
+		noCross bool
+	}{
+		{name: "T", cfg: Config{OnlyTemporal: true}, noRule: true, noCross: true},
+		{name: "T+R", cfg: Config{TemporalAndRules: true}, noCross: true},
+		{name: "T+R+C", cfg: Config{}},
+	} {
+		g := newGrouper(t, toyDict(t), flapRuleBase(), tc.cfg)
+		res, err := g.Group(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := res.TemporalMerges + res.RuleMerges + res.CrossMerges
+		if want := len(msgs) - len(res.Groups); total != want {
+			t.Errorf("%s: merges %d (T=%d R=%d C=%d) != n - groups = %d",
+				tc.name, total, res.TemporalMerges, res.RuleMerges, res.CrossMerges, want)
+		}
+		if tc.noRule && res.RuleMerges != 0 {
+			t.Errorf("%s: rule merges %d on disabled pass", tc.name, res.RuleMerges)
+		}
+		if tc.noCross && res.CrossMerges != 0 {
+			t.Errorf("%s: cross merges %d on disabled pass", tc.name, res.CrossMerges)
+		}
+	}
+	// The full toy run must use the rule and cross passes (the toy's 20s
+	// same-template spacing is beyond Smin, so temporal contributes 0).
+	g := newGrouper(t, toyDict(t), flapRuleBase(), Config{})
+	res, err := g.Group(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RuleMerges == 0 || res.CrossMerges == 0 {
+		t.Fatalf("expected rule and cross merges: T=%d R=%d C=%d",
+			res.TemporalMerges, res.RuleMerges, res.CrossMerges)
+	}
+	// Rule merges must agree with the ActiveRules tally.
+	active := 0
+	for _, n := range res.ActiveRules {
+		active += n
+	}
+	if active != res.RuleMerges {
+		t.Fatalf("ActiveRules total %d != RuleMerges %d", active, res.RuleMerges)
+	}
+}
+
+// TestTemporalMergeCount: a sub-Smin same-template burst merges in pass 1
+// and is counted as temporal merges.
+func TestTemporalMergeCount(t *testing.T) {
+	l1 := locdict.IntfLoc("r1", "Serial1/0.10/10:0")
+	var msgs []Message
+	for i := 0; i < 5; i++ {
+		msgs = append(msgs, Message{
+			Seq: i, Time: t0.Add(time.Duration(i) * 500 * time.Millisecond),
+			Router: "r1", Template: tLinkDown, Loc: l1,
+		})
+	}
+	g := newGrouper(t, toyDict(t), nil, Config{OnlyTemporal: true})
+	res, err := g.Group(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TemporalMerges != 4 || len(res.Groups) != 1 {
+		t.Fatalf("T=%d groups=%d, want 4 merges into 1 group", res.TemporalMerges, len(res.Groups))
+	}
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Health tracks process health for the /healthz endpoint, separating the
+// two questions an operator's probe asks:
+//
+//   - readiness: has one-time setup finished (for this system, is the
+//     knowledge base loaded)? Until SetReady(true), /healthz is 503.
+//   - liveness: is the pipeline still making progress? Call Progress()
+//     whenever work happens (a message handled, a batch flushed). When
+//     MaxIdle > 0 and no progress has been recorded for longer than it,
+//     /healthz degrades to 503 even though the process is up — the exact
+//     silent-stall mode a wedged collector exhibits.
+type Health struct {
+	maxIdle time.Duration
+	ready   atomic.Bool
+	last    atomic.Int64 // unix nanos of the last Progress call
+}
+
+// NewHealth builds a Health; maxIdle <= 0 disables the liveness check.
+func NewHealth(maxIdle time.Duration) *Health {
+	h := &Health{maxIdle: maxIdle}
+	h.last.Store(time.Now().UnixNano())
+	return h
+}
+
+// SetReady flips readiness (nil-safe).
+func (h *Health) SetReady(ok bool) {
+	if h != nil {
+		h.ready.Store(ok)
+	}
+}
+
+// Progress records that the pipeline did work just now (nil-safe).
+func (h *Health) Progress() {
+	if h != nil {
+		h.last.Store(time.Now().UnixNano())
+	}
+}
+
+// Status is the /healthz response body.
+type Status struct {
+	Ready bool `json:"ready"`
+	Live  bool `json:"live"`
+	// IdleSeconds is the time since the last recorded progress.
+	IdleSeconds float64 `json:"idle_seconds"`
+}
+
+// Check evaluates health now. A nil Health is always ready and live, so an
+// exporter without health wiring serves 200.
+func (h *Health) Check() Status {
+	if h == nil {
+		return Status{Ready: true, Live: true}
+	}
+	idle := time.Duration(time.Now().UnixNano() - h.last.Load())
+	return Status{
+		Ready:       h.ready.Load(),
+		Live:        h.maxIdle <= 0 || idle <= h.maxIdle,
+		IdleSeconds: idle.Seconds(),
+	}
+}
+
+// Server is a running metrics exporter.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP exporter on addr (e.g. "127.0.0.1:9090", or ":0"
+// for an ephemeral port) with two endpoints:
+//
+//	/metrics — the registry snapshot as JSON
+//	/healthz — 200 with a Status body when ready and live, else 503
+//
+// health may be nil (always healthy). The listener is bound synchronously,
+// so a bad addr fails here rather than in the background.
+func Serve(addr string, reg *Registry, health *Health) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			// Headers are already out; nothing useful left to do.
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := health.Check()
+		w.Header().Set("Content-Type", "application/json")
+		if !st.Ready || !st.Live {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		_ = enc.Encode(st)
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{ln: ln, srv: srv}
+	go func() {
+		// ErrServerClosed is the normal shutdown path; anything else has no
+		// caller left to report to.
+		_ = srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the exporter.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,335 @@
+// Package obs is the observability substrate of the online pipeline: a
+// small, dependency-free metrics library (atomic counters, float gauges,
+// bounded histograms) grouped in a Registry whose Snapshot is
+// deterministically ordered and renders to JSON, plus an HTTP exporter
+// (see http.go) serving /metrics and /healthz.
+//
+// Every metric type is safe for concurrent use and nil-safe: all methods
+// on a nil *Counter, *Gauge, *Histogram, or *Registry are no-ops (reads
+// return zero). Instrumented packages can therefore thread optional
+// metric handles without guarding every call site — an uninstrumented
+// pipeline pays one nil check per operation and allocates nothing.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float64 value (stored as atomic bits).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adjusts the value by delta (CAS loop; lock-free).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: observations are counted into the
+// first bucket whose upper bound is >= the value, with one implicit
+// overflow bucket above the last bound. Bounds are fixed at creation, so
+// recording is a binary search plus two atomic adds — no locks, bounded
+// memory, safe on the hot path.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds
+	counts  []atomic.Uint64
+	total   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+// Invalid bounds (empty, unsorted, or duplicated) panic: histogram shapes
+// are static program configuration, not runtime input.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d", i))
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Uint64, len(bounds)+1)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// LatencyBounds are the default bounds (seconds) for wall-time histograms:
+// 100µs to 30s, roughly ×3 per step.
+func LatencyBounds() []float64 {
+	return []float64{0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30}
+}
+
+// SizeBounds are the default bounds for batch-size histograms: 1 to 1e6 in
+// 1-3-10 steps.
+func SizeBounds() []float64 {
+	return []float64{1, 3, 10, 30, 100, 300, 1000, 3000, 10000, 30000, 100000, 300000, 1e6}
+}
+
+// Registry is a named collection of metrics. Metric accessors are
+// get-or-create, so independent pipeline stages can share one registry
+// without coordination; names are flat dotted strings ("collector.udp.
+// received"). A nil *Registry hands out nil metrics, which no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with bounds on first
+// use. Later calls with different bounds return the existing histogram —
+// the first registration wins.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Bucket is one histogram bucket: the count of observations at or below
+// the upper bound LE. The overflow bucket renders LE as "+Inf".
+type Bucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramValue is one histogram in a snapshot. Buckets are
+// non-cumulative; Count is their sum.
+type HistogramValue struct {
+	Name    string   `json:"name"`
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry, each
+// section sorted by name so that rendering is deterministic; every
+// registered bucket is present (including empty ones), so two snapshots
+// of the same registry shape always align.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// Counter returns the named counter's value (0 when absent).
+func (s Snapshot) Counter(name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the named gauge's value (0 when absent).
+func (s Snapshot) Gauge(name string) float64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// Histogram returns the named histogram snapshot (nil when absent).
+func (s Snapshot) Histogram(name string) *HistogramValue {
+	for i := range s.Histograms {
+		if s.Histograms[i].Name == name {
+			return &s.Histograms[i]
+		}
+	}
+	return nil
+}
+
+// Snapshot captures every metric. Counters and bucket counts are each read
+// atomically; the snapshot as a whole is not a single atomic cut across
+// metrics (concurrent writers may land between reads), which is the
+// standard contract for scrape-style exporters.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		hv := HistogramValue{Name: name, Count: h.Count(), Sum: h.Sum()}
+		for i := range h.counts {
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = formatBound(h.bounds[i])
+			}
+			hv.Buckets = append(hv.Buckets, Bucket{LE: le, Count: h.counts[i].Load()})
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// WriteJSON renders a snapshot of the registry as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	s := r.Snapshot()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s)
+}
+
+// formatBound renders a float bound compactly ("0.001", "30", "1e+06").
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}

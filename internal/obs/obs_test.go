@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("x")
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+				// Get-or-create from another goroutine must return the same
+				// counter.
+				reg.Counter("x").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 2*workers*per {
+		t.Fatalf("counter = %d, want %d", got, 2*workers*per)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	var g Gauge
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				g.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := g.Value(), float64(workers*per)*0.5; got != want {
+		t.Fatalf("gauge = %v, want %v", got, want)
+	}
+	g.Set(-3)
+	if g.Value() != -3 {
+		t.Fatalf("set failed: %v", g.Value())
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	// A value exactly on a bound lands in that bound's bucket (le semantics).
+	for _, v := range []float64{0.5, 1, 1.5, 10, 99, 100, 101, 1e9} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 2, 2} // (-inf,1], (1,10], (10,100], (100,+inf)
+	for i := range h.counts {
+		if got := h.counts[i].Load(); got != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, got, want[i])
+		}
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+1.5+10+99+100+101+1e9; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(LatencyBounds())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(float64(i) * 0.001)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("bounds %v accepted", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	reg := NewRegistry()
+	// Register in non-alphabetical order.
+	reg.Counter("zeta").Add(1)
+	reg.Counter("alpha").Add(2)
+	reg.Gauge("mid").Set(3)
+	reg.Gauge("aaa").Set(4)
+	reg.Histogram("h2", []float64{1}).Observe(0.5)
+	reg.Histogram("h1", []float64{1, 2}).Observe(1.5)
+
+	s1 := reg.Snapshot()
+	s2 := reg.Snapshot()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("snapshots differ:\n%+v\n%+v", s1, s2)
+	}
+	if s1.Counters[0].Name != "alpha" || s1.Counters[1].Name != "zeta" {
+		t.Fatalf("counter order: %+v", s1.Counters)
+	}
+	if s1.Gauges[0].Name != "aaa" || s1.Histograms[0].Name != "h1" {
+		t.Fatalf("order: %+v %+v", s1.Gauges, s1.Histograms)
+	}
+	// JSON render is byte-identical across snapshots.
+	var b1, b2 bytes.Buffer
+	if err := reg.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("JSON render not deterministic")
+	}
+	// Overflow bucket renders as +Inf.
+	h := s1.Histogram("h1")
+	if h == nil || h.Buckets[len(h.Buckets)-1].LE != "+Inf" {
+		t.Fatalf("histogram snapshot: %+v", h)
+	}
+	if s1.Counter("alpha") != 2 || s1.Gauge("mid") != 3 || s1.Counter("missing") != 0 {
+		t.Fatalf("accessors: %+v", s1)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x")
+	g := reg.Gauge("y")
+	h := reg.Histogram("z", []float64{1})
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics recorded something")
+	}
+	s := reg.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot: %+v", s)
+	}
+	var health *Health
+	health.SetReady(true)
+	health.Progress()
+	if st := health.Check(); !st.Ready || !st.Live {
+		t.Fatalf("nil health not healthy: %+v", st)
+	}
+}
+
+func TestServeMetricsAndHealthz(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pipeline.in").Add(7)
+	health := NewHealth(0)
+	srv, err := Serve("127.0.0.1:0", reg, health)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, []byte) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	// Not ready yet.
+	code, _ := get("/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz before ready = %d", code)
+	}
+	health.SetReady(true)
+	code, body := get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz after ready = %d (%s)", code, body)
+	}
+
+	code, body = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		t.Fatalf("metrics body not JSON: %v\n%s", err, body)
+	}
+	if s.Counter("pipeline.in") != 7 {
+		t.Fatalf("snapshot over HTTP: %+v", s)
+	}
+}
+
+func TestHealthLiveness(t *testing.T) {
+	h := NewHealth(30 * time.Millisecond)
+	h.SetReady(true)
+	if st := h.Check(); !st.Live {
+		t.Fatalf("fresh health not live: %+v", st)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if st := h.Check(); st.Live {
+		t.Fatalf("stalled health still live: %+v", st)
+	}
+	h.Progress()
+	if st := h.Check(); !st.Live {
+		t.Fatalf("progress did not revive: %+v", st)
+	}
+}
