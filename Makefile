@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test race build bench
+.PHONY: check fmt vet test race build bench bench-smoke
 
-check: fmt vet race
+check: fmt vet race bench-smoke
 
 # gofmt -l prints offending files; fail if it prints anything.
 fmt:
@@ -27,3 +27,8 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# One iteration of every stage and micro benchmark: catches benchmarks that
+# no longer compile or crash without paying for a full timed run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '^(BenchmarkStage|BenchmarkMicro)' -benchtime=1x .

@@ -21,6 +21,7 @@ import (
 	"syslogdigest/internal/experiments"
 	"syslogdigest/internal/gen"
 	"syslogdigest/internal/locdict"
+	"syslogdigest/internal/par"
 	"syslogdigest/internal/rules"
 	"syslogdigest/internal/template"
 	"syslogdigest/internal/temporal"
@@ -374,14 +375,19 @@ func BenchmarkSeverityFilterBaseline(b *testing.B) {
 
 func BenchmarkStageTemplateLearning(b *testing.B) {
 	c := mustCorpus(b, gen.DatasetA)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ts := template.Learn(c.Learn.Messages, template.Options{})
-		if len(ts) == 0 {
-			b.Fatal("no templates")
-		}
+	for _, j := range []int{1, 4} {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			opt := template.Options{Pool: par.New(j)}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ts := template.Learn(c.Learn.Messages, opt)
+				if len(ts) == 0 {
+					b.Fatal("no templates")
+				}
+			}
+			b.ReportMetric(float64(len(c.Learn.Messages)), "msgs/op")
+		})
 	}
-	b.ReportMetric(float64(len(c.Learn.Messages)), "msgs/op")
 }
 
 func BenchmarkStageAugment(b *testing.B) {
@@ -411,21 +417,26 @@ func BenchmarkStageRuleMining(b *testing.B) {
 
 func BenchmarkStageFullDigest(b *testing.B) {
 	c := mustCorpus(b, gen.DatasetA)
-	d, err := core.NewDigester(c.KB)
-	if err != nil {
-		b.Fatal(err)
+	for _, j := range []int{1, 4} {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			d, err := core.NewDigester(c.KB)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d.SetParallelism(j)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := d.Digest(c.Online.Messages)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(len(res.Events)), "events")
+				}
+			}
+			b.ReportMetric(float64(len(c.Online.Messages)), "msgs/op")
+		})
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := d.Digest(c.Online.Messages)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.ReportMetric(float64(len(res.Events)), "events")
-		}
-	}
-	b.ReportMetric(float64(len(c.Online.Messages)), "msgs/op")
 }
 
 func BenchmarkTrendAudit(b *testing.B) {
@@ -472,22 +483,30 @@ func BenchmarkMicroTemplateMatch(b *testing.B) {
 func BenchmarkMicroSpatialMatch(b *testing.B) {
 	c := mustCorpus(b, gen.DatasetA)
 	dict := c.KB.Dictionary()
-	var a, x = pickTwoLocations(c)
+	a, x, ok := pickTwoLocations(c)
+	if !ok {
+		// Degrading to (a, RouterLoc) would silently benchmark the trivial
+		// same-router fast path instead of a real hierarchy walk; the number
+		// would look valid while measuring the wrong code.
+		b.Skipf("corpus sample has no second location on router %s; cannot exercise SpatialMatch", a.Router)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dict.SpatialMatch(a, x)
 	}
 }
 
-func pickTwoLocations(c *experiments.Corpus) (locdict.Location, locdict.Location) {
+// pickTwoLocations finds two distinct locations on the same router in the
+// first 200 online messages; ok is false when the sample has only one.
+func pickTwoLocations(c *experiments.Corpus) (locdict.Location, locdict.Location, bool) {
 	plus := c.KB.AugmentAll(c.Online.Messages[:200])
 	a := plus[0].Loc
 	for i := range plus {
 		if plus[i].Loc.Router == a.Router && plus[i].Loc != a {
-			return a, plus[i].Loc
+			return a, plus[i].Loc, true
 		}
 	}
-	return a, locdict.RouterLoc(a.Router)
+	return a, locdict.Location{}, false
 }
 
 func BenchmarkMicroEWMAObserve(b *testing.B) {

@@ -1,0 +1,200 @@
+package main
+
+// Machine-readable benchmark snapshots (-json). The snapshot times each
+// pipeline stage serially (workers=1) and at the requested fan-out over the
+// same cached corpus, so the speedup column isolates the worker pool from
+// data-generation noise. No timestamps or host identifiers are recorded:
+// snapshots from the same machine diff cleanly.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"syslogdigest/internal/core"
+	"syslogdigest/internal/experiments"
+	"syslogdigest/internal/gen"
+	"syslogdigest/internal/par"
+	"syslogdigest/internal/rules"
+	"syslogdigest/internal/template"
+	"syslogdigest/internal/temporal"
+)
+
+// benchReps runs per timing; the minimum is reported, the usual way to
+// suppress scheduler noise in wall-clock benchmarks.
+const benchReps = 3
+
+type benchSnapshot struct {
+	Schema     string           `json:"schema"`
+	Profile    string           `json:"profile"`
+	Workers    int              `json:"workers"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Benchmarks []benchEntry     `json:"benchmarks"`
+	Speedups   []speedupSummary `json:"speedups"`
+}
+
+type benchEntry struct {
+	Name       string  `json:"name"`
+	Dataset    string  `json:"dataset"`
+	Workers    int     `json:"workers"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	MsgsPerOp  int     `json:"msgs_per_op"`
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+}
+
+type speedupSummary struct {
+	Name    string  `json:"name"`
+	Dataset string  `json:"dataset"`
+	Speedup float64 `json:"speedup"`
+}
+
+// benchStage is one timed pipeline stage: run executes it once with the
+// given worker count over msgs input messages.
+type benchStage struct {
+	name string
+	msgs int
+	run  func(workers int) error
+}
+
+// writeBenchJSON runs the stage benchmark suite for each dataset and writes
+// the snapshot to path.
+func writeBenchJSON(path string, profile experiments.Profile, kinds []gen.DatasetKind, workers int) error {
+	resolved := par.Workers(workers)
+	snap := benchSnapshot{
+		Schema:     "syslogdigest-bench/1",
+		Profile:    profile.Name,
+		Workers:    resolved,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, kind := range kinds {
+		c, err := experiments.Load(kind, profile)
+		if err != nil {
+			return fmt.Errorf("load dataset %v: %w", kind, err)
+		}
+		stages, err := datasetStages(c)
+		if err != nil {
+			return err
+		}
+		for _, st := range stages {
+			serial, err := timeStage(st, 1)
+			if err != nil {
+				return fmt.Errorf("%s (serial): %w", st.name, err)
+			}
+			parallel, err := timeStage(st, resolved)
+			if err != nil {
+				return fmt.Errorf("%s (j=%d): %w", st.name, resolved, err)
+			}
+			snap.Benchmarks = append(snap.Benchmarks,
+				entry(st, kind, 1, serial), entry(st, kind, resolved, parallel))
+			snap.Speedups = append(snap.Speedups, speedupSummary{
+				Name: st.name, Dataset: kind.String(),
+				Speedup: round3(float64(serial) / float64(parallel)),
+			})
+			fmt.Fprintf(os.Stderr, "sdbench: %s/%s serial=%s j%d=%s (%.2fx)\n",
+				kind, st.name, time.Duration(serial), resolved,
+				time.Duration(parallel), float64(serial)/float64(parallel))
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(snap); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// datasetStages builds the timed stage list for one corpus. Each closure
+// re-runs its stage from the cached inputs; outputs are discarded.
+func datasetStages(c *experiments.Corpus) ([]benchStage, error) {
+	params := experiments.ParamsFor(c.Kind)
+	events := core.RuleEvents(c.LearnPlus)
+	streams := core.TemporalStreams(c.LearnPlus)
+	// The same grid Learner.Learn sweeps under CalibrateTemporal.
+	alphas := []float64{0.01, 0.025, 0.05, 0.075, 0.1, 0.2, 0.3, 0.45, 0.6}
+	betas := []float64{2, 3, 4, 5, 6, 7}
+
+	return []benchStage{
+		{
+			name: "template_learn", msgs: len(c.Learn.Messages),
+			run: func(workers int) error {
+				topt := params.Template
+				topt.Pool = par.New(workers)
+				template.Learn(c.Learn.Messages, topt)
+				return nil
+			},
+		},
+		{
+			name: "temporal_calibrate", msgs: len(c.LearnPlus),
+			run: func(workers int) error {
+				_, err := temporal.CalibrateWith(par.New(workers), streams, alphas, betas, params.Temporal)
+				return err
+			},
+		},
+		{
+			name: "rule_mine", msgs: len(events),
+			run: func(workers int) error {
+				rcfg := params.Rules
+				rcfg.Pool = par.New(workers)
+				_, err := rules.Mine(events, rcfg)
+				return err
+			},
+		},
+		{
+			name: "augment", msgs: len(c.Online.Messages),
+			run: func(workers int) error {
+				c.KB.AugmentAllParallel(c.Online.Messages, workers)
+				return nil
+			},
+		},
+		{
+			name: "full_digest", msgs: len(c.Online.Messages),
+			run: func(workers int) error {
+				d, err := core.NewDigester(c.KB)
+				if err != nil {
+					return err
+				}
+				d.SetParallelism(workers)
+				_, err = d.Digest(c.Online.Messages)
+				return err
+			},
+		},
+	}, nil
+}
+
+// timeStage returns the minimum wall-clock nanoseconds over benchReps runs.
+func timeStage(st benchStage, workers int) (int64, error) {
+	best := int64(0)
+	for r := 0; r < benchReps; r++ {
+		start := time.Now()
+		if err := st.run(workers); err != nil {
+			return 0, err
+		}
+		ns := time.Since(start).Nanoseconds()
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
+func entry(st benchStage, kind gen.DatasetKind, workers int, ns int64) benchEntry {
+	perSec := 0.0
+	if ns > 0 {
+		perSec = float64(st.msgs) / (float64(ns) / 1e9)
+	}
+	return benchEntry{
+		Name: st.name, Dataset: kind.String(), Workers: workers,
+		NsPerOp: ns, MsgsPerOp: st.msgs, MsgsPerSec: round3(perSec),
+	}
+}
+
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}

@@ -9,6 +9,11 @@
 //	sdbench -profile full    # paper-scale profile (minutes)
 //	sdbench -dataset A       # one dataset only
 //	sdbench -out results.txt # also write the report to a file
+//	sdbench -json bench.json # machine-readable stage-benchmark snapshot
+//	sdbench -j 4             # worker parallelism (0 = GOMAXPROCS)
+//
+// -json skips the report and instead times each pipeline stage serially and
+// at the -j fan-out, writing a stable JSON snapshot (see benchjson.go).
 package main
 
 import (
@@ -30,6 +35,8 @@ func main() {
 		profileFlag = flag.String("profile", "small", "experiment profile: small or full")
 		datasetFlag = flag.String("dataset", "both", "dataset: A, B, or both")
 		outPath     = flag.String("out", "", "also write the report to this file")
+		jsonPath    = flag.String("json", "", "write a machine-readable stage-benchmark snapshot to this file instead of the report")
+		workers     = flag.Int("j", 0, "worker parallelism for learning and digesting (0 = GOMAXPROCS, 1 = serial; results are identical at any setting)")
 	)
 	flag.Parse()
 
@@ -53,6 +60,15 @@ func main() {
 		kinds = []gen.DatasetKind{gen.DatasetA, gen.DatasetB}
 	default:
 		fatalf("unknown -dataset %q", *datasetFlag)
+	}
+	profile.Parallelism = *workers
+
+	if *jsonPath != "" {
+		if err := writeBenchJSON(*jsonPath, profile, kinds, *workers); err != nil {
+			fatalf("bench snapshot: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "sdbench: wrote %s\n", *jsonPath)
+		return
 	}
 
 	var out io.Writer = os.Stdout

@@ -43,6 +43,7 @@ func main() {
 		show        = flag.Int("show", 0, "print up to N raw syslog lines per event (drill-down)")
 		asJSON      = flag.Bool("json", false, "emit newline-delimited JSON instead of digest lines")
 		metricsAddr = flag.String("metrics", "", "serve /metrics and /healthz on this address ('' disables)")
+		workers     = flag.Int("j", 0, "worker parallelism for augment/grouping (0 = GOMAXPROCS, 1 = serial; output is identical at any setting)")
 	)
 	flag.Parse()
 	if *syslogPath == "" {
@@ -85,6 +86,7 @@ func main() {
 	if err != nil {
 		fatalf("digester: %v", err)
 	}
+	d.SetParallelism(*workers)
 	d.Instrument(reg)
 	switch strings.ToUpper(*stageFlag) {
 	case "T":

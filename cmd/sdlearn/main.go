@@ -33,6 +33,7 @@ func main() {
 		beta       = flag.Float64("beta", 5, "temporal tolerance beta")
 		calibrate  = flag.Bool("calibrate", false, "derive alpha/beta from the data instead of -alpha/-beta")
 		expertPath = flag.String("expert", "", "optional expert adjustments file (rule add/del, template names)")
+		workers    = flag.Int("j", 0, "worker parallelism for learning stages (0 = GOMAXPROCS, 1 = serial; output is identical at any setting)")
 	)
 	flag.Parse()
 	if *syslogPath == "" || *configDir == "" {
@@ -75,6 +76,7 @@ func main() {
 	params.Temporal.Alpha = *alpha
 	params.Temporal.Beta = *beta
 	params.CalibrateTemporal = *calibrate
+	params.Parallelism = *workers
 
 	started := time.Now()
 	kb, err := syslogdigest.NewLearner(params).Learn(msgs, configs)

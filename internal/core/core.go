@@ -26,10 +26,12 @@ import (
 	"syslogdigest/internal/locparse"
 	"syslogdigest/internal/netconf"
 	"syslogdigest/internal/obs"
+	"syslogdigest/internal/par"
 	"syslogdigest/internal/rules"
 	"syslogdigest/internal/syslogmsg"
 	"syslogdigest/internal/template"
 	"syslogdigest/internal/temporal"
+	"syslogdigest/internal/textutil"
 )
 
 // PlusMessage is a Syslog+ message: the raw message augmented with its
@@ -62,6 +64,15 @@ type Params struct {
 	// CalibrateTemporal makes Learn sweep alpha/beta grids instead of
 	// trusting Temporal as given.
 	CalibrateTemporal bool
+	// Parallelism bounds the worker fan-out of every parallel stage, both
+	// offline (template learning, temporal calibration, rule mining) and
+	// online (batch augmentation, the temporal grouping pass). 0 means
+	// runtime.GOMAXPROCS(0); 1 forces the serial path. Every parallel
+	// path is deterministic — output is byte-identical at any setting.
+	// Runtime knob only: it is not part of the learned knowledge and is
+	// not serialized into the knowledge base (a reloaded base defaults to
+	// 0 and can be re-tuned per process via the -j flags).
+	Parallelism int
 }
 
 // DefaultParams returns the paper's Table 6 configuration for dataset A;
@@ -101,6 +112,14 @@ func (p Params) normalize() Params {
 
 // KnowledgeBase is the output of offline learning and the input of online
 // digesting.
+//
+// Concurrency: the derived indexes (template matcher, location dictionary,
+// location parser) are built once by finish() and never mutated afterwards
+// — matching and parsing are pure lookups. Augment and AugmentAll are
+// therefore safe to call from any number of goroutines concurrently, which
+// is what lets the digester shard batches across workers. Mutating methods
+// (Relearn, UpdateRules, ApplyExpert) are NOT safe to run concurrently
+// with augmentation; they follow the paper's periodic-offline cadence.
 type KnowledgeBase struct {
 	Params    Params
 	Templates []template.Template
@@ -141,20 +160,24 @@ func (kb *KnowledgeBase) Dictionary() *locdict.Dictionary { return kb.dict }
 func (kb *KnowledgeBase) Matcher() *template.Matcher { return kb.matcher }
 
 // Augment converts one raw message into a Syslog+ message using the learned
-// templates and location dictionary.
+// templates and location dictionary. The detail is tokenized once and the
+// tokens shared between signature matching and location parsing — both
+// consume the same whitespace split, and this is the hottest path in the
+// online pipeline. Safe for concurrent use (see the type comment).
 func (kb *KnowledgeBase) Augment(m *syslogmsg.Message) PlusMessage {
 	pm := PlusMessage{Message: *m, Template: -1}
-	if t, ok := kb.matcher.Match(m.Code, m.Detail); ok {
+	toks := textutil.Tokenize(m.Detail)
+	if t, ok := kb.matcher.MatchTokens(m.Code, toks); ok {
 		pm.Template = t.ID
 	}
-	info := kb.parser.Parse(m)
+	info := kb.parser.ParseTokens(m, toks)
 	pm.Loc = info.Primary
 	pm.AllLocs = info.All
 	pm.Peers = info.PeerRouters
 	return pm
 }
 
-// AugmentAll converts a batch.
+// AugmentAll converts a batch serially.
 func (kb *KnowledgeBase) AugmentAll(msgs []syslogmsg.Message) []PlusMessage {
 	out := make([]PlusMessage, len(msgs))
 	for i := range msgs {
@@ -163,24 +186,64 @@ func (kb *KnowledgeBase) AugmentAll(msgs []syslogmsg.Message) []PlusMessage {
 	return out
 }
 
-// Learner runs the offline domain knowledge learning of Figure 1.
+// augmentWith shards a batch across the pool's workers, writing each shard
+// into its slot of the output slice — order-preserving, so the result is
+// identical to AugmentAll.
+func (kb *KnowledgeBase) augmentWith(pool *par.Pool, msgs []syslogmsg.Message) []PlusMessage {
+	if pool.Workers() <= 1 {
+		return kb.AugmentAll(msgs)
+	}
+	out := make([]PlusMessage, len(msgs))
+	_ = pool.Chunks(len(msgs), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			out[i] = kb.Augment(&msgs[i])
+		}
+		return nil
+	})
+	return out
+}
+
+// Learner runs the offline domain knowledge learning of Figure 1. Every
+// stage fans out over one worker pool sized by Params.Parallelism; see
+// Instrument for its metrics.
 type Learner struct {
 	params Params
+	pool   *par.Pool
 }
 
 // NewLearner builds a learner; zero-value fields in params take Table 6
 // defaults.
 func NewLearner(params Params) *Learner {
-	return &Learner{params: params.normalize()}
+	params = params.normalize()
+	return &Learner{params: params, pool: par.New(params.Parallelism)}
+}
+
+// Instrument publishes the learner's worker-pool metrics (learn.pool.*:
+// workers gauge, tasks counter, queue-wait histogram) into reg. A nil
+// registry leaves the learner uninstrumented.
+func (l *Learner) Instrument(reg *obs.Registry) {
+	l.pool.Instrument(reg, "learn.pool")
+}
+
+// stageOptions returns the per-stage configs with the learner's pool
+// threaded in (the pool is a runtime handle, deliberately kept out of the
+// Params struct the knowledge base persists).
+func (l *Learner) stageOptions() (template.Options, rules.Config) {
+	topt := l.params.Template
+	topt.Pool = l.pool
+	rcfg := l.params.Rules
+	rcfg.Pool = l.pool
+	return topt, rcfg
 }
 
 // Learn builds a knowledge base from historical messages and router
 // configs. When CalibrateTemporal is set, alpha and beta are chosen by the
 // §5.2.3 compression-ratio sweep over the historical streams.
 func (l *Learner) Learn(historical []syslogmsg.Message, configs []*netconf.Config) (*KnowledgeBase, error) {
+	topt, rcfg := l.stageOptions()
 	kb := &KnowledgeBase{
 		Params:    l.params,
-		Templates: template.Learn(historical, l.params.Template),
+		Templates: template.Learn(historical, topt),
 		Configs:   configs,
 	}
 	if err := kb.finish(); err != nil {
@@ -189,7 +252,7 @@ func (l *Learner) Learn(historical []syslogmsg.Message, configs []*netconf.Confi
 
 	// Augment the history once; every remaining learning step consumes the
 	// Syslog+ view.
-	plus := kb.AugmentAll(historical)
+	plus := kb.augmentWith(l.pool, historical)
 
 	// Signature frequency per router (scoring input).
 	kb.Freq = event.NewFreqTable()
@@ -202,7 +265,7 @@ func (l *Learner) Learn(historical []syslogmsg.Message, configs []*netconf.Confi
 		streams := TemporalStreams(plus)
 		alphas := []float64{0.01, 0.025, 0.05, 0.075, 0.1, 0.2, 0.3, 0.45, 0.6}
 		betas := []float64{2, 3, 4, 5, 6, 7}
-		best, err := temporal.Calibrate(streams, alphas, betas, l.params.Temporal)
+		best, err := temporal.CalibrateWith(l.pool, streams, alphas, betas, l.params.Temporal)
 		if err != nil {
 			return nil, fmt.Errorf("core: temporal calibration: %w", err)
 		}
@@ -210,7 +273,7 @@ func (l *Learner) Learn(historical []syslogmsg.Message, configs []*netconf.Confi
 	}
 
 	// Association rule mining over the whole history.
-	res, err := rules.Mine(RuleEvents(plus), l.params.Rules)
+	res, err := rules.Mine(RuleEvents(plus), rcfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: rule mining: %w", err)
 	}
@@ -222,8 +285,9 @@ func (l *Learner) Learn(historical []syslogmsg.Message, configs []*netconf.Confi
 // UpdateRules applies one period's incremental mining (the paper's weekly
 // refresh) to the knowledge base.
 func (l *Learner) UpdateRules(kb *KnowledgeBase, period []syslogmsg.Message) (rules.UpdateStats, error) {
-	plus := kb.AugmentAll(period)
-	res, err := rules.Mine(RuleEvents(plus), l.params.Rules)
+	_, rcfg := l.stageOptions()
+	plus := kb.augmentWith(l.pool, period)
+	res, err := rules.Mine(RuleEvents(plus), rcfg)
 	if err != nil {
 		return rules.UpdateStats{}, fmt.Errorf("core: rule mining: %w", err)
 	}
@@ -314,12 +378,15 @@ type digestMetrics struct {
 	mergeC     *obs.Counter   // group.merges.cross
 }
 
-// Digester is the online half of SyslogDigest.
+// Digester is the online half of SyslogDigest. Batch augmentation and the
+// temporal grouping pass fan out over one worker pool sized by the
+// knowledge base's Params.Parallelism (overridable via SetParallelism).
 type Digester struct {
 	kb      *KnowledgeBase
 	stage   Stage
 	builder *event.Builder
 	labeler *event.Labeler
+	pool    *par.Pool
 	met     digestMetrics
 }
 
@@ -337,11 +404,17 @@ func NewDigester(kb *KnowledgeBase) (*Digester, error) {
 		stage:   StageFull,
 		builder: event.NewBuilder(kb.Freq, labeler),
 		labeler: labeler,
+		pool:    par.New(kb.Params.Parallelism),
 	}, nil
 }
 
 // SetStage restricts the grouping pipeline (for the Table 7 ablation).
 func (d *Digester) SetStage(s Stage) { d.stage = s }
+
+// SetParallelism rebuilds the digester's worker pool with n workers (0 =
+// GOMAXPROCS, 1 = serial). Results are byte-identical at any setting.
+// Call before Instrument so the new pool's metrics are registered.
+func (d *Digester) SetParallelism(n int) { d.pool = par.New(n) }
 
 // Instrument publishes the digester's metrics (digest.*, group.merges.*)
 // into reg: wall-time histograms for the augment/group/build stages, batch
@@ -362,19 +435,24 @@ func (d *Digester) Instrument(reg *obs.Registry) {
 		mergeR:     reg.Counter("group.merges.rule"),
 		mergeC:     reg.Counter("group.merges.cross"),
 	}
+	d.pool.Instrument(reg, "digest.pool")
 }
 
 // Labeler exposes the event labeler for expert naming overrides.
 func (d *Digester) Labeler() *event.Labeler { return d.labeler }
 
-// Digest processes one batch of raw messages into ranked events. Large
-// batches augment in parallel (the knowledge base is immutable during
-// digesting).
+// parallelBatchMin is the batch size below which sharding the augment
+// across workers costs more in goroutine handoff than it saves.
+const parallelBatchMin = 2048
+
+// Digest processes one batch of raw messages into ranked events. Batches
+// of parallelBatchMin or more augment in parallel over the digester's pool
+// (the knowledge base is immutable during digesting; see KnowledgeBase).
 func (d *Digester) Digest(msgs []syslogmsg.Message) (*DigestResult, error) {
 	start := time.Now()
 	var plus []PlusMessage
-	if len(msgs) >= 4096 {
-		plus = d.kb.AugmentAllParallel(msgs, 0)
+	if len(msgs) >= parallelBatchMin {
+		plus = d.kb.augmentWith(d.pool, msgs)
 	} else {
 		plus = d.kb.AugmentAll(msgs)
 	}
@@ -388,6 +466,7 @@ func (d *Digester) DigestPlus(plus []PlusMessage) (*DigestResult, error) {
 		Temporal:    d.kb.Params.Temporal,
 		RuleWindow:  d.kb.Params.Rules.Window,
 		CrossWindow: d.kb.Params.CrossWindow,
+		Pool:        d.pool,
 	}
 	switch d.stage {
 	case StageTemporal:

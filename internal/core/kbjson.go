@@ -16,6 +16,11 @@ import (
 // and cmd/sddigest. Router configs are embedded as their rendered text —
 // the config *is* the serialization of the location dictionary, exactly as
 // in the offline learning design.
+//
+// Params.Parallelism (and the Pool handles inside the stage configs) are
+// deliberately NOT serialized: they are per-process runtime knobs, not
+// learned knowledge, and a knowledge base must produce byte-identical
+// digests regardless of the worker count it was learned or loaded with.
 
 type kbJSON struct {
 	Params    paramsJSON        `json:"params"`

@@ -2,9 +2,8 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
+	"syslogdigest/internal/par"
 	"syslogdigest/internal/rules"
 	"syslogdigest/internal/syslogmsg"
 	"syslogdigest/internal/template"
@@ -38,7 +37,8 @@ func (l *Learner) Relearn(kb *KnowledgeBase, period []syslogmsg.Message) (Relear
 	if kb == nil || kb.matcher == nil {
 		return st, fmt.Errorf("core: knowledge base not initialized")
 	}
-	fresh := template.Learn(period, l.params.Template)
+	topt, rcfg := l.stageOptions()
+	fresh := template.Learn(period, topt)
 
 	maxID := -1
 	for _, t := range kb.Templates {
@@ -71,11 +71,11 @@ func (l *Learner) Relearn(kb *KnowledgeBase, period []syslogmsg.Message) (Relear
 	kb.matcher = template.NewMatcher(kb.Templates)
 
 	// Refresh frequencies and rules with the period's augmented view.
-	plus := kb.AugmentAll(period)
+	plus := kb.augmentWith(l.pool, period)
 	for i := range plus {
 		kb.Freq.Add(plus[i].Router, plus[i].Template, 1)
 	}
-	res, err := rules.Mine(RuleEvents(plus), l.params.Rules)
+	res, err := rules.Mine(RuleEvents(plus), rcfg)
 	if err != nil {
 		return st, fmt.Errorf("core: rule mining: %w", err)
 	}
@@ -84,39 +84,9 @@ func (l *Learner) Relearn(kb *KnowledgeBase, period []syslogmsg.Message) (Relear
 }
 
 // AugmentAllParallel is AugmentAll fanned out over workers; the knowledge
-// base is immutable during augmentation, so this is safe. workers <= 0
-// means GOMAXPROCS. Order is preserved.
+// base is immutable during augmentation, so this is safe (see the
+// KnowledgeBase type comment). workers <= 0 means GOMAXPROCS. Order is
+// preserved, so the output is identical to AugmentAll.
 func (kb *KnowledgeBase) AugmentAllParallel(msgs []syslogmsg.Message, workers int) []PlusMessage {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	n := len(msgs)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		return kb.AugmentAll(msgs)
-	}
-	out := make([]PlusMessage, n)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = kb.Augment(&msgs[i])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	return out
+	return kb.augmentWith(par.New(workers), msgs)
 }

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"syslogdigest/internal/locdict"
+	"syslogdigest/internal/par"
 	"syslogdigest/internal/rules"
 	"syslogdigest/internal/temporal"
 )
@@ -54,6 +55,12 @@ type Config struct {
 	// against within a window, bounding worst-case storm cost. Zero
 	// defaults to 256.
 	MaxScan int
+	// Pool bounds the temporal pass's worker fan-out: independent
+	// (template, location) streams run their EWMA models concurrently and
+	// the resulting merges are applied to the union-find serially, so the
+	// partition is identical at any worker count. Nil means a default
+	// pool at GOMAXPROCS. Runtime knob only — never serialized.
+	Pool *par.Pool
 	// Stage selection for the Table 7 ablation; all false means all on.
 	OnlyTemporal     bool // T
 	TemporalAndRules bool // T+R
@@ -68,6 +75,9 @@ func (c Config) normalize() Config {
 	}
 	if c.MaxScan == 0 {
 		c.MaxScan = 256
+	}
+	if c.Pool == nil {
+		c.Pool = par.New(0)
 	}
 	return c
 }
@@ -154,31 +164,60 @@ func (g *Grouper) Group(msgs []Message) (*Result, error) {
 }
 
 // temporalPass runs the learned interarrival model per (template, location)
-// stream, merging consecutive same-group messages.
+// stream, merging consecutive same-group messages. Streams are mutually
+// independent — each has its own EWMA state and its merges only ever join
+// messages of that stream — so they run concurrently over cfg.Pool; the
+// collected merges are applied to the union-find serially in stream
+// first-appearance order, making the outcome identical to the serial scan
+// at any worker count.
 func (g *Grouper) temporalPass(byTime []*Message, uf *unionFind, merges *int) error {
 	type streamKey struct {
 		template int
 		loc      string
 	}
-	groupers := make(map[streamKey]*temporal.Grouper)
-	lastSeq := make(map[streamKey]int)
+	streams := make(map[streamKey][]*Message)
+	var keys []streamKey
 	for _, m := range byTime {
 		key := streamKey{m.Template, m.Loc.Key()}
-		tg := groupers[key]
-		if tg == nil {
-			var err error
-			tg, err = temporal.NewGrouper(g.cfg.Temporal)
+		if _, ok := streams[key]; !ok {
+			keys = append(keys, key)
+		}
+		streams[key] = append(streams[key], m)
+	}
+
+	// pairs[i] holds stream i's (previous, current) Seq merges in time
+	// order; the temporal model never joins across streams, so per-stream
+	// collection loses nothing. Streams are far cheaper than pool tasks
+	// (often a handful of messages each), so workers take contiguous chunks
+	// of streams rather than one stream per task.
+	pairs := make([][][2]int, len(keys))
+	err := g.cfg.Pool.Chunks(len(keys), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			tg, err := temporal.NewGrouper(g.cfg.Temporal)
 			if err != nil {
 				return err
 			}
-			groupers[key] = tg
+			var out [][2]int
+			last := -1
+			for _, m := range streams[keys[i]] {
+				if tg.Observe(m.Time) {
+					out = append(out, [2]int{last, m.Seq})
+				}
+				last = m.Seq
+			}
+			pairs[i] = out
 		}
-		if tg.Observe(m.Time) {
-			if uf.union(lastSeq[key], m.Seq) {
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, ps := range pairs {
+		for _, pr := range ps {
+			if uf.union(pr[0], pr[1]) {
 				*merges++
 			}
 		}
-		lastSeq[key] = m.Seq
 	}
 	return nil
 }

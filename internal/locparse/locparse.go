@@ -50,12 +50,20 @@ func New(dict *locdict.Dictionary) *Parser {
 
 // Parse extracts and grounds the locations of one message.
 func (p *Parser) Parse(m *syslogmsg.Message) Info {
+	return p.ParseTokens(m, textutil.Tokenize(m.Detail))
+}
+
+// ParseTokens is Parse over the message's pre-tokenized detail, letting
+// callers that also signature-match the message tokenize it once and share
+// the slice. The parser only reads the tokens. Safe for concurrent use:
+// the parser and its dictionary are immutable after construction.
+func (p *Parser) ParseTokens(m *syslogmsg.Message, toks []string) Info {
 	info := Info{Primary: locdict.RouterLoc(m.Router)}
 	seenLoc := make(map[locdict.Location]bool)
 	seenPeer := make(map[string]bool)
 
 	prevWord := ""
-	for _, tok := range textutil.Tokenize(m.Detail) {
+	for _, tok := range toks {
 		core, _, _ := textutil.TrimWord(tok)
 		if core == "" {
 			continue

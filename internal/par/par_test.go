@@ -1,0 +1,159 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"syslogdigest/internal/obs"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestNilAndZeroPoolsRunInline(t *testing.T) {
+	var nilPool *Pool
+	for name, p := range map[string]*Pool{"nil": nilPool, "zero": {}} {
+		if p.Workers() != 1 {
+			t.Fatalf("%s pool Workers() = %d, want 1", name, p.Workers())
+		}
+		sum := 0
+		if err := p.ForEach(5, func(i int) error { sum += i; return nil }); err != nil {
+			t.Fatalf("%s pool ForEach: %v", name, err)
+		}
+		if sum != 10 {
+			t.Fatalf("%s pool sum = %d", name, sum)
+		}
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8, 100} {
+		p := New(w)
+		const n = 57
+		var hits [n]atomic.Int32
+		if err := p.ForEach(n, func(i int) error { hits[i].Add(1); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d index %d hit %d times", w, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestForEachLowestIndexErrorWins(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		p := New(w)
+		err := p.ForEach(20, func(i int) error {
+			if i%3 == 0 && i > 0 {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 3" {
+			t.Fatalf("workers=%d err = %v, want fail at 3", w, err)
+		}
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		p := New(w)
+		out, err := Map(p, 33, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d out[%d] = %d", w, i, v)
+			}
+		}
+	}
+	if _, err := Map(New(4), 5, func(i int) (int, error) {
+		return 0, errors.New("boom")
+	}); err == nil {
+		t.Fatal("Map swallowed error")
+	}
+}
+
+func TestChunksCoverExactly(t *testing.T) {
+	for _, w := range []int{1, 3, 4, 16} {
+		p := New(w)
+		for _, n := range []int{0, 1, 5, 16, 17, 1000} {
+			var covered atomic.Int64
+			err := p.Chunks(n, func(lo, hi int) error {
+				if lo >= hi || lo < 0 || hi > n {
+					return fmt.Errorf("bad chunk [%d, %d)", lo, hi)
+				}
+				covered.Add(int64(hi - lo))
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if covered.Load() != int64(n) {
+				t.Fatalf("workers=%d n=%d covered %d", w, n, covered.Load())
+			}
+		}
+	}
+}
+
+func TestRanges(t *testing.T) {
+	if got := Ranges(0, 4); got != nil {
+		t.Fatalf("Ranges(0,4) = %v", got)
+	}
+	// Contiguous, ordered, exactly covering [0, n).
+	for _, tc := range []struct{ n, parts int }{{1, 1}, {10, 3}, {10, 10}, {10, 99}, {7, 2}} {
+		rs := Ranges(tc.n, tc.parts)
+		if len(rs) > tc.parts {
+			t.Fatalf("Ranges(%d,%d): %d ranges", tc.n, tc.parts, len(rs))
+		}
+		want := 0
+		for _, r := range rs {
+			if r[0] != want || r[1] <= r[0] {
+				t.Fatalf("Ranges(%d,%d) = %v not contiguous", tc.n, tc.parts, rs)
+			}
+			want = r[1]
+		}
+		if want != tc.n {
+			t.Fatalf("Ranges(%d,%d) covers %d", tc.n, tc.parts, want)
+		}
+	}
+}
+
+func TestInstrument(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := New(4)
+	p.Instrument(reg, "test.pool")
+	if err := p.ForEach(10, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Gauge("test.pool.workers"); got != 4 {
+		t.Fatalf("workers gauge = %v", got)
+	}
+	if got := snap.Counter("test.pool.tasks"); got != 10 {
+		t.Fatalf("tasks counter = %d", got)
+	}
+	h := snap.Histogram("test.pool.queue_wait_seconds")
+	if h == nil || h.Count != 10 {
+		t.Fatalf("queue wait histogram = %+v", h)
+	}
+	// Nil registry and nil pool are no-ops.
+	p.Instrument(nil, "x")
+	var np *Pool
+	np.Instrument(reg, "y")
+}

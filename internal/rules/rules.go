@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"syslogdigest/internal/par"
 )
 
 // Event is the minimal view of an augmented syslog message that mining
@@ -50,6 +52,12 @@ type Config struct {
 	// period for conf(X ⇒ Y) to be considered re-measured (used by
 	// RuleBase deletion). Zero defaults to 5.
 	MinEvidence int
+	// Pool bounds mining's worker fan-out: routers are partitioned across
+	// workers, each counting transactions into a private tally that is
+	// merged afterwards (counts are additive, so the result is identical
+	// at any worker count). Nil means a default pool at GOMAXPROCS.
+	// Runtime knob only — never serialized.
+	Pool *par.Pool
 }
 
 func (c Config) normalize() (Config, error) {
@@ -76,6 +84,9 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.MinEvidence == 0 {
 		c.MinEvidence = 5
+	}
+	if c.Pool == nil {
+		c.Pool = par.New(0)
 	}
 	return c, nil
 }
@@ -106,7 +117,10 @@ type Result struct {
 }
 
 // Mine builds transactions from events (any order; sorted internally per
-// router) and mines pairwise rules.
+// router) and mines pairwise rules. Routers are partitioned across
+// cfg.Pool's workers, each counting into a private tally; the tallies are
+// merged afterwards. Transaction counts are additive across routers, so
+// the result is identical to a serial pass at any worker count.
 func Mine(events []Event, cfg Config) (*Result, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
@@ -122,15 +136,39 @@ func Mine(events []Event, cfg Config) (*Result, error) {
 	}
 	sort.Strings(routers)
 
-	res := &Result{
-		ItemTx: make(map[int]int),
-		PairTx: make(map[PairKey]int),
-		cfg:    cfg,
-	}
-	for _, r := range routers {
-		stream := byRouter[r]
-		sort.SliceStable(stream, func(i, j int) bool { return stream[i].Time.Before(stream[j].Time) })
-		mineStream(stream, cfg, res)
+	shards := par.Ranges(len(routers), cfg.Pool.Workers())
+	partials, _ := par.Map(cfg.Pool, len(shards), func(i int) (*Result, error) {
+		part := &Result{
+			ItemTx: make(map[int]int),
+			PairTx: make(map[PairKey]int),
+			cfg:    cfg,
+		}
+		for _, r := range routers[shards[i][0]:shards[i][1]] {
+			stream := byRouter[r]
+			sort.SliceStable(stream, func(i, j int) bool { return stream[i].Time.Before(stream[j].Time) })
+			mineStream(stream, cfg, part)
+		}
+		return part, nil
+	})
+
+	var res *Result
+	if len(partials) == 1 {
+		res = partials[0]
+	} else {
+		res = &Result{
+			ItemTx: make(map[int]int),
+			PairTx: make(map[PairKey]int),
+			cfg:    cfg,
+		}
+		for _, part := range partials {
+			res.Transactions += part.Transactions
+			for t, n := range part.ItemTx {
+				res.ItemTx[t] += n
+			}
+			for pk, n := range part.PairTx {
+				res.PairTx[pk] += n
+			}
+		}
 	}
 
 	res.Rules = res.rulesFromStats()

@@ -31,6 +31,7 @@ import (
 	"sort"
 	"strings"
 
+	"syslogdigest/internal/par"
 	"syslogdigest/internal/syslogmsg"
 	"syslogdigest/internal/textutil"
 )
@@ -104,6 +105,12 @@ type Options struct {
 	MinChildFraction float64
 	// MinChildCount is the absolute floor on child support; 0 means 2.
 	MinChildCount int
+	// Pool bounds learning's worker fan-out (chunked tokenization, one
+	// sub-type tree per error code). Nil means a default pool at
+	// GOMAXPROCS; a one-worker pool forces the serial path. Output is
+	// byte-identical at any worker count. Runtime knob only — it is not
+	// part of the learned knowledge and is never serialized.
+	Pool *par.Pool
 }
 
 func (o *Options) normalize() {
@@ -119,16 +126,34 @@ func (o *Options) normalize() {
 	if o.MinChildCount <= 0 {
 		o.MinChildCount = 2
 	}
+	if o.Pool == nil {
+		o.Pool = par.New(0)
+	}
 }
 
 // Learn builds templates from a historical message corpus. Output order is
 // deterministic: codes sorted lexicographically, leaves in construction
-// order; IDs are assigned sequentially from 0.
+// order; IDs are assigned sequentially from 0. Learning fans out over
+// opt.Pool — tokenization/masking in chunks, then one sub-type tree per
+// error code — and is byte-identical to the serial path at any worker
+// count (each unit is independent; collection is index-ordered and ID
+// assignment stays sequential).
 func Learn(msgs []syslogmsg.Message, opt Options) []Template {
 	opt.normalize()
-	byCode := make(map[string][]string)
+	toks := make([][]string, len(msgs))
+	_ = opt.Pool.Chunks(len(msgs), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			ts := textutil.Tokenize(msgs[i].Detail)
+			if !opt.NoPreMask {
+				ts = textutil.MaskTokens(ts)
+			}
+			toks[i] = ts
+		}
+		return nil
+	})
+	byCode := make(map[string][][]string)
 	for i := range msgs {
-		byCode[msgs[i].Code] = append(byCode[msgs[i].Code], msgs[i].Detail)
+		byCode[msgs[i].Code] = append(byCode[msgs[i].Code], toks[i])
 	}
 	codes := make([]string, 0, len(byCode))
 	for c := range byCode {
@@ -136,10 +161,13 @@ func Learn(msgs []syslogmsg.Message, opt Options) []Template {
 	}
 	sort.Strings(codes)
 
+	perCode, _ := par.Map(opt.Pool, len(codes), func(i int) ([][]string, error) {
+		return learnCode(byCode[codes[i]], opt), nil
+	})
 	var out []Template
-	for _, code := range codes {
-		for _, words := range learnCode(byCode[code], opt) {
-			out = append(out, Template{ID: len(out), Code: code, Words: words})
+	for ci, patterns := range perCode {
+		for _, words := range patterns {
+			out = append(out, Template{ID: len(out), Code: codes[ci], Words: words})
 		}
 	}
 	return out
@@ -153,15 +181,12 @@ type uniqueSeq struct {
 	count  int
 }
 
-// learnCode learns the sub-type patterns for one error code.
-func learnCode(details []string, opt Options) [][]string {
+// learnCode learns the sub-type patterns for one error code from its
+// messages' pre-tokenized (and pre-masked) details.
+func learnCode(details [][]string, opt Options) [][]string {
 	uniq := make(map[string]*uniqueSeq)
 	var order []string
-	for _, d := range details {
-		toks := textutil.Tokenize(d)
-		if !opt.NoPreMask {
-			toks = textutil.MaskTokens(toks)
-		}
+	for _, toks := range details {
 		key := strings.Join(toks, "\x00")
 		if u := uniq[key]; u != nil {
 			u.count++
@@ -465,31 +490,41 @@ func leafPattern(group [][]string) []string {
 	return collapsed
 }
 
-// Matcher performs online signature matching: message → template.
+// Matcher performs online signature matching: message → template. It is
+// immutable after NewMatcher and safe for concurrent use.
 type Matcher struct {
-	byCode map[string][]Template
+	byCode map[string][]matchEntry
 	byID   map[int]Template
+}
+
+// matchEntry is one indexed template with its literal words precomputed —
+// Literals() allocates, and Match is the hottest call in the online
+// pipeline, so the allocation is paid once at index build instead of per
+// message.
+type matchEntry struct {
+	t    Template
+	lits []string
 }
 
 // NewMatcher indexes templates for matching. Within each code, templates are
 // ordered most-specific-first so Match can return the first hit.
 func NewMatcher(templates []Template) *Matcher {
 	m := &Matcher{
-		byCode: make(map[string][]Template),
+		byCode: make(map[string][]matchEntry),
 		byID:   make(map[int]Template, len(templates)),
 	}
 	for _, t := range templates {
-		m.byCode[t.Code] = append(m.byCode[t.Code], t)
+		m.byCode[t.Code] = append(m.byCode[t.Code], matchEntry{t: t, lits: t.Literals()})
 		m.byID[t.ID] = t
 	}
 	for code := range m.byCode {
 		ts := m.byCode[code]
 		sort.SliceStable(ts, func(i, j int) bool {
-			si, sj := ts[i].Specificity(), ts[j].Specificity()
+			si, sj := len(ts[i].lits), len(ts[j].lits)
 			if si != sj {
 				return si > sj
 			}
-			return ts[i].ID < ts[j].ID
+			return ts[i].t.ID < ts[j].t.ID
 		})
 	}
 	return m
@@ -515,22 +550,25 @@ func (m *Matcher) ByID(id int) (Template, bool) {
 // in the message detail. ok is false when no template of the message's code
 // matches.
 func (m *Matcher) Match(code, detail string) (Template, bool) {
-	ts := m.byCode[code]
-	if len(ts) == 0 {
+	if len(m.byCode[code]) == 0 {
 		return Template{}, false
 	}
-	toks := textutil.Tokenize(detail)
-	for _, t := range ts {
-		if matchesLiterals(t, toks) {
-			return t, true
+	return m.MatchTokens(code, textutil.Tokenize(detail))
+}
+
+// MatchTokens is Match over a pre-tokenized detail, letting callers that
+// also location-parse the message tokenize it once and share the slice.
+func (m *Matcher) MatchTokens(code string, toks []string) (Template, bool) {
+	for _, e := range m.byCode[code] {
+		if matchesLiterals(e.lits, toks) {
+			return e.t, true
 		}
 	}
 	return Template{}, false
 }
 
-// matchesLiterals tests ordered containment of t's literal words in toks.
-func matchesLiterals(t Template, toks []string) bool {
-	lits := t.Literals()
+// matchesLiterals tests ordered containment of the literal words in toks.
+func matchesLiterals(lits, toks []string) bool {
 	k := 0
 	for _, w := range toks {
 		if k < len(lits) && w == lits[k] {

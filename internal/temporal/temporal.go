@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"time"
 
+	"syslogdigest/internal/par"
 	"syslogdigest/internal/stats"
 )
 
@@ -218,26 +219,45 @@ func SweepBeta(streams [][]time.Time, betas []float64, alpha float64, base Param
 // Calibrate picks the (alpha, beta) pair minimizing the compression ratio
 // over the given grids, the offline procedure of §5.2.3. Ties prefer the
 // smaller alpha, then the smaller beta (cheaper, more stable settings).
+// The grid is evaluated on a default worker pool; see CalibrateWith.
 func Calibrate(streams [][]time.Time, alphas, betas []float64, base Params) (Params, error) {
+	return CalibrateWith(nil, streams, alphas, betas, base)
+}
+
+// CalibrateWith is Calibrate with an explicit worker pool: every (alpha,
+// beta) grid point replays the streams independently, so the sweep is
+// evaluated concurrently and the winner is then selected serially in grid
+// order — identical to the serial sweep at any worker count. A nil pool
+// means a default pool at GOMAXPROCS.
+func CalibrateWith(pool *par.Pool, streams [][]time.Time, alphas, betas []float64, base Params) (Params, error) {
 	if len(alphas) == 0 || len(betas) == 0 {
 		return Params{}, fmt.Errorf("temporal: empty calibration grid")
 	}
-	best := base
-	bestRatio := 2.0
-	found := false
+	if pool == nil {
+		pool = par.New(0)
+	}
+	grid := make([]Params, 0, len(alphas)*len(betas))
 	for _, a := range alphas {
 		for _, b := range betas {
 			p := base
 			p.Alpha, p.Beta = a, b
-			r, err := CompressionRatio(streams, p)
-			if err != nil {
-				return Params{}, err
-			}
-			if !found || r < bestRatio {
-				found = true
-				bestRatio = r
-				best = p
-			}
+			grid = append(grid, p)
+		}
+	}
+	ratios, err := par.Map(pool, len(grid), func(i int) (float64, error) {
+		return CompressionRatio(streams, grid[i])
+	})
+	if err != nil {
+		return Params{}, err
+	}
+	best := base
+	bestRatio := 2.0
+	found := false
+	for i, r := range ratios {
+		if !found || r < bestRatio {
+			found = true
+			bestRatio = r
+			best = grid[i]
 		}
 	}
 	return best, nil
