@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test race build bench bench-smoke
+.PHONY: check fmt vet test race build bench bench-smoke bench-compare
 
-check: fmt vet race bench-smoke
+check: fmt vet race bench-smoke bench-compare
 
 # gofmt -l prints offending files; fail if it prints anything.
 fmt:
@@ -32,3 +32,13 @@ bench:
 # no longer compile or crash without paying for a full timed run.
 bench-smoke:
 	$(GO) test -run '^$$' -bench '^(BenchmarkStage|BenchmarkMicro)' -benchtime=1x .
+
+# Smoke-test the stage pipeline against the committed baseline snapshot. The
+# tolerance is deliberately generous: this catches order-of-magnitude
+# regressions and schema/stage drift on shared CI machines, not single-digit
+# noise (use sdbench -compare with a tighter -tolerance by hand for that).
+bench-compare:
+	@tmp=$$(mktemp /tmp/sdbench.XXXXXX.json); \
+	$(GO) run ./cmd/sdbench -dataset A -json $$tmp && \
+	$(GO) run ./cmd/sdbench -compare BENCH_PR3.json -tolerance 150 $$tmp; \
+	rc=$$?; rm -f $$tmp; exit $$rc

@@ -402,6 +402,38 @@ func BenchmarkStageAugment(b *testing.B) {
 	}
 }
 
+// BenchmarkMicroAugmentRepeated measures the augment hot path on the
+// repeated-message profile — a small window of messages cycled so the
+// match cache (when on) reaches steady-state hit rates, the workload shape
+// operational syslog is dominated by. The nocache variant pins the
+// uncached floor, which must stay within noise of the pre-cache engine.
+func BenchmarkMicroAugmentRepeated(b *testing.B) {
+	c := mustCorpus(b, gen.DatasetA)
+	msgs := c.Online.Messages
+	if len(msgs) > 256 {
+		msgs = msgs[:256]
+	}
+	for _, mode := range []struct {
+		name string
+		size int
+	}{{"cache", 0}, {"nocache", -1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			c.KB.SetMatchCache(mode.size)
+			// The corpus (and its KB) is cached across benchmarks: restore
+			// the default cache configuration on the way out.
+			defer c.KB.SetMatchCache(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			n := 0
+			for i := 0; i < b.N; i++ {
+				m := &msgs[n%len(msgs)]
+				n++
+				_ = c.KB.Augment(m)
+			}
+		})
+	}
+}
+
 func BenchmarkStageRuleMining(b *testing.B) {
 	c := mustCorpus(b, gen.DatasetA)
 	events := core.RuleEvents(c.KB.AugmentAll(c.Learn.Messages))

@@ -16,6 +16,7 @@ import (
 	"syslogdigest/internal/core"
 	"syslogdigest/internal/experiments"
 	"syslogdigest/internal/gen"
+	"syslogdigest/internal/obs"
 	"syslogdigest/internal/par"
 	"syslogdigest/internal/rules"
 	"syslogdigest/internal/template"
@@ -27,12 +28,25 @@ import (
 const benchReps = 3
 
 type benchSnapshot struct {
-	Schema     string           `json:"schema"`
-	Profile    string           `json:"profile"`
-	Workers    int              `json:"workers"`
-	GOMAXPROCS int              `json:"gomaxprocs"`
-	Benchmarks []benchEntry     `json:"benchmarks"`
-	Speedups   []speedupSummary `json:"speedups"`
+	Schema     string            `json:"schema"`
+	Profile    string            `json:"profile"`
+	Workers    int               `json:"workers"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Benchmarks []benchEntry      `json:"benchmarks"`
+	Speedups   []speedupSummary  `json:"speedups"`
+	MatchCache []matchCacheStats `json:"match_cache,omitempty"`
+}
+
+// matchCacheStats records the match-cache effectiveness of one cold
+// single-worker augment pass over the dataset's online half (schema v2).
+type matchCacheStats struct {
+	Dataset           string  `json:"dataset"`
+	Messages          int     `json:"messages"`
+	Hits              uint64  `json:"hits"`
+	Misses            uint64  `json:"misses"`
+	Evictions         uint64  `json:"evictions"`
+	HitRate           float64 `json:"hit_rate"`
+	CandidatesScanned uint64  `json:"candidates_scanned"`
 }
 
 type benchEntry struct {
@@ -63,7 +77,7 @@ type benchStage struct {
 func writeBenchJSON(path string, profile experiments.Profile, kinds []gen.DatasetKind, workers int) error {
 	resolved := par.Workers(workers)
 	snap := benchSnapshot{
-		Schema:     "syslogdigest-bench/1",
+		Schema:     "syslogdigest-bench/2",
 		Profile:    profile.Name,
 		Workers:    resolved,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -82,12 +96,17 @@ func writeBenchJSON(path string, profile experiments.Profile, kinds []gen.Datase
 			if err != nil {
 				return fmt.Errorf("%s (serial): %w", st.name, err)
 			}
-			parallel, err := timeStage(st, resolved)
-			if err != nil {
-				return fmt.Errorf("%s (j=%d): %w", st.name, resolved, err)
+			snap.Benchmarks = append(snap.Benchmarks, entry(st, kind, 1, serial))
+			parallel := serial
+			if resolved != 1 {
+				// Skip the redundant second timing when -j resolves to 1, so
+				// (dataset, name, workers) keys stay unique in the snapshot.
+				parallel, err = timeStage(st, resolved)
+				if err != nil {
+					return fmt.Errorf("%s (j=%d): %w", st.name, resolved, err)
+				}
+				snap.Benchmarks = append(snap.Benchmarks, entry(st, kind, resolved, parallel))
 			}
-			snap.Benchmarks = append(snap.Benchmarks,
-				entry(st, kind, 1, serial), entry(st, kind, resolved, parallel))
 			snap.Speedups = append(snap.Speedups, speedupSummary{
 				Name: st.name, Dataset: kind.String(),
 				Speedup: round3(float64(serial) / float64(parallel)),
@@ -96,6 +115,9 @@ func writeBenchJSON(path string, profile experiments.Profile, kinds []gen.Datase
 				kind, st.name, time.Duration(serial), resolved,
 				time.Duration(parallel), float64(serial)/float64(parallel))
 		}
+		// After the timed stages (so counter traffic never skews timings),
+		// run one instrumented pass to record cache effectiveness.
+		snap.MatchCache = append(snap.MatchCache, cacheStats(c))
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -147,8 +169,22 @@ func datasetStages(c *experiments.Corpus) ([]benchStage, error) {
 			},
 		},
 		{
+			// The uncached match path: every message is tokenized, matched
+			// and location-parsed. Comparable with pre-cache baselines.
 			name: "augment", msgs: len(c.Online.Messages),
 			run: func(workers int) error {
+				c.KB.SetMatchCache(-1)
+				defer c.KB.SetMatchCache(0)
+				c.KB.AugmentAllParallel(c.Online.Messages, workers)
+				return nil
+			},
+		},
+		{
+			// Default match-cache configuration, flushed per rep so every
+			// rep pays the same cold-start fills.
+			name: "augment_cached", msgs: len(c.Online.Messages),
+			run: func(workers int) error {
+				c.KB.SetMatchCache(0)
 				c.KB.AugmentAllParallel(c.Online.Messages, workers)
 				return nil
 			},
@@ -197,4 +233,28 @@ func entry(st benchStage, kind gen.DatasetKind, workers int, ns int64) benchEntr
 
 func round3(v float64) float64 {
 	return float64(int64(v*1000+0.5)) / 1000
+}
+
+// cacheStats runs one cold single-worker augment pass with the knowledge
+// base instrumented and returns the match-cache counter values. The cache is
+// flushed first so the numbers describe a deterministic cold start over the
+// online half, independent of whatever the timed stages left behind.
+func cacheStats(c *experiments.Corpus) matchCacheStats {
+	reg := obs.NewRegistry()
+	c.KB.Instrument(reg)
+	c.KB.SetMatchCache(0)
+	c.KB.AugmentAllParallel(c.Online.Messages, 1)
+	snap := reg.Snapshot()
+	st := matchCacheStats{
+		Dataset:           c.Kind.String(),
+		Messages:          len(c.Online.Messages),
+		Hits:              snap.Counter("digest.match.cache.hits"),
+		Misses:            snap.Counter("digest.match.cache.misses"),
+		Evictions:         snap.Counter("digest.match.cache.evictions"),
+		CandidatesScanned: snap.Counter("digest.match.candidates_scanned"),
+	}
+	if n := st.Hits + st.Misses; n > 0 {
+		st.HitRate = round3(float64(st.Hits) / float64(n))
+	}
+	return st
 }

@@ -1,0 +1,142 @@
+package main
+
+// Benchmark snapshot comparison (-compare). Reads two -json snapshots and
+// prints per-stage deltas, so a perf change can be judged against a committed
+// baseline (e.g. BENCH_PR3.json) in CI or by hand:
+//
+//	sdbench -json new.json
+//	sdbench -compare BENCH_PR3.json -tolerance 25 new.json
+//
+// Stages are matched on (dataset, name, workers); stages present in only one
+// snapshot are listed but never fail the comparison, so baselines survive
+// stage additions and renames. The exit status is non-zero when any matched
+// stage's ns_per_op regressed by more than -tolerance percent.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type benchKey struct {
+	Dataset string
+	Name    string
+	Workers int
+}
+
+// compareSnapshots prints the delta report to stdout and returns an error
+// when a matched stage regressed beyond tolerancePct.
+func compareSnapshots(oldPath, newPath string, tolerancePct float64) error {
+	oldSnap, err := readSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := readSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	if oldSnap.Schema != newSnap.Schema {
+		fmt.Fprintf(os.Stderr, "sdbench: note: comparing schema %q against %q\n",
+			oldSnap.Schema, newSnap.Schema)
+	}
+
+	oldBy := make(map[benchKey]benchEntry, len(oldSnap.Benchmarks))
+	for _, e := range oldSnap.Benchmarks {
+		oldBy[key(e)] = e
+	}
+
+	fmt.Printf("benchmark comparison: %s -> %s (tolerance %.1f%%)\n",
+		oldPath, newPath, tolerancePct)
+	fmt.Printf("%-10s %-18s %3s  %14s %14s %8s  %12s %12s\n",
+		"dataset", "stage", "j", "old ns/op", "new ns/op", "delta", "old msg/s", "new msg/s")
+
+	var worst float64
+	var worstKey benchKey
+	matched := 0
+	seen := make(map[benchKey]bool, len(newSnap.Benchmarks))
+	for _, ne := range newSnap.Benchmarks {
+		k := key(ne)
+		seen[k] = true
+		oe, ok := oldBy[k]
+		if !ok {
+			fmt.Printf("%-10s %-18s %3d  %14s %14d %8s  (new stage, not compared)\n",
+				ne.Dataset, ne.Name, ne.Workers, "-", ne.NsPerOp, "-")
+			continue
+		}
+		matched++
+		delta := pctDelta(oe.NsPerOp, ne.NsPerOp)
+		fmt.Printf("%-10s %-18s %3d  %14d %14d %+7.1f%%  %12.0f %12.0f\n",
+			ne.Dataset, ne.Name, ne.Workers, oe.NsPerOp, ne.NsPerOp, delta,
+			oe.MsgsPerSec, ne.MsgsPerSec)
+		if delta > worst {
+			worst = delta
+			worstKey = k
+		}
+	}
+	var dropped []benchKey
+	for k := range oldBy {
+		if !seen[k] {
+			dropped = append(dropped, k)
+		}
+	}
+	sort.Slice(dropped, func(i, j int) bool {
+		a, b := dropped[i], dropped[j]
+		if a.Dataset != b.Dataset {
+			return a.Dataset < b.Dataset
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Workers < b.Workers
+	})
+	for _, k := range dropped {
+		fmt.Printf("%-10s %-18s %3d  (only in %s, not compared)\n",
+			k.Dataset, k.Name, k.Workers, oldPath)
+	}
+
+	if matched == 0 {
+		return fmt.Errorf("no comparable stages between %s and %s", oldPath, newPath)
+	}
+	if worst > tolerancePct {
+		return fmt.Errorf("%s/%s j=%d regressed %.1f%% > tolerance %.1f%%",
+			worstKey.Dataset, worstKey.Name, worstKey.Workers, worst, tolerancePct)
+	}
+	fmt.Printf("ok: %d stages compared, worst regression %+.1f%% (tolerance %.1f%%)\n",
+		matched, worst, tolerancePct)
+	return nil
+}
+
+func key(e benchEntry) benchKey {
+	return benchKey{Dataset: e.Dataset, Name: e.Name, Workers: e.Workers}
+}
+
+// pctDelta is the ns/op change in percent; positive means the new run is
+// slower. Durations are minima over benchReps, so small positives are noise —
+// that is what -tolerance absorbs.
+func pctDelta(oldNs, newNs int64) float64 {
+	if oldNs <= 0 {
+		return 0
+	}
+	return (float64(newNs) - float64(oldNs)) / float64(oldNs) * 100
+}
+
+// readSnapshot decodes a -json snapshot, accepting any syslogdigest-bench
+// schema version: comparison only relies on the benchmarks list, which is
+// append-only across versions.
+func readSnapshot(path string) (*benchSnapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var snap benchSnapshot
+	if err := json.NewDecoder(f).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", path, err)
+	}
+	if !strings.HasPrefix(snap.Schema, "syslogdigest-bench/") {
+		return nil, fmt.Errorf("%s: unrecognized schema %q", path, snap.Schema)
+	}
+	return &snap, nil
+}

@@ -12,8 +12,12 @@
 //	sdbench -json bench.json # machine-readable stage-benchmark snapshot
 //	sdbench -j 4             # worker parallelism (0 = GOMAXPROCS)
 //
+//	sdbench -compare old.json -tolerance 10 new.json
+//	                         # diff two snapshots; non-zero exit on regression
+//
 // -json skips the report and instead times each pipeline stage serially and
 // at the -j fan-out, writing a stable JSON snapshot (see benchjson.go).
+// -compare diffs two such snapshots stage by stage (see compare.go).
 package main
 
 import (
@@ -37,8 +41,20 @@ func main() {
 		outPath     = flag.String("out", "", "also write the report to this file")
 		jsonPath    = flag.String("json", "", "write a machine-readable stage-benchmark snapshot to this file instead of the report")
 		workers     = flag.Int("j", 0, "worker parallelism for learning and digesting (0 = GOMAXPROCS, 1 = serial; results are identical at any setting)")
+		comparePath = flag.String("compare", "", "baseline -json snapshot; compare the snapshot given as the positional argument against it and exit non-zero on regression beyond -tolerance")
+		tolerance   = flag.Float64("tolerance", 10, "with -compare, maximum allowed ns/op regression in percent")
 	)
 	flag.Parse()
+
+	if *comparePath != "" {
+		if flag.NArg() != 1 {
+			fatalf("-compare needs exactly one positional argument: the new snapshot (got %d)", flag.NArg())
+		}
+		if err := compareSnapshots(*comparePath, flag.Arg(0), *tolerance); err != nil {
+			fatalf("compare: %v", err)
+		}
+		return
+	}
 
 	var profile experiments.Profile
 	switch strings.ToLower(*profileFlag) {

@@ -45,6 +45,7 @@ func main() {
 		year        = flag.Int("year", 0, "year for RFC3164 timestamps (0 = current)")
 		verbose     = flag.Bool("v", false, "log parse errors to stderr")
 		metricsAddr = flag.String("metrics", "", "serve /metrics and /healthz on this address ('' disables)")
+		matchCache  = flag.Int("match-cache", 0, "match-cache entries (0 = default, negative = disabled; output is identical at any setting)")
 	)
 	flag.Parse()
 
@@ -71,6 +72,9 @@ func main() {
 	kf.Close()
 	if err != nil {
 		fatalf("load kb: %v", err)
+	}
+	if *matchCache != 0 {
+		kb.SetMatchCache(*matchCache)
 	}
 	d, err := syslogdigest.NewDigester(kb)
 	if err != nil {

@@ -44,6 +44,7 @@ func main() {
 		asJSON      = flag.Bool("json", false, "emit newline-delimited JSON instead of digest lines")
 		metricsAddr = flag.String("metrics", "", "serve /metrics and /healthz on this address ('' disables)")
 		workers     = flag.Int("j", 0, "worker parallelism for augment/grouping (0 = GOMAXPROCS, 1 = serial; output is identical at any setting)")
+		matchCache  = flag.Int("match-cache", 0, "match-cache entries (0 = default, negative = disabled; output is identical at any setting)")
 	)
 	flag.Parse()
 	if *syslogPath == "" {
@@ -74,6 +75,9 @@ func main() {
 	kf.Close()
 	if err != nil {
 		fatalf("load kb: %v", err)
+	}
+	if *matchCache != 0 {
+		kb.SetMatchCache(*matchCache)
 	}
 	health.SetReady(true)
 

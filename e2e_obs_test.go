@@ -54,6 +54,9 @@ func TestLivePipelineObservability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Learning warmed the match cache with this very feed; flush so the run
+	// starts cold like the cmd wiring (which loads the KB from JSON).
+	kb.SetMatchCache(0)
 	d.Instrument(reg)
 	st := syslogdigest.NewStreamer(d, 0)
 	st.Instrument(reg)
@@ -170,6 +173,22 @@ func TestLivePipelineObservability(t *testing.T) {
 	merges := snap.Counter("group.merges.temporal") + snap.Counter("group.merges.rule") + snap.Counter("group.merges.cross")
 	if want := uint64(digested - eventsOut); merges != want {
 		t.Fatalf("exporter: merge total %d != messages-events %d", merges, want)
+	}
+	// Match-cache books: every augmented message is exactly one cache hit or
+	// miss, a real feed repeats itself (hits > 0), only misses run the
+	// matcher (candidate scans), and evictions never exceed insertions.
+	hits, misses := snap.Counter("digest.match.cache.hits"), snap.Counter("digest.match.cache.misses")
+	if hits+misses != received {
+		t.Fatalf("exporter: cache hits %d + misses %d != augmented %d", hits, misses, received)
+	}
+	if misses == 0 || hits == 0 {
+		t.Fatalf("exporter: degenerate cache traffic: hits %d misses %d", hits, misses)
+	}
+	if ev := snap.Counter("digest.match.cache.evictions"); ev > misses {
+		t.Fatalf("exporter: evictions %d > misses %d", ev, misses)
+	}
+	if got := snap.Counter("digest.match.candidates_scanned"); got == 0 {
+		t.Fatal("exporter: matcher scanned no candidates")
 	}
 	if h := snap.Histogram("digest.group_seconds"); h == nil || h.Count == 0 {
 		t.Fatalf("exporter: no group latency observations: %+v", h)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"syslogdigest/internal/event"
@@ -73,6 +74,15 @@ type Params struct {
 	// not serialized into the knowledge base (a reloaded base defaults to
 	// 0 and can be re-tuned per process via the -j flags).
 	Parallelism int
+	// MatchCache bounds the repeat-message augment cache in entries:
+	// messages whose (router, code, detail) was augmented before reuse the
+	// cached template match and parsed locations instead of re-matching.
+	// 0 means DefaultMatchCache; negative disables caching. Like
+	// Parallelism this is a runtime knob, never serialized: cached values
+	// are exactly what the miss path computes, so the setting (and the hit
+	// pattern) can never change output. Tune per process via SetMatchCache
+	// or the -match-cache flags.
+	MatchCache int
 }
 
 // DefaultParams returns the paper's Table 6 configuration for dataset A;
@@ -133,6 +143,17 @@ type KnowledgeBase struct {
 	matcher *template.Matcher
 	dict    *locdict.Dictionary
 	parser  *locparse.Parser
+	cache   *matchCache
+	met     kbMetrics
+	reg     *obs.Registry
+}
+
+// kbMetrics are the knowledge base's optional augment-path counters; the
+// zero value records nothing (obs metrics are nil-safe).
+type kbMetrics struct {
+	cacheHits      *obs.Counter // digest.match.cache.hits
+	cacheMisses    *obs.Counter // digest.match.cache.misses
+	cacheEvictions *obs.Counter // digest.match.cache.evictions
 }
 
 // finish builds the derived indexes after the learned fields are set.
@@ -144,6 +165,10 @@ func (kb *KnowledgeBase) finish() error {
 		kb.Freq = event.NewFreqTable()
 	}
 	kb.matcher = template.NewMatcher(kb.Templates)
+	kb.resetMatchCache()
+	if kb.reg != nil {
+		kb.matcher.Instrument(kb.reg)
+	}
 	dict, err := locdict.Build(kb.Configs)
 	if err != nil {
 		return fmt.Errorf("core: location dictionary: %w", err)
@@ -153,27 +178,106 @@ func (kb *KnowledgeBase) finish() error {
 	return nil
 }
 
+// resetMatchCache (re)builds the repeat-message cache from Params.MatchCache.
+// Any mutation of the matching inputs (Relearn swapping the matcher) must
+// call it: stale entries would otherwise serve the old matcher's answers.
+func (kb *KnowledgeBase) resetMatchCache() {
+	size := kb.Params.MatchCache
+	if size == 0 {
+		size = DefaultMatchCache
+	}
+	if size < 0 {
+		kb.cache = nil
+		return
+	}
+	kb.cache = newMatchCache(size)
+}
+
+// SetMatchCache resizes the repeat-message augment cache (0 = default,
+// negative = disabled) and flushes it. Not safe to call concurrently with
+// augmentation — it is a between-batches tuning knob, like SetParallelism.
+func (kb *KnowledgeBase) SetMatchCache(entries int) {
+	kb.Params.MatchCache = entries
+	kb.resetMatchCache()
+}
+
+// Instrument publishes the knowledge base's augment-path metrics into reg:
+// the repeat-message cache counters (digest.match.cache.{hits,misses,
+// evictions}) and the matcher's candidate-scan counter
+// (digest.match.candidates_scanned). Call before augmentation begins; a nil
+// registry leaves the base uninstrumented. Digester.Instrument calls this,
+// so instrumenting a digester covers its knowledge base.
+func (kb *KnowledgeBase) Instrument(reg *obs.Registry) {
+	kb.reg = reg
+	kb.met = kbMetrics{
+		cacheHits:      reg.Counter("digest.match.cache.hits"),
+		cacheMisses:    reg.Counter("digest.match.cache.misses"),
+		cacheEvictions: reg.Counter("digest.match.cache.evictions"),
+	}
+	kb.matcher.Instrument(reg)
+}
+
 // Dictionary exposes the location dictionary (read-only use).
 func (kb *KnowledgeBase) Dictionary() *locdict.Dictionary { return kb.dict }
 
 // Matcher exposes the template matcher (read-only use).
 func (kb *KnowledgeBase) Matcher() *template.Matcher { return kb.matcher }
 
+// tokenScratch pools Augment's token buffers: operational syslog details
+// tokenize into a handful of words, and neither the matcher nor the parser
+// retains the slice, so one buffer per worker serves the whole steady state.
+var tokenScratch = sync.Pool{New: func() any { return &tokenBuf{} }}
+
+type tokenBuf struct {
+	toks []string
+}
+
 // Augment converts one raw message into a Syslog+ message using the learned
-// templates and location dictionary. The detail is tokenized once and the
-// tokens shared between signature matching and location parsing — both
-// consume the same whitespace split, and this is the hottest path in the
-// online pipeline. Safe for concurrent use (see the type comment).
+// templates and location dictionary. The detail is tokenized once (into a
+// pooled buffer) and the tokens shared between signature matching and
+// location parsing — both consume the same whitespace split, and this is
+// the hottest path in the online pipeline. Safe for concurrent use (see the
+// type comment).
+//
+// Repeated messages — same (router, code, detail), the dominant shape of
+// operational syslog — are served from the bounded match cache when enabled
+// (Params.MatchCache): tokenization, signature matching, and location
+// parsing are all skipped. Cache hits share the AllLocs and Peers backing
+// arrays across the PlusMessages of identical raw messages; the pipeline
+// never mutates them, and neither may callers (treat both as read-only,
+// which was already the practical contract).
 func (kb *KnowledgeBase) Augment(m *syslogmsg.Message) PlusMessage {
 	pm := PlusMessage{Message: *m, Template: -1}
-	toks := textutil.Tokenize(m.Detail)
+	c := kb.cache
+	var key cacheKey
+	if c != nil {
+		key = cacheKey{router: m.Router, code: m.Code, detail: m.Detail}
+		if v, ok := c.get(key); ok {
+			kb.met.cacheHits.Inc()
+			pm.Template = v.template
+			pm.Loc = v.info.Primary
+			pm.AllLocs = v.info.All
+			pm.Peers = v.info.PeerRouters
+			return pm
+		}
+		kb.met.cacheMisses.Inc()
+	}
+	sc := tokenScratch.Get().(*tokenBuf)
+	toks := textutil.TokenizeInto(m.Detail, sc.toks)
 	if t, ok := kb.matcher.MatchTokens(m.Code, toks); ok {
 		pm.Template = t.ID
 	}
 	info := kb.parser.ParseTokens(m, toks)
+	sc.toks = toks
+	tokenScratch.Put(sc)
 	pm.Loc = info.Primary
 	pm.AllLocs = info.All
 	pm.Peers = info.PeerRouters
+	if c != nil {
+		if c.put(key, cacheVal{template: pm.Template, info: info}) {
+			kb.met.cacheEvictions.Inc()
+		}
+	}
 	return pm
 }
 
@@ -436,6 +540,7 @@ func (d *Digester) Instrument(reg *obs.Registry) {
 		mergeC:     reg.Counter("group.merges.cross"),
 	}
 	d.pool.Instrument(reg, "digest.pool")
+	d.kb.Instrument(reg)
 }
 
 // Labeler exposes the event labeler for expert naming overrides.

@@ -17,10 +17,11 @@ import (
 // the config *is* the serialization of the location dictionary, exactly as
 // in the offline learning design.
 //
-// Params.Parallelism (and the Pool handles inside the stage configs) are
-// deliberately NOT serialized: they are per-process runtime knobs, not
-// learned knowledge, and a knowledge base must produce byte-identical
-// digests regardless of the worker count it was learned or loaded with.
+// Params.Parallelism and Params.MatchCache (and the Pool handles inside the
+// stage configs) are deliberately NOT serialized: they are per-process
+// runtime knobs, not learned knowledge, and a knowledge base must produce
+// byte-identical digests regardless of the worker count or cache size it
+// was learned or loaded with.
 
 type kbJSON struct {
 	Params    paramsJSON        `json:"params"`

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"sync"
+
+	"syslogdigest/internal/locparse"
+)
+
+// DefaultMatchCache is the match-cache capacity when Params.MatchCache is 0.
+const DefaultMatchCache = 8192
+
+// cacheKey identifies one augmentation outcome. The detail alone is not
+// enough: location grounding is relative to the originating router (the same
+// interface token resolves differently per router, and the primary location
+// degrades to the router itself), so the router is part of the key. A struct
+// of strings keys the map directly — no concatenation allocation per lookup.
+type cacheKey struct {
+	router, code, detail string
+}
+
+// cacheVal is everything Augment computes for a message beyond its raw
+// fields: the matched template and the parsed-location outcome. Slices
+// inside info are shared by every cache hit; see KnowledgeBase.Augment for
+// the read-only contract.
+type cacheVal struct {
+	template int
+	info     locparse.Info
+}
+
+// matchCache is a bounded repeat-message cache with clock (second-chance)
+// eviction: a fixed slot ring, a reference bit set on hit, and a hand that
+// clears reference bits until it finds a cold slot to evict. Clock keeps
+// hot entries resident like LRU but needs no per-access list surgery — a
+// hit is one map lookup and one bool store under a short critical section.
+//
+// The cache is an optimization, never a semantic: values are exactly what
+// the miss path would compute from the immutable knowledge base, so results
+// are byte-identical whatever the hit pattern, worker count, or eviction
+// history. Safe for concurrent use.
+type matchCache struct {
+	mu    sync.Mutex
+	idx   map[cacheKey]int32
+	slots []cacheSlot
+	hand  int32
+}
+
+type cacheSlot struct {
+	key  cacheKey
+	val  cacheVal
+	ref  bool
+	used bool
+}
+
+// newMatchCache builds a cache with the given capacity (entries); capacity
+// must be positive.
+func newMatchCache(capacity int) *matchCache {
+	return &matchCache{
+		idx:   make(map[cacheKey]int32, capacity),
+		slots: make([]cacheSlot, capacity),
+	}
+}
+
+// get returns the cached value for key, marking the slot recently used.
+func (c *matchCache) get(key cacheKey) (cacheVal, bool) {
+	c.mu.Lock()
+	i, ok := c.idx[key]
+	if !ok {
+		c.mu.Unlock()
+		return cacheVal{}, false
+	}
+	c.slots[i].ref = true
+	v := c.slots[i].val
+	c.mu.Unlock()
+	return v, true
+}
+
+// put inserts key → val, reporting whether an existing entry was evicted.
+// Concurrent workers may race to insert the same key; the duplicate insert
+// overwrites with an identical value, so the race is benign.
+func (c *matchCache) put(key cacheKey, val cacheVal) (evicted bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i, ok := c.idx[key]; ok {
+		c.slots[i].val = val
+		c.slots[i].ref = true
+		return false
+	}
+	// Advance the hand to a victim: free slot, or the first slot whose
+	// reference bit is already clear (clearing bits as it passes). With
+	// every bit set this degenerates to FIFO after one lap, so the walk is
+	// bounded by 2×capacity.
+	for {
+		s := &c.slots[c.hand]
+		i := c.hand
+		c.hand = (c.hand + 1) % int32(len(c.slots))
+		if !s.used {
+			*s = cacheSlot{key: key, val: val, used: true}
+			c.idx[key] = i
+			return false
+		}
+		if s.ref {
+			s.ref = false
+			continue
+		}
+		delete(c.idx, s.key)
+		*s = cacheSlot{key: key, val: val, used: true}
+		c.idx[key] = i
+		return true
+	}
+}
+
+// len returns the number of resident entries (tests only).
+func (c *matchCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.idx)
+}

@@ -69,6 +69,12 @@ func (l *Learner) Relearn(kb *KnowledgeBase, period []syslogmsg.Message) (Relear
 	st.RetiredTemplates = len(kb.Templates) - st.KeptTemplates
 	kb.Templates = merged
 	kb.matcher = template.NewMatcher(kb.Templates)
+	// The matcher changed, so cached (router, code, detail) answers are
+	// stale; flush, and re-point the new matcher at the registry.
+	kb.resetMatchCache()
+	if kb.reg != nil {
+		kb.matcher.Instrument(kb.reg)
+	}
 
 	// Refresh frequencies and rules with the period's augmented view.
 	plus := kb.augmentWith(l.pool, period)

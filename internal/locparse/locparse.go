@@ -59,8 +59,6 @@ func (p *Parser) Parse(m *syslogmsg.Message) Info {
 // the parser and its dictionary are immutable after construction.
 func (p *Parser) ParseTokens(m *syslogmsg.Message, toks []string) Info {
 	info := Info{Primary: locdict.RouterLoc(m.Router)}
-	seenLoc := make(map[locdict.Location]bool)
-	seenPeer := make(map[string]bool)
 
 	prevWord := ""
 	for _, tok := range toks {
@@ -71,19 +69,19 @@ func (p *Parser) ParseTokens(m *syslogmsg.Message, toks []string) Info {
 		class := textutil.Classify(core)
 		switch class {
 		case textutil.ClassInterface, textutil.ClassPortPath:
-			p.ground(m.Router, core, &info, seenLoc, seenPeer)
+			p.ground(m.Router, core, &info)
 		case textutil.ClassIPv4:
 			// Strip :port or /len decoration before ownership lookup.
 			ip := core
 			if i := strings.IndexAny(ip, ":/"); i >= 0 {
 				ip = ip[:i]
 			}
-			p.ground(m.Router, ip, &info, seenLoc, seenPeer)
+			p.ground(m.Router, ip, &info)
 		case textutil.ClassNumber:
 			// Bare numbers are locations only in explicit contexts such as
 			// "Slot 2" or "slot 2 ...".
 			if strings.EqualFold(prevWord, "slot") || strings.EqualFold(prevWord, "linecard") {
-				p.ground(m.Router, core, &info, seenLoc, seenPeer)
+				p.ground(m.Router, core, &info)
 			}
 		}
 		prevWord = core
@@ -106,19 +104,19 @@ func (p *Parser) ParseTokens(m *syslogmsg.Message, toks []string) Info {
 }
 
 // ground resolves one candidate token, routing it into locations, peer
-// hints, or the unresolved list.
-func (p *Parser) ground(router, token string, info *Info, seenLoc map[locdict.Location]bool, seenPeer map[string]bool) {
+// hints, or the unresolved list. Deduplication is a linear scan of the
+// accumulated slices — messages carry a handful of candidates, and the scan
+// replaces two map allocations on the augment hot path.
+func (p *Parser) ground(router, token string, info *Info) {
 	if loc, ok := p.dict.Normalize(router, token); ok {
-		if !seenLoc[loc] {
-			seenLoc[loc] = true
+		if !containsLoc(info.All, loc) {
 			info.All = append(info.All, loc)
 		}
 		return
 	}
 	// Not ours: maybe a neighbor's address.
 	if owner, _, ok := p.dict.ResolveIP(token); ok && owner != router {
-		if !seenPeer[owner] {
-			seenPeer[owner] = true
+		if !containsStr(info.PeerRouters, owner) {
 			info.PeerRouters = append(info.PeerRouters, owner)
 		}
 		return
@@ -127,13 +125,30 @@ func (p *Parser) ground(router, token string, info *Info, seenLoc map[locdict.Lo
 	// eBGP neighbor outside the dictionary) — still a peer hint when the
 	// session is configured.
 	if peer, ok := p.dict.SessionPeer(router, token); ok {
-		if !seenPeer[peer] {
-			seenPeer[peer] = true
+		if !containsStr(info.PeerRouters, peer) {
 			info.PeerRouters = append(info.PeerRouters, peer)
 		}
 		return
 	}
 	info.Unresolved = append(info.Unresolved, token)
+}
+
+func containsLoc(locs []locdict.Location, l locdict.Location) bool {
+	for _, x := range locs {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+func containsStr(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
 }
 
 // sortByLevel stable-sorts locations finest (interface) first.

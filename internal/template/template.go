@@ -30,7 +30,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
+	"syslogdigest/internal/obs"
 	"syslogdigest/internal/par"
 	"syslogdigest/internal/syslogmsg"
 	"syslogdigest/internal/textutil"
@@ -491,34 +493,117 @@ func leafPattern(group [][]string) []string {
 }
 
 // Matcher performs online signature matching: message → template. It is
-// immutable after NewMatcher and safe for concurrent use.
+// immutable after NewMatcher (Instrument excepted, which must run before
+// matching starts) and safe for concurrent use.
+//
+// Internally the matcher is an interned-symbol engine. NewMatcher builds a
+// string intern pool mapping every literal word appearing in any template to
+// a dense int32 symbol; message tokens are resolved through the pool once per
+// match, so ordered-containment tests compare integers instead of strings,
+// and a token absent from the pool (symbol -1) can never equal a literal —
+// unknown words reject for free. Per error code the matcher also keeps a
+// rarest-literal inverted index: each template is filed under its most
+// discriminating literal (the one occurring in the fewest templates of that
+// code), and a match only tests templates whose discriminating literal
+// actually occurs in the message, plus the literal-free templates that match
+// anything. Candidates are tested in the same most-specific-first order as a
+// full scan, so results are byte-identical to the linear reference
+// (MatchTokensLinear); the differential tests assert exactly that.
 type Matcher struct {
-	byCode map[string][]matchEntry
+	byCode map[string]*codeIndex
 	byID   map[int]Template
+	sorted []Template       // by ID, built once; Templates() returns copies
+	pool   map[string]int32 // literal word → dense symbol
+	// prefilter[b] has bit l set when some pool word starts with byte b and
+	// has length l (capped at 63). Most message tokens are masked values —
+	// interface names, addresses, numbers — that appear in no template, and
+	// this one-load test lets them resolve to noSym without hashing.
+	prefilter [256]uint64
+	// scanned counts candidate templates actually tested for ordered
+	// containment (digest.match.candidates_scanned); nil until Instrument.
+	scanned *obs.Counter
+	scratch sync.Pool // *matchScratch
 }
 
+// noSym marks a message token absent from the intern pool. Literal symbols
+// are all >= 0, so a noSym token can never satisfy a literal comparison.
+const noSym int32 = -1
+
 // matchEntry is one indexed template with its literal words precomputed —
-// Literals() allocates, and Match is the hottest call in the online
-// pipeline, so the allocation is paid once at index build instead of per
-// message.
+// both as strings (for the linear reference path) and as interned symbols
+// (for the hot path). Match is the hottest call in the online pipeline, so
+// all per-template work is paid once at index build instead of per message.
 type matchEntry struct {
 	t    Template
 	lits []string
+	syms []int32 // lits resolved through the intern pool, in order
+	// rarest is the discriminating literal: the literal occurring in the
+	// fewest of this code's templates, ties broken by pattern order; noSym
+	// when the template has no literals (matches anything). A message not
+	// containing this symbol cannot match the template, which prunes the
+	// candidate scan before any containment test.
+	rarest int32
+}
+
+// invertedIndexMin is the per-code template count above which the posting-
+// list inverted index pays for its merge overhead. Below it (the common
+// case — the learner's K=10 degree prune caps sub-types per code) the
+// rarest-literal check runs inline over the ordered scan, which prunes
+// identically without map lookups or a candidate sort.
+const invertedIndexMin = 16
+
+// codeIndex holds one error code's templates, most-specific-first, plus the
+// rarest-literal inverted index over them.
+type codeIndex struct {
+	entries []matchEntry
+	// byRarest files each entry (by position in entries) under its rarest
+	// literal. Posting lists are ascending, and every entry with at least
+	// one literal is in exactly one list. nil for codes below
+	// invertedIndexMin, which scan inline instead.
+	byRarest map[int32][]int32
+	// always holds entries with no literals; they match any message.
+	// Populated only alongside byRarest.
+	always []int32
+}
+
+// matchScratch is the per-call working memory of MatchTokens, pooled so the
+// steady-state match path allocates nothing.
+type matchScratch struct {
+	syms []int32
+	cand []int32
 }
 
 // NewMatcher indexes templates for matching. Within each code, templates are
 // ordered most-specific-first so Match can return the first hit.
 func NewMatcher(templates []Template) *Matcher {
 	m := &Matcher{
-		byCode: make(map[string][]matchEntry),
+		byCode: make(map[string]*codeIndex),
 		byID:   make(map[int]Template, len(templates)),
+		pool:   make(map[string]int32),
 	}
+	m.scratch.New = func() any { return &matchScratch{} }
 	for _, t := range templates {
-		m.byCode[t.Code] = append(m.byCode[t.Code], matchEntry{t: t, lits: t.Literals()})
+		ci := m.byCode[t.Code]
+		if ci == nil {
+			ci = &codeIndex{}
+			m.byCode[t.Code] = ci
+		}
+		lits := t.Literals()
+		e := matchEntry{t: t, lits: lits, syms: make([]int32, len(lits))}
+		for i, w := range lits {
+			s, ok := m.pool[w]
+			if !ok {
+				s = int32(len(m.pool))
+				m.pool[w] = s
+				m.prefilter[w[0]] |= 1 << lenBit(w)
+			}
+			e.syms[i] = s
+		}
+		ci.entries = append(ci.entries, e)
 		m.byID[t.ID] = t
 	}
-	for code := range m.byCode {
-		ts := m.byCode[code]
+	for _, ci := range m.byCode {
+		ts := ci.entries
 		sort.SliceStable(ts, func(i, j int) bool {
 			si, sj := len(ts[i].lits), len(ts[j].lits)
 			if si != sj {
@@ -526,18 +611,89 @@ func NewMatcher(templates []Template) *Matcher {
 			}
 			return ts[i].t.ID < ts[j].t.ID
 		})
+		ci.buildIndex()
 	}
+	m.sorted = make([]Template, 0, len(m.byID))
+	for _, t := range m.byID {
+		m.sorted = append(m.sorted, t)
+	}
+	sort.Slice(m.sorted, func(i, j int) bool { return m.sorted[i].ID < m.sorted[j].ID })
 	return m
 }
 
-// Templates returns all indexed templates sorted by ID.
-func (m *Matcher) Templates() []Template {
-	out := make([]Template, 0, len(m.byID))
-	for _, t := range m.byID {
-		out = append(out, t)
+// buildIndex computes each entry's discriminating literal and, for codes
+// with many templates, files entries into the inverted index. Called once
+// per code after entries are sorted.
+func (ci *codeIndex) buildIndex() {
+	// Document frequency of each symbol within this code (counted once per
+	// entry).
+	freq := make(map[int32]int)
+	for i := range ci.entries {
+		e := &ci.entries[i]
+		for j, s := range e.syms {
+			if !containsSymBefore(e.syms, s, j) {
+				freq[s]++
+			}
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	for i := range ci.entries {
+		e := &ci.entries[i]
+		e.rarest = noSym
+		if len(e.syms) == 0 {
+			continue
+		}
+		rarest, best := e.syms[0], freq[e.syms[0]]
+		for _, s := range e.syms[1:] {
+			if n := freq[s]; n < best {
+				rarest, best = s, n
+			}
+		}
+		e.rarest = rarest
+	}
+	if len(ci.entries) < invertedIndexMin {
+		return
+	}
+	ci.byRarest = make(map[int32][]int32)
+	for i := range ci.entries {
+		e := &ci.entries[i]
+		if e.rarest == noSym {
+			ci.always = append(ci.always, int32(i))
+			continue
+		}
+		ci.byRarest[e.rarest] = append(ci.byRarest[e.rarest], int32(i))
+	}
+}
+
+// lenBit maps a word length onto a prefilter bit, capping long words at 63.
+func lenBit(w string) uint {
+	if len(w) >= 63 {
+		return 63
+	}
+	return uint(len(w))
+}
+
+// containsSymBefore reports whether s occurs in syms[:end].
+func containsSymBefore(syms []int32, s int32, end int) bool {
+	for _, x := range syms[:end] {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Instrument publishes the matcher's candidate-scan counter
+// (digest.match.candidates_scanned) into reg. Call before matching begins;
+// a nil registry leaves the matcher uninstrumented.
+func (m *Matcher) Instrument(reg *obs.Registry) {
+	m.scanned = reg.Counter("digest.match.candidates_scanned")
+}
+
+// Templates returns all indexed templates sorted by ID. The sorted order is
+// built once at NewMatcher; each call returns a fresh copy the caller may
+// mutate freely.
+func (m *Matcher) Templates() []Template {
+	return append([]Template(nil), m.sorted...)
 }
 
 // ByID returns the template with the given ID.
@@ -550,7 +706,7 @@ func (m *Matcher) ByID(id int) (Template, bool) {
 // in the message detail. ok is false when no template of the message's code
 // matches.
 func (m *Matcher) Match(code, detail string) (Template, bool) {
-	if len(m.byCode[code]) == 0 {
+	if m.byCode[code] == nil {
 		return Template{}, false
 	}
 	return m.MatchTokens(code, textutil.Tokenize(detail))
@@ -558,10 +714,96 @@ func (m *Matcher) Match(code, detail string) (Template, bool) {
 
 // MatchTokens is Match over a pre-tokenized detail, letting callers that
 // also location-parse the message tokenize it once and share the slice.
+// Results are byte-identical to MatchTokensLinear at a fraction of the
+// comparisons; the steady-state path allocates nothing.
 func (m *Matcher) MatchTokens(code string, toks []string) (Template, bool) {
-	for _, e := range m.byCode[code] {
-		if matchesLiterals(e.lits, toks) {
-			return e.t, true
+	ci := m.byCode[code]
+	if ci == nil {
+		return Template{}, false
+	}
+	sc := m.scratch.Get().(*matchScratch)
+	syms := sc.syms[:0]
+	for _, w := range toks {
+		s := noSym
+		if len(w) > 0 && m.prefilter[w[0]]&(1<<lenBit(w)) != 0 {
+			if ps, ok := m.pool[w]; ok {
+				s = ps
+			}
+		}
+		syms = append(syms, s)
+	}
+
+	var (
+		hit     Template
+		ok      bool
+		scanned int
+	)
+	if ci.byRarest == nil {
+		// Few templates: ordered scan with the rarest-literal prune inline.
+		for i := range ci.entries {
+			e := &ci.entries[i]
+			if e.rarest != noSym && !containsSym(syms, e.rarest) {
+				continue
+			}
+			scanned++
+			if matchesSymbols(e.syms, syms) {
+				hit, ok = e.t, true
+				break
+			}
+		}
+	} else {
+		// Many templates: gather candidates from the inverted index —
+		// templates filed under a symbol the message actually contains,
+		// plus the always-match (literal-free) templates. Each entry lives
+		// in exactly one posting list, and message symbols are
+		// deduplicated, so no entry is gathered twice; sorting ascending
+		// restores the most-specific-first order of the full scan.
+		cand := sc.cand[:0]
+		for i, s := range syms {
+			if s == noSym || containsSymBefore(syms, s, i) {
+				continue
+			}
+			cand = append(cand, ci.byRarest[s]...)
+		}
+		cand = append(cand, ci.always...)
+		sortInt32(cand)
+		for _, ei := range cand {
+			scanned++
+			if matchesSymbols(ci.entries[ei].syms, syms) {
+				hit, ok = ci.entries[ei].t, true
+				break
+			}
+		}
+		sc.cand = cand
+	}
+	m.scanned.Add(uint64(scanned))
+	sc.syms = syms
+	m.scratch.Put(sc)
+	return hit, ok
+}
+
+// containsSym reports whether s occurs in syms.
+func containsSym(syms []int32, s int32) bool {
+	for _, x := range syms {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchTokensLinear is the pre-interning reference implementation: a full
+// most-specific-first scan comparing literal words as strings. It is kept
+// off the hot path for differential testing and A/B benchmarking — MatchTokens
+// must agree with it on every input.
+func (m *Matcher) MatchTokensLinear(code string, toks []string) (Template, bool) {
+	ci := m.byCode[code]
+	if ci == nil {
+		return Template{}, false
+	}
+	for i := range ci.entries {
+		if matchesLiterals(ci.entries[i].lits, toks) {
+			return ci.entries[i].t, true
 		}
 	}
 	return Template{}, false
@@ -576,6 +818,30 @@ func matchesLiterals(lits, toks []string) bool {
 		}
 	}
 	return k == len(lits)
+}
+
+// matchesSymbols is matchesLiterals over interned symbols. Unknown message
+// tokens are noSym (-1), which never equals a literal symbol, so they are
+// skipped implicitly.
+func matchesSymbols(lits, syms []int32) bool {
+	k := 0
+	for _, s := range syms {
+		if k < len(lits) && s == lits[k] {
+			k++
+		}
+	}
+	return k == len(lits)
+}
+
+// sortInt32 insertion-sorts a small candidate slice ascending — candidate
+// sets are a handful of entries, below the crossover where sort.Slice (and
+// its allocation) would pay off.
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
 }
 
 // FractionMatching is an accuracy helper used by the §5.2.1 evaluation: the

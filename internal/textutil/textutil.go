@@ -13,6 +13,7 @@ package textutil
 
 import (
 	"strings"
+	"unicode/utf8"
 )
 
 // Mask is the token that replaces a high-variability word during template
@@ -24,7 +25,57 @@ const Mask = "*"
 // attached to words (router syslogs use trailing commas meaningfully, e.g.
 // "Serial1/0.10/20:0," — stripping is the caller's choice via TrimWord).
 func Tokenize(s string) []string {
-	return strings.Fields(s)
+	return TokenizeInto(s, nil)
+}
+
+// TokenizeInto is Tokenize appending into buf[:0], letting hot paths reuse
+// one token buffer across messages instead of allocating per call. The
+// returned slice aliases buf's array when capacity suffices; tokens are
+// substrings of s. Splitting is identical to Tokenize/strings.Fields.
+func TokenizeInto(s string, buf []string) []string {
+	out := buf[:0]
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			// Rare non-ASCII detail: defer to strings.Fields for exact
+			// unicode whitespace semantics.
+			return append(out, strings.Fields(s)...)
+		}
+	}
+	// Pre-count fields so a fresh buffer is sized exactly once (the
+	// strings.Fields approach) instead of doubling through appends.
+	n := 0
+	inField := false
+	for i := 0; i < len(s); i++ {
+		if asciiSpace(s[i]) {
+			inField = false
+		} else if !inField {
+			inField = true
+			n++
+		}
+	}
+	if cap(out) < n {
+		out = make([]string, 0, n)
+	}
+	start := -1
+	for i := 0; i < len(s); i++ {
+		if asciiSpace(s[i]) {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// asciiSpace mirrors strings.Fields' ASCII fast-path space set.
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r'
 }
 
 // TrimWord removes leading and trailing punctuation that routers commonly
@@ -77,6 +128,18 @@ var interfacePrefixes = []string{
 	"Serial", "GigabitEthernet", "TenGigE", "FastEthernet", "Ethernet",
 	"POS", "Multilink", "Bundle-Ether", "Tunnel", "Loopback", "Vlan",
 	"Port-channel", "SONET", "ATM",
+}
+
+// interfaceLeadByte marks bytes (either case) that can start an interface
+// stem, so classification rejects most words without running the
+// case-insensitive prefix comparisons below.
+var interfaceLeadByte [256]bool
+
+func init() {
+	for _, pre := range interfacePrefixes {
+		interfaceLeadByte[pre[0]] = true
+		interfaceLeadByte[pre[0]|0x20] = true
+	}
 }
 
 // Classify reports the TokenClass of a single word (after TrimWord). It is
@@ -148,7 +211,8 @@ func isDigits(s string) bool {
 
 // isIPv4Like accepts a.b.c.d with each octet 0-999 (syslogs occasionally log
 // malformed addresses; we still want them masked), optionally followed by
-// "/len" or ":port".
+// "/len" or ":port". The octets are validated in place — classification runs
+// per token on the augment hot path, so it must not allocate.
 func isIPv4Like(s string) bool {
 	// Strip one :port or /len suffix.
 	if i := strings.IndexByte(s, ':'); i >= 0 {
@@ -162,16 +226,19 @@ func isIPv4Like(s string) bool {
 		}
 		s = s[:i]
 	}
-	parts := strings.Split(s, ".")
-	if len(parts) != 4 {
-		return false
-	}
-	for _, p := range parts {
-		if len(p) == 0 || len(p) > 3 || !isDigits(p) {
-			return false
+	octets := 0
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '.' {
+			n := i - start
+			if n == 0 || n > 3 || !isDigits(s[start:i]) {
+				return false
+			}
+			octets++
+			start = i + 1
 		}
 	}
-	return true
+	return octets == 4
 }
 
 // isVRF accepts NNN:NNNN style route-distinguisher identifiers.
@@ -203,17 +270,20 @@ func isHex(s string) bool {
 
 // isPortPath accepts slot/port paths: two or more slash-separated numeric
 // segments, where segments may carry a ".sub" or ":chan" tail (2/0.10/2:0).
+// Segments are validated in place (no Split allocation; hot path).
 func isPortPath(s string) bool {
-	parts := strings.Split(s, "/")
-	if len(parts) < 2 {
-		return false
-	}
-	for _, p := range parts {
-		if !isPathSegment(p) {
-			return false
+	segs := 0
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '/' {
+			if !isPathSegment(s[start:i]) {
+				return false
+			}
+			segs++
+			start = i + 1
 		}
 	}
-	return true
+	return segs >= 2
 }
 
 // isPathSegment accepts digit runs joined by '.' (sub-interface) and ':'
@@ -237,6 +307,9 @@ func isPathSegment(p string) bool {
 // isInterfaceName accepts a known interface stem followed by a digit-leading
 // path, e.g. Serial1/0.10/10:0, GigabitEthernet0/1, Multilink7.
 func isInterfaceName(s string) bool {
+	if s == "" || !interfaceLeadByte[s[0]] {
+		return false
+	}
 	for _, pre := range interfacePrefixes {
 		if len(s) > len(pre) && strings.EqualFold(s[:len(pre)], pre) {
 			rest := s[len(pre):]
@@ -293,6 +366,9 @@ func isNumberLike(s string) bool {
 // trailing path (e.g. "1/0.10/10:0") when w is an interface name, with
 // ok=false otherwise.
 func InterfaceStem(w string) (stem, path string, ok bool) {
+	if w == "" || !interfaceLeadByte[w[0]] {
+		return "", "", false
+	}
 	for _, pre := range interfacePrefixes {
 		if len(w) > len(pre) && strings.EqualFold(w[:len(pre)], pre) {
 			rest := w[len(pre):]
