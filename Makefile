@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test race build bench bench-smoke bench-compare
+.PHONY: check fmt vet test race build bench bench-smoke bench-compare stream-equiv
 
-check: fmt vet race bench-smoke bench-compare
+check: fmt vet race stream-equiv bench-smoke bench-compare
 
 # gofmt -l prints offending files; fail if it prints anything.
 fmt:
@@ -40,5 +40,11 @@ bench-smoke:
 bench-compare:
 	@tmp=$$(mktemp /tmp/sdbench.XXXXXX.json); \
 	$(GO) run ./cmd/sdbench -dataset A -json $$tmp && \
-	$(GO) run ./cmd/sdbench -compare BENCH_PR3.json -tolerance 150 $$tmp; \
+	$(GO) run ./cmd/sdbench -compare BENCH_PR4.json -tolerance 150 $$tmp; \
 	rc=$$?; rm -f $$tmp; exit $$rc
+
+# The streaming-equivalence smoke: the incremental engine must reproduce the
+# batch oracle's events on both vendor corpora at serial and parallel
+# settings (the full differential suite runs under `make race`).
+stream-equiv:
+	$(GO) test -run 'TestStreamingMatchesBatch' -count=1 ./internal/core

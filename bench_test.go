@@ -471,6 +471,46 @@ func BenchmarkStageFullDigest(b *testing.B) {
 	}
 }
 
+// BenchmarkStageStream drives the live path — reorder buffer plus
+// incremental engine, one message at a time, Flush at the end — over the
+// same corpus as BenchmarkStageFullDigest, so the two msgs/op rates compare
+// the streaming engine against the batch digest directly. Each op replays
+// the corpus through a fresh Streamer (the late-drop frontier is
+// monotonic); with -benchmem, allocs/op scales with open-window state, not
+// corpus size — the per-push steady state is pinned by
+// TestStreamerSteadyStateAllocs.
+func BenchmarkStageStream(b *testing.B) {
+	c := mustCorpus(b, gen.DatasetA)
+	d, err := core.NewDigester(c.KB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := core.NewStreamer(d, 0)
+		events = 0
+		for j := range c.Online.Messages {
+			res, err := st.Push(c.Online.Messages[j])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res != nil {
+				events += len(res.Events)
+			}
+		}
+		res, err := st.Flush()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res != nil {
+			events += len(res.Events)
+		}
+	}
+	b.ReportMetric(float64(events), "events")
+	b.ReportMetric(float64(len(c.Online.Messages)), "msgs/op")
+}
+
 func BenchmarkTrendAudit(b *testing.B) {
 	// Needs >= 6 online days; derive a week-long low-rate profile when the
 	// small profile is active.

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"syslogdigest/internal/core"
@@ -35,6 +36,20 @@ type benchSnapshot struct {
 	Benchmarks []benchEntry      `json:"benchmarks"`
 	Speedups   []speedupSummary  `json:"speedups"`
 	MatchCache []matchCacheStats `json:"match_cache,omitempty"`
+	// StreamLatency characterizes the streaming engine's event-emission
+	// latency (message time to emitting watermark) per dataset (schema v3).
+	StreamLatency []streamLatency `json:"stream_latency,omitempty"`
+}
+
+// streamLatency is the emission-latency profile of one streamed pass over
+// the dataset's online half: for every event, the engine watermark at
+// emission minus the event's last message time (events still open at the
+// final flush are measured against the final watermark).
+type streamLatency struct {
+	Dataset    string  `json:"dataset"`
+	Events     int     `json:"events"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
 }
 
 // matchCacheStats records the match-cache effectiveness of one cold
@@ -77,7 +92,7 @@ type benchStage struct {
 func writeBenchJSON(path string, profile experiments.Profile, kinds []gen.DatasetKind, workers int) error {
 	resolved := par.Workers(workers)
 	snap := benchSnapshot{
-		Schema:     "syslogdigest-bench/2",
+		Schema:     "syslogdigest-bench/3",
 		Profile:    profile.Name,
 		Workers:    resolved,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -116,8 +131,14 @@ func writeBenchJSON(path string, profile experiments.Profile, kinds []gen.Datase
 				time.Duration(parallel), float64(serial)/float64(parallel))
 		}
 		// After the timed stages (so counter traffic never skews timings),
-		// run one instrumented pass to record cache effectiveness.
+		// run one instrumented pass to record cache effectiveness, and one
+		// streamed pass to record emission latency.
 		snap.MatchCache = append(snap.MatchCache, cacheStats(c))
+		lat, err := streamLatencyStats(c)
+		if err != nil {
+			return fmt.Errorf("stream latency %v: %w", kind, err)
+		}
+		snap.StreamLatency = append(snap.StreamLatency, lat)
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -201,7 +222,66 @@ func datasetStages(c *experiments.Corpus) ([]benchStage, error) {
 				return err
 			},
 		},
+		{
+			// The live path: one message at a time through the reorder
+			// buffer and incremental engine, events at watermark closure.
+			name: "stream", msgs: len(c.Online.Messages),
+			run: func(workers int) error {
+				d, err := core.NewDigester(c.KB)
+				if err != nil {
+					return err
+				}
+				d.SetParallelism(workers)
+				st := core.NewStreamer(d, 0)
+				for i := range c.Online.Messages {
+					if _, err := st.Push(c.Online.Messages[i]); err != nil {
+						return err
+					}
+				}
+				_, err = st.Flush()
+				return err
+			},
+		},
 	}, nil
+}
+
+// streamLatencyStats runs one streamed pass recording, per emitted event,
+// the watermark at emission minus the event's end time.
+func streamLatencyStats(c *experiments.Corpus) (streamLatency, error) {
+	d, err := core.NewDigester(c.KB)
+	if err != nil {
+		return streamLatency{}, err
+	}
+	st := core.NewStreamer(d, 0)
+	var lats []float64
+	record := func(res *core.DigestResult) {
+		if res == nil {
+			return
+		}
+		wm := st.Watermark()
+		for i := range res.Events {
+			lats = append(lats, wm.Sub(res.Events[i].End).Seconds())
+		}
+	}
+	for i := range c.Online.Messages {
+		res, err := st.Push(c.Online.Messages[i])
+		if err != nil {
+			return streamLatency{}, err
+		}
+		record(res)
+	}
+	res, err := st.Flush()
+	if err != nil {
+		return streamLatency{}, err
+	}
+	record(res)
+	out := streamLatency{Dataset: c.Kind.String(), Events: len(lats)}
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		out.P50Seconds = round3(lats[len(lats)/2])
+		out.P99Seconds = round3(lats[(len(lats)*99)/100])
+	}
+	return out, nil
 }
 
 // timeStage returns the minimum wall-clock nanoseconds over benchReps runs.

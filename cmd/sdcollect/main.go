@@ -1,17 +1,25 @@
 // Command sdcollect is a live syslog collector wired to the online
 // digester: routers (or a replay tool) send syslog over UDP/TCP in RFC
-// 3164, RFC 5424, or the repository line format; sdcollect micro-batches
-// the feed and prints event digests as they form.
+// 3164, RFC 5424, or the repository line format; sdcollect feeds each
+// message straight into the incremental streaming engine and prints every
+// event the moment the engine's watermark proves it complete — no
+// micro-batching, no flush-interval latency floor.
 //
 // Usage:
 //
-//	sdcollect -kb kb.json -udp :5514 -tcp :5514 [-flush 30s]
+//	sdcollect -kb kb.json -udp :5514 -tcp :5514 [-reorder 2s] [-idle 30s]
 //	          [-metrics 127.0.0.1:9090]
 //
+// -reorder sets the reorder-buffer tolerance: arrivals out of time order by
+// less than this are sorted into place; older stragglers are dropped and
+// counted (stream.dropped.late). -idle bounds quiet-feed latency: when no
+// message arrives for an interval and groups are still open, the engine is
+// drained so the tail events print.
+//
 // -metrics starts an HTTP exporter: /metrics serves every pipeline counter
-// (collector.* per transport, stream.*, digest.*, group.merges.*) as JSON;
-// /healthz reports readiness (knowledge base loaded) and liveness (the
-// flush loop has run within 3 flush intervals) — 503 otherwise.
+// (collector.* per transport, stream.*, group.merges.*) as JSON; /healthz
+// reports readiness (knowledge base loaded) and liveness (the idle loop
+// has run within 3 intervals) — 503 otherwise.
 //
 // Try it against a generated dataset:
 //
@@ -25,7 +33,6 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"sort"
 	"sync"
 	"syscall"
 	"time"
@@ -41,7 +48,8 @@ func main() {
 		kbPath      = flag.String("kb", "kb.json", "knowledge-base JSON from sdlearn")
 		udpAddr     = flag.String("udp", "127.0.0.1:5514", "UDP listen address ('' disables)")
 		tcpAddr     = flag.String("tcp", "", "TCP listen address ('' disables)")
-		flush       = flag.Duration("flush", 30*time.Second, "micro-batch flush interval")
+		reorder     = flag.Duration("reorder", 0, "reorder-buffer tolerance (0 = default 2s, negative = strict arrival order)")
+		idle        = flag.Duration("idle", 30*time.Second, "drain open groups after this much feed silence")
 		year        = flag.Int("year", 0, "year for RFC3164 timestamps (0 = current)")
 		verbose     = flag.Bool("v", false, "log parse errors to stderr")
 		metricsAddr = flag.String("metrics", "", "serve /metrics and /healthz on this address ('' disables)")
@@ -55,7 +63,7 @@ func main() {
 	)
 	if *metricsAddr != "" {
 		reg = obs.NewRegistry()
-		health = obs.NewHealth(3 * *flush)
+		health = obs.NewHealth(3 * *idle)
 		srv, err := obs.Serve(*metricsAddr, reg, health)
 		if err != nil {
 			fatalf("%v", err)
@@ -83,18 +91,35 @@ func main() {
 	d.Instrument(reg)
 	health.SetReady(true)
 
+	st := syslogdigest.NewStreamerWith(d, syslogdigest.StreamerOptions{ReorderTolerance: *reorder})
+	st.Instrument(reg)
+
 	var (
-		mu    sync.Mutex
-		batch []syslogdigest.Message
+		mu      sync.Mutex
+		lastMsg time.Time
 	)
+	printEvents := func(res *syslogdigest.DigestResult) {
+		if res == nil {
+			return
+		}
+		for _, e := range res.Events {
+			fmt.Println(e.Digest())
+		}
+	}
 	cfg := collector.Config{UDPAddr: *udpAddr, TCPAddr: *tcpAddr, Year: *year, Metrics: reg}
 	if *verbose {
 		cfg.OnError = func(err error) { fmt.Fprintln(os.Stderr, "sdcollect:", err) }
 	}
 	col, err := collector.New(cfg, func(m syslogmsg.Message) {
 		mu.Lock()
-		batch = append(batch, m)
-		mu.Unlock()
+		defer mu.Unlock()
+		lastMsg = time.Now()
+		res, err := st.Push(m)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdcollect: stream:", err)
+			return
+		}
+		printEvents(res)
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -109,44 +134,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sdcollect: listening tcp %s\n", a)
 	}
 
-	flushBatch := func() {
+	drain := func() {
 		mu.Lock()
-		b := batch
-		batch = nil
-		mu.Unlock()
-		// The flush loop running is this process's liveness signal — an
-		// empty interval is healthy, a wedged loop is not.
-		health.Progress()
-		if len(b) == 0 {
-			return
-		}
-		// Arrival order across routers is only approximately temporal;
-		// micro-batching lets us sort before digesting.
-		sort.SliceStable(b, func(i, j int) bool { return syslogmsg.SortByTime(&b[i], &b[j]) })
-		res, err := d.Digest(b)
+		defer mu.Unlock()
+		res, err := st.Flush()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sdcollect: digest:", err)
+			fmt.Fprintln(os.Stderr, "sdcollect: drain:", err)
 			return
 		}
-		for _, e := range res.Events {
-			fmt.Println(e.Digest())
-		}
+		printEvents(res)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	tick := time.NewTicker(*flush)
+	tick := time.NewTicker(*idle)
 	defer tick.Stop()
 	for {
 		select {
 		case <-tick.C:
-			flushBatch()
+			// The idle loop running is this process's liveness signal.
+			health.Progress()
+			// Watermark-driven closure stalls when the feed does: drain
+			// open groups once the feed has been silent for an interval.
+			mu.Lock()
+			quiet := !lastMsg.IsZero() && time.Since(lastMsg) >= *idle && st.Pending() > 0
+			mu.Unlock()
+			if quiet {
+				drain()
+			}
 		case <-sig:
 			col.Close()
-			flushBatch()
-			st := col.Stats()
+			drain()
+			cst := col.Stats()
 			fmt.Fprintf(os.Stderr, "sdcollect: received %d, dropped %d, truncated %d, oversized %d, conns %d\n",
-				st.Received, st.Dropped, st.Truncated, st.Oversized, st.Conns)
+				cst.Received, cst.Dropped, cst.Truncated, cst.Oversized, cst.Conns)
 			return
 		}
 	}

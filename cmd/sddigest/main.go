@@ -12,6 +12,11 @@
 // -raw additionally prints each event's raw message indices so the original
 // lines can be retrieved (the paper's index field).
 //
+// -stream pushes the messages through the incremental streaming engine one
+// at a time and prints events in closure order — the order a live feed
+// would have surfaced them — instead of batch rank order. The event set is
+// identical to the batch digest (-top selects by rank either way).
+//
 // -metrics starts an HTTP exporter serving /metrics (pipeline counters and
 // stage-latency histograms as JSON) and /healthz (503 until the knowledge
 // base is loaded). With -metrics set, sddigest keeps serving after the
@@ -24,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 
@@ -42,6 +48,7 @@ func main() {
 		raw         = flag.Bool("raw", false, "print raw message indices per event")
 		show        = flag.Int("show", 0, "print up to N raw syslog lines per event (drill-down)")
 		asJSON      = flag.Bool("json", false, "emit newline-delimited JSON instead of digest lines")
+		streaming   = flag.Bool("stream", false, "drive the incremental engine; print events in closure order")
 		metricsAddr = flag.String("metrics", "", "serve /metrics and /healthz on this address ('' disables)")
 		workers     = flag.Int("j", 0, "worker parallelism for augment/grouping (0 = GOMAXPROCS, 1 = serial; output is identical at any setting)")
 		matchCache  = flag.Int("match-cache", 0, "match-cache entries (0 = default, negative = disabled; output is identical at any setting)")
@@ -103,6 +110,12 @@ func main() {
 		fatalf("unknown -stage %q (want T, T+R, or T+R+C)", *stageFlag)
 	}
 
+	if *streaming {
+		streamDigest(d, msgs, *raw, reg)
+		waitIfServing(*metricsAddr)
+		return
+	}
+
 	res, err := d.Digest(msgs)
 	if err != nil {
 		fatalf("digest: %v", err)
@@ -146,6 +159,41 @@ func main() {
 	fmt.Fprintf(os.Stderr, "%d messages -> %d events (compression ratio %.3e)\n",
 		len(msgs), len(res.Events), res.CompressionRatio())
 	waitIfServing(*metricsAddr)
+}
+
+// streamDigest replays the corpus through the incremental engine, printing
+// each event the moment the watermark closes it.
+func streamDigest(d *syslogdigest.Digester, msgs []syslogmsg.Message, raw bool, reg *obs.Registry) {
+	sorted := append([]syslogmsg.Message(nil), msgs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return syslogmsg.SortByTime(&sorted[i], &sorted[j]) })
+	st := syslogdigest.NewStreamer(d, 0)
+	st.Instrument(reg)
+	events := 0
+	print := func(res *syslogdigest.DigestResult) {
+		if res == nil {
+			return
+		}
+		for _, e := range res.Events {
+			events++
+			fmt.Println(e.Digest())
+			if raw {
+				fmt.Printf("  raw indices: %v\n", e.RawIndexes)
+			}
+		}
+	}
+	for i := range sorted {
+		res, err := st.Push(sorted[i])
+		if err != nil {
+			fatalf("stream: %v", err)
+		}
+		print(res)
+	}
+	res, err := st.Flush()
+	if err != nil {
+		fatalf("stream flush: %v", err)
+	}
+	print(res)
+	fmt.Fprintf(os.Stderr, "%d messages -> %d events (streamed, closure order)\n", len(msgs), events)
 }
 
 // waitIfServing blocks until interrupt when the metrics exporter is up, so

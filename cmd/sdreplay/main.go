@@ -1,11 +1,14 @@
 // Command sdreplay streams a serialized syslog file to a collector over the
 // network, preserving relative message timing with optional compression —
-// the testing companion to cmd/sdcollect.
+// the testing companion to cmd/sdcollect. With -kb and no destination it
+// instead drives the incremental streaming engine in-process, printing each
+// event at its closure time: a paced, local rehearsal of the live pipeline.
 //
 // Usage:
 //
 //	sdreplay -syslog ds/syslog.log -udp 127.0.0.1:5514 -speed 600
 //	sdreplay -syslog ds/syslog.log -tcp 127.0.0.1:5514 -format rfc3164
+//	sdreplay -syslog ds/syslog.log -kb kb.json -speed 3600
 //
 // -speed N plays N seconds of log time per wall-clock second (0 = as fast
 // as possible). -format selects the wire framing: line (the repository
@@ -33,10 +36,12 @@ func main() {
 		speed      = flag.Float64("speed", 0, "log seconds per wall second (0 = no pacing)")
 		format     = flag.String("format", "line", "wire format: line, rfc3164, or rfc5424")
 		pri        = flag.Int("pri", 189, "syslog <pri> value for RFC framings")
+		kbPath     = flag.String("kb", "", "knowledge base: replay into the in-process streaming engine instead of the network")
 	)
 	flag.Parse()
-	if *syslogPath == "" || (*udpAddr == "") == (*tcpAddr == "") {
-		fmt.Fprintln(os.Stderr, "sdreplay: need -syslog and exactly one of -udp/-tcp")
+	local := *kbPath != "" && *udpAddr == "" && *tcpAddr == ""
+	if *syslogPath == "" || (!local && (*udpAddr == "") == (*tcpAddr == "")) {
+		fmt.Fprintln(os.Stderr, "sdreplay: need -syslog and exactly one of -udp/-tcp (or -kb alone)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -52,6 +57,10 @@ func main() {
 	}
 	if len(msgs) == 0 {
 		fatalf("empty stream")
+	}
+	if local {
+		replayLocal(*kbPath, msgs, *speed)
+		return
 	}
 
 	var render func(m *syslogmsg.Message) string
@@ -113,6 +122,59 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "sdreplay: sent %d messages over %s in %s\n",
 		sent, network, time.Since(start).Round(time.Millisecond))
+}
+
+// replayLocal paces the corpus into the incremental engine, printing each
+// event when the watermark closes it — what a collector at the same feed
+// rate would have printed, without the network.
+func replayLocal(kbPath string, msgs []syslogmsg.Message, speed float64) {
+	kf, err := os.Open(kbPath)
+	if err != nil {
+		fatalf("open kb: %v", err)
+	}
+	kb, err := syslogdigest.LoadKnowledgeBase(kf)
+	kf.Close()
+	if err != nil {
+		fatalf("load kb: %v", err)
+	}
+	d, err := syslogdigest.NewDigester(kb)
+	if err != nil {
+		fatalf("digester: %v", err)
+	}
+	st := syslogdigest.NewStreamer(d, 0)
+
+	start := time.Now()
+	logStart := msgs[0].Time
+	events := 0
+	print := func(res *syslogdigest.DigestResult) {
+		if res == nil {
+			return
+		}
+		for _, e := range res.Events {
+			events++
+			fmt.Println(e.Digest())
+		}
+	}
+	for i := range msgs {
+		if speed > 0 {
+			due := start.Add(time.Duration(float64(msgs[i].Time.Sub(logStart)) / speed))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		res, err := st.Push(msgs[i])
+		if err != nil {
+			fatalf("stream: %v", err)
+		}
+		print(res)
+	}
+	res, err := st.Flush()
+	if err != nil {
+		fatalf("stream flush: %v", err)
+	}
+	print(res)
+	fmt.Fprintf(os.Stderr, "sdreplay: %d messages -> %d events in %s (local engine)\n",
+		len(msgs), events, time.Since(start).Round(time.Millisecond))
 }
 
 func fatalf(format string, args ...any) {

@@ -78,7 +78,9 @@ func TestLivePipelineObservability(t *testing.T) {
 			return
 		}
 		if res != nil {
-			digested += len(res.Messages)
+			for _, e := range res.Events {
+				digested += e.Size()
+			}
 			eventsOut += len(res.Events)
 		}
 	})
@@ -126,7 +128,9 @@ func TestLivePipelineObservability(t *testing.T) {
 		t.Fatal(err)
 	}
 	if res != nil {
-		digested += len(res.Messages)
+		for _, e := range res.Events {
+			digested += e.Size()
+		}
 		eventsOut += len(res.Events)
 	}
 	mu.Unlock()
@@ -161,14 +165,14 @@ func TestLivePipelineObservability(t *testing.T) {
 	if received != uint64(sent) || drops != 2 {
 		t.Fatalf("exporter: received %d drops %d, want %d and 2", received, drops, sent)
 	}
-	if got := snap.Counter("digest.messages_in"); got != received {
-		t.Fatalf("exporter: digest.messages_in %d != collector received %d", got, received)
-	}
 	if got := snap.Counter("stream.pushed"); got != received {
 		t.Fatalf("exporter: stream.pushed %d != received %d", got, received)
 	}
-	if got := snap.Counter("digest.events_out"); got != uint64(eventsOut) {
-		t.Fatalf("exporter: events_out %d != %d", got, eventsOut)
+	if got := snap.Counter("stream.dropped.late"); got != 0 {
+		t.Fatalf("exporter: stream.dropped.late %d on an in-order feed", got)
+	}
+	if got := snap.Counter("stream.emitted"); got != uint64(eventsOut) {
+		t.Fatalf("exporter: stream.emitted %d != %d", got, eventsOut)
 	}
 	merges := snap.Counter("group.merges.temporal") + snap.Counter("group.merges.rule") + snap.Counter("group.merges.cross")
 	if want := uint64(digested - eventsOut); merges != want {
@@ -190,8 +194,11 @@ func TestLivePipelineObservability(t *testing.T) {
 	if got := snap.Counter("digest.match.candidates_scanned"); got == 0 {
 		t.Fatal("exporter: matcher scanned no candidates")
 	}
-	if h := snap.Histogram("digest.group_seconds"); h == nil || h.Count == 0 {
-		t.Fatalf("exporter: no group latency observations: %+v", h)
+	if h := snap.Histogram("stream.emit_latency_seconds"); h == nil || h.Count != uint64(eventsOut) {
+		t.Fatalf("exporter: emit latency observations %+v, want %d", h, eventsOut)
+	}
+	if wm := snap.Gauge("stream.watermark_unix_seconds"); wm <= 0 {
+		t.Fatalf("exporter: watermark gauge %v, want positive", wm)
 	}
 
 	code, body = httpGet(t, srv.Addr(), "/healthz")

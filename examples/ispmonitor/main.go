@@ -51,8 +51,9 @@ func main() {
 		kb.Params.Temporal.Alpha, kb.Params.Temporal.Beta)
 
 	// Online: stream today's syslog through the digester. The Streamer
-	// flushes whenever the feed goes quiet for longer than any grouping
-	// window, so events arrive incrementally.
+	// emits each event as soon as the engine's watermark proves no later
+	// message can join it, so events arrive incrementally; the final Flush
+	// closes whatever the end of the feed left open.
 	d, err := syslogdigest.NewDigester(kb)
 	if err != nil {
 		log.Fatal(err)
@@ -80,8 +81,8 @@ func main() {
 		msgs, len(events), float64(len(events))/float64(msgs))
 
 	fmt.Println("top 10 events of the day:")
-	// Streamed batches are each internally ranked; rank the union for the
-	// day view.
+	// Streamed events arrive in closure order; rank the union for the day
+	// view.
 	top := append([]syslogdigest.Event(nil), events...)
 	sort.SliceStable(top, func(i, j int) bool { return top[i].Score > top[j].Score })
 	for i, e := range top {

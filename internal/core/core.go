@@ -29,6 +29,7 @@ import (
 	"syslogdigest/internal/obs"
 	"syslogdigest/internal/par"
 	"syslogdigest/internal/rules"
+	"syslogdigest/internal/stream"
 	"syslogdigest/internal/syslogmsg"
 	"syslogdigest/internal/template"
 	"syslogdigest/internal/temporal"
@@ -565,8 +566,10 @@ func (d *Digester) Digest(msgs []syslogmsg.Message) (*DigestResult, error) {
 	return d.DigestPlus(plus)
 }
 
-// DigestPlus processes a batch that is already augmented.
-func (d *Digester) DigestPlus(plus []PlusMessage) (*DigestResult, error) {
+// groupingConfig derives the grouping configuration from the knowledge
+// base's parameters and the selected stage; shared by the incremental
+// engine and the reference batch path.
+func (d *Digester) groupingConfig() grouping.Config {
 	cfg := grouping.Config{
 		Temporal:    d.kb.Params.Temporal,
 		RuleWindow:  d.kb.Params.Rules.Window,
@@ -579,7 +582,95 @@ func (d *Digester) DigestPlus(plus []PlusMessage) (*DigestResult, error) {
 	case StageTemporalRules:
 		cfg.TemporalAndRules = true
 	}
-	g, err := grouping.New(d.kb.dict, d.kb.RuleBase, cfg)
+	return cfg
+}
+
+// newEngine builds a streaming engine over the digester's knowledge.
+// maxStreams <= 0 takes the grouping default.
+func (d *Digester) newEngine(maxStreams int) (*stream.Engine, error) {
+	return stream.New(d.kb.dict, d.kb.RuleBase, stream.Config{
+		Grouping: grouping.IncrementalConfig{Config: d.groupingConfig(), MaxStreams: maxStreams},
+		Freq:     d.kb.Freq,
+		Labeler:  d.labeler,
+	})
+}
+
+// streamMsg projects one augmented message into the engine's input shape.
+func streamMsg(pm *PlusMessage, seq int) stream.Message {
+	return stream.Message{
+		Seq: seq, Time: pm.Time, Router: pm.Router, Template: pm.Template,
+		Loc: pm.Loc, AllLocs: pm.AllLocs, Peers: pm.Peers, Raw: pm.Index,
+	}
+}
+
+// DigestPlus processes a batch that is already augmented. It drives the
+// same incremental engine the Streamer runs: messages feed in time order,
+// events close behind the watermark, a final drain closes the rest, and one
+// global rank restores the batch presentation order. The retired three-pass
+// batch implementation survives as ReferenceDigestPlus, the differential
+// oracle the streaming path is tested against.
+func (d *Digester) DigestPlus(plus []PlusMessage) (*DigestResult, error) {
+	groupStart := time.Now()
+	eng, err := d.newEngine(0)
+	if err != nil {
+		return nil, err
+	}
+	// Feed order: ascending time, ties by batch position — the same order
+	// the batch grouper sorted into, so partitions match exactly.
+	order := make([]int, len(plus))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := &plus[order[a]], &plus[order[b]]
+		if !pa.Time.Equal(pb.Time) {
+			return pa.Time.Before(pb.Time)
+		}
+		return order[a] < order[b]
+	})
+	var events []event.Event
+	for _, i := range order {
+		evs, err := eng.Observe(streamMsg(&plus[i], i))
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, evs...)
+	}
+	events = append(events, eng.Drain()...)
+	d.met.group.Observe(time.Since(groupStart).Seconds())
+
+	buildStart := time.Now()
+	// Emission order is closure order; the batch contract is rank order
+	// with deterministic IDs. Pre-sorting by earliest member reproduces the
+	// batch builder's group order, so the stable Rank yields the exact
+	// sequence (and therefore IDs) the three-pass path produced.
+	sort.Slice(events, func(a, b int) bool {
+		return events[a].MessageSeqs[0] < events[b].MessageSeqs[0]
+	})
+	event.Rank(events)
+	for i := range events {
+		events[i].ID = i
+	}
+	d.met.build.Observe(time.Since(buildStart).Seconds())
+
+	st := eng.Stats()
+	out := &DigestResult{Events: events, Messages: plus, ActiveRules: eng.ActiveRules()}
+	d.met.batches.Inc()
+	d.met.messagesIn.Add(uint64(len(plus)))
+	d.met.eventsOut.Add(uint64(len(events)))
+	d.met.batchSize.Observe(float64(len(plus)))
+	d.met.ratio.Set(out.CompressionRatio())
+	d.met.mergeT.Add(uint64(st.TemporalMerges))
+	d.met.mergeR.Add(uint64(st.RuleMerges))
+	d.met.mergeC.Add(uint64(st.CrossMerges))
+	return out, nil
+}
+
+// ReferenceDigestPlus is the original batch implementation — sort, three
+// grouping passes into a union-find, build, rank — kept as the oracle for
+// the streaming engine's differential tests. It records no metrics.
+func (d *Digester) ReferenceDigestPlus(plus []PlusMessage) (*DigestResult, error) {
+	g, err := grouping.New(d.kb.dict, d.kb.RuleBase, d.groupingConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -597,26 +688,12 @@ func (d *Digester) DigestPlus(plus []PlusMessage) (*DigestResult, error) {
 		}
 		raw[i] = plus[i].Index
 	}
-	groupStart := time.Now()
 	res, err := g.Group(batch)
 	if err != nil {
 		return nil, err
 	}
-	d.met.group.Observe(time.Since(groupStart).Seconds())
-	buildStart := time.Now()
 	events := d.builder.Build(batch, res, raw)
-	d.met.build.Observe(time.Since(buildStart).Seconds())
-
-	out := &DigestResult{Events: events, Messages: plus, ActiveRules: res.ActiveRules}
-	d.met.batches.Inc()
-	d.met.messagesIn.Add(uint64(len(plus)))
-	d.met.eventsOut.Add(uint64(len(events)))
-	d.met.batchSize.Observe(float64(len(plus)))
-	d.met.ratio.Set(out.CompressionRatio())
-	d.met.mergeT.Add(uint64(res.TemporalMerges))
-	d.met.mergeR.Add(uint64(res.RuleMerges))
-	d.met.mergeC.Add(uint64(res.CrossMerges))
-	return out, nil
+	return &DigestResult{Events: events, Messages: plus, ActiveRules: res.ActiveRules}, nil
 }
 
 // ApplyExpert parses and applies domain-expert adjustments (see the expert

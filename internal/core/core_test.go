@@ -9,6 +9,7 @@ import (
 	"syslogdigest/internal/event"
 	"syslogdigest/internal/gen"
 	"syslogdigest/internal/locdict"
+	"syslogdigest/internal/obs"
 	"syslogdigest/internal/syslogmsg"
 )
 
@@ -277,16 +278,46 @@ func TestStreamerEquivalentAtQuietBoundaries(t *testing.T) {
 	}
 }
 
-func TestStreamerRejectsTimeTravel(t *testing.T) {
+// TestStreamerSurvivesTimeTravel: a message arriving behind the released
+// frontier is dropped and counted, never an error — a live feed must
+// outlive one router's bad clock. (Until PR 4 this was a hard error that
+// killed the stream.)
+func TestStreamerSurvivesTimeTravel(t *testing.T) {
 	kb, _ := learnSmall(t, gen.DatasetA)
 	d, _ := NewDigester(kb)
-	s := NewStreamer(d, 0)
+	s := NewStreamerWith(d, StreamerOptions{ReorderTolerance: -1}) // strict: release immediately
+	reg := obs.NewRegistry()
+	s.Instrument(reg)
 	t0 := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
-	if _, err := s.Push(syslogmsg.Message{Time: t0, Router: "x", Code: "A-1-B", Detail: "d"}); err != nil {
+	mk := func(at time.Time) syslogmsg.Message {
+		return syslogmsg.Message{Time: at, Router: "x", Code: "A-1-B", Detail: "d"}
+	}
+	if _, err := s.Push(mk(t0)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Push(syslogmsg.Message{Time: t0.Add(-time.Hour), Router: "x", Code: "A-1-B", Detail: "d"}); err == nil {
-		t.Fatal("out-of-order push accepted")
+	if res, err := s.Push(mk(t0.Add(-time.Hour))); err != nil || res != nil {
+		t.Fatalf("late message: res=%v err=%v, want silent drop", res, err)
+	}
+	// The stream survives: later messages still group and flush.
+	if _, err := s.Push(mk(t0.Add(time.Second))); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("stream.dropped.late"); got != 1 {
+		t.Errorf("dropped.late = %d, want 1", got)
+	}
+	total := 0
+	if res != nil {
+		for _, e := range res.Events {
+			total += e.Size()
+		}
+	}
+	if total != 2 {
+		t.Errorf("flushed %d messages, want 2 (late one dropped)", total)
 	}
 }
 

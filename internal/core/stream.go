@@ -1,118 +1,309 @@
 package core
 
 import (
-	"fmt"
-
-	"syslogdigest/internal/obs"
-	"syslogdigest/internal/syslogmsg"
 	"time"
+
+	"syslogdigest/internal/event"
+	"syslogdigest/internal/grouping"
+	"syslogdigest/internal/obs"
+	"syslogdigest/internal/stream"
+	"syslogdigest/internal/syslogmsg"
 )
 
-// Streamer adapts the batch Digester to a continuous message feed, the
-// shape of the paper's online system. Messages buffer until a quiet
-// boundary — a gap longer than Smax, across which no grouping method can
-// connect messages (temporal grouping never bridges Smax, and the rule/
-// cross windows are far smaller) — then the closed batch digests as a unit.
-// A buffer cap forces a flush during pathological storms; only in that case
-// can an event be split across flushes.
+// Default StreamerOptions values.
+const (
+	// DefaultReorderTolerance is how far behind the newest arrival a
+	// message may lag and still be sorted into place. Collector feeds are
+	// only approximately time-ordered across routers; a couple of seconds
+	// absorbs the usual transport skew.
+	DefaultReorderTolerance = 2 * time.Second
+	// DefaultReorderCap bounds the reorder buffer; overflow releases the
+	// oldest buffered message early rather than growing without bound.
+	DefaultReorderCap = 8192
+)
+
+// StreamerOptions tune the streaming front-end.
+type StreamerOptions struct {
+	// ReorderTolerance is the reorder-buffer hold time: a message is
+	// released to the engine once the newest arrival is at least this much
+	// ahead of it, so any two messages whose timestamps disagree with their
+	// arrival order by less than the tolerance are re-sorted. Messages
+	// arriving later than an already-released timestamp are dropped (and
+	// counted), never an error. 0 means DefaultReorderTolerance; negative
+	// means no buffering (strict arrival order, any regression drops).
+	ReorderTolerance time.Duration
+	// ReorderCap caps buffered messages (<= 0: DefaultReorderCap).
+	ReorderCap int
+	// MaxStreams caps the engine's temporal-model table
+	// (<= 0: grouping.DefaultMaxStreams).
+	MaxStreams int
+}
+
+// Streamer is the continuous front-end of the online pipeline: a bounded
+// reorder buffer feeding the incremental engine one augmented message at a
+// time. Events return from Push as soon as the engine's watermark proves
+// them complete — there is no batch boundary, no quiet-gap wait, and memory
+// holds only open-window state, not the feed.
+//
+// Until PR 4 this type buffered up to 500k messages and re-ran the batch
+// digester at quiet gaps; it now wraps stream.Engine, and Push/Flush keep
+// their signatures (results carry Events only — Messages is nil, since
+// messages no longer pass through in batches).
+//
+// Not safe for concurrent use; callers serialize (the cmds push under one
+// mutex).
 type Streamer struct {
-	d         *Digester
-	buf       []syslogmsg.Message
-	last      time.Time
-	started   bool // a message has been pushed; last is meaningful
-	gap       time.Duration
-	maxBuffer int
+	d    *Digester
+	opts StreamerOptions
 
-	mBuffered    *obs.Gauge   // stream.buffered
-	mPushed      *obs.Counter // stream.pushed
-	mFlushes     *obs.Counter // stream.flushes
-	mFlushGap    *obs.Counter // stream.flush.gap
-	mFlushCap    *obs.Counter // stream.flush.cap
-	mFlushManual *obs.Counter // stream.flush.manual
+	eng        *stream.Engine
+	engMetrics stream.Metrics
+
+	buf      reorderHeap
+	arrivals uint64 // heap tiebreak: preserves arrival order at equal times
+	seq      int    // dense engine sequence, assigned at release
+
+	started  bool      // any arrival seen; maxSeen is meaningful
+	maxSeen  time.Time // newest arrival time
+	released bool      // any message released; frontier is meaningful
+	frontier time.Time // newest released time == engine watermark
+
+	mBuffered  *obs.Gauge   // stream.buffered (reorder buffer depth)
+	mPushed    *obs.Counter // stream.pushed
+	mReordered *obs.Counter // stream.reordered
+	mDropped   *obs.Counter // stream.dropped.late
 }
 
-// NewStreamer wraps a digester. maxBuffer <= 0 defaults to 500000 messages.
+// NewStreamer wraps a digester with default options; maxBuffer (<= 0 for
+// the default) caps the reorder buffer, preserving the old signature.
 func NewStreamer(d *Digester, maxBuffer int) *Streamer {
-	if maxBuffer <= 0 {
-		maxBuffer = 500_000
-	}
-	gap := d.kb.Params.Temporal.Smax
-	if w := d.kb.Params.Rules.Window; w > gap {
-		gap = w
-	}
-	return &Streamer{d: d, gap: gap, maxBuffer: maxBuffer}
+	return NewStreamerWith(d, StreamerOptions{ReorderCap: maxBuffer})
 }
 
-// Instrument publishes the streamer's metrics (stream.*) into reg. Call
-// before the first Push; a nil registry leaves the streamer uninstrumented
-// (every metric op then no-ops).
+// NewStreamerWith wraps a digester with explicit options.
+func NewStreamerWith(d *Digester, opts StreamerOptions) *Streamer {
+	if opts.ReorderTolerance == 0 {
+		opts.ReorderTolerance = DefaultReorderTolerance
+	}
+	if opts.ReorderTolerance < 0 {
+		opts.ReorderTolerance = 0
+	}
+	if opts.ReorderCap <= 0 {
+		opts.ReorderCap = DefaultReorderCap
+	}
+	return &Streamer{d: d, opts: opts}
+}
+
+// Instrument publishes the streamer's metrics into reg: the reorder-buffer
+// counters (stream.pushed, stream.reordered, stream.dropped.late,
+// stream.buffered), the engine's emission metrics (stream.emitted,
+// stream.emit_latency_seconds, stream.watermark_unix_seconds), its state
+// gauges (stream.state.{messages,groups,streams}, stream.state.evictions),
+// and the shared grouping merge counters (group.merges.*). A nil registry
+// leaves the streamer uninstrumented.
 func (s *Streamer) Instrument(reg *obs.Registry) {
 	s.mBuffered = reg.Gauge("stream.buffered")
 	s.mPushed = reg.Counter("stream.pushed")
-	s.mFlushes = reg.Counter("stream.flushes")
-	s.mFlushGap = reg.Counter("stream.flush.gap")
-	s.mFlushCap = reg.Counter("stream.flush.cap")
-	s.mFlushManual = reg.Counter("stream.flush.manual")
+	s.mReordered = reg.Counter("stream.reordered")
+	s.mDropped = reg.Counter("stream.dropped.late")
+	s.engMetrics = stream.Metrics{
+		Grouping: grouping.IncMetrics{
+			MergeTemporal:   reg.Counter("group.merges.temporal"),
+			MergeRule:       reg.Counter("group.merges.rule"),
+			MergeCross:      reg.Counter("group.merges.cross"),
+			OpenMessages:    reg.Gauge("stream.state.messages"),
+			OpenGroups:      reg.Gauge("stream.state.groups"),
+			Streams:         reg.Gauge("stream.state.streams"),
+			StreamEvictions: reg.Counter("stream.state.evictions"),
+		},
+		Emitted:     reg.Counter("stream.emitted"),
+		EmitLatency: reg.Histogram("stream.emit_latency_seconds", stream.EmitLatencyBounds()),
+		Watermark:   reg.Gauge("stream.watermark_unix_seconds"),
+	}
+	if s.eng != nil {
+		s.eng.SetMetrics(s.engMetrics)
+	}
 }
 
-// Push ingests one message (nondecreasing time order expected). When the
-// message opens a new quiet-separated window, the previous window is
-// digested and returned; otherwise the result is nil.
-//
-// Monotonicity is enforced for the stream's lifetime, not per window: the
-// guard used to check only while the buffer was non-empty, so the first
-// message after a flush could silently jump backwards in time and produce
-// a batch whose span overlaps the one just digested.
-func (s *Streamer) Push(m syslogmsg.Message) (*DigestResult, error) {
-	if s.started && m.Time.Before(s.last) {
-		return nil, fmt.Errorf("core: streamer requires nondecreasing timestamps (got %v after %v)", m.Time, s.last)
-	}
-	var res *DigestResult
-	if len(s.buf) > 0 {
-		gapFlush := m.Time.Sub(s.last) > s.gap
-		capFlush := !gapFlush && len(s.buf) >= s.maxBuffer
-		if gapFlush || capFlush {
-			var err error
-			res, err = s.flush()
-			if err != nil {
-				return nil, err
-			}
-			if gapFlush {
-				s.mFlushGap.Inc()
-			} else {
-				s.mFlushCap.Inc()
-			}
+// engine lazily builds the underlying engine (construction can fail on
+// invalid temporal parameters, and NewStreamer has no error return).
+func (s *Streamer) engine() (*stream.Engine, error) {
+	if s.eng == nil {
+		eng, err := s.d.newEngine(s.opts.MaxStreams)
+		if err != nil {
+			return nil, err
 		}
+		eng.SetMetrics(s.engMetrics)
+		s.eng = eng
 	}
-	s.buf = append(s.buf, m)
-	s.last = m.Time
-	s.started = true
-	s.mPushed.Inc()
-	s.mBuffered.Set(float64(len(s.buf)))
-	return res, nil
+	return s.eng, nil
 }
 
-// Pending returns the number of buffered, not-yet-digested messages.
-func (s *Streamer) Pending() int { return len(s.buf) }
-
-// Flush digests whatever is buffered and resets the window. It returns nil
-// when nothing is pending. The monotonicity guard persists across the
-// flush.
-func (s *Streamer) Flush() (*DigestResult, error) {
-	if len(s.buf) == 0 {
+// Push ingests one message and returns the events it closed (nil when none
+// closed). Out-of-order arrivals within the reorder tolerance are sorted
+// into place; arrivals older than the released frontier are dropped and
+// counted in stream.dropped.late, never an error — a live feed must survive
+// a misbehaving clock.
+func (s *Streamer) Push(m syslogmsg.Message) (*DigestResult, error) {
+	s.mPushed.Inc()
+	if s.released && m.Time.Before(s.frontier) {
+		s.mDropped.Inc()
 		return nil, nil
 	}
-	res, err := s.flush()
-	if err == nil {
-		s.mFlushManual.Inc()
+	if s.started && m.Time.Before(s.maxSeen) {
+		s.mReordered.Inc()
+	} else {
+		s.maxSeen = m.Time
 	}
-	return res, err
+	s.started = true
+	s.buf.push(bufItem{m: m, order: s.arrivals})
+	s.arrivals++
+
+	events, err := s.release()
+	s.mBuffered.Set(float64(len(s.buf)))
+	if err != nil {
+		return nil, err
+	}
+	if len(events) == 0 {
+		return nil, nil
+	}
+	return &DigestResult{Events: events}, nil
 }
 
-func (s *Streamer) flush() (*DigestResult, error) {
-	batch := s.buf
-	s.buf = nil
-	s.mFlushes.Inc()
+// release feeds the engine every buffered message that is either older than
+// maxSeen − tolerance (no in-tolerance arrival can precede it anymore) or
+// forced out by the buffer cap.
+func (s *Streamer) release() ([]event.Event, error) {
+	bound := s.maxSeen.Add(-s.opts.ReorderTolerance)
+	var events []event.Event
+	for len(s.buf) > 0 {
+		if s.buf[0].m.Time.After(bound) && len(s.buf) <= s.opts.ReorderCap {
+			break
+		}
+		item := s.buf.pop()
+		evs, err := s.feed(item.m)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, evs...)
+	}
+	return events, nil
+}
+
+// feed augments one message and hands it to the engine.
+func (s *Streamer) feed(m syslogmsg.Message) ([]event.Event, error) {
+	eng, err := s.engine()
+	if err != nil {
+		return nil, err
+	}
+	pm := s.d.kb.Augment(&m)
+	sm := streamMsg(&pm, s.seq)
+	s.seq++
+	evs, err := eng.Observe(sm)
+	if err != nil {
+		return nil, err
+	}
+	s.frontier = pm.Time
+	s.released = true
+	return evs, nil
+}
+
+// Flush releases the reorder buffer and force-closes every open group,
+// returning the events (nil when nothing was pending). The engine's
+// temporal models, watermark, and the late-drop frontier persist: flushing
+// is an emission point, not a reset.
+func (s *Streamer) Flush() (*DigestResult, error) {
+	var events []event.Event
+	for len(s.buf) > 0 {
+		item := s.buf.pop()
+		evs, err := s.feed(item.m)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, evs...)
+	}
 	s.mBuffered.Set(0)
-	return s.d.Digest(batch)
+	if s.eng != nil {
+		events = append(events, s.eng.Drain()...)
+	}
+	if len(events) == 0 {
+		return nil, nil
+	}
+	return &DigestResult{Events: events}, nil
+}
+
+// Pending returns the number of messages held in the streamer: buffered for
+// reordering plus open (grouped but unemitted) in the engine.
+func (s *Streamer) Pending() int {
+	n := len(s.buf)
+	if s.eng != nil {
+		n += s.eng.Pending()
+	}
+	return n
+}
+
+// Watermark is the engine's watermark (zero before the first release).
+func (s *Streamer) Watermark() time.Time {
+	if s.eng == nil {
+		return time.Time{}
+	}
+	return s.eng.Watermark()
+}
+
+// bufItem is one buffered arrival; order breaks timestamp ties so equal
+// times release in arrival order.
+type bufItem struct {
+	m     syslogmsg.Message
+	order uint64
+}
+
+// reorderHeap is a min-heap on (time, arrival order). Hand-rolled rather
+// than container/heap: push/pop run once per message on the hot path, and
+// the concrete element type avoids the interface boxing allocation.
+type reorderHeap []bufItem
+
+func (h reorderHeap) less(i, j int) bool {
+	if !h[i].m.Time.Equal(h[j].m.Time) {
+		return h[i].m.Time.Before(h[j].m.Time)
+	}
+	return h[i].order < h[j].order
+}
+
+func (h *reorderHeap) push(it bufItem) {
+	*h = append(*h, it)
+	q := *h
+	for i := len(q) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *reorderHeap) pop() bufItem {
+	q := *h
+	n := len(q) - 1
+	it := q[0]
+	q[0] = q[n]
+	q[n] = bufItem{}
+	q = q[:n]
+	*h = q
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q.less(l, small) {
+			small = l
+		}
+		if r < n && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	return it
 }

@@ -10,14 +10,17 @@ import (
 	"syslogdigest/internal/syslogmsg"
 )
 
-// TestStreamerMonotonicAcrossFlushes is the regression test for the
-// ordering-guard bug: the nondecreasing-timestamp check only applied while
-// the buffer was non-empty, so the first message after a Flush could go
-// backwards in time undetected and produce time-overlapping batches.
+// TestStreamerMonotonicAcrossFlushes: the late-drop frontier persists
+// across Flush — the first message after a flush cannot rewind behind what
+// was already released (it drops instead), while equal and later
+// timestamps stay accepted. (This guards the same overlap bug the old
+// batch streamer had, with drop-and-count in place of the hard error.)
 func TestStreamerMonotonicAcrossFlushes(t *testing.T) {
 	kb, _ := learnSmall(t, gen.DatasetA)
 	d, _ := NewDigester(kb)
-	s := NewStreamer(d, 0)
+	s := NewStreamerWith(d, StreamerOptions{ReorderTolerance: -1})
+	reg := obs.NewRegistry()
+	s.Instrument(reg)
 	t0 := time.Date(2010, 1, 1, 12, 0, 0, 0, time.UTC)
 	mk := func(at time.Time) syslogmsg.Message {
 		return syslogmsg.Message{Time: at, Router: "x", Code: "A-1-B", Detail: "d"}
@@ -28,9 +31,12 @@ func TestStreamerMonotonicAcrossFlushes(t *testing.T) {
 	if _, err := s.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	// Buffer is now empty; a message before t0 must still be rejected.
-	if _, err := s.Push(mk(t0.Add(-time.Hour))); err == nil {
-		t.Fatal("backwards message after flush accepted")
+	// A message before t0 must still drop after the flush.
+	if res, err := s.Push(mk(t0.Add(-time.Hour))); err != nil || res != nil {
+		t.Fatalf("backwards message after flush: res=%v err=%v, want drop", res, err)
+	}
+	if got := reg.Snapshot().Counter("stream.dropped.late"); got != 1 {
+		t.Fatalf("dropped.late = %d, want 1", got)
 	}
 	// Equal and later timestamps stay accepted.
 	if _, err := s.Push(mk(t0)); err != nil {
@@ -39,51 +45,107 @@ func TestStreamerMonotonicAcrossFlushes(t *testing.T) {
 	if _, err := s.Push(mk(t0.Add(time.Second))); err != nil {
 		t.Fatal(err)
 	}
+	if got := reg.Snapshot().Counter("stream.dropped.late"); got != 1 {
+		t.Fatalf("dropped.late grew to %d, want 1", got)
+	}
 }
 
-// TestStreamerFlushReasons drives both automatic flush paths and the
-// manual one, checking the stream.* metrics tell them apart.
-func TestStreamerFlushReasons(t *testing.T) {
+// TestStreamerMetricsReconcile drives pushes, a reorder, a late drop, and a
+// flush, then reconciles every stream.* counter: pushed = released +
+// dropped + buffered, emitted events cover exactly the released messages.
+func TestStreamerMetricsReconcile(t *testing.T) {
 	kb, _ := learnSmall(t, gen.DatasetA)
 	d, _ := NewDigester(kb)
-	s := NewStreamer(d, 3)
+	s := NewStreamerWith(d, StreamerOptions{ReorderTolerance: 2 * time.Second})
 	reg := obs.NewRegistry()
 	s.Instrument(reg)
 	t0 := time.Date(2010, 1, 1, 12, 0, 0, 0, time.UTC)
 	mk := func(at time.Time) syslogmsg.Message {
 		return syslogmsg.Message{Time: at, Router: "x", Code: "A-1-B", Detail: "d"}
 	}
-	// Fill to the cap: the 4th push forces a cap flush.
-	for i := 0; i < 4; i++ {
-		if _, err := s.Push(mk(t0.Add(time.Duration(i) * time.Second))); err != nil {
+	// In-order pushes 10s apart: everything beyond the tolerance releases.
+	for i := 0; i < 5; i++ {
+		if _, err := s.Push(mk(t0.Add(time.Duration(i) * 10 * time.Second))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	// A quiet gap beyond Smax forces a gap flush.
-	if _, err := s.Push(mk(t0.Add(48 * time.Hour))); err != nil {
+	// One in-tolerance reorder (1s behind the newest arrival)...
+	if _, err := s.Push(mk(t0.Add(39 * time.Second))); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Flush(); err != nil {
+	// ...and one hopeless straggler behind the released frontier.
+	if _, err := s.Push(mk(t0)); err != nil {
 		t.Fatal(err)
+	}
+	res, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := 0
+	msgs := 0
+	if res != nil {
+		events = len(res.Events)
+		for _, e := range res.Events {
+			msgs += e.Size()
+		}
 	}
 	snap := reg.Snapshot()
-	if got := snap.Counter("stream.flush.cap"); got != 1 {
-		t.Errorf("cap flushes = %d, want 1", got)
+	if got := snap.Counter("stream.pushed"); got != 7 {
+		t.Errorf("pushed = %d, want 7", got)
 	}
-	if got := snap.Counter("stream.flush.gap"); got != 1 {
-		t.Errorf("gap flushes = %d, want 1", got)
+	if got := snap.Counter("stream.reordered"); got != 1 {
+		t.Errorf("reordered = %d, want 1", got)
 	}
-	if got := snap.Counter("stream.flush.manual"); got != 1 {
-		t.Errorf("manual flushes = %d, want 1", got)
-	}
-	if got := snap.Counter("stream.flushes"); got != 3 {
-		t.Errorf("total flushes = %d, want 3", got)
-	}
-	if got := snap.Counter("stream.pushed"); got != 5 {
-		t.Errorf("pushed = %d, want 5", got)
+	if got := snap.Counter("stream.dropped.late"); got != 1 {
+		t.Errorf("dropped.late = %d, want 1", got)
 	}
 	if got := snap.Gauge("stream.buffered"); got != 0 {
 		t.Errorf("buffered = %v after flush, want 0", got)
+	}
+	if msgs != 6 {
+		t.Errorf("emitted events cover %d messages, want 6 (7 pushed - 1 dropped)", msgs)
+	}
+	if got := snap.Counter("stream.emitted"); got != uint64(events) {
+		t.Errorf("stream.emitted = %d, want %d", got, events)
+	}
+	merges := snap.Counter("group.merges.temporal") + snap.Counter("group.merges.rule") + snap.Counter("group.merges.cross")
+	if want := uint64(msgs - events); merges != want {
+		t.Errorf("merges = %d, want released-emitted = %d", merges, want)
+	}
+	if h := snap.Histogram("stream.emit_latency_seconds"); h == nil || h.Count != uint64(events) {
+		t.Errorf("emit latency observations = %+v, want %d", h, events)
+	}
+}
+
+// TestStreamerSteadyStateAllocs pins the per-push allocation budget of the
+// warm path: no per-flush buffer rebuilds, no per-message window
+// reallocations — just the engine's per-message node plus map/heap noise.
+// (The old batch streamer dropped its whole buffer every flush and
+// reallocated it from scratch; this is the satellite guard against that
+// pattern coming back.)
+func TestStreamerSteadyStateAllocs(t *testing.T) {
+	kb, _ := learnSmall(t, gen.DatasetA)
+	d, _ := NewDigester(kb)
+	s := NewStreamer(d, 0)
+	t0 := time.Date(2010, 1, 1, 12, 0, 0, 0, time.UTC)
+	step := 0
+	push := func() {
+		m := syslogmsg.Message{Time: t0.Add(time.Duration(step) * time.Second),
+			Router: "x", Code: "A-1-B", Detail: "d"}
+		step++
+		if _, err := s.Push(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2048; i++ {
+		push() // warm: caches filled, rings grown, heap capacity settled
+	}
+	avg := testing.AllocsPerRun(512, push)
+	// The warm path allocates the engine node and little else; 8 leaves
+	// headroom for map growth while still catching any per-push rebuild of
+	// buffers or windows.
+	if avg > 8 {
+		t.Fatalf("steady-state allocations per push = %.1f, want <= 8", avg)
 	}
 }
 

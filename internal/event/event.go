@@ -113,6 +113,19 @@ func NewBuilder(freq *FreqTable, labeler *Labeler) *Builder {
 	return &Builder{freq: freq, labeler: labeler}
 }
 
+// Member is one message as event assembly sees it: the fields scoring and
+// presentation consume. Both the batch Build path and the streaming engine
+// reduce their message representations to Members before calling
+// BuildGroup, so a group's event is identical however it was formed.
+type Member struct {
+	Seq      int
+	Time     time.Time
+	Router   string
+	Template int
+	Loc      locdict.Location
+	Raw      uint64
+}
+
 // Build converts a grouping result into events, sorted by descending score
 // (rank order). rawIndex maps batch Seq to the raw syslog message index; a
 // nil rawIndex uses the Seq itself.
@@ -122,50 +135,25 @@ func (b *Builder) Build(msgs []grouping.Message, res *grouping.Result, rawIndex 
 		bySeq[msgs[i].Seq] = &msgs[i]
 	}
 	events := make([]Event, 0, len(res.Groups))
-	for _, members := range res.Groups {
-		e := Event{ID: len(events)}
-		routers := make(map[string]bool)
-		templates := make(map[int]bool)
-		perRouterLocs := make(map[string][]locdict.Location)
-		for _, seq := range members {
+	var members []Member
+	for _, seqs := range res.Groups {
+		members = members[:0]
+		for _, seq := range seqs {
 			m := bySeq[seq]
 			if m == nil {
 				continue
 			}
-			if e.Start.IsZero() || m.Time.Before(e.Start) {
-				e.Start = m.Time
-			}
-			if m.Time.After(e.End) {
-				e.End = m.Time
-			}
-			routers[m.Router] = true
-			templates[m.Template] = true
-			perRouterLocs[m.Router] = append(perRouterLocs[m.Router], m.Loc)
-			e.MessageSeqs = append(e.MessageSeqs, seq)
+			raw := uint64(seq)
 			if rawIndex != nil {
-				e.RawIndexes = append(e.RawIndexes, rawIndex[seq])
-			} else {
-				e.RawIndexes = append(e.RawIndexes, uint64(seq))
+				raw = rawIndex[seq]
 			}
-			// Scoring: l_m / log(f_m). The +e guard keeps the denominator
-			// at least 1 for signatures never seen in history (f = 0).
-			f := float64(b.freq.Get(m.Router, m.Template))
-			e.Score += m.Loc.Level.Weight() / math.Log(f+math.E)
+			members = append(members, Member{
+				Seq: seq, Time: m.Time, Router: m.Router,
+				Template: m.Template, Loc: m.Loc, Raw: raw,
+			})
 		}
-		for r := range routers {
-			e.Routers = append(e.Routers, r)
-		}
-		sort.Strings(e.Routers)
-		for _, r := range e.Routers {
-			e.Locations = append(e.Locations, presentationLoc(r, perRouterLocs[r]))
-		}
-		for t := range templates {
-			e.Templates = append(e.Templates, t)
-		}
-		sort.Ints(e.Templates)
-		sort.Ints(e.MessageSeqs)
-		sort.Slice(e.RawIndexes, func(i, j int) bool { return e.RawIndexes[i] < e.RawIndexes[j] })
-		e.Label = b.labeler.EventLabel(e.Templates)
+		e := b.BuildGroup(members)
+		e.ID = len(events)
 		events = append(events, e)
 	}
 	Rank(events)
@@ -173,6 +161,52 @@ func (b *Builder) Build(msgs []grouping.Message, res *grouping.Result, rawIndex 
 		events[i].ID = i
 	}
 	return events
+}
+
+// BuildGroup assembles, scores, and labels one group. Members must be in
+// ascending Seq order: the score is a float sum over members, so the
+// summation order is part of the contract — batch groups list members
+// ascending and the streaming engine sorts closed groups the same way,
+// which makes their scores bit-identical, not merely close. The caller
+// assigns ID.
+func (b *Builder) BuildGroup(members []Member) Event {
+	var e Event
+	routers := make(map[string]bool)
+	templates := make(map[int]bool)
+	perRouterLocs := make(map[string][]locdict.Location)
+	for i := range members {
+		m := &members[i]
+		if e.Start.IsZero() || m.Time.Before(e.Start) {
+			e.Start = m.Time
+		}
+		if m.Time.After(e.End) {
+			e.End = m.Time
+		}
+		routers[m.Router] = true
+		templates[m.Template] = true
+		perRouterLocs[m.Router] = append(perRouterLocs[m.Router], m.Loc)
+		e.MessageSeqs = append(e.MessageSeqs, m.Seq)
+		e.RawIndexes = append(e.RawIndexes, m.Raw)
+		// Scoring: l_m / log(f_m). The +e guard keeps the denominator
+		// at least 1 for signatures never seen in history (f = 0).
+		f := float64(b.freq.Get(m.Router, m.Template))
+		e.Score += m.Loc.Level.Weight() / math.Log(f+math.E)
+	}
+	for r := range routers {
+		e.Routers = append(e.Routers, r)
+	}
+	sort.Strings(e.Routers)
+	for _, r := range e.Routers {
+		e.Locations = append(e.Locations, presentationLoc(r, perRouterLocs[r]))
+	}
+	for t := range templates {
+		e.Templates = append(e.Templates, t)
+	}
+	sort.Ints(e.Templates)
+	sort.Ints(e.MessageSeqs)
+	sort.Slice(e.RawIndexes, func(i, j int) bool { return e.RawIndexes[i] < e.RawIndexes[j] })
+	e.Label = b.labeler.EventLabel(e.Templates)
+	return e
 }
 
 // presentationLoc picks a router's display location: the coarsest level

@@ -2,6 +2,7 @@ package event
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -246,6 +247,43 @@ func TestItoa(t *testing.T) {
 	for n, want := range map[int]string{0: "0", 7: "7", 42: "42", -3: "-3", 1234: "1234"} {
 		if got := itoa(n); got != want {
 			t.Errorf("itoa(%d) = %q", n, got)
+		}
+	}
+}
+
+// TestBuildGroupMatchesBuild: assembling groups one at a time through the
+// streaming entry point yields exactly the events the batch Build produces
+// (before ranking renumbers them) — same scores, labels, spans, members.
+func TestBuildGroupMatchesBuild(t *testing.T) {
+	msgs, res := toyBatch()
+	raw := []uint64{100, 101, 102, 103, 104}
+	b := NewBuilder(nil, NewLabeler(flapTemplates()))
+	batch := b.Build(msgs, res, raw)
+
+	b2 := NewBuilder(nil, NewLabeler(flapTemplates()))
+	var single []Event
+	for _, group := range res.Groups {
+		members := make([]Member, 0, len(group))
+		for _, seq := range group {
+			m := msgs[seq]
+			members = append(members, Member{
+				Seq: m.Seq, Time: m.Time, Router: m.Router,
+				Template: m.Template, Loc: m.Loc, Raw: raw[seq],
+			})
+		}
+		single = append(single, b2.BuildGroup(members))
+	}
+	Rank(single)
+	for i := range single {
+		single[i].ID = i
+	}
+
+	if len(single) != len(batch) {
+		t.Fatalf("events: %d vs %d", len(single), len(batch))
+	}
+	for i := range single {
+		if !reflect.DeepEqual(single[i], batch[i]) {
+			t.Fatalf("event %d differs:\ngroup: %+v\nbatch: %+v", i, single[i], batch[i])
 		}
 	}
 }

@@ -39,6 +39,7 @@ type Message struct {
 	Loc      locdict.Location   // primary (finest) location
 	AllLocs  []locdict.Location // all resolved locations, finest first
 	Peers    []string           // peer routers referenced by the message
+	Raw      uint64             // caller-carried raw syslog index, opaque to grouping
 }
 
 // Config tunes the grouping passes.
@@ -239,22 +240,12 @@ func (g *Grouper) rulePass(byTime []*Message, uf *unionFind, active map[rules.Pa
 					break
 				}
 				scanned++
-				if mi.Template == mj.Template {
-					continue // same-template grouping is pass 1's job
-				}
-				if !g.rb.HasPair(mi.Template, mj.Template) {
-					continue
-				}
-				if !g.dict.SpatialMatch(mi.Loc, mj.Loc) {
+				if !g.ruleMatch(mi, mj) {
 					continue
 				}
 				if uf.union(mi.Seq, mj.Seq) {
 					*merges++
-					pk := rules.PairKey{X: mi.Template, Y: mj.Template}
-					if pk.X > pk.Y {
-						pk.X, pk.Y = pk.Y, pk.X
-					}
-					active[pk]++
+					active[rulePair(mi.Template, mj.Template)]++
 				}
 			}
 		}
@@ -273,19 +264,53 @@ func (g *Grouper) crossPass(byTime []*Message, uf *unionFind, merges *int) {
 				break
 			}
 			scanned++
-			if mi.Template != mj.Template || mi.Router == mj.Router {
+			if !g.crossPair(mi, mj) {
 				continue
 			}
 			if uf.same(mi.Seq, mj.Seq) {
 				continue
 			}
-			if g.dict.Connected(mi.Loc, mj.Loc) || g.peerHinted(mi, mj) || g.peerHinted(mj, mi) {
+			if g.crossLinked(mi, mj) {
 				if uf.union(mi.Seq, mj.Seq) {
 					*merges++
 				}
 			}
 		}
 	}
+}
+
+// ruleMatch is the rule-based grouping predicate (§4.2.2): different
+// templates connected by a mined association rule on spatially matching
+// locations. The window and scan bounds are the caller's job — both the
+// batch pass and the incremental engine share this exact pair test.
+func (g *Grouper) ruleMatch(mi, mj *Message) bool {
+	if mi.Template == mj.Template {
+		return false // same-template grouping is pass 1's job
+	}
+	if !g.rb.HasPair(mi.Template, mj.Template) {
+		return false
+	}
+	return g.dict.SpatialMatch(mi.Loc, mj.Loc)
+}
+
+// rulePair canonicalizes a template pair for the ActiveRules tally.
+func rulePair(x, y int) rules.PairKey {
+	if x > y {
+		x, y = y, x
+	}
+	return rules.PairKey{X: x, Y: y}
+}
+
+// crossPair is the cheap structural half of the cross-router predicate
+// (§4.2.3): same template, different routers.
+func (g *Grouper) crossPair(mi, mj *Message) bool {
+	return mi.Template == mj.Template && mi.Router != mj.Router
+}
+
+// crossLinked is the topological half: the two locations are connected in
+// the dictionary, or either message names the other's router as a peer.
+func (g *Grouper) crossLinked(mi, mj *Message) bool {
+	return g.dict.Connected(mi.Loc, mj.Loc) || g.peerHinted(mi, mj) || g.peerHinted(mj, mi)
 }
 
 // peerHinted reports whether message a explicitly references b's router as

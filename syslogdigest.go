@@ -53,8 +53,13 @@ type (
 	Learner = core.Learner
 	// Digester runs online digesting over a knowledge base.
 	Digester = core.Digester
-	// Streamer adapts the digester to a continuous feed.
+	// Streamer adapts the digester to a continuous feed: a bounded reorder
+	// buffer in front of the incremental engine, emitting each event as
+	// soon as the watermark proves it complete.
 	Streamer = core.Streamer
+	// StreamerOptions tune the streaming front-end (reorder tolerance and
+	// cap, temporal-state bound).
+	StreamerOptions = core.StreamerOptions
 	// DigestResult is one batch's events plus bookkeeping.
 	DigestResult = core.DigestResult
 	// Stage selects how much of the grouping pipeline runs.
@@ -82,9 +87,15 @@ func NewLearner(params Params) *Learner { return core.NewLearner(params) }
 // NewDigester builds an online digester over a learned knowledge base.
 func NewDigester(kb *KnowledgeBase) (*Digester, error) { return core.NewDigester(kb) }
 
-// NewStreamer wraps a digester for continuous feeds; maxBuffer <= 0 takes a
-// large default.
+// NewStreamer wraps a digester for continuous feeds with default options;
+// maxBuffer (<= 0 for the default) caps the reorder buffer.
 func NewStreamer(d *Digester, maxBuffer int) *Streamer { return core.NewStreamer(d, maxBuffer) }
+
+// NewStreamerWith wraps a digester for continuous feeds with explicit
+// options.
+func NewStreamerWith(d *Digester, opts StreamerOptions) *Streamer {
+	return core.NewStreamerWith(d, opts)
+}
 
 // LoadKnowledgeBase reads a knowledge base saved with KnowledgeBase.Save.
 func LoadKnowledgeBase(r io.Reader) (*KnowledgeBase, error) { return core.LoadKnowledgeBase(r) }
