@@ -40,11 +40,13 @@ bench-smoke:
 bench-compare:
 	@tmp=$$(mktemp /tmp/sdbench.XXXXXX.json); \
 	$(GO) run ./cmd/sdbench -dataset A -json $$tmp && \
-	$(GO) run ./cmd/sdbench -compare BENCH_PR4.json -tolerance 150 $$tmp; \
+	$(GO) run ./cmd/sdbench -compare BENCH_PR5.json -tolerance 150 $$tmp; \
 	rc=$$?; rm -f $$tmp; exit $$rc
 
 # The streaming-equivalence smoke: the incremental engine must reproduce the
 # batch oracle's events on both vendor corpora at serial and parallel
-# settings (the full differential suite runs under `make race`).
+# settings, and the router-sharded engine must reproduce the serial engine
+# byte for byte at every worker count (the full differential suite runs
+# under `make race`).
 stream-equiv:
-	$(GO) test -run 'TestStreamingMatchesBatch' -count=1 ./internal/core
+	$(GO) test -run 'TestStreamingMatchesBatch|TestShardedMatchesSerial' -count=1 ./internal/core

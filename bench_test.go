@@ -485,30 +485,37 @@ func BenchmarkStageStream(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	events := 0
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		st := core.NewStreamer(d, 0)
-		events = 0
-		for j := range c.Online.Messages {
-			res, err := st.Push(c.Online.Messages[j])
-			if err != nil {
-				b.Fatal(err)
+	// w1 is the serial engine; w>1 runs the router-sharded engine, whose
+	// output is byte-identical, so events/op must not move across the sweep.
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			events := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st := core.NewStreamerWith(d, core.StreamerOptions{StreamWorkers: w})
+				events = 0
+				for j := range c.Online.Messages {
+					res, err := st.Push(c.Online.Messages[j])
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res != nil {
+						events += len(res.Events)
+					}
+				}
+				res, err := st.Flush()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res != nil {
+					events += len(res.Events)
+				}
+				st.Close()
 			}
-			if res != nil {
-				events += len(res.Events)
-			}
-		}
-		res, err := st.Flush()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if res != nil {
-			events += len(res.Events)
-		}
+			b.ReportMetric(float64(events), "events")
+			b.ReportMetric(float64(len(c.Online.Messages)), "msgs/op")
+		})
 	}
-	b.ReportMetric(float64(events), "events")
-	b.ReportMetric(float64(len(c.Online.Messages)), "msgs/op")
 }
 
 func BenchmarkTrendAudit(b *testing.B) {

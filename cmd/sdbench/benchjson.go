@@ -37,9 +37,14 @@ type benchSnapshot struct {
 	Speedups   []speedupSummary  `json:"speedups"`
 	MatchCache []matchCacheStats `json:"match_cache,omitempty"`
 	// StreamLatency characterizes the streaming engine's event-emission
-	// latency (message time to emitting watermark) per dataset (schema v3).
+	// latency (message time to emitting watermark) per dataset, one entry
+	// per stream worker count in the sweep (schema v3; per-worker since v4).
 	StreamLatency []streamLatency `json:"stream_latency,omitempty"`
 }
+
+// streamWorkerSweep is the stream-stage shard-worker sweep (schema v4):
+// workers = 1 is the serial engine, above it the router-sharded engine.
+var streamWorkerSweep = []int{1, 2, 4, 8}
 
 // streamLatency is the emission-latency profile of one streamed pass over
 // the dataset's online half: for every event, the engine watermark at
@@ -47,6 +52,7 @@ type benchSnapshot struct {
 // final flush are measured against the final watermark).
 type streamLatency struct {
 	Dataset    string  `json:"dataset"`
+	Workers    int     `json:"workers"`
 	Events     int     `json:"events"`
 	P50Seconds float64 `json:"p50_seconds"`
 	P99Seconds float64 `json:"p99_seconds"`
@@ -80,11 +86,14 @@ type speedupSummary struct {
 }
 
 // benchStage is one timed pipeline stage: run executes it once with the
-// given worker count over msgs input messages.
+// given worker count over msgs input messages. A nil sweep times workers
+// 1 and the resolved -j fan-out; an explicit sweep times every listed
+// worker count (the stream stage sweeps shard workers this way).
 type benchStage struct {
-	name string
-	msgs int
-	run  func(workers int) error
+	name  string
+	msgs  int
+	sweep []int
+	run   func(workers int) error
 }
 
 // writeBenchJSON runs the stage benchmark suite for each dataset and writes
@@ -92,7 +101,7 @@ type benchStage struct {
 func writeBenchJSON(path string, profile experiments.Profile, kinds []gen.DatasetKind, workers int) error {
 	resolved := par.Workers(workers)
 	snap := benchSnapshot{
-		Schema:     "syslogdigest-bench/3",
+		Schema:     "syslogdigest-bench/4",
 		Profile:    profile.Name,
 		Workers:    resolved,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -107,38 +116,47 @@ func writeBenchJSON(path string, profile experiments.Profile, kinds []gen.Datase
 			return err
 		}
 		for _, st := range stages {
-			serial, err := timeStage(st, 1)
-			if err != nil {
-				return fmt.Errorf("%s (serial): %w", st.name, err)
-			}
-			snap.Benchmarks = append(snap.Benchmarks, entry(st, kind, 1, serial))
-			parallel := serial
-			if resolved != 1 {
-				// Skip the redundant second timing when -j resolves to 1, so
-				// (dataset, name, workers) keys stay unique in the snapshot.
-				parallel, err = timeStage(st, resolved)
-				if err != nil {
-					return fmt.Errorf("%s (j=%d): %w", st.name, resolved, err)
+			sweep := st.sweep
+			if sweep == nil {
+				sweep = []int{1}
+				if resolved != 1 {
+					// Skip the redundant second timing when -j resolves to 1,
+					// so (dataset, name, workers) keys stay unique.
+					sweep = append(sweep, resolved)
 				}
-				snap.Benchmarks = append(snap.Benchmarks, entry(st, kind, resolved, parallel))
+			}
+			serial, best := int64(0), int64(0)
+			for _, w := range sweep {
+				ns, err := timeStage(st, w)
+				if err != nil {
+					return fmt.Errorf("%s (workers=%d): %w", st.name, w, err)
+				}
+				snap.Benchmarks = append(snap.Benchmarks, entry(st, kind, w, ns))
+				if w == 1 {
+					serial = ns
+				}
+				if best == 0 || ns < best {
+					best = ns
+				}
+				fmt.Fprintf(os.Stderr, "sdbench: %s/%s workers=%d %s\n",
+					kind, st.name, w, time.Duration(ns))
 			}
 			snap.Speedups = append(snap.Speedups, speedupSummary{
 				Name: st.name, Dataset: kind.String(),
-				Speedup: round3(float64(serial) / float64(parallel)),
+				Speedup: round3(float64(serial) / float64(best)),
 			})
-			fmt.Fprintf(os.Stderr, "sdbench: %s/%s serial=%s j%d=%s (%.2fx)\n",
-				kind, st.name, time.Duration(serial), resolved,
-				time.Duration(parallel), float64(serial)/float64(parallel))
 		}
 		// After the timed stages (so counter traffic never skews timings),
 		// run one instrumented pass to record cache effectiveness, and one
-		// streamed pass to record emission latency.
+		// streamed pass per stream worker count to record emission latency.
 		snap.MatchCache = append(snap.MatchCache, cacheStats(c))
-		lat, err := streamLatencyStats(c)
-		if err != nil {
-			return fmt.Errorf("stream latency %v: %w", kind, err)
+		for _, w := range streamWorkerSweep {
+			lat, err := streamLatencyStats(c, w)
+			if err != nil {
+				return fmt.Errorf("stream latency %v (workers=%d): %w", kind, w, err)
+			}
+			snap.StreamLatency = append(snap.StreamLatency, lat)
 		}
-		snap.StreamLatency = append(snap.StreamLatency, lat)
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -225,14 +243,16 @@ func datasetStages(c *experiments.Corpus) ([]benchStage, error) {
 		{
 			// The live path: one message at a time through the reorder
 			// buffer and incremental engine, events at watermark closure.
-			name: "stream", msgs: len(c.Online.Messages),
+			// Sweeps the streaming engine's shard workers (workers=1 is the
+			// serial engine), not the augment pool.
+			name: "stream", msgs: len(c.Online.Messages), sweep: streamWorkerSweep,
 			run: func(workers int) error {
 				d, err := core.NewDigester(c.KB)
 				if err != nil {
 					return err
 				}
-				d.SetParallelism(workers)
-				st := core.NewStreamer(d, 0)
+				st := core.NewStreamerWith(d, core.StreamerOptions{StreamWorkers: workers})
+				defer st.Close()
 				for i := range c.Online.Messages {
 					if _, err := st.Push(c.Online.Messages[i]); err != nil {
 						return err
@@ -245,14 +265,16 @@ func datasetStages(c *experiments.Corpus) ([]benchStage, error) {
 	}, nil
 }
 
-// streamLatencyStats runs one streamed pass recording, per emitted event,
-// the watermark at emission minus the event's end time.
-func streamLatencyStats(c *experiments.Corpus) (streamLatency, error) {
+// streamLatencyStats runs one streamed pass at the given stream worker
+// count, recording, per emitted event, the watermark at emission minus the
+// event's end time.
+func streamLatencyStats(c *experiments.Corpus, workers int) (streamLatency, error) {
 	d, err := core.NewDigester(c.KB)
 	if err != nil {
 		return streamLatency{}, err
 	}
-	st := core.NewStreamer(d, 0)
+	st := core.NewStreamerWith(d, core.StreamerOptions{StreamWorkers: workers})
+	defer st.Close()
 	var lats []float64
 	record := func(res *core.DigestResult) {
 		if res == nil {
@@ -275,7 +297,7 @@ func streamLatencyStats(c *experiments.Corpus) (streamLatency, error) {
 		return streamLatency{}, err
 	}
 	record(res)
-	out := streamLatency{Dataset: c.Kind.String(), Events: len(lats)}
+	out := streamLatency{Dataset: c.Kind.String(), Workers: workers, Events: len(lats)}
 	if len(lats) > 0 {
 		sort.Float64s(lats)
 		out.P50Seconds = round3(lats[len(lats)/2])

@@ -54,6 +54,7 @@ func main() {
 		verbose     = flag.Bool("v", false, "log parse errors to stderr")
 		metricsAddr = flag.String("metrics", "", "serve /metrics and /healthz on this address ('' disables)")
 		matchCache  = flag.Int("match-cache", 0, "match-cache entries (0 = default, negative = disabled; output is identical at any setting)")
+		streamWorks = flag.Int("stream-workers", 0, "streaming-engine shard workers (<= 1 = serial engine, N > 1 = router-sharded engine; output is identical at any setting)")
 	)
 	flag.Parse()
 
@@ -91,7 +92,10 @@ func main() {
 	d.Instrument(reg)
 	health.SetReady(true)
 
-	st := syslogdigest.NewStreamerWith(d, syslogdigest.StreamerOptions{ReorderTolerance: *reorder})
+	st := syslogdigest.NewStreamerWith(d, syslogdigest.StreamerOptions{
+		ReorderTolerance: *reorder,
+		StreamWorkers:    *streamWorks,
+	})
 	st.Instrument(reg)
 
 	var (
@@ -165,6 +169,7 @@ func main() {
 		case <-sig:
 			col.Close()
 			drain()
+			st.Close()
 			cst := col.Stats()
 			fmt.Fprintf(os.Stderr, "sdcollect: received %d, dropped %d, truncated %d, oversized %d, conns %d\n",
 				cst.Received, cst.Dropped, cst.Truncated, cst.Oversized, cst.Conns)

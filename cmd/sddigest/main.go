@@ -51,6 +51,7 @@ func main() {
 		streaming   = flag.Bool("stream", false, "drive the incremental engine; print events in closure order")
 		metricsAddr = flag.String("metrics", "", "serve /metrics and /healthz on this address ('' disables)")
 		workers     = flag.Int("j", 0, "worker parallelism for augment/grouping (0 = GOMAXPROCS, 1 = serial; output is identical at any setting)")
+		streamWorks = flag.Int("stream-workers", 0, "streaming-engine shard workers (<= 1 = serial engine, N > 1 = router-sharded engine; output is identical at any setting)")
 		matchCache  = flag.Int("match-cache", 0, "match-cache entries (0 = default, negative = disabled; output is identical at any setting)")
 	)
 	flag.Parse()
@@ -98,6 +99,7 @@ func main() {
 		fatalf("digester: %v", err)
 	}
 	d.SetParallelism(*workers)
+	d.SetStreamWorkers(*streamWorks)
 	d.Instrument(reg)
 	switch strings.ToUpper(*stageFlag) {
 	case "T":
@@ -193,6 +195,7 @@ func streamDigest(d *syslogdigest.Digester, msgs []syslogmsg.Message, raw bool, 
 		fatalf("stream flush: %v", err)
 	}
 	print(res)
+	st.Close()
 	fmt.Fprintf(os.Stderr, "%d messages -> %d events (streamed, closure order)\n", len(msgs), events)
 }
 

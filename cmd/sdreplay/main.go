@@ -37,6 +37,7 @@ func main() {
 		format     = flag.String("format", "line", "wire format: line, rfc3164, or rfc5424")
 		pri        = flag.Int("pri", 189, "syslog <pri> value for RFC framings")
 		kbPath     = flag.String("kb", "", "knowledge base: replay into the in-process streaming engine instead of the network")
+		streamWork = flag.Int("stream-workers", 0, "shard workers for the local engine (<= 1 = serial, N > 1 = router-sharded; output is identical at any setting)")
 	)
 	flag.Parse()
 	local := *kbPath != "" && *udpAddr == "" && *tcpAddr == ""
@@ -59,7 +60,7 @@ func main() {
 		fatalf("empty stream")
 	}
 	if local {
-		replayLocal(*kbPath, msgs, *speed)
+		replayLocal(*kbPath, msgs, *speed, *streamWork)
 		return
 	}
 
@@ -127,7 +128,7 @@ func main() {
 // replayLocal paces the corpus into the incremental engine, printing each
 // event when the watermark closes it — what a collector at the same feed
 // rate would have printed, without the network.
-func replayLocal(kbPath string, msgs []syslogmsg.Message, speed float64) {
+func replayLocal(kbPath string, msgs []syslogmsg.Message, speed float64, streamWorkers int) {
 	kf, err := os.Open(kbPath)
 	if err != nil {
 		fatalf("open kb: %v", err)
@@ -141,7 +142,7 @@ func replayLocal(kbPath string, msgs []syslogmsg.Message, speed float64) {
 	if err != nil {
 		fatalf("digester: %v", err)
 	}
-	st := syslogdigest.NewStreamer(d, 0)
+	st := syslogdigest.NewStreamerWith(d, syslogdigest.StreamerOptions{StreamWorkers: streamWorkers})
 
 	start := time.Now()
 	logStart := msgs[0].Time
@@ -173,6 +174,7 @@ func replayLocal(kbPath string, msgs []syslogmsg.Message, speed float64) {
 		fatalf("stream flush: %v", err)
 	}
 	print(res)
+	st.Close()
 	fmt.Fprintf(os.Stderr, "sdreplay: %d messages -> %d events in %s (local engine)\n",
 		len(msgs), events, time.Since(start).Round(time.Millisecond))
 }

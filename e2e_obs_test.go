@@ -24,6 +24,10 @@ import (
 // books end to end: every line sent is either received or accounted for as
 // dropped/oversized, everything received reaches the digester, and the
 // /metrics and /healthz endpoints agree with the in-process counters.
+//
+// The run repeats with the serial engine and the router-sharded engine;
+// in sharded mode the per-shard and merge-stage books must reconcile with
+// the global stream counters at every worker count.
 func TestLivePipelineObservability(t *testing.T) {
 	ds, err := gen.Generate(gen.Spec{
 		Kind: gen.DatasetA, Routers: 12, Seed: 11,
@@ -36,7 +40,14 @@ func TestLivePipelineObservability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	for _, workers := range []int{1, 3} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			livePipelineRun(t, kb, ds, workers)
+		})
+	}
+}
 
+func livePipelineRun(t *testing.T, kb *syslogdigest.KnowledgeBase, ds *gen.Dataset, workers int) {
 	reg := obs.NewRegistry()
 	health := obs.NewHealth(0)
 	srv, err := obs.Serve("127.0.0.1:0", reg, health)
@@ -54,11 +65,13 @@ func TestLivePipelineObservability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Learning warmed the match cache with this very feed; flush so the run
-	// starts cold like the cmd wiring (which loads the KB from JSON).
+	// Learning (and any previous run) warmed the match cache with this very
+	// feed; flush so the run starts cold like the cmd wiring (which loads
+	// the KB from JSON).
 	kb.SetMatchCache(0)
 	d.Instrument(reg)
-	st := syslogdigest.NewStreamer(d, 0)
+	st := syslogdigest.NewStreamerWith(d, syslogdigest.StreamerOptions{StreamWorkers: workers})
+	defer st.Close()
 	st.Instrument(reg)
 	health.SetReady(true)
 
@@ -199,6 +212,22 @@ func TestLivePipelineObservability(t *testing.T) {
 	}
 	if wm := snap.Gauge("stream.watermark_unix_seconds"); wm <= 0 {
 		t.Fatalf("exporter: watermark gauge %v, want positive", wm)
+	}
+
+	// Sharded-mode reconciliation: every released message was processed by
+	// exactly one shard, and every emitted event passed through the merge
+	// stage.
+	if workers > 1 {
+		var shardPushed uint64
+		for k := 0; k < workers; k++ {
+			shardPushed += snap.Counter(fmt.Sprintf("stream.shard.%d.pushed", k))
+		}
+		if want := snap.Counter("stream.pushed") - snap.Counter("stream.dropped.late"); shardPushed != want {
+			t.Fatalf("exporter: sum(shard.pushed) %d != pushed-dropped %d", shardPushed, want)
+		}
+		if got := snap.Counter("stream.merge.emitted"); got != snap.Counter("stream.emitted") {
+			t.Fatalf("exporter: stream.merge.emitted %d != stream.emitted %d", got, snap.Counter("stream.emitted"))
+		}
 	}
 
 	code, body = httpGet(t, srv.Addr(), "/healthz")

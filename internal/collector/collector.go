@@ -256,7 +256,7 @@ func (c *Collector) serveUDP(pc net.PacketConn) {
 		}
 		// One datagram usually carries one message, but tolerate senders
 		// that batch lines.
-		c.deliverLines(string(buf[:n]), &c.udpMet)
+		c.deliverLines(buf[:n], &c.udpMet)
 	}
 }
 
@@ -307,7 +307,7 @@ func (c *Collector) serveConn(conn net.Conn) {
 			line = line[:len(line)-1]
 		}
 		if len(line) > 0 {
-			c.deliverLine(string(line), &c.tcpMet)
+			c.deliverLine(line, &c.tcpMet)
 		}
 		if err != nil {
 			c.connDone(err)
@@ -324,7 +324,7 @@ func (c *Collector) connDone(err error) {
 }
 
 // deliverLines splits a datagram payload into lines and delivers each.
-func (c *Collector) deliverLines(payload string, tm *transportMetrics) {
+func (c *Collector) deliverLines(payload []byte, tm *transportMetrics) {
 	start := 0
 	for i := 0; i <= len(payload); i++ {
 		if i == len(payload) || payload[i] == '\n' {
@@ -336,15 +336,18 @@ func (c *Collector) deliverLines(payload string, tm *transportMetrics) {
 	}
 }
 
-func (c *Collector) deliverLine(line string, tm *transportMetrics) {
-	if line == "" {
+// deliverLine parses one wire line in place — line aliases a transport
+// buffer and is only valid for the duration of the call; ParseWireBytes
+// copies what the Message keeps.
+func (c *Collector) deliverLine(line []byte, tm *transportMetrics) {
+	if len(line) == 0 {
 		return
 	}
 	if line[len(line)-1] == '\r' {
 		line = line[:len(line)-1]
 	}
 	idx := c.nextIdx.Add(1) - 1
-	m, err := syslogmsg.ParseWire(line, idx, c.cfg.Year)
+	m, err := syslogmsg.ParseWireBytes(line, idx, c.cfg.Year)
 	if err != nil {
 		tm.dropped.Inc()
 		c.observe(err)

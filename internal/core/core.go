@@ -75,6 +75,14 @@ type Params struct {
 	// not serialized into the knowledge base (a reloaded base defaults to
 	// 0 and can be re-tuned per process via the -j flags).
 	Parallelism int
+	// StreamWorkers selects the streaming engine the online pipeline runs:
+	// <= 1 means the serial stream.Engine, N > 1 the sharded engine with N
+	// router-hashed shard workers feeding one merge stage. Output is
+	// byte-identical at any setting (events, scores, IDs, emission order);
+	// only throughput and event delivery timing change. Like Parallelism
+	// this is a runtime knob, never serialized into the knowledge base —
+	// tune per process via SetStreamWorkers or the -stream-workers flags.
+	StreamWorkers int
 	// MatchCache bounds the repeat-message augment cache in entries:
 	// messages whose (router, code, detail) was augmented before reuse the
 	// cached template match and parsed locations instead of re-matching.
@@ -487,12 +495,13 @@ type digestMetrics struct {
 // temporal grouping pass fan out over one worker pool sized by the
 // knowledge base's Params.Parallelism (overridable via SetParallelism).
 type Digester struct {
-	kb      *KnowledgeBase
-	stage   Stage
-	builder *event.Builder
-	labeler *event.Labeler
-	pool    *par.Pool
-	met     digestMetrics
+	kb          *KnowledgeBase
+	stage       Stage
+	builder     *event.Builder
+	labeler     *event.Labeler
+	pool        *par.Pool
+	streamWorks int
+	met         digestMetrics
 }
 
 // NewDigester builds a digester over a learned knowledge base.
@@ -505,11 +514,12 @@ func NewDigester(kb *KnowledgeBase) (*Digester, error) {
 		labeler.SetName(id, name)
 	}
 	return &Digester{
-		kb:      kb,
-		stage:   StageFull,
-		builder: event.NewBuilder(kb.Freq, labeler),
-		labeler: labeler,
-		pool:    par.New(kb.Params.Parallelism),
+		kb:          kb,
+		stage:       StageFull,
+		builder:     event.NewBuilder(kb.Freq, labeler),
+		labeler:     labeler,
+		pool:        par.New(kb.Params.Parallelism),
+		streamWorks: kb.Params.StreamWorkers,
 	}, nil
 }
 
@@ -520,6 +530,14 @@ func (d *Digester) SetStage(s Stage) { d.stage = s }
 // GOMAXPROCS, 1 = serial). Results are byte-identical at any setting.
 // Call before Instrument so the new pool's metrics are registered.
 func (d *Digester) SetParallelism(n int) { d.pool = par.New(n) }
+
+// SetStreamWorkers selects the streaming engine for subsequent batches and
+// streamers (<= 1 serial, N > 1 sharded with N workers). Byte-identical
+// output at any setting; see Params.StreamWorkers.
+func (d *Digester) SetStreamWorkers(n int) { d.streamWorks = n }
+
+// StreamWorkers is the resolved engine selection.
+func (d *Digester) StreamWorkers() int { return d.streamWorks }
 
 // Instrument publishes the digester's metrics (digest.*, group.merges.*)
 // into reg: wall-time histograms for the augment/group/build stages, batch
@@ -585,14 +603,42 @@ func (d *Digester) groupingConfig() grouping.Config {
 	return cfg
 }
 
-// newEngine builds a streaming engine over the digester's knowledge.
-// maxStreams <= 0 takes the grouping default.
-func (d *Digester) newEngine(maxStreams int) (*stream.Engine, error) {
-	return stream.New(d.kb.dict, d.kb.RuleBase, stream.Config{
+// streamEngine is the surface Streamer and DigestPlus drive; both the
+// serial stream.Engine and the sharded stream.ShardedEngine satisfy it
+// with byte-identical output.
+type streamEngine interface {
+	Observe(stream.Message) ([]event.Event, error)
+	Drain() []event.Event
+	Close()
+	Watermark() time.Time
+	Pending() int
+	Stats() grouping.IncStats
+	ActiveRules() map[rules.PairKey]int
+	SetMetrics(stream.Metrics)
+}
+
+// engineConfig assembles the streaming engine config. maxStreams <= 0
+// takes the grouping default.
+func (d *Digester) engineConfig(maxStreams int) stream.Config {
+	return stream.Config{
 		Grouping: grouping.IncrementalConfig{Config: d.groupingConfig(), MaxStreams: maxStreams},
 		Freq:     d.kb.Freq,
 		Labeler:  d.labeler,
-	})
+	}
+}
+
+// newEngine builds a serial streaming engine over the digester's knowledge.
+func (d *Digester) newEngine(maxStreams int) (*stream.Engine, error) {
+	return stream.New(d.kb.dict, d.kb.RuleBase, d.engineConfig(maxStreams))
+}
+
+// newStreamEngine builds the engine selected by workers: serial at <= 1,
+// sharded above. Sharded engines own goroutines — callers must Close.
+func (d *Digester) newStreamEngine(maxStreams, workers int) (streamEngine, error) {
+	if workers > 1 {
+		return stream.NewSharded(d.kb.dict, d.kb.RuleBase, d.engineConfig(maxStreams), workers)
+	}
+	return d.newEngine(maxStreams)
 }
 
 // streamMsg projects one augmented message into the engine's input shape.
@@ -611,10 +657,11 @@ func streamMsg(pm *PlusMessage, seq int) stream.Message {
 // oracle the streaming path is tested against.
 func (d *Digester) DigestPlus(plus []PlusMessage) (*DigestResult, error) {
 	groupStart := time.Now()
-	eng, err := d.newEngine(0)
+	eng, err := d.newStreamEngine(0, d.streamWorks)
 	if err != nil {
 		return nil, err
 	}
+	defer eng.Close()
 	// Feed order: ascending time, ties by batch position — the same order
 	// the batch grouper sorted into, so partitions match exactly.
 	order := make([]int, len(plus))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"syslogdigest/internal/event"
@@ -37,6 +38,11 @@ type StreamerOptions struct {
 	// MaxStreams caps the engine's temporal-model table
 	// (<= 0: grouping.DefaultMaxStreams).
 	MaxStreams int
+	// StreamWorkers selects the engine: 0 inherits the digester's setting
+	// (Params.StreamWorkers / SetStreamWorkers), 1 forces the serial
+	// engine, N > 1 the sharded engine with N router-hashed workers.
+	// Output is byte-identical at any setting.
+	StreamWorkers int
 }
 
 // Streamer is the continuous front-end of the online pipeline: a bounded
@@ -51,13 +57,15 @@ type StreamerOptions struct {
 // messages no longer pass through in batches).
 //
 // Not safe for concurrent use; callers serialize (the cmds push under one
-// mutex).
+// mutex). In sharded mode (StreamWorkers > 1) the engine owns worker
+// goroutines: Close the streamer when the feed ends.
 type Streamer struct {
 	d    *Digester
 	opts StreamerOptions
 
-	eng        *stream.Engine
-	engMetrics stream.Metrics
+	eng        streamEngine
+	engMetrics stream.ShardedMetrics
+	reg        *obs.Registry
 
 	buf      reorderHeap
 	arrivals uint64 // heap tiebreak: preserves arrival order at equal times
@@ -99,14 +107,18 @@ func NewStreamerWith(d *Digester, opts StreamerOptions) *Streamer {
 // stream.buffered), the engine's emission metrics (stream.emitted,
 // stream.emit_latency_seconds, stream.watermark_unix_seconds), its state
 // gauges (stream.state.{messages,groups,streams}, stream.state.evictions),
-// and the shared grouping merge counters (group.merges.*). A nil registry
-// leaves the streamer uninstrumented.
+// and the shared grouping merge counters (group.merges.*). In sharded mode
+// it additionally publishes per-shard series (stream.shard.<k>.{pushed,
+// streams,evictions,watermark_unix_seconds}) and the merge-stage series
+// (stream.merge.emitted, stream.merge.lag_seconds). A nil registry leaves
+// the streamer uninstrumented.
 func (s *Streamer) Instrument(reg *obs.Registry) {
+	s.reg = reg
 	s.mBuffered = reg.Gauge("stream.buffered")
 	s.mPushed = reg.Counter("stream.pushed")
 	s.mReordered = reg.Counter("stream.reordered")
 	s.mDropped = reg.Counter("stream.dropped.late")
-	s.engMetrics = stream.Metrics{
+	s.engMetrics = stream.ShardedMetrics{Metrics: stream.Metrics{
 		Grouping: grouping.IncMetrics{
 			MergeTemporal:   reg.Counter("group.merges.temporal"),
 			MergeRule:       reg.Counter("group.merges.rule"),
@@ -119,24 +131,66 @@ func (s *Streamer) Instrument(reg *obs.Registry) {
 		Emitted:     reg.Counter("stream.emitted"),
 		EmitLatency: reg.Histogram("stream.emit_latency_seconds", stream.EmitLatencyBounds()),
 		Watermark:   reg.Gauge("stream.watermark_unix_seconds"),
+	}}
+	if w := s.workers(); w > 1 {
+		s.engMetrics.MergeEmitted = reg.Counter("stream.merge.emitted")
+		s.engMetrics.MergeLag = reg.Histogram("stream.merge.lag_seconds", stream.MergeLagBounds())
+		s.engMetrics.Shards = make([]stream.ShardMetrics, w)
+		for k := 0; k < w; k++ {
+			s.engMetrics.Shards[k] = stream.ShardMetrics{
+				Pushed:    reg.Counter(fmt.Sprintf("stream.shard.%d.pushed", k)),
+				Streams:   reg.Gauge(fmt.Sprintf("stream.shard.%d.streams", k)),
+				Evictions: reg.Counter(fmt.Sprintf("stream.shard.%d.evictions", k)),
+				Watermark: reg.Gauge(fmt.Sprintf("stream.shard.%d.watermark_unix_seconds", k)),
+			}
+		}
 	}
 	if s.eng != nil {
-		s.eng.SetMetrics(s.engMetrics)
+		s.setEngineMetrics(s.eng)
 	}
+}
+
+// workers resolves the engine selection: explicit streamer option first,
+// then the digester's setting.
+func (s *Streamer) workers() int {
+	if s.opts.StreamWorkers != 0 {
+		return s.opts.StreamWorkers
+	}
+	return s.d.streamWorks
+}
+
+// setEngineMetrics hands the metric set to the engine; the sharded engine
+// takes the per-shard and merge-stage handles too. Metrics must land
+// before the first Observe (they do: engine() installs them immediately
+// after construction).
+func (s *Streamer) setEngineMetrics(eng streamEngine) {
+	if se, ok := eng.(*stream.ShardedEngine); ok {
+		se.SetShardedMetrics(s.engMetrics)
+		return
+	}
+	eng.SetMetrics(s.engMetrics.Metrics)
 }
 
 // engine lazily builds the underlying engine (construction can fail on
 // invalid temporal parameters, and NewStreamer has no error return).
-func (s *Streamer) engine() (*stream.Engine, error) {
+func (s *Streamer) engine() (streamEngine, error) {
 	if s.eng == nil {
-		eng, err := s.d.newEngine(s.opts.MaxStreams)
+		eng, err := s.d.newStreamEngine(s.opts.MaxStreams, s.workers())
 		if err != nil {
 			return nil, err
 		}
-		eng.SetMetrics(s.engMetrics)
 		s.eng = eng
+		s.setEngineMetrics(eng)
 	}
 	return s.eng, nil
+}
+
+// Close releases the engine's worker goroutines (a no-op for the serial
+// engine). Open groups do not emit — Flush first for a clean shutdown.
+func (s *Streamer) Close() {
+	if s.eng != nil {
+		s.eng.Close()
+	}
 }
 
 // Push ingests one message and returns the events it closed (nil when none

@@ -40,17 +40,24 @@
 // Evicting a stream that does return costs only a cold-started EWMA for it
 // (the partition of past messages is unaffected); the eviction counter
 // makes the approximation observable.
+//
+// Since PR 5 the implementation is split along the sharding boundary
+// (see shard.go): RouterLocal owns the temporal models and per-router rule
+// windows — everything whose join decisions depend only on one router's
+// message stream — and Merger owns the groups, the closure list, and the
+// cross-router ring. Incremental composes one of each inline; the sharded
+// streaming engine runs N RouterLocals on worker goroutines feeding one
+// Merger, and produces byte-identical output because the Merger executes
+// the exact same operation sequence either way.
 package grouping
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"syslogdigest/internal/locdict"
 	"syslogdigest/internal/obs"
 	"syslogdigest/internal/rules"
-	"syslogdigest/internal/temporal"
 )
 
 // DefaultMaxStreams bounds the temporal model table when the caller does
@@ -94,202 +101,80 @@ type ClosedGroup struct {
 	Members []Message
 }
 
-// incMember is one open message; it points at its current group so merges
-// need no union-find (groups rewrite member pointers small-into-large).
-type incMember struct {
-	msg Message
-	g   *incGroup
-}
-
-// incGroup is one open group on the closure list.
-type incGroup struct {
-	members    []*incMember
-	inline     [2]*incMember // backing array for tiny groups, the common case
-	last       time.Time     // max member time
-	prev, next *incGroup     // closure list, ascending last
-	closed     bool
-}
-
-// incNode packs the per-message allocations into one object.
-type incNode struct {
-	m incMember
-	g incGroup
-}
-
-type modelKey struct {
-	template int
-	loc      string
-}
-
-// model is one live temporal stream: its EWMA state, its previous message,
-// and its position on the least-recently-observed eviction list.
-type model struct {
-	key        modelKey
-	tg         *temporal.Grouper
-	last       *incMember
-	prev, next *model
-}
-
-// memberRing is a bounded FIFO of open-window members backed by a
-// power-of-two ring buffer: it grows to the configured scan bound once and
-// is then reused forever, so steady-state window maintenance allocates
-// nothing.
-type memberRing struct {
-	buf  []*incMember
-	head int
-	n    int
-}
-
-func (r *memberRing) push(m *incMember) {
-	if r.n == len(r.buf) {
-		r.grow()
-	}
-	r.buf[(r.head+r.n)&(len(r.buf)-1)] = m
-	r.n++
-}
-
-func (r *memberRing) grow() {
-	size := 8
-	if len(r.buf) > 0 {
-		size = len(r.buf) * 2
-	}
-	nb := make([]*incMember, size)
-	for i := 0; i < r.n; i++ {
-		nb[i] = r.at(i)
-	}
-	r.buf, r.head = nb, 0
-}
-
-func (r *memberRing) at(i int) *incMember { return r.buf[(r.head+i)&(len(r.buf)-1)] }
-func (r *memberRing) front() *incMember   { return r.at(0) }
-
-func (r *memberRing) popFront() {
-	r.buf[r.head] = nil
-	r.head = (r.head + 1) & (len(r.buf) - 1)
-	r.n--
-}
-
 // Incremental is the streaming counterpart of Grouper: feed it messages in
 // nondecreasing time order via Observe and it returns groups as they close.
-// Not safe for concurrent use.
+// It is the single-threaded composition of the two sharding halves — one
+// RouterLocal and one Merger (see shard.go). Not safe for concurrent use.
 type Incremental struct {
-	g          *Grouper
-	maxStreams int
-	horizon    time.Duration
-	met        IncMetrics
-
-	started   bool
-	watermark time.Time
-
-	models       map[modelKey]*model
-	mHead, mTail *model
-
-	routerWin map[string]*memberRing
-	crossWin  memberRing
-
-	oHead, oTail *incGroup
-	openGroups   int
-	openMsgs     int
-
-	active                                  map[rules.PairKey]int
-	temporalMerges, ruleMerges, crossMerges int
-	evictions                               int
+	local *RouterLocal
+	merge *Merger
+	js    Joins
 }
 
 // NewIncremental builds an incremental grouper over the same knowledge a
 // batch Grouper takes. dict may not be nil; rb may be nil.
 func NewIncremental(dict *locdict.Dictionary, rb *rules.RuleBase, cfg IncrementalConfig) (*Incremental, error) {
-	g, err := New(dict, rb, cfg.Config)
+	s, err := NewShardable(dict, rb, cfg)
 	if err != nil {
 		return nil, err
 	}
-	maxStreams := cfg.MaxStreams
-	if maxStreams <= 0 {
-		maxStreams = DefaultMaxStreams
-	}
-	horizon := g.cfg.Temporal.Smax
-	if g.cfg.useRules() && g.cfg.RuleWindow > horizon {
-		horizon = g.cfg.RuleWindow
-	}
-	if g.cfg.useCross() && g.cfg.CrossWindow > horizon {
-		horizon = g.cfg.CrossWindow
-	}
-	return &Incremental{
-		g:          g,
-		maxStreams: maxStreams,
-		horizon:    horizon,
-		models:     make(map[modelKey]*model),
-		routerWin:  make(map[string]*memberRing),
-		active:     make(map[rules.PairKey]int),
-	}, nil
+	return &Incremental{local: s.NewLocal(0), merge: s.NewMerger()}, nil
 }
 
 // SetMetrics installs observability handles (may be called before or after
 // the first Observe; gauges update on the next one).
-func (inc *Incremental) SetMetrics(m IncMetrics) { inc.met = m }
+func (inc *Incremental) SetMetrics(m IncMetrics) {
+	inc.local.SetMetrics(LocalMetrics{
+		Streams:         m.Streams,
+		StreamEvictions: m.StreamEvictions,
+	})
+	inc.merge.SetMetrics(MergeMetrics{
+		MergeTemporal: m.MergeTemporal,
+		MergeRule:     m.MergeRule,
+		MergeCross:    m.MergeCross,
+		OpenMessages:  m.OpenMessages,
+		OpenGroups:    m.OpenGroups,
+	})
+}
 
 // Watermark is the maximum message time observed so far.
-func (inc *Incremental) Watermark() time.Time { return inc.watermark }
+func (inc *Incremental) Watermark() time.Time { return inc.merge.Watermark() }
 
 // Horizon is the closure bound: a group closes once the watermark passes
 // its newest member by more than this.
-func (inc *Incremental) Horizon() time.Duration { return inc.horizon }
+func (inc *Incremental) Horizon() time.Duration { return inc.merge.Horizon() }
 
 // ActiveRules is the cumulative per-pair rule-merge tally (Figure 12).
-func (inc *Incremental) ActiveRules() map[rules.PairKey]int { return inc.active }
+func (inc *Incremental) ActiveRules() map[rules.PairKey]int { return inc.merge.ActiveRules() }
 
 // Stats snapshots the grouper's state and merge counters.
 func (inc *Incremental) Stats() IncStats {
+	ls, ms := inc.local.Stats(), inc.merge.Stats()
 	return IncStats{
-		OpenMessages:    inc.openMsgs,
-		OpenGroups:      inc.openGroups,
-		Streams:         len(inc.models),
-		StreamEvictions: inc.evictions,
-		TemporalMerges:  inc.temporalMerges,
-		RuleMerges:      inc.ruleMerges,
-		CrossMerges:     inc.crossMerges,
+		OpenMessages:    ms.OpenMessages,
+		OpenGroups:      ms.OpenGroups,
+		Streams:         ls.Streams,
+		StreamEvictions: ls.Evictions,
+		TemporalMerges:  ms.TemporalMerges,
+		RuleMerges:      ms.RuleMerges,
+		CrossMerges:     ms.CrossMerges,
 	}
 }
 
 // Observe ingests one message (nondecreasing time order required) and
 // returns any groups the advanced watermark closed, oldest first.
 func (inc *Incremental) Observe(m Message) ([]ClosedGroup, error) {
-	if inc.started && m.Time.Before(inc.watermark) {
+	// Validate before any state mutation: a time regression must leave the
+	// models untouched, exactly as before the local/merge split.
+	if inc.merge.started && m.Time.Before(inc.merge.watermark) {
 		return nil, fmt.Errorf("grouping: incremental requires nondecreasing timestamps (got %v after watermark %v)",
-			m.Time, inc.watermark)
+			m.Time, inc.merge.watermark)
 	}
-	inc.started = true
-	inc.watermark = m.Time
-
-	node := &incNode{}
-	mem := &node.m
-	mem.msg = m
-	g := &node.g
-	g.inline[0] = mem
-	g.members = g.inline[:1]
-	g.last = m.Time
-	mem.g = g
-	inc.pushOpen(g)
-	inc.openGroups++
-	inc.openMsgs++
-
-	if err := inc.temporalStep(mem); err != nil {
+	p := NewPending(m)
+	if err := inc.local.Step(p, &inc.js); err != nil {
 		return nil, err
 	}
-	if inc.g.cfg.useRules() {
-		if err := inc.ruleStep(mem); err != nil {
-			return nil, err
-		}
-	}
-	if inc.g.cfg.useCross() {
-		if err := inc.crossStep(mem); err != nil {
-			return nil, err
-		}
-	}
-
-	out := inc.closeReady(nil)
-	inc.publishGauges()
-	return out, nil
+	return inc.merge.Apply(p, &inc.js)
 }
 
 // Drain closes every open group (oldest first) and clears the join windows
@@ -297,250 +182,7 @@ func (inc *Incremental) Observe(m Message) ([]ClosedGroup, error) {
 // emitted here. The EWMA models and the watermark persist: interarrival
 // knowledge survives a drain, and time still may not run backwards.
 func (inc *Incremental) Drain() []ClosedGroup {
-	var out []ClosedGroup
-	for inc.oHead != nil {
-		out = append(out, inc.closeGroup(inc.oHead))
-	}
-	inc.routerWin = make(map[string]*memberRing)
-	inc.crossWin = memberRing{}
-	for md := inc.mHead; md != nil; md = md.next {
-		md.last = nil
-	}
-	inc.publishGauges()
+	out := inc.merge.Drain()
+	inc.local.DrainWindows()
 	return out
-}
-
-// temporalStep runs the stream's EWMA model on the new arrival and joins it
-// to the stream's previous message when the model accepts the interarrival.
-func (inc *Incremental) temporalStep(mem *incMember) error {
-	key := modelKey{mem.msg.Template, mem.msg.Loc.Key()}
-	md := inc.models[key]
-	if md == nil {
-		tg, err := temporal.NewGrouper(inc.g.cfg.Temporal)
-		if err != nil {
-			return err
-		}
-		md = &model{key: key, tg: tg}
-		inc.models[key] = md
-		inc.pushModel(md)
-		inc.evictModels()
-	} else {
-		inc.touchModel(md)
-	}
-	join := md.tg.Observe(mem.msg.Time)
-	if join && md.last != nil {
-		if _, err := inc.merge(md.last, mem, &inc.temporalMerges, inc.met.MergeTemporal); err != nil {
-			return err
-		}
-	}
-	md.last = mem
-	return nil
-}
-
-// ruleStep examines the new arrival against its router's retained window,
-// exactly the pair set of the batch pass: predecessors within W whose
-// position distance is at most MaxScan.
-func (inc *Incremental) ruleStep(mem *incMember) error {
-	rw := inc.routerWin[mem.msg.Router]
-	if rw == nil {
-		rw = &memberRing{}
-		inc.routerWin[mem.msg.Router] = rw
-	}
-	// Time is nondecreasing, so a front entry out of window for this
-	// message is out of window for every later one: expire before scanning.
-	for rw.n > 0 && mem.msg.Time.After(rw.front().msg.Time.Add(inc.g.cfg.RuleWindow)) {
-		rw.popFront()
-	}
-	for i := 0; i < rw.n; i++ {
-		mi := rw.at(i)
-		if !inc.g.ruleMatch(&mi.msg, &mem.msg) {
-			continue
-		}
-		did, err := inc.merge(mi, mem, &inc.ruleMerges, inc.met.MergeRule)
-		if err != nil {
-			return err
-		}
-		if did {
-			inc.active[rulePair(mi.msg.Template, mem.msg.Template)]++
-		}
-	}
-	rw.push(mem)
-	if rw.n > inc.g.cfg.MaxScan {
-		rw.popFront()
-	}
-	return nil
-}
-
-// crossStep examines the new arrival against the global retained window
-// within the near-simultaneity bound.
-func (inc *Incremental) crossStep(mem *incMember) error {
-	cw := &inc.crossWin
-	for cw.n > 0 && mem.msg.Time.After(cw.front().msg.Time.Add(inc.g.cfg.CrossWindow)) {
-		cw.popFront()
-	}
-	for i := 0; i < cw.n; i++ {
-		mi := cw.at(i)
-		if !inc.g.crossPair(&mi.msg, &mem.msg) {
-			continue
-		}
-		if mi.g == mem.g {
-			continue
-		}
-		if inc.g.crossLinked(&mi.msg, &mem.msg) {
-			if _, err := inc.merge(mi, mem, &inc.crossMerges, inc.met.MergeCross); err != nil {
-				return err
-			}
-		}
-	}
-	cw.push(mem)
-	if cw.n > inc.g.cfg.MaxScan {
-		cw.popFront()
-	}
-	return nil
-}
-
-// merge joins the groups of a and b (b is always the current message).
-// Small-into-large pointer rewriting keeps total rewrite work O(n log n).
-func (inc *Incremental) merge(a, b *incMember, tally *int, c *obs.Counter) (bool, error) {
-	ga, gb := a.g, b.g
-	if ga == gb {
-		return false, nil
-	}
-	if ga.closed || gb.closed {
-		return false, fmt.Errorf("grouping: merge touched a closed group (closure horizon %v violated)", inc.horizon)
-	}
-	if len(ga.members) < len(gb.members) {
-		ga, gb = gb, ga
-	}
-	for _, m := range gb.members {
-		m.g = ga
-	}
-	ga.members = append(ga.members, gb.members...)
-	if gb.last.After(ga.last) {
-		ga.last = gb.last
-	}
-	inc.unlinkOpen(gb)
-	gb.members = nil
-	inc.openGroups--
-	// b is the newest message overall, so the merged group's lastTime is
-	// the current watermark — the list maximum — and a move-to-tail keeps
-	// the closure list sorted.
-	inc.moveToTail(ga)
-	*tally++
-	c.Inc()
-	return true, nil
-}
-
-// closeReady pops closed groups off the head of the closure list.
-func (inc *Incremental) closeReady(out []ClosedGroup) []ClosedGroup {
-	for inc.oHead != nil && inc.watermark.Sub(inc.oHead.last) > inc.horizon {
-		out = append(out, inc.closeGroup(inc.oHead))
-	}
-	return out
-}
-
-// closeGroup finalizes one group: members sort ascending by Seq (the order
-// event scoring depends on) and the group's open state is released. Member
-// structs may outlive the group inside retained windows; the closed mark
-// keeps a late merge from resurrecting it.
-func (inc *Incremental) closeGroup(g *incGroup) ClosedGroup {
-	inc.unlinkOpen(g)
-	g.closed = true
-	inc.openGroups--
-	inc.openMsgs -= len(g.members)
-	sort.Slice(g.members, func(i, j int) bool { return g.members[i].msg.Seq < g.members[j].msg.Seq })
-	msgs := make([]Message, len(g.members))
-	for i, m := range g.members {
-		msgs[i] = m.msg
-	}
-	g.members = nil
-	return ClosedGroup{Members: msgs}
-}
-
-func (inc *Incremental) publishGauges() {
-	inc.met.OpenMessages.Set(float64(inc.openMsgs))
-	inc.met.OpenGroups.Set(float64(inc.openGroups))
-	inc.met.Streams.Set(float64(len(inc.models)))
-}
-
-// Closure list maintenance (doubly linked, ascending last).
-
-func (inc *Incremental) pushOpen(g *incGroup) {
-	g.prev = inc.oTail
-	g.next = nil
-	if inc.oTail != nil {
-		inc.oTail.next = g
-	} else {
-		inc.oHead = g
-	}
-	inc.oTail = g
-}
-
-func (inc *Incremental) unlinkOpen(g *incGroup) {
-	if g.prev != nil {
-		g.prev.next = g.next
-	} else {
-		inc.oHead = g.next
-	}
-	if g.next != nil {
-		g.next.prev = g.prev
-	} else {
-		inc.oTail = g.prev
-	}
-	g.prev, g.next = nil, nil
-}
-
-func (inc *Incremental) moveToTail(g *incGroup) {
-	if inc.oTail == g {
-		return
-	}
-	inc.unlinkOpen(g)
-	inc.pushOpen(g)
-}
-
-// Model eviction list maintenance (doubly linked, least recently observed
-// at the head).
-
-func (inc *Incremental) pushModel(md *model) {
-	md.prev = inc.mTail
-	md.next = nil
-	if inc.mTail != nil {
-		inc.mTail.next = md
-	} else {
-		inc.mHead = md
-	}
-	inc.mTail = md
-}
-
-func (inc *Incremental) unlinkModel(md *model) {
-	if md.prev != nil {
-		md.prev.next = md.next
-	} else {
-		inc.mHead = md.next
-	}
-	if md.next != nil {
-		md.next.prev = md.prev
-	} else {
-		inc.mTail = md.prev
-	}
-	md.prev, md.next = nil, nil
-}
-
-func (inc *Incremental) touchModel(md *model) {
-	if inc.mTail == md {
-		return
-	}
-	inc.unlinkModel(md)
-	inc.pushModel(md)
-}
-
-func (inc *Incremental) evictModels() {
-	for len(inc.models) > inc.maxStreams {
-		old := inc.mHead
-		inc.unlinkModel(old)
-		delete(inc.models, old.key)
-		old.last = nil
-		inc.evictions++
-		inc.met.StreamEvictions.Inc()
-	}
 }

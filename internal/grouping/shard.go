@@ -1,0 +1,629 @@
+// The sharding boundary of the incremental grouper.
+//
+// Every join decision of the first two passes depends only on one router's
+// message stream: temporal streams are keyed by (template, location) and a
+// location names its router (locdict.Location.Key starts with the router),
+// and the rule window is explicitly per router. Only the cross-router pass
+// and the group partition itself need a global view. The incremental
+// grouper is therefore split into:
+//
+//   - RouterLocal: temporal EWMA models and per-router rule windows. Given
+//     one router's messages in time order it produces, per message, the
+//     set of join predecessors (Joins) — pure decisions, no group state.
+//   - Merger: groups, the closure list, the cross-router ring, and the
+//     merge tallies. Given every message in global time order together
+//     with its Joins, it performs exactly the operation sequence the
+//     pre-split Incremental performed: singleton, temporal merge, rule
+//     merges in scan order, cross scan, watermark closure.
+//
+// Because a RouterLocal never reads group state and a Merger never makes a
+// temporal or rule decision, N RouterLocals can run on N goroutines — each
+// owning a disjoint subset of routers — feeding one Merger, and the output
+// (partition, closure order, everything) is byte-identical to the serial
+// composition. A Pending is the in-flight message object shared between the
+// two halves: the local half reads only its immutable message, the merger
+// owns its group fields, so handing one across goroutines (with the usual
+// channel happens-before edges) is race-free.
+//
+// One approximation survives sharding: the MaxStreams LRU bound on
+// temporal models is enforced per RouterLocal, so a sharded engine under
+// model-table pressure can evict different streams than the serial engine
+// (the serial LRU order interleaves routers). Outputs are identical
+// whenever the table stays within bounds — eviction is already a counted,
+// observable approximation (see the package comment in incremental.go).
+package grouping
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"syslogdigest/internal/locdict"
+	"syslogdigest/internal/obs"
+	"syslogdigest/internal/rules"
+	"syslogdigest/internal/temporal"
+)
+
+// Pending is one in-flight message: created in global arrival order,
+// examined by its router's RouterLocal, grouped by the Merger. The message
+// is immutable after creation; the group fields are owned by the Merger.
+type Pending struct {
+	msg Message
+
+	g   *incGroup // current group (Merger-owned)
+	grp incGroup  // inline singleton group backing (Merger-owned)
+}
+
+// NewPending wraps a message for the shard pipeline. One allocation covers
+// the member and its singleton group.
+func NewPending(m Message) *Pending {
+	p := &Pending{}
+	p.msg = m
+	return p
+}
+
+// Msg exposes the wrapped message (read-only).
+func (p *Pending) Msg() *Message { return &p.msg }
+
+// Joins are one message's router-local join decisions, in the order the
+// serial grouper would have applied them.
+type Joins struct {
+	// Temporal is the same-stream predecessor to join, nil when the EWMA
+	// model rejected the interarrival (or the stream has no predecessor).
+	Temporal *Pending
+	// Rules are the rule-window predecessors whose pair predicate matched,
+	// in window scan order. The slice is reused across Step calls.
+	Rules []*Pending
+}
+
+// Reset clears the joins for reuse.
+func (j *Joins) Reset() {
+	j.Temporal = nil
+	j.Rules = j.Rules[:0]
+}
+
+// incGroup is one open group on the closure list.
+type incGroup struct {
+	members    []*Pending
+	inline     [2]*Pending // backing array for tiny groups, the common case
+	last       time.Time   // max member time
+	prev, next *incGroup   // closure list, ascending last
+	closed     bool
+}
+
+type modelKey struct {
+	template int
+	loc      string
+}
+
+// model is one live temporal stream: its EWMA state, its previous message,
+// and its position on the least-recently-observed eviction list.
+type model struct {
+	key        modelKey
+	tg         *temporal.Grouper
+	last       *Pending
+	prev, next *model
+}
+
+// memberRing is a bounded FIFO of open-window members backed by a
+// power-of-two ring buffer: it grows to the configured scan bound once and
+// is then reused forever, so steady-state window maintenance allocates
+// nothing.
+type memberRing struct {
+	buf  []*Pending
+	head int
+	n    int
+}
+
+func (r *memberRing) push(m *Pending) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = m
+	r.n++
+}
+
+func (r *memberRing) grow() {
+	size := 8
+	if len(r.buf) > 0 {
+		size = len(r.buf) * 2
+	}
+	nb := make([]*Pending, size)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.at(i)
+	}
+	r.buf, r.head = nb, 0
+}
+
+func (r *memberRing) at(i int) *Pending { return r.buf[(r.head+i)&(len(r.buf)-1)] }
+func (r *memberRing) front() *Pending   { return r.at(0) }
+
+func (r *memberRing) popFront() {
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+}
+
+// Shardable is the validated, immutable knowledge shared by every half of
+// a (possibly sharded) incremental grouper: the batch Grouper (predicates
+// and windows), the closure horizon, and the state bound. Build the halves
+// from one Shardable so they agree on configuration.
+type Shardable struct {
+	g          *Grouper
+	maxStreams int
+	horizon    time.Duration
+}
+
+// NewShardable validates the grouping knowledge and configuration. dict
+// may not be nil; rb may be nil.
+func NewShardable(dict *locdict.Dictionary, rb *rules.RuleBase, cfg IncrementalConfig) (*Shardable, error) {
+	g, err := New(dict, rb, cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	maxStreams := cfg.MaxStreams
+	if maxStreams <= 0 {
+		maxStreams = DefaultMaxStreams
+	}
+	horizon := g.cfg.Temporal.Smax
+	if g.cfg.useRules() && g.cfg.RuleWindow > horizon {
+		horizon = g.cfg.RuleWindow
+	}
+	if g.cfg.useCross() && g.cfg.CrossWindow > horizon {
+		horizon = g.cfg.CrossWindow
+	}
+	return &Shardable{g: g, maxStreams: maxStreams, horizon: horizon}, nil
+}
+
+// Horizon is the closure bound: a group closes once the watermark passes
+// its newest member by more than this.
+func (s *Shardable) Horizon() time.Duration { return s.horizon }
+
+// MaxStreams is the validated temporal-model bound, for callers splitting
+// it across shards.
+func (s *Shardable) MaxStreams() int { return s.maxStreams }
+
+// NewLocal builds one router-local half. maxStreams caps its temporal
+// model table (<= 0: the Shardable's bound). A sharded engine that splits
+// routers across N locals should split the bound as well to keep total
+// state bounded.
+func (s *Shardable) NewLocal(maxStreams int) *RouterLocal {
+	if maxStreams <= 0 {
+		maxStreams = s.maxStreams
+	}
+	return &RouterLocal{
+		g:          s.g,
+		maxStreams: maxStreams,
+		models:     make(map[modelKey]*model),
+		routerWin:  make(map[string]*memberRing),
+	}
+}
+
+// NewMerger builds the global half.
+func (s *Shardable) NewMerger() *Merger {
+	return &Merger{
+		g:       s.g,
+		horizon: s.horizon,
+		active:  make(map[rules.PairKey]int),
+	}
+}
+
+// LocalMetrics are a RouterLocal's optional observability handles
+// (nil-safe).
+type LocalMetrics struct {
+	Streams         *obs.Gauge   // live temporal models
+	StreamEvictions *obs.Counter // models evicted by the MaxStreams bound
+}
+
+// LocalStats snapshots one RouterLocal.
+type LocalStats struct {
+	Streams   int
+	Evictions int
+}
+
+// RouterLocal is the router-local half of the incremental grouper:
+// temporal EWMA models and per-router rule windows for a subset of
+// routers. Feed it each of its routers' messages in nondecreasing time
+// order; it emits join decisions and keeps no group state. Not safe for
+// concurrent use (one RouterLocal per shard goroutine).
+type RouterLocal struct {
+	g          *Grouper
+	maxStreams int
+
+	models       map[modelKey]*model
+	mHead, mTail *model
+
+	routerWin map[string]*memberRing
+
+	started   bool
+	watermark time.Time
+	evictions int
+	met       LocalMetrics
+}
+
+// SetMetrics installs observability handles.
+func (rl *RouterLocal) SetMetrics(m LocalMetrics) { rl.met = m }
+
+// Watermark is the maximum message time this local half has stepped.
+func (rl *RouterLocal) Watermark() time.Time { return rl.watermark }
+
+// Stats snapshots the local state.
+func (rl *RouterLocal) Stats() LocalStats {
+	return LocalStats{Streams: len(rl.models), Evictions: rl.evictions}
+}
+
+// Step runs the temporal and rule passes for p, writing the join
+// predecessors into js (which is reset first; its backing storage is
+// reused). Messages must arrive in nondecreasing time order.
+func (rl *RouterLocal) Step(p *Pending, js *Joins) error {
+	js.Reset()
+	rl.started = true
+	rl.watermark = p.msg.Time
+	if err := rl.temporalStep(p, js); err != nil {
+		return err
+	}
+	if rl.g.cfg.useRules() {
+		rl.ruleStep(p, js)
+	}
+	rl.met.Streams.Set(float64(len(rl.models)))
+	return nil
+}
+
+// DrainWindows clears the rule windows and per-stream predecessors so no
+// later message can join anything observed before the drain. The EWMA
+// models persist (interarrival knowledge survives a drain).
+func (rl *RouterLocal) DrainWindows() {
+	rl.routerWin = make(map[string]*memberRing)
+	for md := rl.mHead; md != nil; md = md.next {
+		md.last = nil
+	}
+}
+
+// temporalStep runs the stream's EWMA model on the new arrival and records
+// a join to the stream's previous message when the model accepts the
+// interarrival.
+func (rl *RouterLocal) temporalStep(p *Pending, js *Joins) error {
+	key := modelKey{p.msg.Template, p.msg.Loc.Key()}
+	md := rl.models[key]
+	if md == nil {
+		tg, err := temporal.NewGrouper(rl.g.cfg.Temporal)
+		if err != nil {
+			return err
+		}
+		md = &model{key: key, tg: tg}
+		rl.models[key] = md
+		rl.pushModel(md)
+		rl.evictModels()
+	} else {
+		rl.touchModel(md)
+	}
+	join := md.tg.Observe(p.msg.Time)
+	if join && md.last != nil {
+		js.Temporal = md.last
+	}
+	md.last = p
+	return nil
+}
+
+// ruleStep examines the new arrival against its router's retained window,
+// exactly the pair set of the batch pass: predecessors within W whose
+// position distance is at most MaxScan.
+func (rl *RouterLocal) ruleStep(p *Pending, js *Joins) {
+	rw := rl.routerWin[p.msg.Router]
+	if rw == nil {
+		rw = &memberRing{}
+		rl.routerWin[p.msg.Router] = rw
+	}
+	// Time is nondecreasing, so a front entry out of window for this
+	// message is out of window for every later one: expire before scanning.
+	for rw.n > 0 && p.msg.Time.After(rw.front().msg.Time.Add(rl.g.cfg.RuleWindow)) {
+		rw.popFront()
+	}
+	for i := 0; i < rw.n; i++ {
+		mi := rw.at(i)
+		if rl.g.ruleMatch(&mi.msg, &p.msg) {
+			js.Rules = append(js.Rules, mi)
+		}
+	}
+	rw.push(p)
+	if rw.n > rl.g.cfg.MaxScan {
+		rw.popFront()
+	}
+}
+
+// Model eviction list maintenance (doubly linked, least recently observed
+// at the head).
+
+func (rl *RouterLocal) pushModel(md *model) {
+	md.prev = rl.mTail
+	md.next = nil
+	if rl.mTail != nil {
+		rl.mTail.next = md
+	} else {
+		rl.mHead = md
+	}
+	rl.mTail = md
+}
+
+func (rl *RouterLocal) unlinkModel(md *model) {
+	if md.prev != nil {
+		md.prev.next = md.next
+	} else {
+		rl.mHead = md.next
+	}
+	if md.next != nil {
+		md.next.prev = md.prev
+	} else {
+		rl.mTail = md.prev
+	}
+	md.prev, md.next = nil, nil
+}
+
+func (rl *RouterLocal) touchModel(md *model) {
+	if rl.mTail == md {
+		return
+	}
+	rl.unlinkModel(md)
+	rl.pushModel(md)
+}
+
+func (rl *RouterLocal) evictModels() {
+	for len(rl.models) > rl.maxStreams {
+		old := rl.mHead
+		rl.unlinkModel(old)
+		delete(rl.models, old.key)
+		old.last = nil
+		rl.evictions++
+		rl.met.StreamEvictions.Inc()
+	}
+}
+
+// MergeMetrics are a Merger's optional observability handles (nil-safe).
+type MergeMetrics struct {
+	MergeTemporal *obs.Counter // group.merges.temporal
+	MergeRule     *obs.Counter // group.merges.rule
+	MergeCross    *obs.Counter // group.merges.cross
+	OpenMessages  *obs.Gauge   // messages in not-yet-closed groups
+	OpenGroups    *obs.Gauge
+}
+
+// MergeStats snapshots a Merger.
+type MergeStats struct {
+	OpenMessages   int
+	OpenGroups     int
+	TemporalMerges int
+	RuleMerges     int
+	CrossMerges    int
+}
+
+// Merger is the global half of the incremental grouper: it owns the group
+// partition, the closure list, and the cross-router ring. Apply it to
+// every message in global nondecreasing time order (the same total order
+// the router-local halves saw their subsequences in) and it reproduces the
+// serial grouper's partition, closure order, and tallies exactly. Not safe
+// for concurrent use (one Merger per merge goroutine).
+type Merger struct {
+	g       *Grouper
+	horizon time.Duration
+
+	started   bool
+	watermark time.Time
+
+	crossWin memberRing
+
+	oHead, oTail *incGroup
+	openGroups   int
+	openMsgs     int
+
+	active                                  map[rules.PairKey]int
+	temporalMerges, ruleMerges, crossMerges int
+	met                                     MergeMetrics
+}
+
+// SetMetrics installs observability handles.
+func (mg *Merger) SetMetrics(m MergeMetrics) { mg.met = m }
+
+// Watermark is the maximum message time applied so far.
+func (mg *Merger) Watermark() time.Time { return mg.watermark }
+
+// Horizon is the closure bound.
+func (mg *Merger) Horizon() time.Duration { return mg.horizon }
+
+// ActiveRules is the cumulative per-pair rule-merge tally (Figure 12).
+func (mg *Merger) ActiveRules() map[rules.PairKey]int { return mg.active }
+
+// Stats snapshots the merger.
+func (mg *Merger) Stats() MergeStats {
+	return MergeStats{
+		OpenMessages:   mg.openMsgs,
+		OpenGroups:     mg.openGroups,
+		TemporalMerges: mg.temporalMerges,
+		RuleMerges:     mg.ruleMerges,
+		CrossMerges:    mg.crossMerges,
+	}
+}
+
+// Apply admits one message (global nondecreasing time order required) with
+// its router-local join decisions, runs the cross-router pass, and returns
+// any groups the advanced watermark closed, oldest first.
+func (mg *Merger) Apply(p *Pending, js *Joins) ([]ClosedGroup, error) {
+	if mg.started && p.msg.Time.Before(mg.watermark) {
+		return nil, fmt.Errorf("grouping: incremental requires nondecreasing timestamps (got %v after watermark %v)",
+			p.msg.Time, mg.watermark)
+	}
+	mg.started = true
+	mg.watermark = p.msg.Time
+
+	g := &p.grp
+	g.inline[0] = p
+	g.members = g.inline[:1]
+	g.last = p.msg.Time
+	p.g = g
+	mg.pushOpen(g)
+	mg.openGroups++
+	mg.openMsgs++
+
+	if js.Temporal != nil {
+		if _, err := mg.merge(js.Temporal, p, &mg.temporalMerges, mg.met.MergeTemporal); err != nil {
+			return nil, err
+		}
+	}
+	for _, mi := range js.Rules {
+		did, err := mg.merge(mi, p, &mg.ruleMerges, mg.met.MergeRule)
+		if err != nil {
+			return nil, err
+		}
+		if did {
+			mg.active[rulePair(mi.msg.Template, p.msg.Template)]++
+		}
+	}
+	if mg.g.cfg.useCross() {
+		if err := mg.crossStep(p); err != nil {
+			return nil, err
+		}
+	}
+
+	out := mg.closeReady(nil)
+	mg.publishGauges()
+	return out, nil
+}
+
+// Drain closes every open group (oldest first) and clears the cross-router
+// window. The watermark persists. Callers draining a full pipeline must
+// also DrainWindows every RouterLocal, or later messages could join
+// members emitted here.
+func (mg *Merger) Drain() []ClosedGroup {
+	var out []ClosedGroup
+	for mg.oHead != nil {
+		out = append(out, mg.closeGroup(mg.oHead))
+	}
+	mg.crossWin = memberRing{}
+	mg.publishGauges()
+	return out
+}
+
+// crossStep examines the new arrival against the global retained window
+// within the near-simultaneity bound.
+func (mg *Merger) crossStep(p *Pending) error {
+	cw := &mg.crossWin
+	for cw.n > 0 && p.msg.Time.After(cw.front().msg.Time.Add(mg.g.cfg.CrossWindow)) {
+		cw.popFront()
+	}
+	for i := 0; i < cw.n; i++ {
+		mi := cw.at(i)
+		if !mg.g.crossPair(&mi.msg, &p.msg) {
+			continue
+		}
+		if mi.g == p.g {
+			continue
+		}
+		if mg.g.crossLinked(&mi.msg, &p.msg) {
+			if _, err := mg.merge(mi, p, &mg.crossMerges, mg.met.MergeCross); err != nil {
+				return err
+			}
+		}
+	}
+	cw.push(p)
+	if cw.n > mg.g.cfg.MaxScan {
+		cw.popFront()
+	}
+	return nil
+}
+
+// merge joins the groups of a and b (b is always the current message).
+// Small-into-large pointer rewriting keeps total rewrite work O(n log n).
+func (mg *Merger) merge(a, b *Pending, tally *int, c *obs.Counter) (bool, error) {
+	ga, gb := a.g, b.g
+	if ga == gb {
+		return false, nil
+	}
+	if ga.closed || gb.closed {
+		return false, fmt.Errorf("grouping: merge touched a closed group (closure horizon %v violated)", mg.horizon)
+	}
+	if len(ga.members) < len(gb.members) {
+		ga, gb = gb, ga
+	}
+	for _, m := range gb.members {
+		m.g = ga
+	}
+	ga.members = append(ga.members, gb.members...)
+	if gb.last.After(ga.last) {
+		ga.last = gb.last
+	}
+	mg.unlinkOpen(gb)
+	gb.members = nil
+	mg.openGroups--
+	// b is the newest message overall, so the merged group's lastTime is
+	// the current watermark — the list maximum — and a move-to-tail keeps
+	// the closure list sorted.
+	mg.moveToTail(ga)
+	*tally++
+	c.Inc()
+	return true, nil
+}
+
+// closeReady pops closed groups off the head of the closure list.
+func (mg *Merger) closeReady(out []ClosedGroup) []ClosedGroup {
+	for mg.oHead != nil && mg.watermark.Sub(mg.oHead.last) > mg.horizon {
+		out = append(out, mg.closeGroup(mg.oHead))
+	}
+	return out
+}
+
+// closeGroup finalizes one group: members sort ascending by Seq (the order
+// event scoring depends on) and the group's open state is released. Member
+// structs may outlive the group inside retained windows; the closed mark
+// keeps a late merge from resurrecting it.
+func (mg *Merger) closeGroup(g *incGroup) ClosedGroup {
+	mg.unlinkOpen(g)
+	g.closed = true
+	mg.openGroups--
+	mg.openMsgs -= len(g.members)
+	sort.Slice(g.members, func(i, j int) bool { return g.members[i].msg.Seq < g.members[j].msg.Seq })
+	msgs := make([]Message, len(g.members))
+	for i, m := range g.members {
+		msgs[i] = m.msg
+	}
+	g.members = nil
+	return ClosedGroup{Members: msgs}
+}
+
+func (mg *Merger) publishGauges() {
+	mg.met.OpenMessages.Set(float64(mg.openMsgs))
+	mg.met.OpenGroups.Set(float64(mg.openGroups))
+}
+
+// Closure list maintenance (doubly linked, ascending last).
+
+func (mg *Merger) pushOpen(g *incGroup) {
+	g.prev = mg.oTail
+	g.next = nil
+	if mg.oTail != nil {
+		mg.oTail.next = g
+	} else {
+		mg.oHead = g
+	}
+	mg.oTail = g
+}
+
+func (mg *Merger) unlinkOpen(g *incGroup) {
+	if g.prev != nil {
+		g.prev.next = g.next
+	} else {
+		mg.oHead = g.next
+	}
+	if g.next != nil {
+		g.next.prev = g.prev
+	} else {
+		mg.oTail = g.prev
+	}
+	g.prev, g.next = nil, nil
+}
+
+func (mg *Merger) moveToTail(g *incGroup) {
+	if mg.oTail == g {
+		return
+	}
+	mg.unlinkOpen(g)
+	mg.pushOpen(g)
+}

@@ -1,0 +1,603 @@
+// Sharded streaming engine: the multi-core form of Engine.
+//
+// Topology (one goroutine per box, the caller is the dispatcher):
+//
+//	caller ──batch──▶ shard 0 (RouterLocal) ──joins──▶
+//	        ──batch──▶ shard 1 (RouterLocal) ──joins──▶  merge (Merger +
+//	            ⋮                                  ⋮      event.Builder)
+//	        ──batch──▶ shard N-1             ──joins──▶
+//
+// Messages hash by router onto N shard workers. A worker owns the
+// router-local half of the grouper state — temporal EWMA models and rule
+// windows for its routers — and computes, per message, the join decisions
+// (grouping.Joins). The merge stage owns everything global: the group
+// partition, the closure list, the cross-router pass, event building, and
+// event IDs. Because locdict location keys embed the router, every join
+// decision a worker makes depends only on its own routers' subsequence,
+// and because the merge stage applies those decisions in the original
+// global order, the emitted events — set, scores, IDs, order — are
+// byte-identical to the serial Engine at any worker count (see
+// grouping/shard.go for the argument; the one caveat is the MaxStreams
+// eviction bound, which is enforced per shard here and globally there).
+//
+// Coordination is batch punctuation: the dispatcher accumulates up to
+// BatchSize messages, partitions them by router, and sends every shard its
+// (possibly empty) sub-batch; each shard answers with exactly one result
+// record per batch carrying the join decisions in order. The merge stage
+// reads one record per shard per batch and replays the batch's original
+// interleaving from the dispatcher's order vector. All channels are
+// bounded, so a slow merge backpressures the shards and a slow shard
+// backpressures the dispatcher — memory in flight is O(workers × depth ×
+// batch).
+//
+// Watermarks: each shard's watermark is the punctuation (max message time)
+// of the last batch it finished. The merge stage's low watermark is the
+// punctuation of the last batch it fully applied — necessarily ≤ every
+// shard watermark, and monotone because dispatch order is time order.
+// Group closure tests against the Merger's own watermark exactly as in the
+// serial engine, so closure (and thus emission) decisions are unchanged.
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"syslogdigest/internal/event"
+	"syslogdigest/internal/grouping"
+	"syslogdigest/internal/locdict"
+	"syslogdigest/internal/obs"
+	"syslogdigest/internal/rules"
+)
+
+const (
+	// DefaultShardBatch is the dispatch batch size: large enough to
+	// amortize channel handoffs, small enough that a live feed's events
+	// surface promptly (a batch also flushes on Drain and on any state
+	// query).
+	DefaultShardBatch = 256
+	// shardQueueDepth bounds each channel in batches; total in-flight
+	// memory is workers × depth × batch messages.
+	shardQueueDepth = 4
+	// MaxShardWorkers caps the worker count (the order vector stores shard
+	// indexes in a byte).
+	MaxShardWorkers = 256
+)
+
+// ShardMetrics are one shard worker's observability handles (nil-safe).
+type ShardMetrics struct {
+	Pushed    *obs.Counter // stream.shard.<k>.pushed
+	Streams   *obs.Gauge   // stream.shard.<k>.streams
+	Evictions *obs.Counter // stream.shard.<k>.evictions
+	Watermark *obs.Gauge   // stream.shard.<k>.watermark_unix_seconds
+}
+
+// ShardedMetrics extend Metrics with the sharded topology's handles.
+// The embedded Metrics keep their serial meanings: stream.emitted,
+// stream.emit_latency_seconds and stream.watermark_unix_seconds are
+// maintained by the merge stage, and the grouping merge counters and
+// open-state gauges by the Merger it drives. The global stream.state
+// streams/evictions handles aggregate across shards and refresh on every
+// synchronizing call (Drain, Stats); the per-shard handles are live.
+type ShardedMetrics struct {
+	Metrics
+	MergeEmitted *obs.Counter   // stream.merge.emitted
+	MergeLag     *obs.Histogram // stream.merge.lag_seconds
+	Shards       []ShardMetrics // index = shard; missing entries record nothing
+}
+
+func (m *ShardedMetrics) shard(k int) ShardMetrics {
+	if k < len(m.Shards) {
+		return m.Shards[k]
+	}
+	return ShardMetrics{}
+}
+
+// MergeLagBounds are histogram bounds for stream.merge.lag_seconds: how
+// far (in log time) the merge stage trails the newest dispatched message.
+// Steady state is under one batch of log time; hours mean the merge stage
+// is the bottleneck.
+func MergeLagBounds() []float64 {
+	return []float64{0.001, 0.01, 0.1, 1, 10, 60, 300, 1800, 3600, 14400}
+}
+
+// shardBatch is one dispatch to one shard worker.
+type shardBatch struct {
+	msgs  []grouping.Message // this shard's sub-batch, in global order
+	punct time.Time          // whole-batch punctuation watermark
+	drain bool               // drop join windows after the batch
+}
+
+// shardItem is one message's computed join decisions.
+type shardItem struct {
+	p        *grouping.Pending
+	temporal *grouping.Pending
+	rules    []*grouping.Pending
+}
+
+// shardResult is one shard's answer to one batch: exactly one per batch,
+// even when the sub-batch was empty.
+type shardResult struct {
+	items []shardItem
+	stats grouping.LocalStats
+	err   error
+}
+
+type ctrlKind int
+
+const (
+	ctrlNone  ctrlKind = iota
+	ctrlSync           // ack after the batch is fully applied
+	ctrlDrain          // then force-close every open group, then ack
+)
+
+// mergeBatch tells the merge stage how to interleave one batch's shard
+// results: order[i] is the shard that holds the batch's i-th message.
+type mergeBatch struct {
+	order []uint8
+	punct time.Time
+	kind  ctrlKind
+}
+
+// ShardedEngine is the parallel counterpart of Engine, with the same
+// external contract: Observe messages in nondecreasing time order, receive
+// closed events back. The only visible difference is delivery timing —
+// events surface on the Observe call after their batch is applied rather
+// than the exact call that closed them; the event sequence itself (set,
+// scores, IDs, order) is identical.
+//
+// Not safe for concurrent use by multiple callers (one dispatcher), and
+// SetMetrics must precede the first Observe. Close releases the worker
+// goroutines; an unclosed engine leaks them.
+type ShardedEngine struct {
+	shardable *grouping.Shardable
+	builder   *event.Builder
+	workers   int
+	batchSize int
+	met       ShardedMetrics
+
+	// Dispatcher state (caller goroutine).
+	running  bool
+	closed   bool
+	started  bool
+	lastTime time.Time
+	batch    []grouping.Message
+
+	shardIn  []chan shardBatch
+	shardOut []chan shardResult
+	mergeIn  chan mergeBatch
+	ack      chan struct{}
+	wg       sync.WaitGroup
+
+	maxDispatched atomic.Int64 // unixnano of newest dispatched message
+	lowWMns       atomic.Int64 // unixnano punctuation of last applied batch
+
+	// Merge-goroutine state. The caller may touch these only in the quiet
+	// window after a sync/drain ack and before the next dispatch.
+	merger       *grouping.Merger
+	nextID       int
+	localStats   []grouping.LocalStats
+	evictionsPub int
+
+	mu  sync.Mutex
+	out []event.Event // emitted, awaiting collection by the caller
+	err error
+}
+
+// NewSharded builds a sharded engine over the same knowledge as New.
+// workers must be in [1, MaxShardWorkers]; worker goroutines start lazily
+// on the first Observe.
+func NewSharded(dict *locdict.Dictionary, rb *rules.RuleBase, cfg Config, workers int) (*ShardedEngine, error) {
+	if workers < 1 || workers > MaxShardWorkers {
+		return nil, fmt.Errorf("stream: worker count %d out of range [1, %d]", workers, MaxShardWorkers)
+	}
+	s, err := grouping.NewShardable(dict, rb, cfg.Grouping)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedEngine{
+		shardable:  s,
+		builder:    event.NewBuilder(cfg.Freq, cfg.Labeler),
+		workers:    workers,
+		batchSize:  DefaultShardBatch,
+		merger:     s.NewMerger(),
+		localStats: make([]grouping.LocalStats, workers),
+	}, nil
+}
+
+// Workers is the shard count.
+func (e *ShardedEngine) Workers() int { return e.workers }
+
+// SetBatchSize overrides the dispatch batch size (<= 0: DefaultShardBatch);
+// batch boundaries never affect output, only handoff amortization and
+// delivery timing. Must precede the first Observe.
+func (e *ShardedEngine) SetBatchSize(n int) {
+	if e.running {
+		return
+	}
+	if n <= 0 {
+		n = DefaultShardBatch
+	}
+	e.batchSize = n
+}
+
+// SetMetrics installs the serial metric set (per-shard and merge-stage
+// handles absent). Must precede the first Observe.
+func (e *ShardedEngine) SetMetrics(m Metrics) {
+	e.SetShardedMetrics(ShardedMetrics{Metrics: m})
+}
+
+// SetShardedMetrics installs the full sharded metric set. Must precede the
+// first Observe.
+func (e *ShardedEngine) SetShardedMetrics(m ShardedMetrics) {
+	if e.running {
+		return
+	}
+	e.met = m
+}
+
+// start launches the worker and merge goroutines. The MaxStreams bound is
+// split evenly across shards, so total temporal-model state stays bounded
+// by (roughly) the serial engine's cap.
+func (e *ShardedEngine) start() {
+	e.running = true
+	perShard := (e.shardable.MaxStreams() + e.workers - 1) / e.workers
+	e.shardIn = make([]chan shardBatch, e.workers)
+	e.shardOut = make([]chan shardResult, e.workers)
+	for k := 0; k < e.workers; k++ {
+		e.shardIn[k] = make(chan shardBatch, shardQueueDepth)
+		e.shardOut[k] = make(chan shardResult, shardQueueDepth)
+		local := e.shardable.NewLocal(perShard)
+		sm := e.met.shard(k)
+		local.SetMetrics(grouping.LocalMetrics{Streams: sm.Streams, StreamEvictions: sm.Evictions})
+		e.wg.Add(1)
+		go e.shardLoop(k, local, sm)
+	}
+	e.mergeIn = make(chan mergeBatch, shardQueueDepth)
+	e.ack = make(chan struct{}, 1)
+	e.merger.SetMetrics(grouping.MergeMetrics{
+		MergeTemporal: e.met.Grouping.MergeTemporal,
+		MergeRule:     e.met.Grouping.MergeRule,
+		MergeCross:    e.met.Grouping.MergeCross,
+		OpenMessages:  e.met.Grouping.OpenMessages,
+		OpenGroups:    e.met.Grouping.OpenGroups,
+	})
+	e.wg.Add(1)
+	go e.mergeLoop()
+}
+
+// shardOf hashes a router name onto a shard (FNV-1a).
+func shardOf(router string, workers int) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(router); i++ {
+		h ^= uint64(router[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(workers))
+}
+
+// Observe ingests one message (nondecreasing Time required) and returns
+// the events emitted since the last call (nil when none). Events for a
+// message surface once its batch flushes — at the latest BatchSize
+// messages later, or at the next Drain or state query.
+func (e *ShardedEngine) Observe(m Message) ([]event.Event, error) {
+	if err := e.peekErr(); err != nil {
+		return nil, err
+	}
+	if e.closed {
+		return nil, fmt.Errorf("stream: sharded engine closed")
+	}
+	if e.started && m.Time.Before(e.lastTime) {
+		// Same contract (and message) as the serial grouper: a regression
+		// is rejected before touching any state.
+		return nil, fmt.Errorf("grouping: incremental requires nondecreasing timestamps (got %v after watermark %v)",
+			m.Time, e.lastTime)
+	}
+	e.started = true
+	e.lastTime = m.Time
+	e.batch = append(e.batch, grouping.Message{
+		Seq: m.Seq, Time: m.Time, Router: m.Router, Template: m.Template,
+		Loc: m.Loc, AllLocs: m.AllLocs, Peers: m.Peers, Raw: m.Raw,
+	})
+	if len(e.batch) >= e.batchSize {
+		e.dispatch(ctrlNone)
+	}
+	return e.collect(), nil
+}
+
+// dispatch partitions the buffered batch by router, hands every shard its
+// sub-batch (empty included — one record per shard per batch is the
+// synchronization invariant), and tells the merge stage how to re-
+// interleave the results.
+func (e *ShardedEngine) dispatch(kind ctrlKind) {
+	if !e.running {
+		e.start()
+	}
+	b := e.batch
+	e.batch = nil
+	order := make([]uint8, len(b))
+	subs := make([][]grouping.Message, e.workers)
+	for i := range b {
+		k := shardOf(b[i].Router, e.workers)
+		order[i] = uint8(k)
+		subs[k] = append(subs[k], b[i])
+	}
+	punct := e.lastTime
+	if e.started {
+		e.maxDispatched.Store(punct.UnixNano())
+	}
+	for k := 0; k < e.workers; k++ {
+		e.shardIn[k] <- shardBatch{msgs: subs[k], punct: punct, drain: kind == ctrlDrain}
+	}
+	e.mergeIn <- mergeBatch{order: order, punct: punct, kind: kind}
+}
+
+// shardLoop is one worker: it runs the router-local grouping passes over
+// its sub-batches and ships the join decisions to the merge stage.
+func (e *ShardedEngine) shardLoop(k int, local *grouping.RouterLocal, met ShardMetrics) {
+	defer e.wg.Done()
+	var js grouping.Joins
+	for b := range e.shardIn[k] {
+		res := shardResult{}
+		if len(b.msgs) > 0 {
+			res.items = make([]shardItem, 0, len(b.msgs))
+		}
+		for i := range b.msgs {
+			p := grouping.NewPending(b.msgs[i])
+			if err := local.Step(p, &js); err != nil {
+				res.err = err
+				break
+			}
+			it := shardItem{p: p, temporal: js.Temporal}
+			if len(js.Rules) > 0 {
+				it.rules = append([]*grouping.Pending(nil), js.Rules...)
+			}
+			res.items = append(res.items, it)
+			met.Pushed.Inc()
+		}
+		if b.drain {
+			local.DrainWindows()
+		}
+		if !b.punct.IsZero() {
+			met.Watermark.Set(float64(b.punct.UnixNano()) / 1e9)
+		}
+		res.stats = local.Stats()
+		e.shardOut[k] <- res
+	}
+}
+
+// mergeLoop is the merge stage: per batch it reads one result from every
+// shard, replays the original interleaving, applies each message's join
+// decisions to the global Merger, and emits closed groups as events. After
+// a failure it keeps consuming (so the dispatcher never blocks) but stops
+// applying; the error surfaces on the caller's next Observe.
+func (e *ShardedEngine) mergeLoop() {
+	defer e.wg.Done()
+	var js grouping.Joins
+	results := make([]shardResult, e.workers)
+	idx := make([]int, e.workers)
+	for mb := range e.mergeIn {
+		for k := 0; k < e.workers; k++ {
+			results[k] = <-e.shardOut[k]
+			idx[k] = 0
+		}
+		failed := e.peekErr() != nil
+		if !failed {
+			for k := range results {
+				if results[k].err != nil {
+					e.fail(results[k].err)
+					failed = true
+					break
+				}
+			}
+		}
+		for _, k := range mb.order {
+			if idx[k] >= len(results[k].items) {
+				break // shard erred mid-batch; its tail never computed
+			}
+			it := results[k].items[idx[k]]
+			idx[k]++
+			if failed {
+				continue
+			}
+			js.Temporal = it.temporal
+			js.Rules = it.rules
+			closed, err := e.merger.Apply(it.p, &js)
+			if err != nil {
+				e.fail(err)
+				failed = true
+				continue
+			}
+			e.emit(closed)
+			e.met.Watermark.Set(float64(e.merger.Watermark().UnixNano()) / 1e9)
+		}
+		for k := range results {
+			e.localStats[k] = results[k].stats
+		}
+		if !mb.punct.IsZero() {
+			if !failed && len(mb.order) > 0 {
+				lag := time.Duration(e.maxDispatched.Load() - mb.punct.UnixNano())
+				e.met.MergeLag.Observe(lag.Seconds())
+			}
+			e.lowWMns.Store(mb.punct.UnixNano())
+		}
+		if mb.kind == ctrlDrain && !failed {
+			e.emit(e.merger.Drain())
+		}
+		if mb.kind != ctrlNone {
+			e.ack <- struct{}{}
+		}
+	}
+}
+
+// emit scores closed groups exactly as Engine.emit and queues the events
+// for the caller to collect.
+func (e *ShardedEngine) emit(closed []grouping.ClosedGroup) {
+	if len(closed) == 0 {
+		return
+	}
+	wm := e.merger.Watermark()
+	evs := make([]event.Event, 0, len(closed))
+	var members []event.Member
+	for _, cg := range closed {
+		members = members[:0]
+		for i := range cg.Members {
+			gm := &cg.Members[i]
+			members = append(members, event.Member{
+				Seq: gm.Seq, Time: gm.Time, Router: gm.Router,
+				Template: gm.Template, Loc: gm.Loc, Raw: gm.Raw,
+			})
+		}
+		ev := e.builder.BuildGroup(members)
+		ev.ID = e.nextID
+		e.nextID++
+		e.met.Emitted.Inc()
+		e.met.MergeEmitted.Inc()
+		e.met.EmitLatency.Observe(wm.Sub(ev.End).Seconds())
+		evs = append(evs, ev)
+	}
+	e.mu.Lock()
+	e.out = append(e.out, evs...)
+	e.mu.Unlock()
+}
+
+// collect takes the events emitted since the last collection.
+func (e *ShardedEngine) collect() []event.Event {
+	e.mu.Lock()
+	out := e.out
+	e.out = nil
+	e.mu.Unlock()
+	return out
+}
+
+func (e *ShardedEngine) fail(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *ShardedEngine) peekErr() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// sync flushes the partial batch and blocks until the merge stage has
+// applied everything dispatched. Until the next dispatch the caller has
+// exclusive (happens-before via the ack) access to the Merger and the
+// shard stats snapshots.
+func (e *ShardedEngine) sync() {
+	if !e.running {
+		return
+	}
+	e.dispatch(ctrlSync)
+	<-e.ack
+}
+
+// publishGlobal refreshes the aggregate stream.state gauges from the
+// per-shard snapshots; callable only in the post-sync quiet window.
+func (e *ShardedEngine) publishGlobal() {
+	streams, evs := 0, 0
+	for _, ls := range e.localStats {
+		streams += ls.Streams
+		evs += ls.Evictions
+	}
+	e.met.Grouping.Streams.Set(float64(streams))
+	if evs > e.evictionsPub {
+		e.met.Grouping.StreamEvictions.Add(uint64(evs - e.evictionsPub))
+		e.evictionsPub = evs
+	}
+}
+
+// Drain flushes the partial batch, force-closes every open group, and
+// returns all uncollected events, oldest first. Temporal models and
+// watermarks persist, as in the serial engine.
+func (e *ShardedEngine) Drain() []event.Event {
+	if !e.running && len(e.batch) == 0 {
+		return nil
+	}
+	e.dispatch(ctrlDrain)
+	<-e.ack
+	e.publishGlobal()
+	return e.collect()
+}
+
+// Close flushes nothing, drops nothing, and stops the worker goroutines;
+// call Drain first if open groups should still emit. The engine rejects
+// further use.
+func (e *ShardedEngine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if !e.running {
+		return
+	}
+	for k := range e.shardIn {
+		close(e.shardIn[k])
+	}
+	close(e.mergeIn)
+	e.wg.Wait()
+}
+
+// Watermark is the maximum message time observed (dispatcher view — the
+// serial engine's watermark after the same Observe calls).
+func (e *ShardedEngine) Watermark() time.Time { return e.lastTime }
+
+// LowWatermark is the merge stage's progress: the punctuation of the last
+// fully applied batch, ≤ every shard watermark and monotone. Safe to call
+// concurrently with anything.
+func (e *ShardedEngine) LowWatermark() time.Time {
+	ns := e.lowWMns.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// Horizon is the closure bound.
+func (e *ShardedEngine) Horizon() time.Duration { return e.shardable.Horizon() }
+
+// ActiveRules synchronizes and returns the merge stage's cumulative
+// per-pair rule-merge tally. The map is live merge-stage state: read it
+// before the next Observe, or copy.
+func (e *ShardedEngine) ActiveRules() map[rules.PairKey]int {
+	e.sync()
+	return e.merger.ActiveRules()
+}
+
+// Stats synchronizes (flushing the partial batch) and snapshots the
+// grouper state and merge counters across all shards.
+func (e *ShardedEngine) Stats() grouping.IncStats {
+	if !e.running {
+		return grouping.IncStats{}
+	}
+	e.sync()
+	e.publishGlobal()
+	ms := e.merger.Stats()
+	st := grouping.IncStats{
+		OpenMessages:   ms.OpenMessages,
+		OpenGroups:     ms.OpenGroups,
+		TemporalMerges: ms.TemporalMerges,
+		RuleMerges:     ms.RuleMerges,
+		CrossMerges:    ms.CrossMerges,
+	}
+	for _, ls := range e.localStats {
+		st.Streams += ls.Streams
+		st.StreamEvictions += ls.Evictions
+	}
+	return st
+}
+
+// Pending is the number of messages in not-yet-closed groups (synchronizes
+// first, so nothing is in flight when it counts).
+func (e *ShardedEngine) Pending() int {
+	if !e.running {
+		return len(e.batch)
+	}
+	e.sync()
+	return e.merger.Stats().OpenMessages
+}

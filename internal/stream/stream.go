@@ -111,6 +111,11 @@ func (e *Engine) Observe(m Message) ([]event.Event, error) {
 // grouping.Incremental.Drain.
 func (e *Engine) Drain() []event.Event { return e.emit(e.inc.Drain()) }
 
+// Close is a no-op: the serial engine owns no goroutines. It exists so
+// callers can hold either engine behind one interface (ShardedEngine's
+// Close is load-bearing).
+func (e *Engine) Close() {}
+
 // Watermark is the maximum message time observed.
 func (e *Engine) Watermark() time.Time { return e.inc.Watermark() }
 

@@ -12,10 +12,26 @@ func FuzzParseLine(f *testing.F) {
 	f.Add("||||")
 	f.Add("2010-01-10 00:00:15|r1|X|")
 	f.Add("garbage")
+	f.Add("2010-02-29 00:00:00|r1|X-1-Y|not a leap year")
+	f.Add("2012-02-29 23:59:59|r1|X-1-Y|leap year")
+	f.Add("2010-01-10 23:59:60|r1|X-1-Y|leap second")
+	f.Add("2010-1-10 00:00:15|r1|X-1-Y|narrow month")
 	f.Fuzz(func(t *testing.T, line string) {
 		m, err := ParseLine(line, 0)
+		mb, errB := ParseLineBytes([]byte(line), 0)
+		// The string and []byte paths must agree exactly: same accept/
+		// reject decision, same fields, same error text.
+		if (err == nil) != (errB == nil) {
+			t.Fatalf("ParseLine err=%v but ParseLineBytes err=%v for %q", err, errB, line)
+		}
 		if err != nil {
+			if err.Error() != errB.Error() {
+				t.Fatalf("error drift:\nstring: %v\nbytes:  %v", err, errB)
+			}
 			return
+		}
+		if mb.Router != m.Router || mb.Code != m.Code || mb.Detail != m.Detail || !mb.Time.Equal(m.Time) {
+			t.Fatalf("field drift:\nstring: %+v\nbytes:  %+v", m, mb)
 		}
 		// A successfully parsed message must re-serialize and re-parse to
 		// the same fields (detail may contain '|', which Format preserves).
@@ -38,8 +54,18 @@ func FuzzParseWire(f *testing.F) {
 	f.Add("2010-01-10 00:00:15|r1|X-1-Y|d")
 	f.Fuzz(func(t *testing.T, line string) {
 		m, err := ParseWire(line, 0, 2010)
+		mb, errB := ParseWireBytes([]byte(line), 0, 2010)
+		if (err == nil) != (errB == nil) {
+			t.Fatalf("ParseWire err=%v but ParseWireBytes err=%v for %q", err, errB, line)
+		}
 		if err != nil {
+			if err.Error() != errB.Error() {
+				t.Fatalf("error drift:\nstring: %v\nbytes:  %v", err, errB)
+			}
 			return
+		}
+		if mb.Router != m.Router || mb.Code != m.Code || mb.Detail != m.Detail || !mb.Time.Equal(m.Time) {
+			t.Fatalf("field drift:\nstring: %+v\nbytes:  %+v", m, mb)
 		}
 		if m.Router == "" || m.Code == "" {
 			t.Fatalf("accepted message without router/code: %q -> %+v", line, m)

@@ -1,7 +1,6 @@
 package syslogmsg
 
 import (
-	"container/heap"
 	"fmt"
 	"io"
 	"os"
@@ -20,20 +19,61 @@ type mergeItem struct {
 	src int
 }
 
+// mergeHeap is a hand-rolled min-heap on (SortByTime, src) — the same
+// pattern as the streamer's reorder heap. push/pop run once per merged
+// message, and the concrete element type avoids container/heap's
+// per-operation interface boxing allocation. The src tiebreak makes the
+// merge fully deterministic even when two streams carry identical
+// (time, router, index) heads.
 type mergeHeap []mergeItem
 
-func (h mergeHeap) Len() int { return len(h) }
-func (h mergeHeap) Less(i, j int) bool {
-	return SortByTime(&h[i].msg, &h[j].msg)
+func (h mergeHeap) less(i, j int) bool {
+	if SortByTime(&h[i].msg, &h[j].msg) {
+		return true
+	}
+	if SortByTime(&h[j].msg, &h[i].msg) {
+		return false
+	}
+	return h[i].src < h[j].src
 }
-func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }
-func (h *mergeHeap) Pop() any {
-	old := *h
-	n := len(old)
-	out := old[n-1]
-	*h = old[:n-1]
-	return out
+
+func (h *mergeHeap) push(it mergeItem) {
+	*h = append(*h, it)
+	q := *h
+	for i := len(q) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *mergeHeap) pop() mergeItem {
+	q := *h
+	n := len(q) - 1
+	it := q[0]
+	q[0] = q[n]
+	q[n] = mergeItem{}
+	q = q[:n]
+	*h = q
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q.less(l, small) {
+			small = l
+		}
+		if r < n && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	return it
 }
 
 // MergeReaders reads every stream (lenient parsing) and merges them by
@@ -66,24 +106,26 @@ func MergeReaders(readers ...io.Reader) ([]Message, error) {
 	return mergeSorted(streams), nil
 }
 
-// mergeSorted heap-merges per-stream sorted slices, assigning fresh indices.
+// mergeSorted heap-merges per-stream sorted slices, assigning fresh
+// indices. The heap never exceeds len(streams) entries, so beyond the
+// output slice the merge allocates a small constant regardless of message
+// count (guarded by TestMergeSortedAllocs).
 func mergeSorted(streams [][]Message) []Message {
 	total := 0
 	h := make(mergeHeap, 0, len(streams))
 	next := make([]int, len(streams))
 	for i, s := range streams {
 		total += len(s)
-		h = append(h, mergeItem{msg: s[0], src: i})
+		h.push(mergeItem{msg: s[0], src: i})
 		next[i] = 1
 	}
-	heap.Init(&h)
 	out := make([]Message, 0, total)
-	for h.Len() > 0 {
-		it := heap.Pop(&h).(mergeItem)
+	for len(h) > 0 {
+		it := h.pop()
 		it.msg.Index = uint64(len(out))
 		out = append(out, it.msg)
 		if n := next[it.src]; n < len(streams[it.src]) {
-			heap.Push(&h, mergeItem{msg: streams[it.src][n], src: it.src})
+			h.push(mergeItem{msg: streams[it.src][n], src: it.src})
 			next[it.src] = n + 1
 		}
 	}

@@ -75,6 +75,52 @@ func TestMergeReadersEmpty(t *testing.T) {
 	}
 }
 
+// syntheticStreams builds k per-router sorted streams of n messages each,
+// interleaved in time so the merge actually alternates sources.
+func syntheticStreams(k, n int) [][]Message {
+	base := time.Date(2010, 1, 10, 0, 0, 0, 0, time.UTC)
+	streams := make([][]Message, k)
+	for i := range streams {
+		msgs := make([]Message, n)
+		for j := range msgs {
+			msgs[j] = Message{
+				Index:  uint64(j),
+				Time:   base.Add(time.Duration(j*k+i) * time.Second),
+				Router: "r" + string(rune('a'+i)),
+				Code:   "A-1-B",
+				Detail: "d",
+			}
+		}
+		streams[i] = msgs
+	}
+	return streams
+}
+
+// TestMergeSortedAllocs is the allocation guard for the typed merge heap:
+// the k-way merge must allocate a small constant (heap, cursor slice,
+// output slice) — not per message, as the old container/heap version did
+// by boxing every Push/Pop through an interface.
+func TestMergeSortedAllocs(t *testing.T) {
+	streams := syntheticStreams(4, 512)
+	allocs := testing.AllocsPerRun(10, func() {
+		out := mergeSorted(streams)
+		if len(out) != 4*512 {
+			t.Fatalf("merged %d messages", len(out))
+		}
+	})
+	if allocs > 4 {
+		t.Errorf("mergeSorted allocated %.1f times for %d messages, want constant <= 4", allocs, 4*512)
+	}
+}
+
+func BenchmarkMergeSorted(b *testing.B) {
+	streams := syntheticStreams(8, 2048)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mergeSorted(streams)
+	}
+}
+
 func TestReadGlob(t *testing.T) {
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "r1.log"), []byte(streamText("r1", 0, 10)), 0o644); err != nil {

@@ -2,9 +2,9 @@ package syslogmsg
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
-	"strings"
 )
 
 // Reader reads serialized messages line by line, assigning stream indices.
@@ -34,14 +34,16 @@ func (r *Reader) SetLenient(v bool) { r.lenient = v }
 // Skipped returns the number of malformed lines dropped in lenient mode.
 func (r *Reader) Skipped() int { return r.skipped }
 
-// Read returns the next message, or io.EOF at end of stream.
+// Read returns the next message, or io.EOF at end of stream. Parsing works
+// directly on the scanner's token ([]byte), so skipped lines cost nothing
+// and accepted lines allocate only the message's own field storage.
 func (r *Reader) Read() (Message, error) {
 	for r.sc.Scan() {
-		line := strings.TrimRight(r.sc.Text(), "\r\n")
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := bytes.TrimRight(r.sc.Bytes(), "\r\n")
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		m, err := ParseLine(line, r.next)
+		m, err := ParseLineBytes(line, r.next)
 		if err != nil {
 			if r.lenient {
 				r.skipped++

@@ -78,31 +78,11 @@ func (m *Message) Format() string {
 func (m Message) String() string { return m.Format() }
 
 // ParseLine parses one serialized message line. The index is supplied by the
-// caller since it reflects stream position, not line content.
+// caller since it reflects stream position, not line content. The parsed
+// fields re-slice line; ParseLineBytes is the allocation-free variant for
+// callers holding a reusable []byte buffer.
 func ParseLine(line string, index uint64) (Message, error) {
-	parts := strings.SplitN(line, "|", 4)
-	if len(parts) != 4 {
-		return Message{}, fmt.Errorf("syslogmsg: malformed line (want 4 '|' fields, got %d): %q", len(parts), line)
-	}
-	ts, err := time.Parse(TimeLayout, parts[0])
-	if err != nil {
-		return Message{}, fmt.Errorf("syslogmsg: bad timestamp %q: %w", parts[0], err)
-	}
-	router := strings.TrimSpace(parts[1])
-	if router == "" {
-		return Message{}, fmt.Errorf("syslogmsg: empty router field in %q", line)
-	}
-	code := strings.TrimSpace(parts[2])
-	if code == "" {
-		return Message{}, fmt.Errorf("syslogmsg: empty code field in %q", line)
-	}
-	return Message{
-		Index:  index,
-		Time:   ts,
-		Router: router,
-		Code:   code,
-		Detail: parts[3],
-	}, nil
+	return parseLineAny(line, index)
 }
 
 // severityWords maps V2 severity words to a numeric severity on the V1 scale
