@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test race build bench bench-smoke bench-compare stream-equiv
+.PHONY: check fmt vet test race build bench bench-smoke bench-compare stream-equiv checkpoint-equiv
 
-check: fmt vet race stream-equiv bench-smoke bench-compare
+check: fmt vet race stream-equiv checkpoint-equiv bench-smoke bench-compare
 
 # gofmt -l prints offending files; fail if it prints anything.
 fmt:
@@ -40,7 +40,7 @@ bench-smoke:
 bench-compare:
 	@tmp=$$(mktemp /tmp/sdbench.XXXXXX.json); \
 	$(GO) run ./cmd/sdbench -dataset A -json $$tmp && \
-	$(GO) run ./cmd/sdbench -compare BENCH_PR5.json -tolerance 150 $$tmp; \
+	$(GO) run ./cmd/sdbench -compare BENCH_PR6.json -tolerance 150 $$tmp; \
 	rc=$$?; rm -f $$tmp; exit $$rc
 
 # The streaming-equivalence smoke: the incremental engine must reproduce the
@@ -50,3 +50,10 @@ bench-compare:
 # under `make race`).
 stream-equiv:
 	$(GO) test -run 'TestStreamingMatchesBatch|TestShardedMatchesSerial' -count=1 ./internal/core
+
+# The kill/restore differential under the race detector: a run snapshotted,
+# torn down, and restored at 20 random points (both corpora, serial and
+# sharded) must emit byte-for-byte what the uninterrupted run emits — each
+# event exactly once.
+checkpoint-equiv:
+	$(GO) test -race -run 'TestCheckpointRestoreEquivalence|TestCheckpointRestoreAcrossWorkerCounts' -count=1 ./internal/core

@@ -40,6 +40,25 @@ type benchSnapshot struct {
 	// latency (message time to emitting watermark) per dataset, one entry
 	// per stream worker count in the sweep (schema v3; per-worker since v4).
 	StreamLatency []streamLatency `json:"stream_latency,omitempty"`
+	// Checkpoint records snapshot/restore wall time and snapshot size at a
+	// mid-stream cut, per dataset and stream worker count (schema v5).
+	Checkpoint []checkpointStats `json:"checkpoint,omitempty"`
+}
+
+// checkpointSweep is the worker sweep for the checkpoint timings: the
+// serial engine and the sharded engine's common fan-out.
+var checkpointSweep = []int{1, 4}
+
+// checkpointStats times Streamer.Snapshot and RestoreStreamer halfway
+// through a streamed pass over the dataset's online half — the steady-state
+// cost of making the pipeline durable (minimum of benchReps, like every
+// other timing here).
+type checkpointStats struct {
+	Dataset    string `json:"dataset"`
+	Workers    int    `json:"workers"`
+	Bytes      int    `json:"bytes"`
+	SnapshotNs int64  `json:"snapshot_ns"`
+	RestoreNs  int64  `json:"restore_ns"`
 }
 
 // streamWorkerSweep is the stream-stage shard-worker sweep (schema v4):
@@ -101,7 +120,7 @@ type benchStage struct {
 func writeBenchJSON(path string, profile experiments.Profile, kinds []gen.DatasetKind, workers int) error {
 	resolved := par.Workers(workers)
 	snap := benchSnapshot{
-		Schema:     "syslogdigest-bench/4",
+		Schema:     "syslogdigest-bench/5",
 		Profile:    profile.Name,
 		Workers:    resolved,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -156,6 +175,15 @@ func writeBenchJSON(path string, profile experiments.Profile, kinds []gen.Datase
 				return fmt.Errorf("stream latency %v (workers=%d): %w", kind, w, err)
 			}
 			snap.StreamLatency = append(snap.StreamLatency, lat)
+		}
+		for _, w := range checkpointSweep {
+			cs, err := checkpointBench(c, w)
+			if err != nil {
+				return fmt.Errorf("checkpoint %v (workers=%d): %w", kind, w, err)
+			}
+			snap.Checkpoint = append(snap.Checkpoint, cs)
+			fmt.Fprintf(os.Stderr, "sdbench: %s/checkpoint workers=%d snapshot %s restore %s (%d bytes)\n",
+				kind, w, time.Duration(cs.SnapshotNs), time.Duration(cs.RestoreNs), cs.Bytes)
 		}
 	}
 	f, err := os.Create(path)
@@ -302,6 +330,54 @@ func streamLatencyStats(c *experiments.Corpus, workers int) (streamLatency, erro
 		sort.Float64s(lats)
 		out.P50Seconds = round3(lats[len(lats)/2])
 		out.P99Seconds = round3(lats[(len(lats)*99)/100])
+	}
+	return out, nil
+}
+
+// checkpointBench streams the online half to its midpoint, then times
+// Streamer.Snapshot and RestoreStreamer at that cut (minimum of benchReps;
+// the first snapshot also pays the sharded engine's sync, which min-of-reps
+// deliberately excludes — it is dispatch backlog, not serialization cost).
+func checkpointBench(c *experiments.Corpus, workers int) (checkpointStats, error) {
+	d, err := core.NewDigester(c.KB)
+	if err != nil {
+		return checkpointStats{}, err
+	}
+	opts := core.StreamerOptions{StreamWorkers: workers}
+	st := core.NewStreamerWith(d, opts)
+	defer st.Close()
+	for i := range c.Online.Messages[:len(c.Online.Messages)/2] {
+		if _, err := st.Push(c.Online.Messages[i]); err != nil {
+			return checkpointStats{}, err
+		}
+	}
+	out := checkpointStats{Dataset: c.Kind.String(), Workers: workers}
+	var snap []byte
+	for r := 0; r < benchReps; r++ {
+		start := time.Now()
+		snap, err = st.Snapshot()
+		if err != nil {
+			return checkpointStats{}, err
+		}
+		if ns := time.Since(start).Nanoseconds(); out.SnapshotNs == 0 || ns < out.SnapshotNs {
+			out.SnapshotNs = ns
+		}
+	}
+	out.Bytes = len(snap)
+	for r := 0; r < benchReps; r++ {
+		d2, err := core.NewDigester(c.KB)
+		if err != nil {
+			return checkpointStats{}, err
+		}
+		start := time.Now()
+		r2, err := core.RestoreStreamer(d2, snap, opts)
+		if err != nil {
+			return checkpointStats{}, err
+		}
+		if ns := time.Since(start).Nanoseconds(); out.RestoreNs == 0 || ns < out.RestoreNs {
+			out.RestoreNs = ns
+		}
+		r2.Close()
 	}
 	return out, nil
 }

@@ -8,13 +8,21 @@
 // Usage:
 //
 //	sdcollect -kb kb.json -udp :5514 -tcp :5514 [-reorder 2s] [-idle 30s]
-//	          [-metrics 127.0.0.1:9090]
+//	          [-metrics 127.0.0.1:9090] [-checkpoint state.ckpt]
 //
 // -reorder sets the reorder-buffer tolerance: arrivals out of time order by
 // less than this are sorted into place; older stragglers are dropped and
-// counted (stream.dropped.late). -idle bounds quiet-feed latency: when no
-// message arrives for an interval and groups are still open, the engine is
-// drained so the tail events print.
+// counted (stream.dropped.late when the sender lagged beyond the tolerance,
+// stream.dropped.overflow when an undersized buffer forced the frontier
+// forward early). -idle bounds quiet-feed latency: when no message arrives
+// for an interval and groups are still open, the engine is drained so the
+// tail events print.
+//
+// -checkpoint makes the streaming state durable: the file is written
+// atomically every -checkpoint-interval and on shutdown, and restored on
+// the next start, so a restarted collector resumes mid-stream — open
+// groups, temporal models, and the reorder buffer survive, and each event
+// is emitted exactly once across the restart.
 //
 // -metrics starts an HTTP exporter: /metrics serves every pipeline counter
 // (collector.* per transport, stream.*, group.merges.*) as JSON; /healthz
@@ -29,6 +37,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -55,6 +64,8 @@ func main() {
 		metricsAddr = flag.String("metrics", "", "serve /metrics and /healthz on this address ('' disables)")
 		matchCache  = flag.Int("match-cache", 0, "match-cache entries (0 = default, negative = disabled; output is identical at any setting)")
 		streamWorks = flag.Int("stream-workers", 0, "streaming-engine shard workers (<= 1 = serial engine, N > 1 = router-sharded engine; output is identical at any setting)")
+		ckptPath    = flag.String("checkpoint", "", "checkpoint file: restore streaming state from it on start (if present) and snapshot into it periodically ('' disables)")
+		ckptEvery   = flag.Duration("checkpoint-interval", time.Minute, "how often to write the checkpoint (with -checkpoint)")
 	)
 	flag.Parse()
 
@@ -92,10 +103,26 @@ func main() {
 	d.Instrument(reg)
 	health.SetReady(true)
 
-	st := syslogdigest.NewStreamerWith(d, syslogdigest.StreamerOptions{
+	opts := syslogdigest.StreamerOptions{
 		ReorderTolerance: *reorder,
 		StreamWorkers:    *streamWorks,
-	})
+	}
+	var st *syslogdigest.Streamer
+	if *ckptPath != "" {
+		if snap, err := syslogdigest.ReadCheckpoint(*ckptPath); err == nil {
+			st, err = syslogdigest.RestoreStreamer(d, snap, opts)
+			if err != nil {
+				fatalf("restore checkpoint %s: %v", *ckptPath, err)
+			}
+			fmt.Fprintf(os.Stderr, "sdcollect: restored checkpoint %s (watermark %s)\n",
+				*ckptPath, st.Watermark().Format(time.RFC3339))
+		} else if !errors.Is(err, os.ErrNotExist) {
+			fatalf("read checkpoint %s: %v", *ckptPath, err)
+		}
+	}
+	if st == nil {
+		st = syslogdigest.NewStreamerWith(d, opts)
+	}
 	st.Instrument(reg)
 
 	var (
@@ -120,8 +147,9 @@ func main() {
 		lastMsg = time.Now()
 		res, err := st.Push(m)
 		if err != nil {
+			// Events closed before the failure still arrive in res;
+			// print them — they are already emitted, not retryable.
 			fmt.Fprintln(os.Stderr, "sdcollect: stream:", err)
-			return
 		}
 		printEvents(res)
 	})
@@ -144,17 +172,40 @@ func main() {
 		res, err := st.Flush()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sdcollect: drain:", err)
-			return
 		}
 		printEvents(res)
+	}
+
+	// writeCkpt snapshots the streamer under the push mutex and writes the
+	// checkpoint atomically; a failure is logged, never fatal — the feed
+	// keeps flowing and the previous checkpoint stays intact.
+	writeCkpt := func() {
+		mu.Lock()
+		snap, err := st.Snapshot()
+		mu.Unlock()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sdcollect: checkpoint:", err)
+			return
+		}
+		if err := syslogdigest.WriteCheckpoint(*ckptPath, snap); err != nil {
+			fmt.Fprintln(os.Stderr, "sdcollect: checkpoint:", err)
+		}
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	tick := time.NewTicker(*idle)
 	defer tick.Stop()
+	var ckptTick <-chan time.Time
+	if *ckptPath != "" {
+		ct := time.NewTicker(*ckptEvery)
+		defer ct.Stop()
+		ckptTick = ct.C
+	}
 	for {
 		select {
+		case <-ckptTick:
+			writeCkpt()
 		case <-tick.C:
 			// The idle loop running is this process's liveness signal.
 			health.Progress()
@@ -168,7 +219,14 @@ func main() {
 			}
 		case <-sig:
 			col.Close()
-			drain()
+			if *ckptPath != "" {
+				// Preserve open groups for the next run instead of
+				// force-closing them: the restored process resumes
+				// mid-stream with exactly-once emission.
+				writeCkpt()
+			} else {
+				drain()
+			}
 			st.Close()
 			cst := col.Stats()
 			fmt.Fprintf(os.Stderr, "sdcollect: received %d, dropped %d, truncated %d, oversized %d, conns %d\n",

@@ -13,10 +13,16 @@
 // -speed N plays N seconds of log time per wall-clock second (0 = as fast
 // as possible). -format selects the wire framing: line (the repository
 // format), rfc3164, or rfc5424.
+//
+// In local mode, -checkpoint makes the replay resumable: streaming state is
+// snapshotted to the file periodically, and a restarted replay restores it
+// and skips the prefix of the stream the previous run already pushed,
+// printing each event exactly once across restarts.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -38,6 +44,8 @@ func main() {
 		pri        = flag.Int("pri", 189, "syslog <pri> value for RFC framings")
 		kbPath     = flag.String("kb", "", "knowledge base: replay into the in-process streaming engine instead of the network")
 		streamWork = flag.Int("stream-workers", 0, "shard workers for the local engine (<= 1 = serial, N > 1 = router-sharded; output is identical at any setting)")
+		ckptPath   = flag.String("checkpoint", "", "local mode: restore streaming state from this file on start (skipping the messages the snapshotted run already pushed) and snapshot into it periodically")
+		ckptEvery  = flag.Duration("checkpoint-interval", 30*time.Second, "how often to write the checkpoint (with -checkpoint)")
 	)
 	flag.Parse()
 	local := *kbPath != "" && *udpAddr == "" && *tcpAddr == ""
@@ -60,7 +68,7 @@ func main() {
 		fatalf("empty stream")
 	}
 	if local {
-		replayLocal(*kbPath, msgs, *speed, *streamWork)
+		replayLocal(*kbPath, msgs, *speed, *streamWork, *ckptPath, *ckptEvery)
 		return
 	}
 
@@ -127,8 +135,12 @@ func main() {
 
 // replayLocal paces the corpus into the incremental engine, printing each
 // event when the watermark closes it — what a collector at the same feed
-// rate would have printed, without the network.
-func replayLocal(kbPath string, msgs []syslogmsg.Message, speed float64, streamWorkers int) {
+// rate would have printed, without the network. With a checkpoint file the
+// replay is resumable: the restored streamer reports how many messages the
+// snapshotted run already pushed, and the replay skips exactly that prefix,
+// so a killed replay continues where it stopped with each event printed
+// exactly once across the restarts.
+func replayLocal(kbPath string, msgs []syslogmsg.Message, speed float64, streamWorkers int, ckptPath string, ckptEvery time.Duration) {
 	kf, err := os.Open(kbPath)
 	if err != nil {
 		fatalf("open kb: %v", err)
@@ -142,7 +154,26 @@ func replayLocal(kbPath string, msgs []syslogmsg.Message, speed float64, streamW
 	if err != nil {
 		fatalf("digester: %v", err)
 	}
-	st := syslogdigest.NewStreamerWith(d, syslogdigest.StreamerOptions{StreamWorkers: streamWorkers})
+	opts := syslogdigest.StreamerOptions{StreamWorkers: streamWorkers}
+	var st *syslogdigest.Streamer
+	skip := 0
+	if ckptPath != "" {
+		if snap, err := syslogdigest.ReadCheckpoint(ckptPath); err == nil {
+			st, err = syslogdigest.RestoreStreamer(d, snap, opts)
+			if err != nil {
+				fatalf("restore checkpoint %s: %v", ckptPath, err)
+			}
+			if skip = int(st.Pushed()); skip > len(msgs) {
+				fatalf("checkpoint %s is ahead of the stream: %d pushed, %d messages", ckptPath, skip, len(msgs))
+			}
+			fmt.Fprintf(os.Stderr, "sdreplay: restored checkpoint %s, resuming at message %d\n", ckptPath, skip)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			fatalf("read checkpoint %s: %v", ckptPath, err)
+		}
+	}
+	if st == nil {
+		st = syslogdigest.NewStreamerWith(d, opts)
+	}
 
 	start := time.Now()
 	logStart := msgs[0].Time
@@ -156,7 +187,17 @@ func replayLocal(kbPath string, msgs []syslogmsg.Message, speed float64, streamW
 			fmt.Println(e.Digest())
 		}
 	}
-	for i := range msgs {
+	writeCkpt := func() {
+		snap, err := st.Snapshot()
+		if err != nil {
+			fatalf("checkpoint: %v", err)
+		}
+		if err := syslogdigest.WriteCheckpoint(ckptPath, snap); err != nil {
+			fatalf("checkpoint: %v", err)
+		}
+	}
+	lastCkpt := time.Now()
+	for i := skip; i < len(msgs); i++ {
 		if speed > 0 {
 			due := start.Add(time.Duration(float64(msgs[i].Time.Sub(logStart)) / speed))
 			if d := time.Until(due); d > 0 {
@@ -164,19 +205,28 @@ func replayLocal(kbPath string, msgs []syslogmsg.Message, speed float64, streamW
 			}
 		}
 		res, err := st.Push(msgs[i])
+		print(res) // partial events accompany an error; they are final
 		if err != nil {
 			fatalf("stream: %v", err)
 		}
-		print(res)
+		if ckptPath != "" && time.Since(lastCkpt) >= ckptEvery {
+			writeCkpt()
+			lastCkpt = time.Now()
+		}
 	}
 	res, err := st.Flush()
+	print(res)
 	if err != nil {
 		fatalf("stream flush: %v", err)
 	}
-	print(res)
+	if ckptPath != "" {
+		// Final write marks the replay complete: a restart skips the whole
+		// stream instead of re-emitting it.
+		writeCkpt()
+	}
 	st.Close()
 	fmt.Fprintf(os.Stderr, "sdreplay: %d messages -> %d events in %s (local engine)\n",
-		len(msgs), events, time.Since(start).Round(time.Millisecond))
+		len(msgs)-skip, events, time.Since(start).Round(time.Millisecond))
 }
 
 func fatalf(format string, args ...any) {

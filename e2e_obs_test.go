@@ -184,6 +184,9 @@ func livePipelineRun(t *testing.T, kb *syslogdigest.KnowledgeBase, ds *gen.Datas
 	if got := snap.Counter("stream.dropped.late"); got != 0 {
 		t.Fatalf("exporter: stream.dropped.late %d on an in-order feed", got)
 	}
+	if got := snap.Counter("stream.dropped.overflow"); got != 0 {
+		t.Fatalf("exporter: stream.dropped.overflow %d on an in-order feed", got)
+	}
 	if got := snap.Counter("stream.emitted"); got != uint64(eventsOut) {
 		t.Fatalf("exporter: stream.emitted %d != %d", got, eventsOut)
 	}
@@ -222,7 +225,8 @@ func livePipelineRun(t *testing.T, kb *syslogdigest.KnowledgeBase, ds *gen.Datas
 		for k := 0; k < workers; k++ {
 			shardPushed += snap.Counter(fmt.Sprintf("stream.shard.%d.pushed", k))
 		}
-		if want := snap.Counter("stream.pushed") - snap.Counter("stream.dropped.late"); shardPushed != want {
+		dropped := snap.Counter("stream.dropped.late") + snap.Counter("stream.dropped.overflow")
+		if want := snap.Counter("stream.pushed") - dropped; shardPushed != want {
 			t.Fatalf("exporter: sum(shard.pushed) %d != pushed-dropped %d", shardPushed, want)
 		}
 		if got := snap.Counter("stream.merge.emitted"); got != snap.Counter("stream.emitted") {

@@ -1,0 +1,172 @@
+// Streamer checkpointing (PR 6): Snapshot captures everything the
+// streaming pipeline would lose in a crash — the reorder buffer, the drop
+// frontier, the sequence counters, the engine's grouping state, and any
+// emitted-but-uncollected events — inside the versioned envelope of
+// internal/checkpoint; RestoreStreamer rebuilds a streamer that continues
+// the run with byte-identical output and exactly-once event delivery.
+//
+// Excluded, by the package-wide rule: runtime knobs (worker counts,
+// reorder options, match cache sizing) come from the restore call's own
+// Digester and StreamerOptions; metrics re-instrument; the augmentation
+// match cache rebuilds as a plain cache.
+package core
+
+import (
+	"fmt"
+
+	"syslogdigest/internal/checkpoint"
+	"syslogdigest/internal/event"
+	"syslogdigest/internal/stream"
+	"syslogdigest/internal/syslogmsg"
+)
+
+// bufferedMsg is one reorder-buffer entry, in canonical heap-pop order.
+type bufferedMsg struct {
+	Index  uint64 `json:"index"`
+	TimeNs int64  `json:"time_ns"`
+	Router string `json:"router"`
+	Code   string `json:"code"`
+	Detail string `json:"detail"`
+	Order  uint64 `json:"order"`
+}
+
+// streamerState is the Snapshot payload.
+type streamerState struct {
+	Pushed     uint64              `json:"pushed"`
+	Arrivals   uint64              `json:"arrivals"`
+	Seq        int                 `json:"seq"`
+	Started    bool                `json:"started"`
+	MaxSeenNs  int64               `json:"max_seen_ns"`
+	Released   bool                `json:"released"`
+	FrontierNs int64               `json:"frontier_ns"`
+	Buffer     []bufferedMsg       `json:"buffer"`
+	Engine     *stream.EngineState `json:"engine,omitempty"` // nil: engine never created
+	Carry      []checkpoint.Event  `json:"carry"`
+}
+
+// encodeEvent and decodeEvent bridge event.Event and its serialized form
+// (the codec struct lives below the event package in the import graph).
+func encodeEvent(ev *event.Event) checkpoint.Event {
+	return checkpoint.Event{
+		ID:          ev.ID,
+		StartNs:     checkpoint.TimeNs(ev.Start),
+		EndNs:       checkpoint.TimeNs(ev.End),
+		Routers:     ev.Routers,
+		Locations:   ev.Locations,
+		Templates:   ev.Templates,
+		MessageSeqs: ev.MessageSeqs,
+		RawIndexes:  ev.RawIndexes,
+		Label:       ev.Label,
+		Score:       ev.Score,
+	}
+}
+
+func decodeEvent(ce *checkpoint.Event) event.Event {
+	return event.Event{
+		ID:          ce.ID,
+		Start:       checkpoint.NsTime(ce.StartNs),
+		End:         checkpoint.NsTime(ce.EndNs),
+		Routers:     ce.Routers,
+		Locations:   ce.Locations,
+		Templates:   ce.Templates,
+		MessageSeqs: ce.MessageSeqs,
+		RawIndexes:  ce.RawIndexes,
+		Label:       ce.Label,
+		Score:       ce.Score,
+	}
+}
+
+// Snapshot serializes the streamer's complete streaming state, keyed by
+// the engine's low watermark. In sharded mode it synchronizes first (the
+// in-flight batch is applied, not serialized mid-air), so the snapshot is
+// a clean cut: a restored streamer fed the remaining messages produces
+// exactly the events the uninterrupted run would have, each exactly once.
+// The live streamer remains usable afterwards.
+func (s *Streamer) Snapshot() ([]byte, error) {
+	st := streamerState{
+		Pushed:     s.pushed,
+		Arrivals:   s.arrivals,
+		Seq:        s.seq,
+		Started:    s.started,
+		MaxSeenNs:  checkpoint.TimeNs(s.maxSeen),
+		Released:   s.released,
+		FrontierNs: checkpoint.TimeNs(s.frontier),
+		Buffer:     []bufferedMsg{},
+		Carry:      []checkpoint.Event{},
+	}
+	// Serialize the reorder buffer in canonical pop order (a heap's slice
+	// layout depends on insertion history; its pop order does not).
+	heapCopy := append(reorderHeap(nil), s.buf...)
+	for len(heapCopy) > 0 {
+		it := heapCopy.pop()
+		st.Buffer = append(st.Buffer, bufferedMsg{
+			Index:  it.m.Index,
+			TimeNs: checkpoint.TimeNs(it.m.Time),
+			Router: it.m.Router,
+			Code:   it.m.Code,
+			Detail: it.m.Detail,
+			Order:  it.order,
+		})
+	}
+	for i := range s.carry {
+		st.Carry = append(st.Carry, encodeEvent(&s.carry[i]))
+	}
+	var watermarkNs int64
+	if s.eng != nil {
+		es, pending, err := s.eng.State()
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot: %w", err)
+		}
+		st.Engine = &es
+		watermarkNs = es.LastTimeNs
+		for i := range pending {
+			st.Carry = append(st.Carry, encodeEvent(&pending[i]))
+		}
+	}
+	return checkpoint.Encode(watermarkNs, st)
+}
+
+// RestoreStreamer rebuilds a streamer over d from a Snapshot. opts are the
+// restored run's own tuning (they need not match the snapshotted run's;
+// worker count may differ — the engine reshards). The restored streamer
+// resumes mid-stream: events the snapshotted run had closed but not
+// delivered surface on the next Push or Flush, and every event emits
+// exactly once across the restart.
+func RestoreStreamer(d *Digester, snap []byte, opts StreamerOptions) (*Streamer, error) {
+	var st streamerState
+	if _, err := checkpoint.Decode(snap, &st); err != nil {
+		return nil, err
+	}
+	s := NewStreamerWith(d, opts)
+	s.pushed = st.Pushed
+	s.arrivals = st.Arrivals
+	s.seq = st.Seq
+	s.started = st.Started
+	s.maxSeen = checkpoint.NsTime(st.MaxSeenNs)
+	s.released = st.Released
+	s.frontier = checkpoint.NsTime(st.FrontierNs)
+	for _, bm := range st.Buffer {
+		s.buf.push(bufItem{
+			m: syslogmsg.Message{
+				Index:  bm.Index,
+				Time:   checkpoint.NsTime(bm.TimeNs),
+				Router: bm.Router,
+				Code:   bm.Code,
+				Detail: bm.Detail,
+			},
+			order: bm.Order,
+		})
+	}
+	for i := range st.Carry {
+		s.carry = append(s.carry, decodeEvent(&st.Carry[i]))
+	}
+	if st.Engine != nil {
+		eng, err := d.restoreStreamEngine(s.opts.MaxStreams, s.workers(), *st.Engine)
+		if err != nil {
+			return nil, err
+		}
+		s.eng = eng
+		s.setEngineMetrics(eng)
+	}
+	return s, nil
+}

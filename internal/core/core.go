@@ -615,6 +615,10 @@ type streamEngine interface {
 	Stats() grouping.IncStats
 	ActiveRules() map[rules.PairKey]int
 	SetMetrics(stream.Metrics)
+	// State snapshots the engine for checkpointing, returning any emitted
+	// events awaiting collection alongside (they stay queued in the live
+	// engine; the snapshot owner must persist them for exactly-once).
+	State() (stream.EngineState, []event.Event, error)
 }
 
 // engineConfig assembles the streaming engine config. maxStreams <= 0
@@ -639,6 +643,15 @@ func (d *Digester) newStreamEngine(maxStreams, workers int) (streamEngine, error
 		return stream.NewSharded(d.kb.dict, d.kb.RuleBase, d.engineConfig(maxStreams), workers)
 	}
 	return d.newEngine(maxStreams)
+}
+
+// restoreStreamEngine rebuilds the engine selected by workers from a
+// checkpointed state; the snapshot's own worker count need not match.
+func (d *Digester) restoreStreamEngine(maxStreams, workers int, st stream.EngineState) (streamEngine, error) {
+	if workers > 1 {
+		return stream.RestoreSharded(d.kb.dict, d.kb.RuleBase, d.engineConfig(maxStreams), workers, st)
+	}
+	return stream.RestoreEngine(d.kb.dict, d.kb.RuleBase, d.engineConfig(maxStreams), st)
 }
 
 // streamMsg projects one augmented message into the engine's input shape.

@@ -70,16 +70,24 @@ type Streamer struct {
 	buf      reorderHeap
 	arrivals uint64 // heap tiebreak: preserves arrival order at equal times
 	seq      int    // dense engine sequence, assigned at release
+	pushed   uint64 // total Push calls, drops included (replay resume offset)
 
 	started  bool      // any arrival seen; maxSeen is meaningful
 	maxSeen  time.Time // newest arrival time
 	released bool      // any message released; frontier is meaningful
 	frontier time.Time // newest released time == engine watermark
 
-	mBuffered  *obs.Gauge   // stream.buffered (reorder buffer depth)
-	mPushed    *obs.Counter // stream.pushed
-	mReordered *obs.Counter // stream.reordered
-	mDropped   *obs.Counter // stream.dropped.late
+	// carry holds events recovered from a checkpoint that the snapshotted
+	// run had emitted into the engine's collection queue but the caller had
+	// not yet received; they surface on the next Push or Flush, preserving
+	// exactly-once delivery across a restart.
+	carry []event.Event
+
+	mBuffered   *obs.Gauge   // stream.buffered (reorder buffer depth)
+	mPushed     *obs.Counter // stream.pushed
+	mReordered  *obs.Counter // stream.reordered
+	mDropped    *obs.Counter // stream.dropped.late
+	mDroppedOvf *obs.Counter // stream.dropped.overflow
 }
 
 // NewStreamer wraps a digester with default options; maxBuffer (<= 0 for
@@ -118,6 +126,7 @@ func (s *Streamer) Instrument(reg *obs.Registry) {
 	s.mPushed = reg.Counter("stream.pushed")
 	s.mReordered = reg.Counter("stream.reordered")
 	s.mDropped = reg.Counter("stream.dropped.late")
+	s.mDroppedOvf = reg.Counter("stream.dropped.overflow")
 	s.engMetrics = stream.ShardedMetrics{Metrics: stream.Metrics{
 		Grouping: grouping.IncMetrics{
 			MergeTemporal:   reg.Counter("group.merges.temporal"),
@@ -196,13 +205,25 @@ func (s *Streamer) Close() {
 // Push ingests one message and returns the events it closed (nil when none
 // closed). Out-of-order arrivals within the reorder tolerance are sorted
 // into place; arrivals older than the released frontier are dropped and
-// counted in stream.dropped.late, never an error — a live feed must survive
-// a misbehaving clock.
+// counted, never an error — a live feed must survive a misbehaving clock.
+// Drops split into two series: stream.dropped.late for arrivals lagging
+// more than the tolerance behind the newest (the sender misbehaved), and
+// stream.dropped.overflow for arrivals still within tolerance whose slot
+// was lost because the cap (or a Flush) forced the frontier forward early
+// (the buffer was undersized — retune ReorderCap, not the sender).
+//
+// On an engine error the events already closed during the call are
+// returned alongside the error, so nothing the engine emitted is lost.
 func (s *Streamer) Push(m syslogmsg.Message) (*DigestResult, error) {
 	s.mPushed.Inc()
+	s.pushed++
 	if s.released && m.Time.Before(s.frontier) {
-		s.mDropped.Inc()
-		return nil, nil
+		if s.opts.ReorderTolerance > 0 && m.Time.After(s.maxSeen.Add(-s.opts.ReorderTolerance)) {
+			s.mDroppedOvf.Inc()
+		} else {
+			s.mDropped.Inc()
+		}
+		return result(s.takeCarry(), nil)
 	}
 	if s.started && m.Time.Before(s.maxSeen) {
 		s.mReordered.Inc()
@@ -210,23 +231,48 @@ func (s *Streamer) Push(m syslogmsg.Message) (*DigestResult, error) {
 		s.maxSeen = m.Time
 	}
 	s.started = true
-	s.buf.push(bufItem{m: m, order: s.arrivals})
-	s.arrivals++
 
-	events, err := s.release()
+	events := s.takeCarry()
+	var ferr error
+	if len(s.buf) >= s.opts.ReorderCap {
+		// The buffer is at its documented bound: release one message now
+		// so it never holds more than ReorderCap. When the new arrival
+		// precedes everything buffered it is itself the one to release —
+		// feeding it directly keeps the feed order sorted without it ever
+		// occupying a slot.
+		if m.Time.Before(s.buf[0].m.Time) {
+			evs, err := s.feed(m)
+			events = append(events, evs...)
+			ferr = err
+		} else {
+			item := s.buf.pop()
+			evs, err := s.feed(item.m)
+			events = append(events, evs...)
+			if err != nil {
+				ferr = err
+			} else {
+				s.buf.push(bufItem{m: m, order: s.arrivals})
+				s.arrivals++
+			}
+		}
+	} else {
+		s.buf.push(bufItem{m: m, order: s.arrivals})
+		s.arrivals++
+	}
+	if ferr == nil {
+		evs, err := s.release()
+		events = append(events, evs...)
+		ferr = err
+	}
 	s.mBuffered.Set(float64(len(s.buf)))
-	if err != nil {
-		return nil, err
-	}
-	if len(events) == 0 {
-		return nil, nil
-	}
-	return &DigestResult{Events: events}, nil
+	return result(events, ferr)
 }
 
 // release feeds the engine every buffered message that is either older than
 // maxSeen − tolerance (no in-tolerance arrival can precede it anymore) or
-// forced out by the buffer cap.
+// forced out by the buffer cap (possible after a restore into a smaller
+// cap; Push itself never overfills). Events closed before a feed error are
+// returned with it.
 func (s *Streamer) release() ([]event.Event, error) {
 	bound := s.maxSeen.Add(-s.opts.ReorderTolerance)
 	var events []event.Event
@@ -236,12 +282,31 @@ func (s *Streamer) release() ([]event.Event, error) {
 		}
 		item := s.buf.pop()
 		evs, err := s.feed(item.m)
-		if err != nil {
-			return nil, err
-		}
 		events = append(events, evs...)
+		if err != nil {
+			return events, err
+		}
 	}
 	return events, nil
+}
+
+// takeCarry drains the restored-but-undelivered events, if any.
+func (s *Streamer) takeCarry() []event.Event {
+	if s.carry == nil {
+		return nil
+	}
+	c := s.carry
+	s.carry = nil
+	return c
+}
+
+// result packages events (possibly partial, alongside an error) as a
+// DigestResult, keeping the nil-when-empty contract.
+func result(events []event.Event, err error) (*DigestResult, error) {
+	if len(events) == 0 {
+		return nil, err
+	}
+	return &DigestResult{Events: events}, err
 }
 
 // feed augments one message and hands it to the engine.
@@ -264,27 +329,35 @@ func (s *Streamer) feed(m syslogmsg.Message) ([]event.Event, error) {
 
 // Flush releases the reorder buffer and force-closes every open group,
 // returning the events (nil when nothing was pending). The engine's
-// temporal models, watermark, and the late-drop frontier persist: flushing
-// is an emission point, not a reset.
+// temporal models, watermark, and the drop frontier persist: flushing is
+// an emission point, not a reset.
+//
+// If a feed fails mid-drain, the events already closed are returned with
+// the error (nothing emitted is lost), the unfed remainder stays buffered,
+// and stream.buffered reflects it.
 func (s *Streamer) Flush() (*DigestResult, error) {
-	var events []event.Event
+	events := s.takeCarry()
+	var ferr error
 	for len(s.buf) > 0 {
 		item := s.buf.pop()
 		evs, err := s.feed(item.m)
-		if err != nil {
-			return nil, err
-		}
 		events = append(events, evs...)
+		if err != nil {
+			ferr = err
+			break
+		}
 	}
-	s.mBuffered.Set(0)
-	if s.eng != nil {
+	s.mBuffered.Set(float64(len(s.buf)))
+	if ferr == nil && s.eng != nil {
 		events = append(events, s.eng.Drain()...)
 	}
-	if len(events) == 0 {
-		return nil, nil
-	}
-	return &DigestResult{Events: events}, nil
+	return result(events, ferr)
 }
+
+// Pushed is the number of Push calls this streamer has accepted, dropped
+// arrivals included. A replayable source that checkpoints the streamer can
+// skip exactly this many messages on restart to resume where it left off.
+func (s *Streamer) Pushed() uint64 { return s.pushed }
 
 // Pending returns the number of messages held in the streamer: buffered for
 // reordering plus open (grouped but unemitted) in the engine.

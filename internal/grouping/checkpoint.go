@@ -1,0 +1,432 @@
+// Checkpoint capture and restore for the incremental grouper (PR 6).
+//
+// The serialized form flattens the pointer-linked live state into index
+// space: every reachable Pending gets one dense index, assigned in a
+// deterministic traversal order (open groups in closure-list order, then
+// the cross-router ring, then each local's model predecessors in LRU
+// order, then the rule windows sorted by router), and every other
+// structure refers to messages by that index. Restoring replays the
+// traversal, so capture(restore(state)) is byte-identical — the golden
+// round-trip tests in core pin this.
+//
+// Two invariants of the live engine make the encoding small:
+//
+//   - A pending reachable only through a model's last-message pointer or a
+//     stale rule-window slot may belong to an already-closed group. Closed
+//     groups keep no member list and no identity that any future decision
+//     reads (ring expiry runs before any scan can touch such a pending),
+//     so those pendings restore as closed singletons instead of carrying
+//     the original group partition.
+//   - Cross-ring entries are always members of open groups (the cross
+//     window is within the closure horizon), so group identity for them is
+//     fully recovered from the open-group member lists.
+//
+// What is NOT serialized: the Grouper predicates and windows (knowledge,
+// supplied again at restore via the Shardable), MaxStreams and worker
+// counts (runtime knobs), and metrics handles (re-installed by the owner).
+package grouping
+
+import (
+	"fmt"
+	"sort"
+
+	"syslogdigest/internal/checkpoint"
+	"syslogdigest/internal/locdict"
+	"syslogdigest/internal/rules"
+	"syslogdigest/internal/temporal"
+)
+
+// PendingState is one in-flight message. Group membership is not stored
+// here; GroupState member lists carry it.
+type PendingState struct {
+	Seq      int                `json:"seq"`
+	TimeNs   int64              `json:"time_ns"`
+	Router   string             `json:"router"`
+	Template int                `json:"template"`
+	Loc      locdict.Location   `json:"loc"`
+	AllLocs  []locdict.Location `json:"all_locs"`
+	Peers    []string           `json:"peers"`
+	Raw      uint64             `json:"raw"`
+}
+
+// GroupState is one open group: member indexes in live slice order plus
+// the closure timestamp.
+type GroupState struct {
+	Members []int `json:"members"`
+	LastNs  int64 `json:"last_ns"`
+}
+
+// ActiveRuleState is one (pair, tally) entry of the cumulative rule-merge
+// count, flattened from the map in ascending (X, Y) order.
+type ActiveRuleState struct {
+	X     int `json:"x"`
+	Y     int `json:"y"`
+	Count int `json:"count"`
+}
+
+// MergerState is the global half: partition, closure list, cross ring,
+// tallies.
+type MergerState struct {
+	Started        bool              `json:"started"`
+	WatermarkNs    int64             `json:"watermark_ns"`
+	Groups         []GroupState      `json:"groups"` // closure-list order, oldest first
+	CrossWin       []int             `json:"cross_win"`
+	Active         []ActiveRuleState `json:"active"`
+	TemporalMerges int               `json:"temporal_merges"`
+	RuleMerges     int               `json:"rule_merges"`
+	CrossMerges    int               `json:"cross_merges"`
+}
+
+// ModelState is one live temporal stream: key, EWMA state, and the index
+// of its previous message (-1 when none, e.g. after a drain).
+type ModelState struct {
+	Template int                   `json:"template"`
+	LocKey   string                `json:"loc_key"`
+	Router   string                `json:"router"`
+	Temporal temporal.GrouperState `json:"temporal"`
+	Last     int                   `json:"last"`
+}
+
+// WindowState is one router's rule window, front first.
+type WindowState struct {
+	Router  string `json:"router"`
+	Members []int  `json:"members"`
+}
+
+// LocalState is one RouterLocal: models in least-recently-observed order
+// (head first, so restoring in sequence rebuilds the eviction list) and
+// rule windows sorted by router.
+type LocalState struct {
+	Started     bool          `json:"started"`
+	WatermarkNs int64         `json:"watermark_ns"`
+	Evictions   int           `json:"evictions"`
+	Models      []ModelState  `json:"models"`
+	Windows     []WindowState `json:"windows"`
+}
+
+// IncState is the complete incremental-grouper snapshot: the shared
+// pending pool, the merger, and one LocalState per shard.
+type IncState struct {
+	Pendings []PendingState `json:"pendings"`
+	Merger   MergerState    `json:"merger"`
+	Locals   []LocalState   `json:"locals"`
+}
+
+// pendingIndexer assigns dense indexes to pendings in traversal order.
+type pendingIndexer struct {
+	idx  map[*Pending]int
+	pool []PendingState
+}
+
+func (x *pendingIndexer) of(p *Pending) int {
+	if i, ok := x.idx[p]; ok {
+		return i
+	}
+	i := len(x.pool)
+	x.idx[p] = i
+	x.pool = append(x.pool, PendingState{
+		Seq:      p.msg.Seq,
+		TimeNs:   checkpoint.TimeNs(p.msg.Time),
+		Router:   p.msg.Router,
+		Template: p.msg.Template,
+		Loc:      p.msg.Loc,
+		AllLocs:  p.msg.AllLocs,
+		Peers:    p.msg.Peers,
+		Raw:      p.msg.Raw,
+	})
+	return i
+}
+
+// CaptureParts snapshots a merger and its feeding locals. The caller must
+// hold the state quiescent (no concurrent Step/Apply); the sharded engine
+// guarantees that with its sync barrier.
+func CaptureParts(locals []*RouterLocal, mg *Merger) IncState {
+	x := &pendingIndexer{idx: make(map[*Pending]int)}
+	st := IncState{Pendings: []PendingState{}}
+
+	// Merger first: open groups in closure-list order, then the cross ring.
+	st.Merger = MergerState{
+		Started:        mg.started,
+		WatermarkNs:    checkpoint.TimeNs(mg.watermark),
+		Groups:         []GroupState{},
+		CrossWin:       []int{},
+		Active:         []ActiveRuleState{},
+		TemporalMerges: mg.temporalMerges,
+		RuleMerges:     mg.ruleMerges,
+		CrossMerges:    mg.crossMerges,
+	}
+	for g := mg.oHead; g != nil; g = g.next {
+		gs := GroupState{Members: make([]int, len(g.members)), LastNs: checkpoint.TimeNs(g.last)}
+		for i, m := range g.members {
+			gs.Members[i] = x.of(m)
+		}
+		st.Merger.Groups = append(st.Merger.Groups, gs)
+	}
+	for i := 0; i < mg.crossWin.n; i++ {
+		st.Merger.CrossWin = append(st.Merger.CrossWin, x.of(mg.crossWin.at(i)))
+	}
+	pairs := make([]rules.PairKey, 0, len(mg.active))
+	for k := range mg.active {
+		pairs = append(pairs, k)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].X != pairs[j].X {
+			return pairs[i].X < pairs[j].X
+		}
+		return pairs[i].Y < pairs[j].Y
+	})
+	for _, k := range pairs {
+		st.Merger.Active = append(st.Merger.Active, ActiveRuleState{X: k.X, Y: k.Y, Count: mg.active[k]})
+	}
+
+	// Locals: models in LRU order, windows sorted by router.
+	st.Locals = make([]LocalState, len(locals))
+	for li, rl := range locals {
+		ls := LocalState{
+			Started:     rl.started,
+			WatermarkNs: checkpoint.TimeNs(rl.watermark),
+			Evictions:   rl.evictions,
+			Models:      []ModelState{},
+			Windows:     []WindowState{},
+		}
+		for md := rl.mHead; md != nil; md = md.next {
+			ms := ModelState{
+				Template: md.key.template,
+				LocKey:   md.key.loc,
+				Router:   md.router,
+				Temporal: md.tg.State(),
+				Last:     -1,
+			}
+			if md.last != nil {
+				ms.Last = x.of(md.last)
+			}
+			ls.Models = append(ls.Models, ms)
+		}
+		routers := make([]string, 0, len(rl.routerWin))
+		for r := range rl.routerWin {
+			routers = append(routers, r)
+		}
+		sort.Strings(routers)
+		for _, r := range routers {
+			rw := rl.routerWin[r]
+			ws := WindowState{Router: r, Members: make([]int, rw.n)}
+			for i := 0; i < rw.n; i++ {
+				ws.Members[i] = x.of(rw.at(i))
+			}
+			ls.Windows = append(ls.Windows, ws)
+		}
+		st.Locals[li] = ls
+	}
+
+	st.Pendings = x.pool
+	return st
+}
+
+// State snapshots a single-threaded incremental grouper.
+func (inc *Incremental) State() IncState {
+	return CaptureParts([]*RouterLocal{inc.local}, inc.merge)
+}
+
+// RestoreParts rebuilds the two halves from a snapshot. workers is the
+// number of RouterLocals wanted; localMax caps each one's model table
+// (<= 0: the Shardable bound). When the snapshot's shard count matches
+// workers, every local restores exactly (bounds, eviction order, per-shard
+// watermarks — byte-stable round trip). Otherwise the models and windows
+// are resharded through shardFor (router → shard; nil is allowed only for
+// workers == 1): outputs stay identical as long as the model tables remain
+// within bounds — the LRU interleaving is the one thing a reshard cannot
+// reconstruct, exactly the approximation sharding itself already makes.
+func (s *Shardable) RestoreParts(st IncState, workers, localMax int, shardFor func(string) int) ([]*RouterLocal, *Merger, error) {
+	if workers < 1 {
+		return nil, nil, fmt.Errorf("grouping: restore needs >= 1 worker, got %d", workers)
+	}
+	if shardFor == nil {
+		if workers > 1 {
+			return nil, nil, fmt.Errorf("grouping: restore across %d workers needs a shard function", workers)
+		}
+		shardFor = func(string) int { return 0 }
+	}
+
+	// Materialize the pending pool.
+	ps := make([]*Pending, len(st.Pendings))
+	for i, pst := range st.Pendings {
+		ps[i] = NewPending(Message{
+			Seq:      pst.Seq,
+			Time:     checkpoint.NsTime(pst.TimeNs),
+			Router:   pst.Router,
+			Template: pst.Template,
+			Loc:      pst.Loc,
+			AllLocs:  pst.AllLocs,
+			Peers:    pst.Peers,
+			Raw:      pst.Raw,
+		})
+	}
+	at := func(i int) (*Pending, error) {
+		if i < 0 || i >= len(ps) {
+			return nil, fmt.Errorf("grouping: restore: pending index %d out of range [0, %d)", i, len(ps))
+		}
+		return ps[i], nil
+	}
+
+	// Merger: groups in closure-list order, cross ring, tallies.
+	mg := s.NewMerger()
+	mg.started = st.Merger.Started
+	mg.watermark = checkpoint.NsTime(st.Merger.WatermarkNs)
+	mg.temporalMerges = st.Merger.TemporalMerges
+	mg.ruleMerges = st.Merger.RuleMerges
+	mg.crossMerges = st.Merger.CrossMerges
+	for gi, gs := range st.Merger.Groups {
+		if len(gs.Members) == 0 {
+			return nil, nil, fmt.Errorf("grouping: restore: group %d has no members", gi)
+		}
+		first, err := at(gs.Members[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		g := &first.grp
+		if len(gs.Members) <= len(g.inline) {
+			g.members = g.inline[:0]
+		} else {
+			g.members = make([]*Pending, 0, len(gs.Members))
+		}
+		for _, mi := range gs.Members {
+			p, err := at(mi)
+			if err != nil {
+				return nil, nil, err
+			}
+			if p.g != nil {
+				return nil, nil, fmt.Errorf("grouping: restore: pending %d in more than one group", mi)
+			}
+			p.g = g
+			g.members = append(g.members, p)
+		}
+		g.last = checkpoint.NsTime(gs.LastNs)
+		mg.pushOpen(g)
+		mg.openGroups++
+		mg.openMsgs += len(g.members)
+	}
+	for _, ci := range st.Merger.CrossWin {
+		p, err := at(ci)
+		if err != nil {
+			return nil, nil, err
+		}
+		mg.crossWin.push(p)
+	}
+	for _, a := range st.Merger.Active {
+		mg.active[rules.PairKey{X: a.X, Y: a.Y}] = a.Count
+	}
+
+	// Pendings outside every open group were members of already-closed
+	// groups; a closed singleton is behaviorally identical (see the file
+	// comment) and needs no shared identity.
+	for _, p := range ps {
+		if p.g == nil {
+			p.grp.closed = true
+			p.g = &p.grp
+		}
+	}
+
+	// Locals. Exact restore when the shard count matches; reshard by
+	// router otherwise.
+	locals := make([]*RouterLocal, workers)
+	for i := range locals {
+		locals[i] = s.NewLocal(localMax)
+	}
+	exact := len(st.Locals) == workers
+	restoreModel := func(rl *RouterLocal, ms ModelState) error {
+		key := modelKey{template: ms.Template, loc: ms.LocKey}
+		if rl.models[key] != nil {
+			return fmt.Errorf("grouping: restore: duplicate model %d/%q", ms.Template, ms.LocKey)
+		}
+		tg, err := temporal.RestoreGrouper(s.g.cfg.Temporal, ms.Temporal)
+		if err != nil {
+			return err
+		}
+		md := &model{key: key, router: ms.Router, tg: tg}
+		if ms.Last >= 0 {
+			p, err := at(ms.Last)
+			if err != nil {
+				return err
+			}
+			md.last = p
+		}
+		rl.models[key] = md
+		rl.pushModel(md)
+		return nil
+	}
+	restoreWindow := func(rl *RouterLocal, ws WindowState) error {
+		if rl.routerWin[ws.Router] != nil {
+			return fmt.Errorf("grouping: restore: duplicate window for router %q", ws.Router)
+		}
+		rw := &memberRing{}
+		for _, wi := range ws.Members {
+			p, err := at(wi)
+			if err != nil {
+				return err
+			}
+			rw.push(p)
+		}
+		rl.routerWin[ws.Router] = rw
+		return nil
+	}
+	targetFor := func(li int, router string) (*RouterLocal, error) {
+		if exact {
+			return locals[li], nil
+		}
+		sh := shardFor(router)
+		if sh < 0 || sh >= workers {
+			return nil, fmt.Errorf("grouping: restore: shard %d for router %q out of range", sh, router)
+		}
+		return locals[sh], nil
+	}
+	for li, lst := range st.Locals {
+		for _, ms := range lst.Models {
+			target, err := targetFor(li, ms.Router)
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := restoreModel(target, ms); err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, ws := range lst.Windows {
+			target, err := targetFor(li, ws.Router)
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := restoreWindow(target, ws); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if exact {
+		for i, lst := range st.Locals {
+			locals[i].started = lst.Started
+			locals[i].watermark = checkpoint.NsTime(lst.WatermarkNs)
+			locals[i].evictions = lst.Evictions
+		}
+	} else {
+		for _, rl := range locals {
+			rl.started = mg.started
+			rl.watermark = mg.watermark
+		}
+	}
+	// An over-full model table (restore with a smaller bound) trims on the
+	// next insert; trimming here would skew the eviction counter for exact
+	// restores.
+	return locals, mg, nil
+}
+
+// RestoreIncremental rebuilds a single-threaded incremental grouper from a
+// snapshot taken at any worker count.
+func RestoreIncremental(dict *locdict.Dictionary, rb *rules.RuleBase, cfg IncrementalConfig, st IncState) (*Incremental, error) {
+	s, err := NewShardable(dict, rb, cfg)
+	if err != nil {
+		return nil, err
+	}
+	locals, mg, err := s.RestoreParts(st, 1, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Incremental{local: locals[0], merge: mg}, nil
+}

@@ -1,0 +1,266 @@
+package grouping
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"syslogdigest/internal/temporal"
+)
+
+// ckptCfg is the config every engine in these tests shares (matching the
+// defaults newIncremental injects).
+func ckptCfg() IncrementalConfig {
+	return IncrementalConfig{Config: Config{Temporal: temporal.DefaultParams()}}
+}
+
+// restoreFromState round-trips an IncState through JSON (as the real
+// checkpoint path does) and rebuilds an Incremental over the toy knowledge.
+func restoreFromState(t *testing.T, st IncState) *Incremental {
+	t.Helper()
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("marshal state: %v", err)
+	}
+	var back IncState
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal state: %v", err)
+	}
+	inc, err := RestoreIncremental(toyDict(t), flapRuleBase(), ckptCfg(), back)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	return inc
+}
+
+// TestIncrementalCheckpointDifferential kills and restores the incremental
+// grouper at every prefix of a randomized sorted batch: the closed groups
+// emitted after the cut, the final drain, and the stats must all match the
+// uninterrupted run exactly.
+func TestIncrementalCheckpointDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	batch := randomBatch(rng, 80)
+	sorted := append([]Message(nil), batch...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if !sorted[i].Time.Equal(sorted[j].Time) {
+			return sorted[i].Time.Before(sorted[j].Time)
+		}
+		return sorted[i].Seq < sorted[j].Seq
+	})
+
+	// Uninterrupted reference: closed groups per step plus final stats.
+	ref := newIncremental(t, Config{})
+	refClosed := make([][][]int, len(sorted))
+	for i := range sorted {
+		cgs, err := ref.Observe(sorted[i])
+		if err != nil {
+			t.Fatalf("reference observe: %v", err)
+		}
+		refClosed[i] = closedToGroups(cgs)
+	}
+	refDrain := closedToGroups(ref.Drain())
+	refStats := ref.Stats()
+
+	for cut := 0; cut <= len(sorted); cut += 7 {
+		inc := newIncremental(t, Config{})
+		for i := 0; i < cut; i++ {
+			if _, err := inc.Observe(sorted[i]); err != nil {
+				t.Fatalf("cut %d observe: %v", cut, err)
+			}
+		}
+		restored := restoreFromState(t, inc.State())
+		for i := cut; i < len(sorted); i++ {
+			cgs, err := restored.Observe(sorted[i])
+			if err != nil {
+				t.Fatalf("cut %d restored observe %d: %v", cut, i, err)
+			}
+			if got := closedToGroups(cgs); !reflect.DeepEqual(got, refClosed[i]) {
+				t.Fatalf("cut %d step %d: closed groups diverge\ngot  %v\nwant %v", cut, i, got, refClosed[i])
+			}
+		}
+		if got := closedToGroups(restored.Drain()); !reflect.DeepEqual(got, refDrain) {
+			t.Fatalf("cut %d: drain diverges\ngot  %v\nwant %v", cut, got, refDrain)
+		}
+		if got := restored.Stats(); got != refStats {
+			t.Fatalf("cut %d: stats diverge\ngot  %+v\nwant %+v", cut, got, refStats)
+		}
+	}
+}
+
+// TestIncrementalStateRoundTripStable pins byte stability:
+// capture → restore → capture yields identical JSON.
+func TestIncrementalStateRoundTripStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	batch := randomBatch(rng, 60)
+	sort.SliceStable(batch, func(i, j int) bool {
+		if !batch[i].Time.Equal(batch[j].Time) {
+			return batch[i].Time.Before(batch[j].Time)
+		}
+		return batch[i].Seq < batch[j].Seq
+	})
+	inc := newIncremental(t, Config{})
+	for i := range batch {
+		if _, err := inc.Observe(batch[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := inc.State()
+	raw1, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := restoreFromState(t, st)
+	raw2, err := json.Marshal(restored.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatalf("state not byte-stable across restore:\n%s\nvs\n%s", raw1, raw2)
+	}
+}
+
+// TestRestorePartsResharding snapshots a 3-shard arrangement and restores
+// it at 1 worker: the merged engine must continue exactly like a serial
+// engine that saw the same prefix (model tables stay within bounds here, so
+// the reshard approximation never bites).
+func TestRestorePartsResharding(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	batch := randomBatch(rng, 70)
+	sort.SliceStable(batch, func(i, j int) bool {
+		if !batch[i].Time.Equal(batch[j].Time) {
+			return batch[i].Time.Before(batch[j].Time)
+		}
+		return batch[i].Seq < batch[j].Seq
+	})
+	s, err := NewShardable(toyDict(t), flapRuleBase(), ckptCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 3
+	shardFor := func(r string) int {
+		h := 0
+		for i := 0; i < len(r); i++ {
+			h = h*31 + int(r[i])
+		}
+		return ((h % workers) + workers) % workers
+	}
+	locals := make([]*RouterLocal, workers)
+	for i := range locals {
+		locals[i] = s.NewLocal(0)
+	}
+	mg := s.NewMerger()
+
+	cut := len(batch) / 2
+	var js Joins
+	for i := 0; i < cut; i++ {
+		p := NewPending(batch[i])
+		if err := locals[shardFor(p.msg.Router)].Step(p, &js); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mg.Apply(p, &js); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := CaptureParts(locals, mg)
+	merged, err := RestoreIncremental(toyDict(t), flapRuleBase(), ckptCfg(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial reference over the whole batch.
+	ref := newIncremental(t, Config{})
+	var refOut, gotOut [][]int
+	for i := range batch {
+		cgs, err := ref.Observe(batch[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		refOut = append(refOut, closedToGroups(cgs)...)
+		if i >= cut {
+			mcgs, err := merged.Observe(batch[i])
+			if err != nil {
+				t.Fatalf("merged observe %d: %v", i, err)
+			}
+			gotOut = append(gotOut, closedToGroups(mcgs)...)
+		}
+	}
+	refOut = append(refOut, closedToGroups(ref.Drain())...)
+	gotOut = append(gotOut, closedToGroups(merged.Drain())...)
+
+	// Only groups closing after the cut are observable from the restored
+	// engine; the reference's earlier closures are a prefix.
+	if len(gotOut) > len(refOut) {
+		t.Fatalf("restored engine closed more groups (%d) than reference (%d)", len(gotOut), len(refOut))
+	}
+	tail := refOut[len(refOut)-len(gotOut):]
+	if !reflect.DeepEqual(gotOut, tail) {
+		t.Fatalf("resharded continuation diverges\ngot  %v\nwant %v", gotOut, tail)
+	}
+}
+
+// TestRestoreRejectsCorruptIndexes hits the bounds checks: out-of-range and
+// double-assigned member indexes must error, not panic.
+func TestRestoreRejectsCorruptIndexes(t *testing.T) {
+	inc := newIncremental(t, Config{})
+	base := time.Date(2010, 1, 10, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		m := randomBatch(rand.New(rand.NewSource(int64(i))), 1)[0]
+		m.Seq = i
+		m.Time = base.Add(time.Duration(i) * time.Second)
+		if _, err := inc.Observe(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	good := inc.State()
+
+	corrupt := func(mut func(*IncState)) error {
+		raw, _ := json.Marshal(good)
+		var st IncState
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatal(err)
+		}
+		mut(&st)
+		_, err := RestoreIncremental(toyDict(t), flapRuleBase(), ckptCfg(), st)
+		return err
+	}
+
+	if err := corrupt(func(st *IncState) {
+		if len(st.Merger.Groups) == 0 {
+			t.Skip("no open groups in fixture")
+		}
+		st.Merger.Groups[0].Members[0] = len(st.Pendings) + 3
+	}); err == nil {
+		t.Error("out-of-range group member accepted")
+	}
+	if err := corrupt(func(st *IncState) {
+		if len(st.Merger.Groups) == 0 || len(st.Merger.Groups[0].Members) == 0 {
+			t.Skip("no open groups in fixture")
+		}
+		m := st.Merger.Groups[0].Members[0]
+		st.Merger.Groups = append(st.Merger.Groups, GroupState{Members: []int{m}})
+	}); err == nil {
+		t.Error("double group membership accepted")
+	}
+	if err := corrupt(func(st *IncState) {
+		st.Merger.CrossWin = append(st.Merger.CrossWin, -1)
+	}); err == nil {
+		t.Error("negative cross-window index accepted")
+	}
+	if err := corrupt(func(st *IncState) {
+		if len(st.Locals) == 0 || len(st.Locals[0].Models) == 0 {
+			t.Skip("no models in fixture")
+		}
+		st.Locals[0].Models[0].Last = len(st.Pendings)
+	}); err == nil {
+		t.Error("out-of-range model predecessor accepted")
+	}
+	if err := corrupt(func(st *IncState) {
+		st.Merger.Groups = append(st.Merger.Groups, GroupState{})
+	}); err == nil {
+		t.Error("empty group accepted")
+	}
+}

@@ -97,9 +97,13 @@ type modelKey struct {
 }
 
 // model is one live temporal stream: its EWMA state, its previous message,
-// and its position on the least-recently-observed eviction list.
+// and its position on the least-recently-observed eviction list. router is
+// the stream's owner, carried so checkpoint restore can reshard models
+// across a different worker count (the location key embeds the router, but
+// parsing it back out would couple restore to the key format).
 type model struct {
 	key        modelKey
+	router     string
 	tg         *temporal.Grouper
 	last       *Pending
 	prev, next *model
@@ -290,7 +294,7 @@ func (rl *RouterLocal) temporalStep(p *Pending, js *Joins) error {
 		if err != nil {
 			return err
 		}
-		md = &model{key: key, tg: tg}
+		md = &model{key: key, router: p.msg.Router, tg: tg}
 		rl.models[key] = md
 		rl.pushModel(md)
 		rl.evictModels()

@@ -61,6 +61,15 @@ func (e *EWMA) Reset() {
 	e.started = false
 }
 
+// SetState overwrites the average's accumulated state, keeping the
+// smoothing factor. It exists for checkpoint restore: a restored EWMA must
+// continue the exact numeric sequence the snapshotted one would have
+// produced, so the raw (value, started) pair round-trips as-is.
+func (e *EWMA) SetState(value float64, started bool) {
+	e.value = value
+	e.started = started
+}
+
 // LinearFit holds the result of an ordinary least squares fit y = A + B*x.
 type LinearFit struct {
 	A  float64 // intercept

@@ -1,0 +1,121 @@
+// Checkpoint capture and restore for the streaming engines (PR 6).
+//
+// Both engine shapes serialize to one EngineState, so a snapshot taken at
+// any worker count restores at any other: the grouping layer reshards (or
+// exactly restores) the router-local state, and the dispatcher-level fields
+// (next event ID, last accepted time) are shape-independent. Events already
+// emitted but not yet collected by the caller are returned alongside the
+// state — they are the caller's to persist, because dropping them would
+// break exactly-once delivery across a restart.
+package stream
+
+import (
+	"fmt"
+
+	"syslogdigest/internal/checkpoint"
+	"syslogdigest/internal/event"
+	"syslogdigest/internal/grouping"
+	"syslogdigest/internal/locdict"
+	"syslogdigest/internal/rules"
+)
+
+// EngineState is the serializable state of a streaming engine (serial or
+// sharded). Worker count, batch size, and metrics are runtime configuration
+// and deliberately absent.
+type EngineState struct {
+	NextID     int               `json:"next_id"`
+	LastTimeNs int64             `json:"last_time_ns"`
+	Started    bool              `json:"started"`
+	Inc        grouping.IncState `json:"inc"`
+}
+
+// State snapshots the serial engine. The two extra return values mirror the
+// sharded signature: a serial engine never holds uncollected events, and
+// capture itself cannot fail.
+func (e *Engine) State() (EngineState, []event.Event, error) {
+	inc := e.inc.State()
+	return EngineState{
+		NextID:     e.nextID,
+		LastTimeNs: inc.Merger.WatermarkNs,
+		Started:    inc.Merger.Started,
+		Inc:        inc,
+	}, nil, nil
+}
+
+// RestoreEngine rebuilds a serial engine from a snapshot taken at any
+// worker count (a multi-shard snapshot merges into the single local).
+func RestoreEngine(dict *locdict.Dictionary, rb *rules.RuleBase, cfg Config, st EngineState) (*Engine, error) {
+	inc, err := grouping.RestoreIncremental(dict, rb, cfg.Grouping, st.Inc)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		inc:     inc,
+		builder: event.NewBuilder(cfg.Freq, cfg.Labeler),
+		nextID:  st.NextID,
+	}, nil
+}
+
+// State synchronizes (flushing any partial batch and waiting until the
+// merge stage has applied everything dispatched) and snapshots the engine.
+// It also returns a copy of the events emitted but not yet collected — the
+// caller must persist them with the state; they stay queued here and still
+// surface on the next Observe/Drain of the live engine.
+func (e *ShardedEngine) State() (EngineState, []event.Event, error) {
+	if e.closed {
+		return EngineState{}, nil, fmt.Errorf("stream: sharded engine closed")
+	}
+	if e.running || len(e.batch) > 0 {
+		e.dispatch(ctrlSync)
+		<-e.ack
+	}
+	if err := e.peekErr(); err != nil {
+		return EngineState{}, nil, err
+	}
+	// Post-ack quiet window: the shard goroutines are parked on their input
+	// channels and the merge goroutine on its, so the locals and the merger
+	// are exclusively ours until the next dispatch.
+	st := EngineState{
+		NextID:     e.nextID,
+		LastTimeNs: checkpoint.TimeNs(e.lastTime),
+		Started:    e.started,
+		Inc:        grouping.CaptureParts(e.locals, e.merger),
+	}
+	e.mu.Lock()
+	var pending []event.Event
+	if len(e.out) > 0 {
+		pending = append(pending, e.out...)
+	}
+	e.mu.Unlock()
+	return st, pending, nil
+}
+
+// RestoreSharded rebuilds a sharded engine from a snapshot taken at any
+// worker count. When the counts match, every shard's state (model LRU
+// order, per-shard bounds and counters) restores exactly; otherwise the
+// router-local state reshards by the same router hash the dispatcher uses.
+// Worker goroutines still start lazily on the first Observe.
+func RestoreSharded(dict *locdict.Dictionary, rb *rules.RuleBase, cfg Config, workers int, st EngineState) (*ShardedEngine, error) {
+	e, err := NewSharded(dict, rb, cfg, workers)
+	if err != nil {
+		return nil, err
+	}
+	perShard := (e.shardable.MaxStreams() + workers - 1) / workers
+	locals, mg, err := e.shardable.RestoreParts(st.Inc, workers, perShard, func(r string) int {
+		return shardOf(r, workers)
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.locals = locals
+	e.merger = mg
+	e.nextID = st.NextID
+	e.started = st.Started
+	e.lastTime = checkpoint.NsTime(st.LastTimeNs)
+	if e.started {
+		ns := e.lastTime.UnixNano()
+		e.maxDispatched.Store(ns)
+		e.lowWMns.Store(ns)
+	}
+	return e, nil
+}

@@ -170,6 +170,12 @@ type ShardedEngine struct {
 	ack      chan struct{}
 	wg       sync.WaitGroup
 
+	// locals are the shard workers' RouterLocals, kept so checkpoint
+	// capture can reach them. Pre-populated by RestoreSharded, created by
+	// start otherwise; after start the caller may touch them only in the
+	// post-ack quiet window (see State).
+	locals []*grouping.RouterLocal
+
 	maxDispatched atomic.Int64 // unixnano of newest dispatched message
 	lowWMns       atomic.Int64 // unixnano punctuation of last applied batch
 
@@ -245,10 +251,16 @@ func (e *ShardedEngine) start() {
 	perShard := (e.shardable.MaxStreams() + e.workers - 1) / e.workers
 	e.shardIn = make([]chan shardBatch, e.workers)
 	e.shardOut = make([]chan shardResult, e.workers)
+	if e.locals == nil {
+		e.locals = make([]*grouping.RouterLocal, e.workers)
+		for k := range e.locals {
+			e.locals[k] = e.shardable.NewLocal(perShard)
+		}
+	}
 	for k := 0; k < e.workers; k++ {
 		e.shardIn[k] = make(chan shardBatch, shardQueueDepth)
 		e.shardOut[k] = make(chan shardResult, shardQueueDepth)
-		local := e.shardable.NewLocal(perShard)
+		local := e.locals[k]
 		sm := e.met.shard(k)
 		local.SetMetrics(grouping.LocalMetrics{Streams: sm.Streams, StreamEvictions: sm.Evictions})
 		e.wg.Add(1)

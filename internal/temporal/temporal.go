@@ -130,6 +130,46 @@ func (g *Grouper) Observe(t time.Time) bool {
 	return same
 }
 
+// GrouperState is the serializable state of a Grouper: everything Observe
+// mutates, with the last-arrival time flattened to Unix nanoseconds (0 =
+// never observed). The parameters are deliberately not part of the state —
+// they are configuration, supplied again at restore — so a checkpoint
+// cannot silently override the knowledge base it is restored into.
+type GrouperState struct {
+	EwmaValue   float64 `json:"ewma_value"`
+	EwmaStarted bool    `json:"ewma_started"`
+	LastNs      int64   `json:"last_ns"`
+	Started     bool    `json:"started"`
+}
+
+// State snapshots the grouper's mutable state for checkpointing.
+func (g *Grouper) State() GrouperState {
+	st := GrouperState{
+		EwmaValue:   g.ewma.Value(),
+		EwmaStarted: g.ewma.Started(),
+		Started:     g.started,
+	}
+	if !g.last.IsZero() {
+		st.LastNs = g.last.UnixNano()
+	}
+	return st
+}
+
+// RestoreGrouper rebuilds a grouper from parameters and a snapshotted
+// state; a restored grouper's Observe sequence continues bit-identically.
+func RestoreGrouper(p Params, st GrouperState) (*Grouper, error) {
+	g, err := NewGrouper(p)
+	if err != nil {
+		return nil, err
+	}
+	g.ewma.SetState(st.EwmaValue, st.EwmaStarted)
+	if st.LastNs != 0 {
+		g.last = time.Unix(0, st.LastNs).UTC()
+	}
+	g.started = st.Started
+	return g, nil
+}
+
 // Predicted returns the current interarrival prediction Ŝ and whether the
 // model has one yet.
 func (g *Grouper) Predicted() (time.Duration, bool) {

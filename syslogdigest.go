@@ -30,6 +30,7 @@ package syslogdigest
 import (
 	"io"
 
+	"syslogdigest/internal/checkpoint"
 	"syslogdigest/internal/core"
 	"syslogdigest/internal/event"
 	"syslogdigest/internal/netconf"
@@ -96,6 +97,22 @@ func NewStreamer(d *Digester, maxBuffer int) *Streamer { return core.NewStreamer
 func NewStreamerWith(d *Digester, opts StreamerOptions) *Streamer {
 	return core.NewStreamerWith(d, opts)
 }
+
+// RestoreStreamer rebuilds a streamer over d from a Streamer.Snapshot
+// taken by an earlier run (same knowledge base required). opts are the
+// restored run's own tuning — the worker count may differ from the
+// snapshotted run's; the engine reshards. The restored streamer resumes
+// mid-stream, emitting each event exactly once across the restart.
+func RestoreStreamer(d *Digester, snap []byte, opts StreamerOptions) (*Streamer, error) {
+	return core.RestoreStreamer(d, snap, opts)
+}
+
+// WriteCheckpoint atomically writes a snapshot to path (temp file + rename:
+// a crash mid-write never corrupts the previous checkpoint).
+func WriteCheckpoint(path string, snap []byte) error { return checkpoint.WriteFile(path, snap) }
+
+// ReadCheckpoint reads a snapshot written by WriteCheckpoint.
+func ReadCheckpoint(path string) ([]byte, error) { return checkpoint.ReadFile(path) }
 
 // LoadKnowledgeBase reads a knowledge base saved with KnowledgeBase.Save.
 func LoadKnowledgeBase(r io.Reader) (*KnowledgeBase, error) { return core.LoadKnowledgeBase(r) }
