@@ -40,7 +40,7 @@ bench-smoke:
 bench-compare:
 	@tmp=$$(mktemp /tmp/sdbench.XXXXXX.json); \
 	$(GO) run ./cmd/sdbench -dataset A -json $$tmp && \
-	$(GO) run ./cmd/sdbench -compare BENCH_PR6.json -tolerance 150 $$tmp; \
+	$(GO) run ./cmd/sdbench -compare BENCH_PR7.json -tolerance 150 $$tmp; \
 	rc=$$?; rm -f $$tmp; exit $$rc
 
 # The streaming-equivalence smoke: the incremental engine must reproduce the

@@ -43,6 +43,37 @@ type benchSnapshot struct {
 	// Checkpoint records snapshot/restore wall time and snapshot size at a
 	// mid-stream cut, per dataset and stream worker count (schema v5).
 	Checkpoint []checkpointStats `json:"checkpoint,omitempty"`
+	// Storm records streamed passes over the flap-plus-noise storm corpus
+	// with the template-indexed windows and with the linear reference
+	// scans, including the candidate-scan counters — the index's honest
+	// before/after on its worst-case input (schema v6). The indexed and
+	// linear timings also appear in Benchmarks as storm_stream and
+	// storm_stream_linear so future snapshots diff them.
+	Storm []stormStats `json:"storm,omitempty"`
+}
+
+// stormSweep is the storm pass's stream-worker sweep: the serial engine
+// and the sharded engine's common fan-out.
+var stormSweep = []int{1, 4}
+
+// stormReps: the storm passes run tens of seconds each (the linear
+// reference deliberately so), which makes scheduler noise proportionally
+// irrelevant — one rep keeps make bench-compare affordable.
+const stormReps = 1
+
+// stormStats is one engine configuration's streamed pass over the storm
+// corpus: minimum wall time over benchReps plus the (deterministic)
+// candidate-scan counters.
+type stormStats struct {
+	Dataset         string  `json:"dataset"`
+	Workers         int     `json:"workers"`
+	Engine          string  `json:"engine"` // "indexed" or "linear"
+	Messages        int     `json:"messages"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	MsgsPerSec      float64 `json:"msgs_per_sec"`
+	RuleCandidates  uint64  `json:"rule_candidates_scanned"`
+	RulePairs       uint64  `json:"rule_pairs_matched"`
+	CrossCandidates uint64  `json:"cross_candidates_scanned"`
 }
 
 // checkpointSweep is the worker sweep for the checkpoint timings: the
@@ -120,7 +151,7 @@ type benchStage struct {
 func writeBenchJSON(path string, profile experiments.Profile, kinds []gen.DatasetKind, workers int) error {
 	resolved := par.Workers(workers)
 	snap := benchSnapshot{
-		Schema:     "syslogdigest-bench/5",
+		Schema:     "syslogdigest-bench/6",
 		Profile:    profile.Name,
 		Workers:    resolved,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -185,6 +216,33 @@ func writeBenchJSON(path string, profile experiments.Profile, kinds []gen.Datase
 			fmt.Fprintf(os.Stderr, "sdbench: %s/checkpoint workers=%d snapshot %s restore %s (%d bytes)\n",
 				kind, w, time.Duration(cs.SnapshotNs), time.Duration(cs.RestoreNs), cs.Bytes)
 		}
+		storm, err := c.Storm()
+		if err != nil {
+			return fmt.Errorf("storm corpus %v: %w", kind, err)
+		}
+		saved := c.KB.Params
+		c.KB.Params = experiments.StormParams(saved)
+		for _, w := range stormSweep {
+			for _, engine := range []string{"indexed", "linear"} {
+				ss, err := stormBench(c, storm, w, engine == "linear")
+				if err != nil {
+					c.KB.Params = saved
+					return fmt.Errorf("storm %v (workers=%d, %s): %w", kind, w, engine, err)
+				}
+				snap.Storm = append(snap.Storm, ss)
+				name := "storm_stream"
+				if engine == "linear" {
+					name += "_linear"
+				}
+				snap.Benchmarks = append(snap.Benchmarks, benchEntry{
+					Name: name, Dataset: kind.String(), Workers: w,
+					NsPerOp: ss.NsPerOp, MsgsPerOp: ss.Messages, MsgsPerSec: ss.MsgsPerSec,
+				})
+				fmt.Fprintf(os.Stderr, "sdbench: %s/%s workers=%d %s (rule cands %d, pairs %d)\n",
+					kind, name, w, time.Duration(ss.NsPerOp), ss.RuleCandidates, ss.RulePairs)
+			}
+		}
+		c.KB.Params = saved
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -378,6 +436,53 @@ func checkpointBench(c *experiments.Corpus, workers int) (checkpointStats, error
 			out.RestoreNs = ns
 		}
 		r2.Close()
+	}
+	return out, nil
+}
+
+// stormBench streams the storm corpus through one engine configuration:
+// minimum wall time over stormReps, with the scan counters read from the
+// last rep (they are deterministic, so every rep agrees).
+func stormBench(c *experiments.Corpus, storm *gen.Dataset, workers int, linear bool) (stormStats, error) {
+	out := stormStats{
+		Dataset: c.Kind.String(), Workers: workers,
+		Engine: "indexed", Messages: len(storm.Messages),
+	}
+	if linear {
+		out.Engine = "linear"
+	}
+	for r := 0; r < stormReps; r++ {
+		d, err := core.NewDigester(c.KB)
+		if err != nil {
+			return stormStats{}, err
+		}
+		d.SetLinearScan(linear)
+		reg := obs.NewRegistry()
+		st := core.NewStreamerWith(d, core.StreamerOptions{StreamWorkers: workers})
+		st.Instrument(reg)
+		start := time.Now()
+		for i := range storm.Messages {
+			if _, err := st.Push(storm.Messages[i]); err != nil {
+				st.Close()
+				return stormStats{}, err
+			}
+		}
+		if _, err := st.Flush(); err != nil {
+			st.Close()
+			return stormStats{}, err
+		}
+		ns := time.Since(start).Nanoseconds()
+		st.Close()
+		if out.NsPerOp == 0 || ns < out.NsPerOp {
+			out.NsPerOp = ns
+		}
+		snap := reg.Snapshot()
+		out.RuleCandidates = snap.Counter("group.rule.candidates_scanned")
+		out.RulePairs = snap.Counter("group.rule.pairs_matched")
+		out.CrossCandidates = snap.Counter("group.cross.candidates_scanned")
+	}
+	if out.NsPerOp > 0 {
+		out.MsgsPerSec = round3(float64(out.Messages) / (float64(out.NsPerOp) / 1e9))
 	}
 	return out, nil
 }

@@ -194,6 +194,24 @@ func livePipelineRun(t *testing.T, kb *syslogdigest.KnowledgeBase, ds *gen.Datas
 	if want := uint64(digested - eventsOut); merges != want {
 		t.Fatalf("exporter: merge total %d != messages-events %d", merges, want)
 	}
+	// Candidate-scan books: the rule pass can only match pairs it scanned,
+	// and can only merge groups whose pair it matched; likewise a cross
+	// merge implies an examined cross candidate. A real feed exercises the
+	// rule window, so a zero scan count means the counters came unwired.
+	ruleScanned := snap.Counter("group.rule.candidates_scanned")
+	rulePairs := snap.Counter("group.rule.pairs_matched")
+	if rulePairs > ruleScanned {
+		t.Fatalf("exporter: rule pairs matched %d > candidates scanned %d", rulePairs, ruleScanned)
+	}
+	if rm := snap.Counter("group.merges.rule"); rm > rulePairs {
+		t.Fatalf("exporter: rule merges %d > pairs matched %d", rm, rulePairs)
+	}
+	if ruleScanned == 0 {
+		t.Fatal("exporter: rule pass scanned no candidates on a real feed")
+	}
+	if cm := snap.Counter("group.merges.cross"); cm > snap.Counter("group.cross.candidates_scanned") {
+		t.Fatalf("exporter: cross merges %d > candidates scanned %d", cm, snap.Counter("group.cross.candidates_scanned"))
+	}
 	// Match-cache books: every augmented message is exactly one cache hit or
 	// miss, a real feed repeats itself (hits > 0), only misses run the
 	// matcher (candidate scans), and evictions never exceed insertions.

@@ -63,6 +63,12 @@ type Params struct {
 	Rules rules.Config
 	// CrossWindow is the cross-router near-simultaneity bound (1s).
 	CrossWindow time.Duration
+	// MaxScan caps how many window entries one message is compared
+	// against in the rule and cross passes, bounding worst-case storm
+	// cost. 0 means the grouping default (256). Raising it widens the
+	// effective window during bursts — a tuning parameter with output
+	// semantics, not a runtime-only knob.
+	MaxScan int
 	// CalibrateTemporal makes Learn sweep alpha/beta grids instead of
 	// trusting Temporal as given.
 	CalibrateTemporal bool
@@ -501,6 +507,7 @@ type Digester struct {
 	labeler     *event.Labeler
 	pool        *par.Pool
 	streamWorks int
+	linearScan  bool
 	met         digestMetrics
 }
 
@@ -538,6 +545,12 @@ func (d *Digester) SetStreamWorkers(n int) { d.streamWorks = n }
 
 // StreamWorkers is the resolved engine selection.
 func (d *Digester) StreamWorkers() int { return d.streamWorks }
+
+// SetLinearScan forces the grouping passes onto the original O(window)
+// candidate scans instead of the template index. Output is byte-identical
+// either way; the knob exists for differential tests and for measuring the
+// index (see grouping.Config.LinearScan). Affects engines built afterward.
+func (d *Digester) SetLinearScan(on bool) { d.linearScan = on }
 
 // Instrument publishes the digester's metrics (digest.*, group.merges.*)
 // into reg: wall-time histograms for the augment/group/build stages, batch
@@ -592,7 +605,9 @@ func (d *Digester) groupingConfig() grouping.Config {
 		Temporal:    d.kb.Params.Temporal,
 		RuleWindow:  d.kb.Params.Rules.Window,
 		CrossWindow: d.kb.Params.CrossWindow,
+		MaxScan:     d.kb.Params.MaxScan,
 		Pool:        d.pool,
+		LinearScan:  d.linearScan,
 	}
 	switch d.stage {
 	case StageTemporal:

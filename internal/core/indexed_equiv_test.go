@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"syslogdigest/internal/event"
+	"syslogdigest/internal/gen"
+	"syslogdigest/internal/obs"
+)
+
+// learnStorm builds a knowledge base from the normal learnSmall corpus,
+// then generates a flap-storm corpus over the same topology (same kind,
+// router count, and seed, so the network is identical): link, BGP, and
+// tunnel episodes at an order of magnitude above the learn-time rates plus
+// heavy noise, so the rule and cross windows stay near-full with messages
+// whose templates are mostly NOT rule partners of each other — the regime
+// the template index exists for. This mirrors deployment: knowledge mined
+// offline from history, applied during a storm.
+func learnStorm(t *testing.T) (*KnowledgeBase, *gen.Dataset) {
+	t.Helper()
+	kb, _ := learnSmall(t, gen.DatasetA)
+	storm, err := gen.Generate(gen.Spec{
+		Kind: gen.DatasetA, Routers: 16, Seed: 3,
+		Duration: 6 * time.Hour,
+		Rates: gen.Rates{
+			LinkFlap: 40, Controller: 6, BGPFlap: 20, CPUSpike: 60,
+			PeriodicMsg: 12000, Noise: 200000, Config: 60, EnvAlarm: 24, TunnelFlap: 15,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Storm-tuned digest parameters: a wide rule window and a raised scan
+	// cap, so the windows actually hold the storm instead of trimming to
+	// the newest burst. Identical for both engines under test.
+	kb.Params.Rules.Window = 600 * time.Second
+	kb.Params.MaxScan = 4096
+	return kb, storm
+}
+
+// stormRun streams the whole corpus through one engine configuration and
+// returns the emitted events plus a metrics snapshot.
+func stormRun(t *testing.T, kb *KnowledgeBase, ds *gen.Dataset, workers int, linear bool) ([]event.Event, obs.Snapshot) {
+	t.Helper()
+	d, err := NewDigester(kb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetLinearScan(linear)
+	reg := obs.NewRegistry()
+	st := NewStreamerWith(d, StreamerOptions{StreamWorkers: workers})
+	defer st.Close()
+	st.Instrument(reg)
+	var events []event.Event
+	for _, m := range ds.Messages {
+		res, err := st.Push(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != nil {
+			events = append(events, res.Events...)
+		}
+	}
+	res, err := st.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != nil {
+		events = append(events, res.Events...)
+	}
+	return events, reg.Snapshot()
+}
+
+// TestStormIndexedMatchesLinear is the end-to-end differential for the
+// template-indexed windows on a corpus that stresses them: at worker
+// counts 1 and 4, the indexed engine must emit the exact event multiset
+// the linear engine does and match the same number of rule pairs, while
+// examining at least 5x fewer rule-window candidates.
+func TestStormIndexedMatchesLinear(t *testing.T) {
+	kb, ds := learnStorm(t)
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			evLin, snapLin := stormRun(t, kb, ds, workers, true)
+			evIdx, snapIdx := stormRun(t, kb, ds, workers, false)
+			if len(evIdx) != len(evLin) {
+				t.Fatalf("indexed emitted %d events, linear %d", len(evIdx), len(evLin))
+			}
+			nl, ni := normalizeEvents(evLin), normalizeEvents(evIdx)
+			for i := range ni {
+				if !reflect.DeepEqual(ni[i], nl[i]) {
+					t.Fatalf("event %d diverges:\nindexed %+v\nlinear  %+v", i, ni[i], nl[i])
+				}
+			}
+			pairsIdx := snapIdx.Counter("group.rule.pairs_matched")
+			pairsLin := snapLin.Counter("group.rule.pairs_matched")
+			if pairsIdx != pairsLin {
+				t.Fatalf("rule pairs diverge: indexed %d linear %d", pairsIdx, pairsLin)
+			}
+			candIdx := snapIdx.Counter("group.rule.candidates_scanned")
+			candLin := snapLin.Counter("group.rule.candidates_scanned")
+			if candIdx == 0 || candLin == 0 {
+				t.Fatalf("degenerate scan counts: indexed %d linear %d", candIdx, candLin)
+			}
+			if candLin < 5*candIdx {
+				t.Fatalf("rule-scan reduction %.2fx < 5x (indexed %d, linear %d)",
+					float64(candLin)/float64(candIdx), candIdx, candLin)
+			}
+			crossIdx := snapIdx.Counter("group.cross.candidates_scanned")
+			crossLin := snapLin.Counter("group.cross.candidates_scanned")
+			if crossIdx > crossLin {
+				t.Fatalf("cross index scanned more than linear: %d > %d", crossIdx, crossLin)
+			}
+			t.Logf("workers=%d rule cands: linear %d indexed %d (%.1fx); cross: linear %d indexed %d (%.1fx)",
+				workers, candLin, candIdx, float64(candLin)/float64(candIdx),
+				crossLin, crossIdx, float64(crossLin)/float64(crossIdx))
+		})
+	}
+}

@@ -132,6 +132,9 @@ func (s *Streamer) Instrument(reg *obs.Registry) {
 			MergeTemporal:   reg.Counter("group.merges.temporal"),
 			MergeRule:       reg.Counter("group.merges.rule"),
 			MergeCross:      reg.Counter("group.merges.cross"),
+			RuleCandidates:  reg.Counter("group.rule.candidates_scanned"),
+			RulePairs:       reg.Counter("group.rule.pairs_matched"),
+			CrossCandidates: reg.Counter("group.cross.candidates_scanned"),
 			OpenMessages:    reg.Gauge("stream.state.messages"),
 			OpenGroups:      reg.Gauge("stream.state.groups"),
 			Streams:         reg.Gauge("stream.state.streams"),

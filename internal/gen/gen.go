@@ -257,11 +257,22 @@ func Generate(spec Spec) (*Dataset, error) {
 	return &Dataset{Spec: spec, Net: net, Messages: s.msgs, Conditions: s.cond}, nil
 }
 
-// poisson draws a Poisson variate by Knuth's method; fine for the modest
-// rates used here.
+// poisson draws a Poisson variate: Knuth's method for modest rates, a
+// normal approximation above it. The switch matters beyond accuracy —
+// Knuth's product of uniforms underflows to zero near λ ≈ 745, silently
+// capping every larger draw at ~745, which is exactly the regime storm
+// corpora ask for. The threshold is far above every rate the standard
+// profiles produce, so their byte streams are unchanged.
 func (s *sim) poisson(lambda float64) int {
 	if lambda <= 0 {
 		return 0
+	}
+	if lambda > 500 {
+		k := int(math.Round(lambda + math.Sqrt(lambda)*s.rng.NormFloat64()))
+		if k < 0 {
+			k = 0
+		}
+		return k
 	}
 	l := math.Exp(-lambda)
 	k, p := 0, 1.0
@@ -272,7 +283,7 @@ func (s *sim) poisson(lambda float64) int {
 		}
 		k++
 		if k > 10_000_000 {
-			return k // safety net; unreachable for sane rates
+			return k // safety net; unreachable below the λ threshold
 		}
 	}
 }

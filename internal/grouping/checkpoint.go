@@ -75,6 +75,9 @@ type MergerState struct {
 	TemporalMerges int               `json:"temporal_merges"`
 	RuleMerges     int               `json:"rule_merges"`
 	CrossMerges    int               `json:"cross_merges"`
+	// CrossCandidates is cumulative like the merge tallies; absent in
+	// snapshots from builds before the template index (restores as 0).
+	CrossCandidates uint64 `json:"cross_candidates,omitempty"`
 }
 
 // ModelState is one live temporal stream: key, EWMA state, and the index
@@ -97,11 +100,15 @@ type WindowState struct {
 // (head first, so restoring in sequence rebuilds the eviction list) and
 // rule windows sorted by router.
 type LocalState struct {
-	Started     bool          `json:"started"`
-	WatermarkNs int64         `json:"watermark_ns"`
-	Evictions   int           `json:"evictions"`
-	Models      []ModelState  `json:"models"`
-	Windows     []WindowState `json:"windows"`
+	Started     bool  `json:"started"`
+	WatermarkNs int64 `json:"watermark_ns"`
+	Evictions   int   `json:"evictions"`
+	// Rule-pass scan tallies, cumulative like Evictions; absent in
+	// snapshots from builds before the template index (restore as 0).
+	RuleCandidates uint64        `json:"rule_candidates,omitempty"`
+	RulePairs      uint64        `json:"rule_pairs,omitempty"`
+	Models         []ModelState  `json:"models"`
+	Windows        []WindowState `json:"windows"`
 }
 
 // IncState is the complete incremental-grouper snapshot: the shared
@@ -146,14 +153,15 @@ func CaptureParts(locals []*RouterLocal, mg *Merger) IncState {
 
 	// Merger first: open groups in closure-list order, then the cross ring.
 	st.Merger = MergerState{
-		Started:        mg.started,
-		WatermarkNs:    checkpoint.TimeNs(mg.watermark),
-		Groups:         []GroupState{},
-		CrossWin:       []int{},
-		Active:         []ActiveRuleState{},
-		TemporalMerges: mg.temporalMerges,
-		RuleMerges:     mg.ruleMerges,
-		CrossMerges:    mg.crossMerges,
+		Started:         mg.started,
+		WatermarkNs:     checkpoint.TimeNs(mg.watermark),
+		Groups:          []GroupState{},
+		CrossWin:        []int{},
+		Active:          []ActiveRuleState{},
+		TemporalMerges:  mg.temporalMerges,
+		RuleMerges:      mg.ruleMerges,
+		CrossMerges:     mg.crossMerges,
+		CrossCandidates: mg.crossCandidates,
 	}
 	for g := mg.oHead; g != nil; g = g.next {
 		gs := GroupState{Members: make([]int, len(g.members)), LastNs: checkpoint.TimeNs(g.last)}
@@ -183,11 +191,13 @@ func CaptureParts(locals []*RouterLocal, mg *Merger) IncState {
 	st.Locals = make([]LocalState, len(locals))
 	for li, rl := range locals {
 		ls := LocalState{
-			Started:     rl.started,
-			WatermarkNs: checkpoint.TimeNs(rl.watermark),
-			Evictions:   rl.evictions,
-			Models:      []ModelState{},
-			Windows:     []WindowState{},
+			Started:        rl.started,
+			WatermarkNs:    checkpoint.TimeNs(rl.watermark),
+			Evictions:      rl.evictions,
+			RuleCandidates: rl.ruleCandidates,
+			RulePairs:      rl.rulePairs,
+			Models:         []ModelState{},
+			Windows:        []WindowState{},
 		}
 		for md := rl.mHead; md != nil; md = md.next {
 			ms := ModelState{
@@ -275,6 +285,7 @@ func (s *Shardable) RestoreParts(st IncState, workers, localMax int, shardFor fu
 	mg.temporalMerges = st.Merger.TemporalMerges
 	mg.ruleMerges = st.Merger.RuleMerges
 	mg.crossMerges = st.Merger.CrossMerges
+	mg.crossCandidates = st.Merger.CrossCandidates
 	for gi, gs := range st.Merger.Groups {
 		if len(gs.Members) == 0 {
 			return nil, nil, fmt.Errorf("grouping: restore: group %d has no members", gi)
@@ -404,6 +415,8 @@ func (s *Shardable) RestoreParts(st IncState, workers, localMax int, shardFor fu
 			locals[i].started = lst.Started
 			locals[i].watermark = checkpoint.NsTime(lst.WatermarkNs)
 			locals[i].evictions = lst.Evictions
+			locals[i].ruleCandidates = lst.RuleCandidates
+			locals[i].rulePairs = lst.RulePairs
 		}
 	} else {
 		for _, rl := range locals {

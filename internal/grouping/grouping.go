@@ -20,6 +20,7 @@ package grouping
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
@@ -62,6 +63,13 @@ type Config struct {
 	// partition is identical at any worker count. Nil means a default
 	// pool at GOMAXPROCS. Runtime knob only — never serialized.
 	Pool *par.Pool
+	// LinearScan disables the template-indexed candidate lookup in the rule
+	// and cross windows, forcing the original O(window) scans. Output is
+	// byte-identical either way (the differential tests prove it); the
+	// toggle exists as the reference baseline for those tests and for
+	// honest before/after scan-count measurement. Runtime knob only —
+	// never serialized.
+	LinearScan bool
 	// Stage selection for the Table 7 ablation; all false means all on.
 	OnlyTemporal     bool // T
 	TemporalAndRules bool // T+R
@@ -224,29 +232,105 @@ func (g *Grouper) temporalPass(byTime []*Message, uf *unionFind, merges *int) er
 }
 
 // rulePass scans each router's time-ordered messages with window W and
-// merges rule-connected, spatially-matched pairs.
+// merges rule-connected, spatially-matched pairs. Routers iterate in
+// sorted order — map order would make the ActiveRules tallies depend on
+// the run (per-router merge sets are disjoint at this stage, but the
+// iteration order of a map is still nondeterministic state to build on).
 func (g *Grouper) rulePass(byTime []*Message, uf *unionFind, active map[rules.PairKey]int, merges *int) {
 	byRouter := make(map[string][]*Message)
+	routers := make([]string, 0, 16)
 	for _, m := range byTime {
+		if _, ok := byRouter[m.Router]; !ok {
+			routers = append(routers, m.Router)
+		}
 		byRouter[m.Router] = append(byRouter[m.Router], m)
 	}
-	for _, stream := range byRouter {
-		for i, mi := range stream {
-			deadline := mi.Time.Add(g.cfg.RuleWindow)
-			scanned := 0
-			for j := i + 1; j < len(stream) && scanned < g.cfg.MaxScan; j++ {
-				mj := stream[j]
-				if mj.Time.After(deadline) {
-					break
-				}
-				scanned++
-				if !g.ruleMatch(mi, mj) {
-					continue
-				}
-				if uf.union(mi.Seq, mj.Seq) {
-					*merges++
-					active[rulePair(mi.Template, mj.Template)]++
-				}
+	sort.Strings(routers)
+	for _, r := range routers {
+		stream := byRouter[r]
+		if g.cfg.LinearScan {
+			g.ruleScanLinear(stream, uf, active, merges)
+		} else {
+			g.ruleScanIndexed(stream, uf, active, merges)
+		}
+	}
+}
+
+// ruleScanLinear is the original window scan over one router's stream: for
+// each message, every following message within W and MaxScan positions is
+// examined. Retained as the differential reference for ruleScanIndexed.
+func (g *Grouper) ruleScanLinear(stream []*Message, uf *unionFind, active map[rules.PairKey]int, merges *int) {
+	for i, mi := range stream {
+		deadline := mi.Time.Add(g.cfg.RuleWindow)
+		scanned := 0
+		for j := i + 1; j < len(stream) && scanned < g.cfg.MaxScan; j++ {
+			mj := stream[j]
+			if mj.Time.After(deadline) {
+				break
+			}
+			scanned++
+			if !g.ruleMatch(mi, mj) {
+				continue
+			}
+			if uf.union(mi.Seq, mj.Seq) {
+				*merges++
+				active[rulePair(mi.Template, mj.Template)]++
+			}
+		}
+	}
+}
+
+// ruleScanIndexed produces ruleScanLinear's exact union sequence from
+// per-template position lists. The linear scan for message i examines
+// positions (i, min(i+MaxScan, lastInWindow(i))] — the stream is
+// time-sorted, so the W deadline is a prefix bound — and only candidates
+// whose template rule-pairs with mi's can match, so it suffices to walk
+// the position lists of mi's rule partners inside that range, merged back
+// into ascending position order.
+func (g *Grouper) ruleScanIndexed(stream []*Message, uf *unionFind, active map[rules.PairKey]int, merges *int) {
+	byTpl := make(map[int][]int32)
+	for i, m := range stream {
+		byTpl[m.Template] = append(byTpl[m.Template], int32(i))
+	}
+	var cands []int32
+	jt := 0 // lastInWindow pointer; deadlines are nondecreasing with i
+	for i, mi := range stream {
+		deadline := mi.Time.Add(g.cfg.RuleWindow)
+		if jt < i {
+			jt = i
+		}
+		for jt+1 < len(stream) && !stream[jt+1].Time.After(deadline) {
+			jt++
+		}
+		limit := jt
+		if bound := i + g.cfg.MaxScan; bound < limit {
+			limit = bound
+		}
+		if limit <= i {
+			continue
+		}
+		cands = cands[:0]
+		for _, q := range g.rb.Partners(mi.Template) {
+			if q == mi.Template {
+				continue // ruleMatch rejects same-template pairs
+			}
+			pos := byTpl[q]
+			lo := sort.Search(len(pos), func(k int) bool { return pos[k] > int32(i) })
+			for ; lo < len(pos) && pos[lo] <= int32(limit); lo++ {
+				cands = append(cands, pos[lo])
+			}
+		}
+		if len(cands) > 1 {
+			slices.Sort(cands) // ascending position = linear union order
+		}
+		for _, j := range cands {
+			mj := stream[j]
+			if !g.ruleMatch(mi, mj) {
+				continue
+			}
+			if uf.union(mi.Seq, mj.Seq) {
+				*merges++
+				active[rulePair(mi.Template, mj.Template)]++
 			}
 		}
 	}

@@ -79,6 +79,9 @@ type IncMetrics struct {
 	MergeTemporal   *obs.Counter // group.merges.temporal
 	MergeRule       *obs.Counter // group.merges.rule
 	MergeCross      *obs.Counter // group.merges.cross
+	RuleCandidates  *obs.Counter // group.rule.candidates_scanned
+	RulePairs       *obs.Counter // group.rule.pairs_matched
+	CrossCandidates *obs.Counter // group.cross.candidates_scanned
 	OpenMessages    *obs.Gauge   // stream.state.messages
 	OpenGroups      *obs.Gauge   // stream.state.groups
 	Streams         *obs.Gauge   // stream.state.streams
@@ -94,6 +97,13 @@ type IncStats struct {
 	TemporalMerges  int
 	RuleMerges      int
 	CrossMerges     int
+	// Candidate-scan counters (cumulative): window entries examined and
+	// matched by the rule pass, and examined by the cross pass. The
+	// template index shrinks the examined counts without changing any
+	// match (see Config.LinearScan).
+	RuleCandidates  uint64
+	RulePairs       uint64
+	CrossCandidates uint64
 }
 
 // ClosedGroup is one finished group: its members in ascending Seq order.
@@ -127,13 +137,16 @@ func (inc *Incremental) SetMetrics(m IncMetrics) {
 	inc.local.SetMetrics(LocalMetrics{
 		Streams:         m.Streams,
 		StreamEvictions: m.StreamEvictions,
+		RuleCandidates:  m.RuleCandidates,
+		RulePairs:       m.RulePairs,
 	})
 	inc.merge.SetMetrics(MergeMetrics{
-		MergeTemporal: m.MergeTemporal,
-		MergeRule:     m.MergeRule,
-		MergeCross:    m.MergeCross,
-		OpenMessages:  m.OpenMessages,
-		OpenGroups:    m.OpenGroups,
+		MergeTemporal:   m.MergeTemporal,
+		MergeRule:       m.MergeRule,
+		MergeCross:      m.MergeCross,
+		CrossCandidates: m.CrossCandidates,
+		OpenMessages:    m.OpenMessages,
+		OpenGroups:      m.OpenGroups,
 	})
 }
 
@@ -144,7 +157,8 @@ func (inc *Incremental) Watermark() time.Time { return inc.merge.Watermark() }
 // its newest member by more than this.
 func (inc *Incremental) Horizon() time.Duration { return inc.merge.Horizon() }
 
-// ActiveRules is the cumulative per-pair rule-merge tally (Figure 12).
+// ActiveRules is the cumulative per-pair rule-merge tally (Figure 12),
+// returned as a snapshot copy safe to keep or mutate.
 func (inc *Incremental) ActiveRules() map[rules.PairKey]int { return inc.merge.ActiveRules() }
 
 // Stats snapshots the grouper's state and merge counters.
@@ -158,6 +172,9 @@ func (inc *Incremental) Stats() IncStats {
 		TemporalMerges:  ms.TemporalMerges,
 		RuleMerges:      ms.RuleMerges,
 		CrossMerges:     ms.CrossMerges,
+		RuleCandidates:  ls.RuleCandidates,
+		RulePairs:       ls.RulePairs,
+		CrossCandidates: ms.CrossCandidates,
 	}
 }
 

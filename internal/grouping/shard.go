@@ -35,6 +35,7 @@ package grouping
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
@@ -113,11 +114,51 @@ type model struct {
 // power-of-two ring buffer: it grows to the configured scan bound once and
 // is then reused forever, so steady-state window maintenance allocates
 // nothing.
+//
+// Alongside the ring it maintains a per-template bucket index: each bucket
+// is the FIFO of *absolute* entry indexes (pops + ring offset) of the live
+// entries carrying that template, ascending. The ring stays authoritative
+// for expiry and the MaxScan cap; the index only accelerates candidate
+// lookup. Two invariants keep it exact with O(1) maintenance:
+//
+//   - push appends the new entry's absolute index to its template's bucket,
+//     so each bucket is ascending (entries arrive in ring order);
+//   - the ring is a global FIFO, so the entry popFront removes is also the
+//     front of its template's bucket — popping that bucket's head keeps
+//     every bucket free of stale references, with nothing to invalidate
+//     lazily and no stale-entry checks on the read path.
+//
+// Absolute indexes (monotone, never reused) rather than ring offsets make
+// bucket entries immune to the head moving; atAbs converts back with one
+// subtraction.
 type memberRing struct {
 	buf  []*Pending
 	head int
 	n    int
+
+	pops    uint64 // total popFront count == absolute index of the front entry
+	buckets map[int]*tplBucket
 }
+
+// tplBucket is one template's FIFO of absolute indexes: live view
+// abs[head:], amortized-O(1) pop via occasional compaction.
+type tplBucket struct {
+	abs  []uint64
+	head int
+}
+
+func (b *tplBucket) push(a uint64) { b.abs = append(b.abs, a) }
+
+func (b *tplBucket) pop() {
+	b.head++
+	if b.head >= 64 && b.head*2 >= len(b.abs) {
+		n := copy(b.abs, b.abs[b.head:])
+		b.abs = b.abs[:n]
+		b.head = 0
+	}
+}
+
+func (b *tplBucket) live() []uint64 { return b.abs[b.head:] }
 
 func (r *memberRing) push(m *Pending) {
 	if r.n == len(r.buf) {
@@ -125,6 +166,15 @@ func (r *memberRing) push(m *Pending) {
 	}
 	r.buf[(r.head+r.n)&(len(r.buf)-1)] = m
 	r.n++
+	if r.buckets == nil {
+		r.buckets = make(map[int]*tplBucket)
+	}
+	b := r.buckets[m.msg.Template]
+	if b == nil {
+		b = &tplBucket{}
+		r.buckets[m.msg.Template] = b
+	}
+	b.push(r.pops + uint64(r.n-1))
 }
 
 func (r *memberRing) grow() {
@@ -142,10 +192,16 @@ func (r *memberRing) grow() {
 func (r *memberRing) at(i int) *Pending { return r.buf[(r.head+i)&(len(r.buf)-1)] }
 func (r *memberRing) front() *Pending   { return r.at(0) }
 
+// atAbs resolves a bucket's absolute index to its entry.
+func (r *memberRing) atAbs(a uint64) *Pending { return r.at(int(a - r.pops)) }
+
 func (r *memberRing) popFront() {
+	t := r.buf[r.head].msg.Template
 	r.buf[r.head] = nil
 	r.head = (r.head + 1) & (len(r.buf) - 1)
 	r.n--
+	r.buckets[t].pop() // its front is exactly this entry (global FIFO)
+	r.pops++
 }
 
 // Shardable is the validated, immutable knowledge shared by every half of
@@ -217,12 +273,21 @@ func (s *Shardable) NewMerger() *Merger {
 type LocalMetrics struct {
 	Streams         *obs.Gauge   // live temporal models
 	StreamEvictions *obs.Counter // models evicted by the MaxStreams bound
+	RuleCandidates  *obs.Counter // rule-window candidates examined
+	RulePairs       *obs.Counter // rule-window candidates that matched
 }
 
 // LocalStats snapshots one RouterLocal.
 type LocalStats struct {
 	Streams   int
 	Evictions int
+	// RuleCandidates counts window entries the rule pass examined
+	// (cumulative); RulePairs counts those whose pair predicate matched.
+	// With the template index off (Config.LinearScan) candidates equal the
+	// whole window per arrival — the ratio between the two modes is the
+	// index's win.
+	RuleCandidates uint64
+	RulePairs      uint64
 }
 
 // RouterLocal is the router-local half of the incremental grouper:
@@ -239,10 +304,13 @@ type RouterLocal struct {
 
 	routerWin map[string]*memberRing
 
-	started   bool
-	watermark time.Time
-	evictions int
-	met       LocalMetrics
+	started        bool
+	watermark      time.Time
+	evictions      int
+	ruleCandidates uint64
+	rulePairs      uint64
+	scratch        []uint64 // candidate merge buffer, reused across steps
+	met            LocalMetrics
 }
 
 // SetMetrics installs observability handles.
@@ -253,7 +321,12 @@ func (rl *RouterLocal) Watermark() time.Time { return rl.watermark }
 
 // Stats snapshots the local state.
 func (rl *RouterLocal) Stats() LocalStats {
-	return LocalStats{Streams: len(rl.models), Evictions: rl.evictions}
+	return LocalStats{
+		Streams:        len(rl.models),
+		Evictions:      rl.evictions,
+		RuleCandidates: rl.ruleCandidates,
+		RulePairs:      rl.rulePairs,
+	}
 }
 
 // Step runs the temporal and rule passes for p, writing the join
@@ -312,6 +385,14 @@ func (rl *RouterLocal) temporalStep(p *Pending, js *Joins) error {
 // ruleStep examines the new arrival against its router's retained window,
 // exactly the pair set of the batch pass: predecessors within W whose
 // position distance is at most MaxScan.
+//
+// The default path consults only the window's buckets for the arrival's
+// rule partners — a candidate can match only when its template pairs with
+// the arrival's in the rule base — then visits the surviving candidates in
+// ascending ring order, so the join sequence (and with it every
+// order-dependent tally downstream) is byte-identical to the linear scan.
+// Config.LinearScan forces the original full-window scan, retained as the
+// differential reference.
 func (rl *RouterLocal) ruleStep(p *Pending, js *Joins) {
 	rw := rl.routerWin[p.msg.Router]
 	if rw == nil {
@@ -323,12 +404,42 @@ func (rl *RouterLocal) ruleStep(p *Pending, js *Joins) {
 	for rw.n > 0 && p.msg.Time.After(rw.front().msg.Time.Add(rl.g.cfg.RuleWindow)) {
 		rw.popFront()
 	}
-	for i := 0; i < rw.n; i++ {
-		mi := rw.at(i)
-		if rl.g.ruleMatch(&mi.msg, &p.msg) {
-			js.Rules = append(js.Rules, mi)
+	var cand, matched uint64
+	if rl.g.cfg.LinearScan {
+		for i := 0; i < rw.n; i++ {
+			mi := rw.at(i)
+			cand++
+			if rl.g.ruleMatch(&mi.msg, &p.msg) {
+				js.Rules = append(js.Rules, mi)
+				matched++
+			}
+		}
+	} else {
+		rl.scratch = rl.scratch[:0]
+		for _, q := range rl.g.rb.Partners(p.msg.Template) {
+			if q == p.msg.Template {
+				continue // ruleMatch rejects same-template pairs
+			}
+			if b := rw.buckets[q]; b != nil {
+				rl.scratch = append(rl.scratch, b.live()...)
+			}
+		}
+		if len(rl.scratch) > 1 {
+			slices.Sort(rl.scratch) // restore ascending ring (= scan) order
+		}
+		for _, a := range rl.scratch {
+			mi := rw.atAbs(a)
+			cand++
+			if rl.g.ruleMatch(&mi.msg, &p.msg) {
+				js.Rules = append(js.Rules, mi)
+				matched++
+			}
 		}
 	}
+	rl.ruleCandidates += cand
+	rl.rulePairs += matched
+	rl.met.RuleCandidates.Add(cand)
+	rl.met.RulePairs.Add(matched)
 	rw.push(p)
 	if rw.n > rl.g.cfg.MaxScan {
 		rw.popFront()
@@ -384,20 +495,22 @@ func (rl *RouterLocal) evictModels() {
 
 // MergeMetrics are a Merger's optional observability handles (nil-safe).
 type MergeMetrics struct {
-	MergeTemporal *obs.Counter // group.merges.temporal
-	MergeRule     *obs.Counter // group.merges.rule
-	MergeCross    *obs.Counter // group.merges.cross
-	OpenMessages  *obs.Gauge   // messages in not-yet-closed groups
-	OpenGroups    *obs.Gauge
+	MergeTemporal   *obs.Counter // group.merges.temporal
+	MergeRule       *obs.Counter // group.merges.rule
+	MergeCross      *obs.Counter // group.merges.cross
+	CrossCandidates *obs.Counter // cross-window candidates examined
+	OpenMessages    *obs.Gauge   // messages in not-yet-closed groups
+	OpenGroups      *obs.Gauge
 }
 
 // MergeStats snapshots a Merger.
 type MergeStats struct {
-	OpenMessages   int
-	OpenGroups     int
-	TemporalMerges int
-	RuleMerges     int
-	CrossMerges    int
+	OpenMessages    int
+	OpenGroups      int
+	TemporalMerges  int
+	RuleMerges      int
+	CrossMerges     int
+	CrossCandidates uint64
 }
 
 // Merger is the global half of the incremental grouper: it owns the group
@@ -421,6 +534,7 @@ type Merger struct {
 
 	active                                  map[rules.PairKey]int
 	temporalMerges, ruleMerges, crossMerges int
+	crossCandidates                         uint64
 	met                                     MergeMetrics
 }
 
@@ -434,16 +548,25 @@ func (mg *Merger) Watermark() time.Time { return mg.watermark }
 func (mg *Merger) Horizon() time.Duration { return mg.horizon }
 
 // ActiveRules is the cumulative per-pair rule-merge tally (Figure 12).
-func (mg *Merger) ActiveRules() map[rules.PairKey]int { return mg.active }
+// The returned map is a copy: callers may keep or mutate it freely without
+// corrupting the engine's internal tally.
+func (mg *Merger) ActiveRules() map[rules.PairKey]int {
+	out := make(map[rules.PairKey]int, len(mg.active))
+	for k, v := range mg.active {
+		out[k] = v
+	}
+	return out
+}
 
 // Stats snapshots the merger.
 func (mg *Merger) Stats() MergeStats {
 	return MergeStats{
-		OpenMessages:   mg.openMsgs,
-		OpenGroups:     mg.openGroups,
-		TemporalMerges: mg.temporalMerges,
-		RuleMerges:     mg.ruleMerges,
-		CrossMerges:    mg.crossMerges,
+		OpenMessages:    mg.openMsgs,
+		OpenGroups:      mg.openGroups,
+		TemporalMerges:  mg.temporalMerges,
+		RuleMerges:      mg.ruleMerges,
+		CrossMerges:     mg.crossMerges,
+		CrossCandidates: mg.crossCandidates,
 	}
 }
 
@@ -507,29 +630,56 @@ func (mg *Merger) Drain() []ClosedGroup {
 }
 
 // crossStep examines the new arrival against the global retained window
-// within the near-simultaneity bound.
+// within the near-simultaneity bound. crossPair requires equal templates,
+// so the default path walks only the arrival's own template bucket — which
+// is already in ascending ring order, preserving the linear scan's merge
+// sequence exactly. Config.LinearScan forces the full-window reference
+// scan.
 func (mg *Merger) crossStep(p *Pending) error {
 	cw := &mg.crossWin
 	for cw.n > 0 && p.msg.Time.After(cw.front().msg.Time.Add(mg.g.cfg.CrossWindow)) {
 		cw.popFront()
 	}
-	for i := 0; i < cw.n; i++ {
-		mi := cw.at(i)
-		if !mg.g.crossPair(&mi.msg, &p.msg) {
-			continue
+	var cand uint64
+	if mg.g.cfg.LinearScan {
+		for i := 0; i < cw.n; i++ {
+			mi := cw.at(i)
+			cand++
+			if err := mg.crossExamine(mi, p); err != nil {
+				return err
+			}
 		}
-		if mi.g == p.g {
-			continue
-		}
-		if mg.g.crossLinked(&mi.msg, &p.msg) {
-			if _, err := mg.merge(mi, p, &mg.crossMerges, mg.met.MergeCross); err != nil {
+	} else if b := cw.buckets[p.msg.Template]; b != nil {
+		for _, a := range b.live() {
+			mi := cw.atAbs(a)
+			cand++
+			if err := mg.crossExamine(mi, p); err != nil {
 				return err
 			}
 		}
 	}
+	mg.crossCandidates += cand
+	mg.met.CrossCandidates.Add(cand)
 	cw.push(p)
 	if cw.n > mg.g.cfg.MaxScan {
 		cw.popFront()
+	}
+	return nil
+}
+
+// crossExamine applies the full cross-router predicate to one candidate and
+// merges on success — the shared body of both scan modes.
+func (mg *Merger) crossExamine(mi, p *Pending) error {
+	if !mg.g.crossPair(&mi.msg, &p.msg) {
+		return nil
+	}
+	if mi.g == p.g {
+		return nil
+	}
+	if mg.g.crossLinked(&mi.msg, &p.msg) {
+		if _, err := mg.merge(mi, p, &mg.crossMerges, mg.met.MergeCross); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -20,6 +20,7 @@ package locdict
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"syslogdigest/internal/netconf"
@@ -186,6 +187,25 @@ type Dictionary struct {
 	linkPeer map[string]endpoint
 	// sessionPeer maps "router|peerIP" to the peer router name.
 	sessionPeer map[string]string
+
+	// Spatial-match interning (built once at Build): every canonical
+	// location gets a dense ID and a spatEntry with its interned ancestor
+	// chain and bundle symbols, so SpatialMatch on two interned locations
+	// is integer comparisons with no Ancestors allocation. Locations the
+	// dictionary has never seen fall back to SpatialMatchLinear.
+	spat     map[Location]int32
+	spatEnt  []spatEntry
+	spatLocs []Location       // id -> location, for the fill pass
+	nameSym  map[string]int32 // lower-cased interface name -> symbol
+}
+
+// spatEntry is one interned location's precomputed match state.
+type spatEntry struct {
+	anc    [3]int32 // ancestor IDs, self excluded, coarser last
+	nanc   int8     // live prefix of anc; -1 disables the fast path
+	level  Level
+	name   int32 // interface-name symbol, -1 unless interface-level
+	bundle int32 // parent-bundle name symbol, -1 when none
 }
 
 type ipRef struct {
@@ -430,6 +450,14 @@ func Build(configs []*netconf.Config) (*Dictionary, error) {
 		}
 	}
 
+	pathsFromTunnels(d, configs)
+
+	d.buildSpatialIndex()
+	return d, nil
+}
+
+// pathsFromTunnels infers configured secondary paths.
+func pathsFromTunnels(d *Dictionary, configs []*netconf.Config) {
 	// Path inference from tunnels.
 	seenPath := make(map[string]bool)
 	for _, cfg := range configs {
@@ -453,6 +481,73 @@ func Build(configs []*netconf.Config) (*Dictionary, error) {
 			}
 		}
 	}
+}
 
-	return d, nil
+// buildSpatialIndex interns every canonical location the dictionary can
+// produce (router, slot, port, and interface levels, plus any ancestor
+// locations those generate) and precomputes each one's ancestor-ID chain
+// and bundle symbols. Derived state only: rebuildable from the maps above,
+// never serialized.
+func (d *Dictionary) buildSpatialIndex() {
+	d.spat = make(map[Location]int32)
+	d.nameSym = make(map[string]int32)
+	for _, rd := range d.routers {
+		d.intern(RouterLoc(rd.Name))
+		for s := range rd.slots {
+			d.intern(Location{Router: rd.Name, Level: LevelSlot, Name: strconv.Itoa(s)})
+		}
+		for p := range rd.ports {
+			d.intern(Location{Router: rd.Name, Level: LevelPort, Name: p})
+		}
+		for _, info := range rd.intfs {
+			d.intern(IntfLoc(rd.Name, info.Name))
+		}
+	}
+	// Fill pass: resolving ancestors may intern further locations (a port
+	// name derived from an interface that no config listed directly), so
+	// iterate by index over the growing table.
+	for id := 0; id < len(d.spatLocs); id++ {
+		loc := d.spatLocs[id]
+		e := spatEntry{level: loc.Level, name: -1, bundle: -1}
+		chain := d.Ancestors(loc)
+		if len(chain)-1 > len(e.anc) {
+			e.nanc = -1 // cannot happen by construction; stay exact if it does
+		} else {
+			for _, a := range chain[1:] {
+				e.anc[e.nanc] = d.intern(a)
+				e.nanc++
+			}
+		}
+		if loc.Level == LevelInterface {
+			e.name = d.symbol(strings.ToLower(loc.Name))
+			if rd := d.routers[loc.Router]; rd != nil {
+				if info := rd.Intf(loc.Name); info != nil && info.Bundle != "" {
+					e.bundle = d.symbol(strings.ToLower(info.Bundle))
+				}
+			}
+		}
+		d.spatEnt[id] = e
+	}
+}
+
+// intern assigns (or returns) the dense ID for a location.
+func (d *Dictionary) intern(loc Location) int32 {
+	if id, ok := d.spat[loc]; ok {
+		return id
+	}
+	id := int32(len(d.spatLocs))
+	d.spat[loc] = id
+	d.spatLocs = append(d.spatLocs, loc)
+	d.spatEnt = append(d.spatEnt, spatEntry{name: -1, bundle: -1})
+	return id
+}
+
+// symbol assigns (or returns) the dense symbol for a lower-cased name.
+func (d *Dictionary) symbol(s string) int32 {
+	if sym, ok := d.nameSym[s]; ok {
+		return sym
+	}
+	sym := int32(len(d.nameSym))
+	d.nameSym[s] = sym
+	return sym
 }

@@ -61,7 +61,59 @@ func (d *Dictionary) Ancestors(loc Location) []Location {
 // bundle match each other (they are the same logical link). Two *different*
 // interfaces on the same slot do NOT match — without the ancestor
 // relationship there is no evidence they share a condition.
+//
+// When both locations were interned at Build (every location Normalize can
+// return is), the match runs on precomputed ancestor IDs and bundle
+// symbols — integer comparisons, no allocation. Anything else falls back to
+// SpatialMatchLinear, the retained reference implementation.
 func (d *Dictionary) SpatialMatch(a, b Location) bool {
+	if a.Router != b.Router {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	ia, ok := d.spat[a]
+	if !ok {
+		return d.SpatialMatchLinear(a, b)
+	}
+	ib, ok := d.spat[b]
+	if !ok {
+		return d.SpatialMatchLinear(a, b)
+	}
+	ea, eb := &d.spatEnt[ia], &d.spatEnt[ib]
+	if ea.nanc < 0 || eb.nanc < 0 {
+		return d.SpatialMatchLinear(a, b)
+	}
+	for _, x := range ea.anc[:ea.nanc] {
+		if x == ib {
+			return true
+		}
+	}
+	for _, x := range eb.anc[:eb.nanc] {
+		if x == ia {
+			return true
+		}
+	}
+	if ea.level == LevelInterface && eb.level == LevelInterface {
+		if ea.bundle >= 0 && ea.bundle == eb.name {
+			return true
+		}
+		if eb.bundle >= 0 && eb.bundle == ea.name {
+			return true
+		}
+		if ea.bundle >= 0 && ea.bundle == eb.bundle {
+			return true
+		}
+	}
+	return false
+}
+
+// SpatialMatchLinear is the original chain-walking implementation of
+// SpatialMatch, retained as the differential reference for the interned
+// fast path (the MatchTokensLinear precedent) and as the fallback for
+// locations the dictionary never interned.
+func (d *Dictionary) SpatialMatchLinear(a, b Location) bool {
 	if a.Router != b.Router {
 		return false
 	}

@@ -1,0 +1,130 @@
+package locdict
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"syslogdigest/internal/netconf"
+	"syslogdigest/internal/syslogmsg"
+)
+
+// mangle returns location variants the intern table has never seen:
+// case-flipped and truncated names. The fast path must hand these to the
+// linear reference, not guess.
+func mangle(rng *rand.Rand, loc Location) Location {
+	switch rng.Intn(3) {
+	case 0:
+		loc.Name = strings.ToUpper(loc.Name)
+	case 1:
+		loc.Name = strings.ToLower(loc.Name)
+	default:
+		if len(loc.Name) > 2 {
+			loc.Name = loc.Name[:len(loc.Name)-1]
+		}
+	}
+	return loc
+}
+
+// TestSpatialMatchIndexedMatchesLinear is the differential test for the
+// interned fast path: over random generated topologies, every pair of
+// sampled locations — canonical, fabricated, and mangled — must match
+// identically under SpatialMatch and SpatialMatchLinear.
+func TestSpatialMatchIndexedMatchesLinear(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		d := randomNetworkDict(t, seed, 12)
+		rng := rand.New(rand.NewSource(seed * 31))
+		locs := randomLocations(rng, d, 60)
+		for i, l := range locs {
+			if rng.Intn(3) == 0 {
+				locs[i] = mangle(rng, l)
+			}
+		}
+		for _, a := range locs {
+			for _, b := range locs {
+				if got, want := d.SpatialMatch(a, b), d.SpatialMatchLinear(a, b); got != want {
+					t.Fatalf("seed %d: SpatialMatch(%+v, %+v) = %v, linear = %v", seed, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSpatialMatchBundleSiblings pins the bundle cases on the fast path:
+// two members of one multilink bundle match each other and their parent.
+func TestSpatialMatchBundleSiblings(t *testing.T) {
+	d := randomNetworkDict(t, 3, 16)
+	checked := 0
+	for _, lk := range d.Links() {
+		rd := d.Router(lk.A)
+		info := rd.Intf(lk.AIntf)
+		if info == nil || len(info.Members) < 2 {
+			continue
+		}
+		m0 := IntfLoc(lk.A, info.Members[0])
+		m1 := IntfLoc(lk.A, info.Members[1])
+		parent := IntfLoc(lk.A, info.Name)
+		for _, pair := range [][2]Location{{m0, m1}, {m0, parent}, {parent, m1}} {
+			if !d.SpatialMatch(pair[0], pair[1]) {
+				t.Fatalf("bundle pair %+v / %+v did not match", pair[0], pair[1])
+			}
+			if !d.SpatialMatchLinear(pair[0], pair[1]) {
+				t.Fatalf("linear rejects bundle pair %+v / %+v", pair[0], pair[1])
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("topology produced no multi-member bundles; raise MultilinkFraction")
+	}
+}
+
+func BenchmarkMicroSpatialMatchIndexed(b *testing.B) {
+	net := benchDict(b)
+	a, c := pickTwo(b, net)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.SpatialMatch(a, c)
+	}
+}
+
+func BenchmarkMicroSpatialMatchLinear(b *testing.B) {
+	net := benchDict(b)
+	a, c := pickTwo(b, net)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.SpatialMatchLinear(a, c)
+	}
+}
+
+func benchDict(b *testing.B) *Dictionary {
+	b.Helper()
+	net, err := netconf.Generate(netconf.Spec{
+		Routers: 16, Seed: 5, Vendor: syslogmsg.VendorV1,
+		MultilinkFraction: 0.3, TunnelPairs: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := Build(net.Configs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// pickTwo selects two interface locations on one router.
+func pickTwo(b *testing.B, d *Dictionary) (Location, Location) {
+	b.Helper()
+	for _, lk := range d.Links() {
+		rd := d.Router(lk.A)
+		ifs := rd.Interfaces()
+		if len(ifs) >= 2 {
+			return IntfLoc(lk.A, ifs[0].Name), IntfLoc(lk.A, ifs[1].Name)
+		}
+	}
+	b.Skip("no router with two interfaces")
+	return Location{}, Location{}
+}

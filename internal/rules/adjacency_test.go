@@ -1,0 +1,124 @@
+package rules
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// hasPairNaive is the pre-index HasPair: two directional map probes.
+func hasPairNaive(rb *RuleBase, x, y int) bool {
+	return rb.Has(x, y) || rb.Has(y, x)
+}
+
+// partnersNaive recomputes t's partner set from the rule map.
+func partnersNaive(rb *RuleBase, t int) []int {
+	seen := make(map[int]bool)
+	for k := range rb.rules {
+		if k.X == t {
+			seen[k.Y] = true
+		}
+		if k.Y == t {
+			seen[k.X] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// checkAdjacency verifies the derived index against the rule map over the
+// given template universe.
+func checkAdjacency(t *testing.T, rb *RuleBase, ids []int) {
+	t.Helper()
+	for _, x := range ids {
+		for _, y := range ids {
+			if got, want := rb.HasPair(x, y), hasPairNaive(rb, x, y); got != want {
+				t.Fatalf("HasPair(%d, %d) = %v, naive = %v", x, y, got, want)
+			}
+		}
+		got := rb.Partners(x)
+		want := partnersNaive(rb, x)
+		if len(got) != len(want) {
+			t.Fatalf("Partners(%d) = %v, want %v", x, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Partners(%d) = %v, want %v", x, got, want)
+			}
+		}
+	}
+}
+
+// TestAdjacencyTracksMutations drives a random Add/Remove/Update sequence
+// and checks the O(1) probes against the rule map after every step.
+func TestAdjacencyTracksMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rb := NewRuleBase()
+	ids := []int{0, 1, 2, 3, 5, 8, 13}
+	for step := 0; step < 400; step++ {
+		x, y := ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]
+		switch rng.Intn(3) {
+		case 0:
+			rb.Add(Rule{X: x, Y: y, Support: 0.1, Conf: 0.9})
+		case 1:
+			rb.Remove(x, y)
+		case 2:
+			// A reverse-direction add then a one-direction remove is the
+			// case a naive unlink gets wrong.
+			rb.Add(Rule{X: y, Y: x, Support: 0.1, Conf: 0.9})
+			rb.Remove(x, y)
+		}
+		checkAdjacency(t, rb, ids)
+	}
+}
+
+// TestAdjacencySurvivesUpdate mines a small result and applies the
+// conservative weekly update, then checks the rebuilt index.
+func TestAdjacencySurvivesUpdate(t *testing.T) {
+	rb := NewRuleBase()
+	rb.Add(Rule{X: 1, Y: 2, Support: 0.2, Conf: 0.9})
+	rb.Add(Rule{X: 3, Y: 4, Support: 0.2, Conf: 0.9})
+	res := &Result{
+		Transactions: 100,
+		ItemTx:       map[int]int{1: 50, 2: 50, 3: 2, 4: 50, 5: 40, 6: 40},
+		PairTx:       map[PairKey]int{{1, 2}: 45, {5, 6}: 38},
+		cfg:          Config{SPmin: 0.0005, ConfMin: 0.8, MinEvidence: 5},
+	}
+	res.Rules = res.rulesFromStats()
+	rb.Update(res)
+	checkAdjacency(t, rb, []int{1, 2, 3, 4, 5, 6})
+	if !rb.HasPair(5, 6) {
+		t.Fatal("update did not add the qualifying pair (5, 6)")
+	}
+	if !rb.HasPair(3, 4) {
+		t.Fatal("update deleted (3, 4) though its antecedent lacked evidence")
+	}
+}
+
+// TestAdjacencyLargeIDsFallBack: template IDs beyond the bitset ceiling
+// must still probe correctly via the pair set.
+func TestAdjacencyLargeIDsFallBack(t *testing.T) {
+	rb := NewRuleBase()
+	rb.Add(Rule{X: 2, Y: 3, Support: 0.1, Conf: 0.9})
+	big := bitsetMaxID * 4
+	rb.Add(Rule{X: big, Y: 2, Support: 0.1, Conf: 0.9})
+	checkAdjacency(t, rb, []int{1, 2, 3, big, big + 1})
+	rb.Remove(big, 2)
+	checkAdjacency(t, rb, []int{1, 2, 3, big, big + 1})
+}
+
+func BenchmarkHasPair(b *testing.B) {
+	rb := NewRuleBase()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		rb.Add(Rule{X: rng.Intn(64), Y: rng.Intn(64), Support: 0.1, Conf: 0.9})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rb.HasPair(i&63, (i>>6)&63)
+	}
+}

@@ -262,18 +262,26 @@ func (e *ShardedEngine) start() {
 		e.shardOut[k] = make(chan shardResult, shardQueueDepth)
 		local := e.locals[k]
 		sm := e.met.shard(k)
-		local.SetMetrics(grouping.LocalMetrics{Streams: sm.Streams, StreamEvictions: sm.Evictions})
+		local.SetMetrics(grouping.LocalMetrics{
+			Streams:         sm.Streams,
+			StreamEvictions: sm.Evictions,
+			// Scan tallies are atomic counters, so every shard shares the
+			// global handles rather than getting a per-shard series.
+			RuleCandidates: e.met.Grouping.RuleCandidates,
+			RulePairs:      e.met.Grouping.RulePairs,
+		})
 		e.wg.Add(1)
 		go e.shardLoop(k, local, sm)
 	}
 	e.mergeIn = make(chan mergeBatch, shardQueueDepth)
 	e.ack = make(chan struct{}, 1)
 	e.merger.SetMetrics(grouping.MergeMetrics{
-		MergeTemporal: e.met.Grouping.MergeTemporal,
-		MergeRule:     e.met.Grouping.MergeRule,
-		MergeCross:    e.met.Grouping.MergeCross,
-		OpenMessages:  e.met.Grouping.OpenMessages,
-		OpenGroups:    e.met.Grouping.OpenGroups,
+		MergeTemporal:   e.met.Grouping.MergeTemporal,
+		MergeRule:       e.met.Grouping.MergeRule,
+		MergeCross:      e.met.Grouping.MergeCross,
+		CrossCandidates: e.met.Grouping.CrossCandidates,
+		OpenMessages:    e.met.Grouping.OpenMessages,
+		OpenGroups:      e.met.Grouping.OpenGroups,
 	})
 	e.wg.Add(1)
 	go e.mergeLoop()
@@ -574,8 +582,8 @@ func (e *ShardedEngine) LowWatermark() time.Time {
 func (e *ShardedEngine) Horizon() time.Duration { return e.shardable.Horizon() }
 
 // ActiveRules synchronizes and returns the merge stage's cumulative
-// per-pair rule-merge tally. The map is live merge-stage state: read it
-// before the next Observe, or copy.
+// per-pair rule-merge tally. The map is a snapshot copy; the caller may
+// keep or mutate it freely.
 func (e *ShardedEngine) ActiveRules() map[rules.PairKey]int {
 	e.sync()
 	return e.merger.ActiveRules()
@@ -591,15 +599,18 @@ func (e *ShardedEngine) Stats() grouping.IncStats {
 	e.publishGlobal()
 	ms := e.merger.Stats()
 	st := grouping.IncStats{
-		OpenMessages:   ms.OpenMessages,
-		OpenGroups:     ms.OpenGroups,
-		TemporalMerges: ms.TemporalMerges,
-		RuleMerges:     ms.RuleMerges,
-		CrossMerges:    ms.CrossMerges,
+		OpenMessages:    ms.OpenMessages,
+		OpenGroups:      ms.OpenGroups,
+		TemporalMerges:  ms.TemporalMerges,
+		RuleMerges:      ms.RuleMerges,
+		CrossMerges:     ms.CrossMerges,
+		CrossCandidates: ms.CrossCandidates,
 	}
 	for _, ls := range e.localStats {
 		st.Streams += ls.Streams
 		st.StreamEvictions += ls.Evictions
+		st.RuleCandidates += ls.RuleCandidates
+		st.RulePairs += ls.RulePairs
 	}
 	return st
 }
