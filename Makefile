@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test race build bench bench-smoke bench-compare stream-equiv checkpoint-equiv
+.PHONY: check fmt vet test race build bench bench-smoke bench-compare stream-equiv checkpoint-equiv alloc-guard
 
-check: fmt vet race stream-equiv checkpoint-equiv bench-smoke bench-compare
+check: fmt vet race stream-equiv checkpoint-equiv alloc-guard bench-smoke bench-compare
 
 # gofmt -l prints offending files; fail if it prints anything.
 fmt:
@@ -40,7 +40,7 @@ bench-smoke:
 bench-compare:
 	@tmp=$$(mktemp /tmp/sdbench.XXXXXX.json); \
 	$(GO) run ./cmd/sdbench -dataset A -json $$tmp && \
-	$(GO) run ./cmd/sdbench -compare BENCH_PR7.json -tolerance 150 $$tmp; \
+	$(GO) run ./cmd/sdbench -compare BENCH_PR8.json -tolerance 150 -alloc-tolerance 25 $$tmp; \
 	rc=$$?; rm -f $$tmp; exit $$rc
 
 # The streaming-equivalence smoke: the incremental engine must reproduce the
@@ -56,4 +56,11 @@ stream-equiv:
 # sharded) must emit byte-for-byte what the uninterrupted run emits — each
 # event exactly once.
 checkpoint-equiv:
-	$(GO) test -race -run 'TestCheckpointRestoreEquivalence|TestCheckpointRestoreAcrossWorkerCounts' -count=1 ./internal/core
+	$(GO) test -race -run 'TestCheckpointRestoreEquivalence|TestCheckpointRestoreAcrossWorkerCounts|TestCheckpointPoolIndependence' -count=1 ./internal/core
+
+# The steady-state allocation gate: testing.AllocsPerRun over the vendor
+# corpus (serial and sharded) and the storm corpus must stay at or under
+# one heap allocation per pushed message, net of open-state growth (see
+# internal/core/alloc_guard_test.go).
+alloc-guard:
+	$(GO) test -run 'TestStreamAllocs' -count=1 ./internal/core

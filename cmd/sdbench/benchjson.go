@@ -71,6 +71,8 @@ type stormStats struct {
 	Messages        int     `json:"messages"`
 	NsPerOp         int64   `json:"ns_per_op"`
 	MsgsPerSec      float64 `json:"msgs_per_sec"`
+	AllocsPerOp     uint64  `json:"allocs_per_op"` // schema v7, like benchEntry
+	BytesPerOp      uint64  `json:"bytes_per_op"`
 	RuleCandidates  uint64  `json:"rule_candidates_scanned"`
 	RulePairs       uint64  `json:"rule_pairs_matched"`
 	CrossCandidates uint64  `json:"cross_candidates_scanned"`
@@ -127,6 +129,11 @@ type benchEntry struct {
 	NsPerOp    int64   `json:"ns_per_op"`
 	MsgsPerOp  int     `json:"msgs_per_op"`
 	MsgsPerSec float64 `json:"msgs_per_sec"`
+	// Heap traffic per op (schema v7): process-wide mallocs and bytes for
+	// one stage run, minimum over benchReps — the figure the alloc gate in
+	// -compare holds steady. Zero in pre-v7 snapshots.
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
 }
 
 type speedupSummary struct {
@@ -151,7 +158,7 @@ type benchStage struct {
 func writeBenchJSON(path string, profile experiments.Profile, kinds []gen.DatasetKind, workers int) error {
 	resolved := par.Workers(workers)
 	snap := benchSnapshot{
-		Schema:     "syslogdigest-bench/6",
+		Schema:     "syslogdigest-bench/7",
 		Profile:    profile.Name,
 		Workers:    resolved,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -177,11 +184,11 @@ func writeBenchJSON(path string, profile experiments.Profile, kinds []gen.Datase
 			}
 			serial, best := int64(0), int64(0)
 			for _, w := range sweep {
-				ns, err := timeStage(st, w)
+				ns, allocs, bytes, err := timeStage(st, w)
 				if err != nil {
 					return fmt.Errorf("%s (workers=%d): %w", st.name, w, err)
 				}
-				snap.Benchmarks = append(snap.Benchmarks, entry(st, kind, w, ns))
+				snap.Benchmarks = append(snap.Benchmarks, entry(st, kind, w, ns, allocs, bytes))
 				if w == 1 {
 					serial = ns
 				}
@@ -237,6 +244,7 @@ func writeBenchJSON(path string, profile experiments.Profile, kinds []gen.Datase
 				snap.Benchmarks = append(snap.Benchmarks, benchEntry{
 					Name: name, Dataset: kind.String(), Workers: w,
 					NsPerOp: ss.NsPerOp, MsgsPerOp: ss.Messages, MsgsPerSec: ss.MsgsPerSec,
+					AllocsPerOp: ss.AllocsPerOp, BytesPerOp: ss.BytesPerOp,
 				})
 				fmt.Fprintf(os.Stderr, "sdbench: %s/%s workers=%d %s (rule cands %d, pairs %d)\n",
 					kind, name, w, time.Duration(ss.NsPerOp), ss.RuleCandidates, ss.RulePairs)
@@ -451,6 +459,7 @@ func stormBench(c *experiments.Corpus, storm *gen.Dataset, workers int, linear b
 	if linear {
 		out.Engine = "linear"
 	}
+	var ms0, ms1 runtime.MemStats
 	for r := 0; r < stormReps; r++ {
 		d, err := core.NewDigester(c.KB)
 		if err != nil {
@@ -460,6 +469,7 @@ func stormBench(c *experiments.Corpus, storm *gen.Dataset, workers int, linear b
 		reg := obs.NewRegistry()
 		st := core.NewStreamerWith(d, core.StreamerOptions{StreamWorkers: workers})
 		st.Instrument(reg)
+		runtime.ReadMemStats(&ms0)
 		start := time.Now()
 		for i := range storm.Messages {
 			if _, err := st.Push(storm.Messages[i]); err != nil {
@@ -472,7 +482,11 @@ func stormBench(c *experiments.Corpus, storm *gen.Dataset, workers int, linear b
 			return stormStats{}, err
 		}
 		ns := time.Since(start).Nanoseconds()
+		runtime.ReadMemStats(&ms1)
 		st.Close()
+		if a := ms1.Mallocs - ms0.Mallocs; r == 0 || a < out.AllocsPerOp {
+			out.AllocsPerOp, out.BytesPerOp = a, ms1.TotalAlloc-ms0.TotalAlloc
+		}
 		if out.NsPerOp == 0 || ns < out.NsPerOp {
 			out.NsPerOp = ns
 		}
@@ -487,23 +501,34 @@ func stormBench(c *experiments.Corpus, storm *gen.Dataset, workers int, linear b
 	return out, nil
 }
 
-// timeStage returns the minimum wall-clock nanoseconds over benchReps runs.
-func timeStage(st benchStage, workers int) (int64, error) {
+// timeStage returns the minimum wall-clock nanoseconds over benchReps runs,
+// plus the heap traffic (process-wide mallocs and allocated bytes, from
+// runtime.MemStats deltas) of the cheapest-allocating rep — the minimum
+// discards first-rep lazy initialization, the same way min ns discards
+// scheduler noise.
+func timeStage(st benchStage, workers int) (int64, uint64, uint64, error) {
 	best := int64(0)
+	var allocs, bytes uint64
+	var ms0, ms1 runtime.MemStats
 	for r := 0; r < benchReps; r++ {
+		runtime.ReadMemStats(&ms0)
 		start := time.Now()
 		if err := st.run(workers); err != nil {
-			return 0, err
+			return 0, 0, 0, err
 		}
 		ns := time.Since(start).Nanoseconds()
+		runtime.ReadMemStats(&ms1)
 		if best == 0 || ns < best {
 			best = ns
 		}
+		if a := ms1.Mallocs - ms0.Mallocs; r == 0 || a < allocs {
+			allocs, bytes = a, ms1.TotalAlloc-ms0.TotalAlloc
+		}
 	}
-	return best, nil
+	return best, allocs, bytes, nil
 }
 
-func entry(st benchStage, kind gen.DatasetKind, workers int, ns int64) benchEntry {
+func entry(st benchStage, kind gen.DatasetKind, workers int, ns int64, allocs, bytes uint64) benchEntry {
 	perSec := 0.0
 	if ns > 0 {
 		perSec = float64(st.msgs) / (float64(ns) / 1e9)
@@ -511,6 +536,7 @@ func entry(st benchStage, kind gen.DatasetKind, workers int, ns int64) benchEntr
 	return benchEntry{
 		Name: st.name, Dataset: kind.String(), Workers: workers,
 		NsPerOp: ns, MsgsPerOp: st.msgs, MsgsPerSec: round3(perSec),
+		AllocsPerOp: allocs, BytesPerOp: bytes,
 	}
 }
 

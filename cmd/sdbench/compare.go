@@ -10,7 +10,12 @@ package main
 // Stages are matched on (dataset, name, workers); stages present in only one
 // snapshot are listed but never fail the comparison, so baselines survive
 // stage additions and renames. The exit status is non-zero when any matched
-// stage's ns_per_op regressed by more than -tolerance percent.
+// stage's ns_per_op regressed by more than -tolerance percent, or — schema
+// v7 onward — when its allocs_per_op regressed by more than
+// -alloc-tolerance percent. Allocation counts are near-deterministic
+// (minimum over reps, process-wide mallocs), so the alloc gate can be much
+// tighter than the wall-clock one; entries without alloc data (pre-v7
+// baselines, or either side zero) are timing-compared only.
 
 import (
 	"encoding/json"
@@ -27,8 +32,9 @@ type benchKey struct {
 }
 
 // compareSnapshots prints the delta report to stdout and returns an error
-// when a matched stage regressed beyond tolerancePct.
-func compareSnapshots(oldPath, newPath string, tolerancePct float64) error {
+// when a matched stage's timing regressed beyond tolerancePct or its
+// allocation count regressed beyond allocTolerancePct.
+func compareSnapshots(oldPath, newPath string, tolerancePct, allocTolerancePct float64) error {
 	oldSnap, err := readSnapshot(oldPath)
 	if err != nil {
 		return err
@@ -47,14 +53,14 @@ func compareSnapshots(oldPath, newPath string, tolerancePct float64) error {
 		oldBy[key(e)] = e
 	}
 
-	fmt.Printf("benchmark comparison: %s -> %s (tolerance %.1f%%)\n",
-		oldPath, newPath, tolerancePct)
-	fmt.Printf("%-10s %-18s %3s  %14s %14s %8s  %12s %12s\n",
-		"dataset", "stage", "j", "old ns/op", "new ns/op", "delta", "old msg/s", "new msg/s")
+	fmt.Printf("benchmark comparison: %s -> %s (tolerance %.1f%%, alloc tolerance %.1f%%)\n",
+		oldPath, newPath, tolerancePct, allocTolerancePct)
+	fmt.Printf("%-10s %-18s %3s  %14s %14s %8s  %12s %12s %8s\n",
+		"dataset", "stage", "j", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "adelta")
 
-	var worst float64
-	var worstKey benchKey
-	matched := 0
+	var worst, worstAlloc float64
+	var worstKey, worstAllocKey benchKey
+	matched, allocMatched := 0, 0
 	seen := make(map[benchKey]bool, len(newSnap.Benchmarks))
 	for _, ne := range newSnap.Benchmarks {
 		k := key(ne)
@@ -67,13 +73,22 @@ func compareSnapshots(oldPath, newPath string, tolerancePct float64) error {
 		}
 		matched++
 		delta := pctDelta(oe.NsPerOp, ne.NsPerOp)
-		fmt.Printf("%-10s %-18s %3d  %14d %14d %+7.1f%%  %12.0f %12.0f\n",
-			ne.Dataset, ne.Name, ne.Workers, oe.NsPerOp, ne.NsPerOp, delta,
-			oe.MsgsPerSec, ne.MsgsPerSec)
 		if delta > worst {
 			worst = delta
 			worstKey = k
 		}
+		allocCol := fmt.Sprintf("%12s %12s %8s", "-", "-", "-")
+		if oe.AllocsPerOp > 0 && ne.AllocsPerOp > 0 {
+			allocMatched++
+			adelta := pctDelta(int64(oe.AllocsPerOp), int64(ne.AllocsPerOp))
+			if adelta > worstAlloc {
+				worstAlloc = adelta
+				worstAllocKey = k
+			}
+			allocCol = fmt.Sprintf("%12d %12d %+7.1f%%", oe.AllocsPerOp, ne.AllocsPerOp, adelta)
+		}
+		fmt.Printf("%-10s %-18s %3d  %14d %14d %+7.1f%%  %s\n",
+			ne.Dataset, ne.Name, ne.Workers, oe.NsPerOp, ne.NsPerOp, delta, allocCol)
 	}
 	var dropped []benchKey
 	for k := range oldBy {
@@ -103,8 +118,12 @@ func compareSnapshots(oldPath, newPath string, tolerancePct float64) error {
 		return fmt.Errorf("%s/%s j=%d regressed %.1f%% > tolerance %.1f%%",
 			worstKey.Dataset, worstKey.Name, worstKey.Workers, worst, tolerancePct)
 	}
-	fmt.Printf("ok: %d stages compared, worst regression %+.1f%% (tolerance %.1f%%)\n",
-		matched, worst, tolerancePct)
+	if worstAlloc > allocTolerancePct {
+		return fmt.Errorf("%s/%s j=%d allocs regressed %.1f%% > alloc tolerance %.1f%%",
+			worstAllocKey.Dataset, worstAllocKey.Name, worstAllocKey.Workers, worstAlloc, allocTolerancePct)
+	}
+	fmt.Printf("ok: %d stages compared, worst regression %+.1f%% (tolerance %.1f%%); %d alloc-compared, worst %+.1f%% (tolerance %.1f%%)\n",
+		matched, worst, tolerancePct, allocMatched, worstAlloc, allocTolerancePct)
 	return nil
 }
 

@@ -14,6 +14,7 @@
 //
 //	sdbench -compare old.json -tolerance 10 new.json
 //	                         # diff two snapshots; non-zero exit on regression
+//	                         # (-alloc-tolerance separately gates allocs/op)
 //
 // -json skips the report and instead times each pipeline stage serially and
 // at the -j fan-out, writing a stable JSON snapshot (see benchjson.go).
@@ -43,6 +44,7 @@ func main() {
 		workers     = flag.Int("j", 0, "worker parallelism for learning and digesting (0 = GOMAXPROCS, 1 = serial; results are identical at any setting)")
 		comparePath = flag.String("compare", "", "baseline -json snapshot; compare the snapshot given as the positional argument against it and exit non-zero on regression beyond -tolerance")
 		tolerance   = flag.Float64("tolerance", 10, "with -compare, maximum allowed ns/op regression in percent")
+		allocTol    = flag.Float64("alloc-tolerance", 15, "with -compare, maximum allowed allocs/op regression in percent (alloc counts are near-deterministic, so this can sit far below -tolerance)")
 	)
 	flag.Parse()
 
@@ -50,7 +52,7 @@ func main() {
 		if flag.NArg() != 1 {
 			fatalf("-compare needs exactly one positional argument: the new snapshot (got %d)", flag.NArg())
 		}
-		if err := compareSnapshots(*comparePath, flag.Arg(0), *tolerance); err != nil {
+		if err := compareSnapshots(*comparePath, flag.Arg(0), *tolerance, *allocTol); err != nil {
 			fatalf("compare: %v", err)
 		}
 		return

@@ -75,6 +75,7 @@ func main() {
 	)
 	if *metricsAddr != "" {
 		reg = obs.NewRegistry()
+		obs.PublishRuntime(reg)
 		health = obs.NewHealth(3 * *idle)
 		srv, err := obs.Serve(*metricsAddr, reg, health)
 		if err != nil {

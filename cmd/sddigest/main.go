@@ -66,6 +66,7 @@ func main() {
 	)
 	if *metricsAddr != "" {
 		reg = obs.NewRegistry()
+		obs.PublishRuntime(reg)
 		health = obs.NewHealth(0)
 		srv, err := obs.Serve(*metricsAddr, reg, health)
 		if err != nil {

@@ -40,7 +40,7 @@ func TestLivePipelineObservability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, workers := range []int{1, 3} {
+	for _, workers := range []int{1, 3, 8} {
 		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
 			livePipelineRun(t, kb, ds, workers)
 		})
@@ -49,6 +49,7 @@ func TestLivePipelineObservability(t *testing.T) {
 
 func livePipelineRun(t *testing.T, kb *syslogdigest.KnowledgeBase, ds *gen.Dataset, workers int) {
 	reg := obs.NewRegistry()
+	obs.PublishRuntime(reg)
 	health := obs.NewHealth(0)
 	srv, err := obs.Serve("127.0.0.1:0", reg, health)
 	if err != nil {
@@ -231,8 +232,34 @@ func livePipelineRun(t *testing.T, kb *syslogdigest.KnowledgeBase, ds *gen.Datas
 	if h := snap.Histogram("stream.emit_latency_seconds"); h == nil || h.Count != uint64(eventsOut) {
 		t.Fatalf("exporter: emit latency observations %+v, want %d", h, eventsOut)
 	}
+	// Pending-pool books: every record handed out was either returned or is
+	// still live (gets == puts + live), and after Flush force-closed every
+	// group nothing is live — the pool recycled the entire run.
+	poolGets := snap.Counter("stream.pool.pending.gets")
+	poolPuts := snap.Counter("stream.pool.pending.puts")
+	poolLive := snap.Gauge("stream.pool.pending.live")
+	if poolGets == 0 {
+		t.Fatal("exporter: pool handed out no records on a real feed")
+	}
+	if poolGets != poolPuts+uint64(poolLive) {
+		t.Fatalf("exporter: pool gets %d != puts %d + live %v", poolGets, poolPuts, poolLive)
+	}
+	if poolLive != 0 {
+		t.Fatalf("exporter: pool live %v after flush, want 0", poolLive)
+	}
 	if wm := snap.Gauge("stream.watermark_unix_seconds"); wm <= 0 {
 		t.Fatalf("exporter: watermark gauge %v, want positive", wm)
+	}
+	// Runtime books (obs.PublishRuntime): refreshed by the snapshot-time
+	// sampler, so the scrape must carry live allocator totals that obey
+	// mallocs >= frees, with the live count being exactly the difference.
+	rtMallocs := snap.Gauge("runtime.heap.mallocs")
+	rtFrees := snap.Gauge("runtime.heap.frees")
+	if rtMallocs <= 0 || rtFrees < 0 || rtMallocs < rtFrees {
+		t.Fatalf("exporter: runtime heap books mallocs %v frees %v", rtMallocs, rtFrees)
+	}
+	if rtLive := snap.Gauge("runtime.heap.live_objects"); rtLive != rtMallocs-rtFrees {
+		t.Fatalf("exporter: runtime live %v != mallocs %v - frees %v", rtLive, rtMallocs, rtFrees)
 	}
 
 	// Sharded-mode reconciliation: every released message was processed by

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"syslogdigest/internal/gen"
+	"syslogdigest/internal/obs"
+	"syslogdigest/internal/syslogmsg"
+)
+
+// allocBudget is the steady-state allocation ceiling per pushed message.
+// The pooled hot path (PR 8) recycles Pending records, batch buffers, and
+// group scratch, so a warm engine allocates at most the occasional event
+// emission and map-growth noise — anything above one allocation per message
+// means a per-push rebuild crept back in.
+const allocBudget = 1.0
+
+// corpusAllocs warms a streamer over the first part of ds and measures
+// allocations per push across the next runs messages. The corpus must hold
+// at least warm+runs+2 messages (AllocsPerRun calls the body once extra).
+//
+// The return value is net of open-state growth: when the measurement window
+// admits more messages into open groups than closures release (storm feeds
+// hold messages live for the full closure horizon), each net-new live
+// record is one unavoidable pool allocation — that is the algorithm's
+// working set growing, not per-push overhead, and it is measured exactly by
+// the pool gets−puts delta. Once closures keep pace the correction is zero.
+func corpusAllocs(t *testing.T, kb *KnowledgeBase, ds *gen.Dataset, workers, warm, runs int) float64 {
+	t.Helper()
+	if need := warm + runs + 2; len(ds.Messages) < need {
+		t.Fatalf("corpus too small: %d messages, need %d", len(ds.Messages), need)
+	}
+	d, err := NewDigester(kb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	st := NewStreamerWith(d, StreamerOptions{StreamWorkers: workers})
+	defer st.Close()
+	st.Instrument(reg)
+	i := 0
+	push := func() {
+		if _, err := st.Push(ds.Messages[i]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}
+	for j := 0; j < warm; j++ {
+		push()
+	}
+	live := func() int64 {
+		snap := reg.Snapshot()
+		return int64(snap.Counter("stream.pool.pending.gets")) - int64(snap.Counter("stream.pool.pending.puts"))
+	}
+	before := live()
+	avg := testing.AllocsPerRun(runs, push)
+	if growth := live() - before; growth > 0 {
+		avg -= float64(growth) / float64(runs)
+	}
+	if avg < 0 {
+		avg = 0
+	}
+	return avg
+}
+
+// syntheticAllocs measures the single-stream regime: one router, one
+// template, strictly increasing time — the same feed the original serial
+// guard used, now parameterized by worker count. Like corpusAllocs, the
+// result is net of the pool gets−puts delta: the sharded dispatcher
+// acquires records at Push time while the merge goroutine returns them,
+// and on one CPU the short measurement window can end before the merge
+// side runs at all — every record acquired against an empty pool is then
+// a deferred recycle, not per-push overhead.
+func syntheticAllocs(t *testing.T, workers int) float64 {
+	t.Helper()
+	kb, _ := learnSmall(t, gen.DatasetA)
+	d, err := NewDigester(kb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	st := NewStreamerWith(d, StreamerOptions{StreamWorkers: workers})
+	defer st.Close()
+	st.Instrument(reg)
+	t0 := time.Date(2010, 1, 1, 12, 0, 0, 0, time.UTC)
+	step := 0
+	push := func() {
+		m := syslogmsg.Message{Time: t0.Add(time.Duration(step) * time.Second),
+			Router: "x", Code: "A-1-B", Detail: "d"}
+		step++
+		if _, err := st.Push(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2048; i++ {
+		push()
+	}
+	live := func() int64 {
+		snap := reg.Snapshot()
+		return int64(snap.Counter("stream.pool.pending.gets")) - int64(snap.Counter("stream.pool.pending.puts"))
+	}
+	const runs = 512
+	before := live()
+	avg := testing.AllocsPerRun(runs, push)
+	if growth := live() - before; growth > 0 {
+		avg -= float64(growth) / float64(runs)
+	}
+	if avg < 0 {
+		avg = 0
+	}
+	return avg
+}
+
+// TestStreamAllocsSmall pins the steady-state allocation budget on the
+// small (learnSmall) corpus at serial and sharded worker counts. The
+// sharded measurement counts allocations process-wide, so the shard and
+// merge goroutines' work is included — channel backpressure keeps their
+// progress proportional to pushes.
+func TestStreamAllocsSmall(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates per push")
+	}
+	kb, ds := learnSmall(t, gen.DatasetA)
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			warm := len(ds.Messages) / 2
+			runs := len(ds.Messages) - warm - 2
+			avg := corpusAllocs(t, kb, ds, workers, warm, runs)
+			t.Logf("small corpus, workers=%d: %.3f allocs/push", workers, avg)
+			if avg > allocBudget {
+				t.Fatalf("steady-state allocations per push = %.3f, want <= %v", avg, allocBudget)
+			}
+		})
+	}
+}
+
+// TestStreamAllocsStorm pins the budget under the flap-storm corpus —
+// near-full rule and cross windows, heavy noise — where per-message
+// constant factors actually decide throughput.
+func TestStreamAllocsStorm(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates per push")
+	}
+	if testing.Short() {
+		t.Skip("storm corpus generation is slow")
+	}
+	kb, ds := learnStorm(t)
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			warm := len(ds.Messages) * 3 / 4
+			runs := len(ds.Messages) - warm - 2
+			if runs > 16384 {
+				runs = 16384
+			}
+			avg := corpusAllocs(t, kb, ds, workers, warm, runs)
+			t.Logf("storm corpus, workers=%d: %.3f allocs/push", workers, avg)
+			if avg > allocBudget {
+				t.Fatalf("steady-state allocations per push = %.3f, want <= %v", avg, allocBudget)
+			}
+		})
+	}
+}
+
+// TestStreamAllocsSyntheticSharded extends the original single-stream guard
+// to the sharded engine.
+func TestStreamAllocsSyntheticSharded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates per push")
+	}
+	avg := syntheticAllocs(t, 4)
+	t.Logf("synthetic feed, workers=4: %.3f allocs/push", avg)
+	if avg > allocBudget {
+		t.Fatalf("steady-state allocations per push = %.3f, want <= %v", avg, allocBudget)
+	}
+}

@@ -248,6 +248,84 @@ func TestCheckpointGoldenRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCheckpointPoolIndependence proves the Pending pool is runtime
+// plumbing only, invisible to checkpoints: a snapshot restores to the same
+// bytes (no pool state serializes — the golden fixed point), and a restored
+// run's pool books balance on their own. Records materialized by restore
+// are GC-owned (owner == nil) and must never enter the new engine's pool,
+// while every record the new pool hands out must come back by Flush — so
+// after draining, gets == puts exactly: a put surplus means a restored
+// record leaked in, a deficit means a pooled record leaked out. Run under
+// -race (make checkpoint-equiv) this also exercises the cross-goroutine
+// release paths of the sharded engine's refcounts.
+func TestCheckpointPoolIndependence(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			kb, ds := learnSmall(t, gen.DatasetA)
+			kb.SetMatchCache(0)
+			msgs := ds.Messages
+			opts := StreamerOptions{StreamWorkers: workers}
+			d, err := NewDigester(kb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := NewStreamerWith(d, opts)
+			cut := len(msgs) / 2
+			for _, m := range msgs[:cut] {
+				if _, err := st.Push(m); err != nil {
+					t.Fatal(err)
+				}
+			}
+			snap, err := st.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			st.Close()
+
+			d2, err := NewDigester(kb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st2, err := RestoreStreamer(d2, snap, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st2.Close()
+			snap2, err := st2.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(snap, snap2) {
+				t.Fatalf("snapshot → restore → snapshot is not a fixed point: %d vs %d bytes",
+					len(snap), len(snap2))
+			}
+
+			reg := obs.NewRegistry()
+			st2.Instrument(reg)
+			for _, m := range msgs[cut:] {
+				if _, err := st2.Push(m); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := st2.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			s := reg.Snapshot()
+			gets := s.Counter("stream.pool.pending.gets")
+			puts := s.Counter("stream.pool.pending.puts")
+			if gets == 0 {
+				t.Fatal("restored run's pool handed out no records")
+			}
+			if gets != puts {
+				t.Fatalf("pool leak across restore: gets %d != puts %d", gets, puts)
+			}
+			if live := s.Gauge("stream.pool.pending.live"); live != 0 {
+				t.Fatalf("pool live %v after flush, want 0", live)
+			}
+		})
+	}
+}
+
 // TestRestoreRejectsFutureVersion: a snapshot stamped with a later format
 // version (a newer build's file) must be refused, not misread.
 func TestRestoreRejectsFutureVersion(t *testing.T) {

@@ -190,6 +190,9 @@ func (kb *KnowledgeBase) finish() error {
 	}
 	kb.dict = dict
 	kb.parser = locparse.New(dict)
+	// Nothing in the pipeline reads Info.Unresolved; dropping it saves an
+	// allocation per cache-missing message on the augment hot path.
+	kb.parser.DropUnresolved()
 	return nil
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation allocates on the hot path, so allocation-count guards
+// skip themselves under -race (the equivalence suites still run there).
+const raceEnabled = true

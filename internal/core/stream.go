@@ -139,6 +139,9 @@ func (s *Streamer) Instrument(reg *obs.Registry) {
 			OpenGroups:      reg.Gauge("stream.state.groups"),
 			Streams:         reg.Gauge("stream.state.streams"),
 			StreamEvictions: reg.Counter("stream.state.evictions"),
+			PoolGets:        reg.Counter("stream.pool.pending.gets"),
+			PoolPuts:        reg.Counter("stream.pool.pending.puts"),
+			PoolLive:        reg.Gauge("stream.pool.pending.live"),
 		},
 		Emitted:     reg.Counter("stream.emitted"),
 		EmitLatency: reg.Histogram("stream.emit_latency_seconds", stream.EmitLatencyBounds()),

@@ -15,8 +15,11 @@
 package event
 
 import (
+	"cmp"
+	"encoding/binary"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"time"
 
@@ -59,11 +62,11 @@ func (f *FreqTable) Entries() []FreqEntry {
 	for k, v := range f.counts {
 		out = append(out, FreqEntry{Router: k.router, Template: k.template, Count: v})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Router != out[j].Router {
-			return out[i].Router < out[j].Router
+	slices.SortFunc(out, func(a, b FreqEntry) int {
+		if c := cmp.Compare(a.Router, b.Router); c != 0 {
+			return c
 		}
-		return out[i].Template < out[j].Template
+		return cmp.Compare(a.Template, b.Template)
 	})
 	return out
 }
@@ -95,10 +98,29 @@ func (e *Event) Size() int { return len(e.MessageSeqs) }
 // Span returns the event duration.
 func (e *Event) Span() time.Duration { return e.End.Sub(e.Start) }
 
-// Builder assembles and scores events.
+// Builder assembles and scores events. A Builder carries per-call scratch
+// reused across BuildGroup invocations, so it is single-engine state: one
+// Builder per pipeline, calls serialized (exactly the discipline the stream
+// engines already impose). The slices an Event retains are always freshly
+// allocated at exact size — only the intermediate working sets recycle.
 type Builder struct {
 	freq    *FreqTable
 	labeler *Labeler
+
+	// BuildGroup scratch, cleared (not reallocated) between calls.
+	routers   map[string]bool
+	templates map[int]bool
+	perRouter map[string][]locdict.Location
+	locFree   [][]locdict.Location     // spare perRouter value backings
+	counts    map[locdict.Location]int // presentationLoc tally
+
+	// Label memoization: events overwhelmingly repeat a small set of
+	// template combinations, so labels are cached by the sorted template
+	// IDs. keyBuf is the reusable encoding buffer; labelGen tracks the
+	// labeler's revision so SetName invalidates stale entries.
+	labelCache map[string]string
+	labelGen   int
+	keyBuf     []byte
 }
 
 // NewBuilder creates a builder. freq may be nil (all frequencies treated as
@@ -110,7 +132,16 @@ func NewBuilder(freq *FreqTable, labeler *Labeler) *Builder {
 	if labeler == nil {
 		labeler = NewLabeler(nil)
 	}
-	return &Builder{freq: freq, labeler: labeler}
+	return &Builder{
+		freq:       freq,
+		labeler:    labeler,
+		routers:    make(map[string]bool),
+		templates:  make(map[int]bool),
+		perRouter:  make(map[string][]locdict.Location),
+		counts:     make(map[locdict.Location]int),
+		labelCache: make(map[string]string),
+		labelGen:   labeler.generation(),
+	}
 }
 
 // Member is one message as event assembly sees it: the fields scoring and
@@ -170,10 +201,10 @@ func (b *Builder) Build(msgs []grouping.Message, res *grouping.Result, rawIndex 
 // which makes their scores bit-identical, not merely close. The caller
 // assigns ID.
 func (b *Builder) BuildGroup(members []Member) Event {
-	var e Event
-	routers := make(map[string]bool)
-	templates := make(map[int]bool)
-	perRouterLocs := make(map[string][]locdict.Location)
+	e := Event{
+		MessageSeqs: make([]int, 0, len(members)),
+		RawIndexes:  make([]uint64, 0, len(members)),
+	}
 	for i := range members {
 		m := &members[i]
 		if e.Start.IsZero() || m.Time.Before(e.Start) {
@@ -182,9 +213,13 @@ func (b *Builder) BuildGroup(members []Member) Event {
 		if m.Time.After(e.End) {
 			e.End = m.Time
 		}
-		routers[m.Router] = true
-		templates[m.Template] = true
-		perRouterLocs[m.Router] = append(perRouterLocs[m.Router], m.Loc)
+		b.routers[m.Router] = true
+		b.templates[m.Template] = true
+		ls, ok := b.perRouter[m.Router]
+		if !ok {
+			ls = b.locBuf()
+		}
+		b.perRouter[m.Router] = append(ls, m.Loc)
 		e.MessageSeqs = append(e.MessageSeqs, m.Seq)
 		e.RawIndexes = append(e.RawIndexes, m.Raw)
 		// Scoring: l_m / log(f_m). The +e guard keeps the denominator
@@ -192,28 +227,67 @@ func (b *Builder) BuildGroup(members []Member) Event {
 		f := float64(b.freq.Get(m.Router, m.Template))
 		e.Score += m.Loc.Level.Weight() / math.Log(f+math.E)
 	}
-	for r := range routers {
+	e.Routers = make([]string, 0, len(b.routers))
+	for r := range b.routers {
 		e.Routers = append(e.Routers, r)
 	}
-	sort.Strings(e.Routers)
+	slices.Sort(e.Routers)
+	e.Locations = make([]locdict.Location, 0, len(e.Routers))
 	for _, r := range e.Routers {
-		e.Locations = append(e.Locations, presentationLoc(r, perRouterLocs[r]))
+		e.Locations = append(e.Locations, b.presentationLoc(r, b.perRouter[r]))
 	}
-	for t := range templates {
+	e.Templates = make([]int, 0, len(b.templates))
+	for t := range b.templates {
 		e.Templates = append(e.Templates, t)
 	}
-	sort.Ints(e.Templates)
-	sort.Ints(e.MessageSeqs)
-	sort.Slice(e.RawIndexes, func(i, j int) bool { return e.RawIndexes[i] < e.RawIndexes[j] })
-	e.Label = b.labeler.EventLabel(e.Templates)
+	slices.Sort(e.Templates)
+	slices.Sort(e.MessageSeqs)
+	slices.Sort(e.RawIndexes)
+	e.Label = b.eventLabel(e.Templates)
+	clear(b.routers)
+	clear(b.templates)
+	for _, ls := range b.perRouter {
+		b.locFree = append(b.locFree, ls[:0])
+	}
+	clear(b.perRouter)
 	return e
+}
+
+// locBuf hands out a spare location slice for a perRouter entry.
+func (b *Builder) locBuf() []locdict.Location {
+	if n := len(b.locFree); n > 0 {
+		ls := b.locFree[n-1]
+		b.locFree = b.locFree[:n-1]
+		return ls
+	}
+	return nil
+}
+
+// eventLabel memoizes Labeler.EventLabel by the sorted distinct template
+// IDs. Labels are pure functions of the template set for a fixed labeler, so
+// a hit returns the identical string the labeler would have rebuilt.
+func (b *Builder) eventLabel(templates []int) string {
+	if g := b.labeler.generation(); g != b.labelGen {
+		clear(b.labelCache)
+		b.labelGen = g
+	}
+	b.keyBuf = b.keyBuf[:0]
+	for _, id := range templates {
+		b.keyBuf = binary.AppendVarint(b.keyBuf, int64(id))
+	}
+	if s, ok := b.labelCache[string(b.keyBuf)]; ok {
+		return s
+	}
+	s := b.labeler.EventLabel(templates)
+	b.labelCache[string(b.keyBuf)] = s
+	return s
 }
 
 // presentationLoc picks a router's display location: the coarsest level
 // present (a router-level message subsumes interface detail — §4.2.4), and
 // among that level's locations the most common, ties broken
 // lexicographically.
-func presentationLoc(router string, locs []locdict.Location) locdict.Location {
+func (b *Builder) presentationLoc(router string, locs []locdict.Location) locdict.Location {
 	best := locdict.LevelInterface
 	for _, l := range locs {
 		if l.Level > best {
@@ -223,15 +297,15 @@ func presentationLoc(router string, locs []locdict.Location) locdict.Location {
 	if best == locdict.LevelRouter {
 		return locdict.RouterLoc(router)
 	}
-	counts := make(map[locdict.Location]int)
+	clear(b.counts)
 	for _, l := range locs {
 		if l.Level == best {
-			counts[l]++
+			b.counts[l]++
 		}
 	}
 	var pick locdict.Location
 	pickN := -1
-	for l, n := range counts {
+	for l, n := range b.counts {
 		if n > pickN || (n == pickN && l.Key() < pick.Key()) {
 			pick, pickN = l, n
 		}

@@ -133,7 +133,7 @@ func TestPresentationLocCoarsestWins(t *testing.T) {
 		locdict.RouterLoc("r1"),
 		locdict.IntfLoc("r1", "Serial1/0/2:0"),
 	}
-	got := presentationLoc("r1", locs)
+	got := NewBuilder(nil, nil).presentationLoc("r1", locs)
 	if got != locdict.RouterLoc("r1") {
 		t.Fatalf("presentationLoc = %v, want router level", got)
 	}
@@ -143,7 +143,7 @@ func TestPresentationLocCoarsestWins(t *testing.T) {
 		locdict.IntfLoc("r1", "Serial1/0/2:0"),
 		locdict.IntfLoc("r1", "Serial1/0/1:0"),
 	}
-	got = presentationLoc("r1", locs)
+	got = NewBuilder(nil, nil).presentationLoc("r1", locs)
 	if got.Name != "Serial1/0/1:0" {
 		t.Fatalf("presentationLoc = %v", got)
 	}

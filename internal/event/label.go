@@ -16,6 +16,7 @@ import (
 type Labeler struct {
 	templates map[int]template.Template
 	custom    map[int]string
+	gen       int // bumped by SetName so Builder label caches invalidate
 }
 
 // NewLabeler indexes the learned templates. A nil slice is allowed —
@@ -32,7 +33,14 @@ func NewLabeler(templates []template.Template) *Labeler {
 }
 
 // SetName registers an expert-provided name for one template.
-func (l *Labeler) SetName(id int, name string) { l.custom[id] = name }
+func (l *Labeler) SetName(id int, name string) {
+	l.custom[id] = name
+	l.gen++
+}
+
+// generation identifies the labeler's naming revision; it changes whenever
+// an override is installed, letting callers invalidate memoized labels.
+func (l *Labeler) generation() int { return l.gen }
 
 // subjects maps code facilities/modules to human subjects.
 var subjects = map[string]string{

@@ -200,9 +200,12 @@ func CaptureParts(locals []*RouterLocal, mg *Merger) IncState {
 			Windows:        []WindowState{},
 		}
 		for md := rl.mHead; md != nil; md = md.next {
+			// The live key holds the Location struct (hot-path economy); the
+			// snapshot keeps the canonical Key() string so the format is
+			// unchanged from older builds. ParseKey inverts it on restore.
 			ms := ModelState{
 				Template: md.key.template,
-				LocKey:   md.key.loc,
+				LocKey:   md.key.loc.Key(),
 				Router:   md.router,
 				Temporal: md.tg.State(),
 				Last:     -1,
@@ -257,7 +260,14 @@ func (s *Shardable) RestoreParts(st IncState, workers, localMax int, shardFor fu
 		shardFor = func(string) int { return 0 }
 	}
 
-	// Materialize the pending pool.
+	// Materialize the pendings. NewPending records are GC-managed (no pool
+	// owner): checkpoint state is pool-independent, so a restored engine
+	// simply refills its pool with fresh records as these retire — no
+	// record crosses a restore. Each starts with one materialization
+	// reference; the incorporation passes below add the structural
+	// references the live engine would hold (group membership, model
+	// last-message, ring slots), and the final loop drops the
+	// materialization reference, leaving exactly the live counts.
 	ps := make([]*Pending, len(st.Pendings))
 	for i, pst := range st.Pendings {
 		ps[i] = NewPending(Message{
@@ -309,6 +319,7 @@ func (s *Shardable) RestoreParts(st IncState, workers, localMax int, shardFor fu
 				return nil, nil, fmt.Errorf("grouping: restore: pending %d in more than one group", mi)
 			}
 			p.g = g
+			p.ref() // group membership reference
 			g.members = append(g.members, p)
 		}
 		g.last = checkpoint.NsTime(gs.LastNs)
@@ -345,7 +356,11 @@ func (s *Shardable) RestoreParts(st IncState, workers, localMax int, shardFor fu
 	}
 	exact := len(st.Locals) == workers
 	restoreModel := func(rl *RouterLocal, ms ModelState) error {
-		key := modelKey{template: ms.Template, loc: ms.LocKey}
+		loc, err := locdict.ParseKey(ms.Router, ms.LocKey)
+		if err != nil {
+			return fmt.Errorf("grouping: restore: %w", err)
+		}
+		key := modelKey{template: ms.Template, loc: loc}
 		if rl.models[key] != nil {
 			return fmt.Errorf("grouping: restore: duplicate model %d/%q", ms.Template, ms.LocKey)
 		}
@@ -359,6 +374,7 @@ func (s *Shardable) RestoreParts(st IncState, workers, localMax int, shardFor fu
 			if err != nil {
 				return err
 			}
+			p.ref() // model last-message reference
 			md.last = p
 		}
 		rl.models[key] = md
@@ -424,6 +440,12 @@ func (s *Shardable) RestoreParts(st IncState, workers, localMax int, shardFor fu
 			rl.watermark = mg.watermark
 		}
 	}
+	// Incorporation complete: drop the materialization references so every
+	// record carries exactly the references the live engine would hold.
+	// (Ring pushes above took their own slot references.)
+	for _, p := range ps {
+		p.unref()
+	}
 	// An over-full model table (restore with a smaller bound) trims on the
 	// next insert; trimming here would skew the eviction counter for exact
 	// restores.
@@ -441,5 +463,5 @@ func RestoreIncremental(dict *locdict.Dictionary, rb *rules.RuleBase, cfg Increm
 	if err != nil {
 		return nil, err
 	}
-	return &Incremental{local: locals[0], merge: mg}, nil
+	return &Incremental{local: locals[0], merge: mg, pool: s.Pool()}, nil
 }

@@ -86,6 +86,9 @@ type IncMetrics struct {
 	OpenGroups      *obs.Gauge   // stream.state.groups
 	Streams         *obs.Gauge   // stream.state.streams
 	StreamEvictions *obs.Counter // stream.state.evictions
+	PoolGets        *obs.Counter // stream.pool.pending.gets
+	PoolPuts        *obs.Counter // stream.pool.pending.puts
+	PoolLive        *obs.Gauge   // stream.pool.pending.live
 }
 
 // IncStats is a point-in-time snapshot of the incremental grouper.
@@ -118,6 +121,7 @@ type ClosedGroup struct {
 type Incremental struct {
 	local *RouterLocal
 	merge *Merger
+	pool  *PendingPool
 	js    Joins
 }
 
@@ -128,8 +132,12 @@ func NewIncremental(dict *locdict.Dictionary, rb *rules.RuleBase, cfg Incrementa
 	if err != nil {
 		return nil, err
 	}
-	return &Incremental{local: s.NewLocal(0), merge: s.NewMerger()}, nil
+	return &Incremental{local: s.NewLocal(0), merge: s.NewMerger(), pool: s.Pool()}, nil
 }
+
+// Pool is the grouper's Pending pool (see pool.go): runtime plumbing only,
+// exposed for observability.
+func (inc *Incremental) Pool() *PendingPool { return inc.pool }
 
 // SetMetrics installs observability handles (may be called before or after
 // the first Observe; gauges update on the next one).
@@ -148,6 +156,7 @@ func (inc *Incremental) SetMetrics(m IncMetrics) {
 		OpenMessages:    m.OpenMessages,
 		OpenGroups:      m.OpenGroups,
 	})
+	inc.pool.SetMetrics(PoolMetrics{Gets: m.PoolGets, Puts: m.PoolPuts, Live: m.PoolLive})
 }
 
 // Watermark is the maximum message time observed so far.
@@ -179,7 +188,9 @@ func (inc *Incremental) Stats() IncStats {
 }
 
 // Observe ingests one message (nondecreasing time order required) and
-// returns any groups the advanced watermark closed, oldest first.
+// returns any groups the advanced watermark closed, oldest first. The
+// returned slice is scratch valid until the next Observe or Drain; see
+// Merger.Apply and Recycle.
 func (inc *Incremental) Observe(m Message) ([]ClosedGroup, error) {
 	// Validate before any state mutation: a time regression must leave the
 	// models untouched, exactly as before the local/merge split.
@@ -187,12 +198,22 @@ func (inc *Incremental) Observe(m Message) ([]ClosedGroup, error) {
 		return nil, fmt.Errorf("grouping: incremental requires nondecreasing timestamps (got %v after watermark %v)",
 			m.Time, inc.merge.watermark)
 	}
-	p := NewPending(m)
+	p := inc.pool.Get(m)
 	if err := inc.local.Step(p, &inc.js); err != nil {
 		return nil, err
 	}
-	return inc.merge.Apply(p, &inc.js)
+	out, err := inc.merge.Apply(p, &inc.js)
+	if err != nil {
+		return nil, err
+	}
+	inc.local.PublishMetrics()
+	inc.pool.PublishLive()
+	return out, nil
 }
+
+// Recycle hands fully-consumed closed groups' member buffers back for
+// reuse; optional (see Merger.Recycle).
+func (inc *Incremental) Recycle(closed []ClosedGroup) { inc.merge.Recycle(closed) }
 
 // Drain closes every open group (oldest first) and clears the join windows
 // and per-stream predecessors, so no later message can group with anything
@@ -201,5 +222,7 @@ func (inc *Incremental) Observe(m Message) ([]ClosedGroup, error) {
 func (inc *Incremental) Drain() []ClosedGroup {
 	out := inc.merge.Drain()
 	inc.local.DrainWindows()
+	inc.local.PublishMetrics()
+	inc.pool.PublishLive()
 	return out
 }

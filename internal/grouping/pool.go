@@ -1,0 +1,118 @@
+// Pending recycling: the steady-state streaming path creates one Pending
+// per message and drops it once its group closes and every window slot that
+// referenced it has expired. Allocating (and GC-scanning) those records was
+// the single largest cost of the sharded engine (see EXPERIMENTS.md, PR 8);
+// this file recycles them through a reference-counted pool instead.
+//
+// Ownership protocol — who holds a reference to a Pending:
+//
+//   - the pipeline: Get returns a record with one reference, consumed by
+//     Merger.Apply (Apply takes ownership of the caller's reference);
+//   - its group: +1 while the record sits on an open group's member list,
+//     released by closeGroup;
+//   - its temporal model: +1 while it is a stream's last-message pointer,
+//     released on overwrite, eviction, or DrainWindows;
+//   - each window ring slot (rule windows, cross ring): +1 per slot,
+//     released by popFront.
+//
+// A join decision (Joins.Temporal, Joins.Rules) deliberately carries no
+// reference of its own: the closure-horizon invariant guarantees the join
+// target's group reference outlives every in-flight decision that names it
+// (a decision pairs messages at most horizon apart, and a group only closes
+// once the watermark passes its newest member by more than the horizon), so
+// the group reference already pins the record. The counts are atomic
+// because the sharded engine releases model and rule-ring references on
+// shard goroutines while the merge goroutine releases group and cross-ring
+// references.
+//
+// Pools are runtime plumbing only: they are never serialized (checkpoint
+// state is pool-independent), and records restored from a checkpoint are
+// plain GC-managed allocations (owner == nil) — a restored engine refills
+// its pool with fresh records as the restored ones retire, so no record
+// ever crosses a restore.
+package grouping
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"syslogdigest/internal/obs"
+)
+
+// PendingPool recycles Pending records for one engine. Safe for concurrent
+// use (the sharded engine's shard and merge goroutines share it). The zero
+// value is not usable; engines get one from their Shardable.
+type PendingPool struct {
+	pool sync.Pool
+	live atomic.Int64
+
+	gets *obs.Counter // stream.pool.pending.gets
+	puts *obs.Counter // stream.pool.pending.puts
+	met  *obs.Gauge   // stream.pool.pending.live
+}
+
+// PoolMetrics are a pool's optional observability handles (nil-safe).
+type PoolMetrics struct {
+	Gets *obs.Counter // stream.pool.pending.gets
+	Puts *obs.Counter // stream.pool.pending.puts
+	Live *obs.Gauge   // stream.pool.pending.live
+}
+
+func newPendingPool() *PendingPool {
+	pp := &PendingPool{}
+	pp.pool.New = func() any { return new(Pending) }
+	return pp
+}
+
+// SetMetrics installs observability handles. Install before the first Get;
+// the handles are read from pool operations on multiple goroutines.
+func (pp *PendingPool) SetMetrics(m PoolMetrics) {
+	pp.gets, pp.puts, pp.met = m.Gets, m.Puts, m.Live
+}
+
+// Get acquires a recycled (or fresh) record wrapping m, holding one
+// pipeline reference.
+func (pp *PendingPool) Get(m Message) *Pending {
+	p := pp.pool.Get().(*Pending)
+	p.msg = m
+	p.refs.Store(1)
+	p.owner = pp
+	pp.live.Add(1)
+	pp.gets.Inc()
+	return p
+}
+
+// put returns a fully released record. The message and group pointer are
+// cleared; grp is deliberately left alone — the record's last reference is
+// often dropped by closeGroup while it is still iterating a member list
+// backed by this record's grp.inline array, so zeroing it here would pull
+// the backing out from under the caller. Apply resets the stale grp fields
+// when the record starts its next life (stale inline pointers only pin
+// other pooled records, which the pool keeps alive anyway).
+func (pp *PendingPool) put(p *Pending) {
+	p.msg = Message{}
+	p.g = nil
+	p.owner = nil
+	pp.live.Add(-1)
+	pp.puts.Inc()
+	pp.pool.Put(p)
+}
+
+// Live is the number of records handed out and not yet returned.
+func (pp *PendingPool) Live() int64 { return pp.live.Load() }
+
+// PublishLive refreshes the live gauge; engines call it at quiet points
+// (the counters are live, the gauge is sampled).
+func (pp *PendingPool) PublishLive() { pp.met.Set(float64(pp.live.Load())) }
+
+// ref adds one reference.
+func (p *Pending) ref() { p.refs.Add(1) }
+
+// unref drops one reference; the last drop returns a pooled record to its
+// pool. Records built by NewPending (tests, checkpoint restore) have no
+// owner and are left to the GC.
+func (p *Pending) unref() {
+	if p.refs.Add(-1) == 0 && p.owner != nil {
+		p.owner.put(p)
+	}
+}

@@ -34,9 +34,10 @@
 package grouping
 
 import (
+	"cmp"
 	"fmt"
 	"slices"
-	"sort"
+	"sync/atomic"
 	"time"
 
 	"syslogdigest/internal/locdict"
@@ -48,18 +49,25 @@ import (
 // Pending is one in-flight message: created in global arrival order,
 // examined by its router's RouterLocal, grouped by the Merger. The message
 // is immutable after creation; the group fields are owned by the Merger.
+// refs counts the holders listed in pool.go; a pooled record (owner != nil)
+// recycles when the count hits zero.
 type Pending struct {
 	msg Message
+
+	refs  atomic.Int32
+	owner *PendingPool // nil: GC-managed (NewPending, checkpoint restore)
 
 	g   *incGroup // current group (Merger-owned)
 	grp incGroup  // inline singleton group backing (Merger-owned)
 }
 
 // NewPending wraps a message for the shard pipeline. One allocation covers
-// the member and its singleton group.
+// the member and its singleton group. The record is GC-managed: it never
+// enters a pool, so tests and restore paths may hold it freely.
 func NewPending(m Message) *Pending {
 	p := &Pending{}
 	p.msg = m
+	p.refs.Store(1)
 	return p
 }
 
@@ -83,18 +91,28 @@ func (j *Joins) Reset() {
 	j.Rules = j.Rules[:0]
 }
 
+// inlineMembers is the per-Pending inline group capacity: member lists with
+// capacity at or below this are inline backings owned by their Pending,
+// larger ones are pool-managed heap slices (see Merger.putMemberBuf).
+const inlineMembers = 2
+
 // incGroup is one open group on the closure list.
 type incGroup struct {
 	members    []*Pending
-	inline     [2]*Pending // backing array for tiny groups, the common case
-	last       time.Time   // max member time
-	prev, next *incGroup   // closure list, ascending last
+	inline     [inlineMembers]*Pending // backing array for tiny groups, the common case
+	last       time.Time               // max member time
+	prev, next *incGroup               // closure list, ascending last
 	closed     bool
 }
 
+// modelKey identifies a temporal stream. The location is kept as the
+// struct, not its Key() string: building the string key allocated once per
+// message on the hot path, and Location is comparable as-is. Checkpoints
+// still serialize the canonical Key() string (see checkpoint.go), so the
+// snapshot format is unchanged.
 type modelKey struct {
 	template int
-	loc      string
+	loc      locdict.Location
 }
 
 // model is one live temporal stream: its EWMA state, its previous message,
@@ -161,6 +179,7 @@ func (b *tplBucket) pop() {
 func (b *tplBucket) live() []uint64 { return b.abs[b.head:] }
 
 func (r *memberRing) push(m *Pending) {
+	m.ref() // ring slot reference, released by popFront
 	if r.n == len(r.buf) {
 		r.grow()
 	}
@@ -196,12 +215,22 @@ func (r *memberRing) front() *Pending   { return r.at(0) }
 func (r *memberRing) atAbs(a uint64) *Pending { return r.at(int(a - r.pops)) }
 
 func (r *memberRing) popFront() {
-	t := r.buf[r.head].msg.Template
+	front := r.buf[r.head]
+	t := front.msg.Template
 	r.buf[r.head] = nil
 	r.head = (r.head + 1) & (len(r.buf) - 1)
 	r.n--
 	r.buckets[t].pop() // its front is exactly this entry (global FIFO)
 	r.pops++
+	front.unref()
+}
+
+// popAll empties the ring (releasing every slot reference) while keeping
+// its buffer and bucket map for reuse.
+func (r *memberRing) popAll() {
+	for r.n > 0 {
+		r.popFront()
+	}
 }
 
 // Shardable is the validated, immutable knowledge shared by every half of
@@ -212,6 +241,7 @@ type Shardable struct {
 	g          *Grouper
 	maxStreams int
 	horizon    time.Duration
+	pool       *PendingPool
 }
 
 // NewShardable validates the grouping knowledge and configuration. dict
@@ -232,8 +262,12 @@ func NewShardable(dict *locdict.Dictionary, rb *rules.RuleBase, cfg IncrementalC
 	if g.cfg.useCross() && g.cfg.CrossWindow > horizon {
 		horizon = g.cfg.CrossWindow
 	}
-	return &Shardable{g: g, maxStreams: maxStreams, horizon: horizon}, nil
+	return &Shardable{g: g, maxStreams: maxStreams, horizon: horizon, pool: newPendingPool()}, nil
 }
+
+// Pool is the engine-scoped Pending pool shared by every half built from
+// this Shardable.
+func (s *Shardable) Pool() *PendingPool { return s.pool }
 
 // Horizon is the closure bound: a group closes once the watermark passes
 // its newest member by more than this.
@@ -311,6 +345,12 @@ type RouterLocal struct {
 	rulePairs      uint64
 	scratch        []uint64 // candidate merge buffer, reused across steps
 	met            LocalMetrics
+
+	// Published high-water marks for PublishMetrics: the scan counters are
+	// shared atomic handles across shards, so each local adds deltas in
+	// batches instead of per message.
+	pubCandidates uint64
+	pubPairs      uint64
 }
 
 // SetMetrics installs observability handles.
@@ -331,7 +371,11 @@ func (rl *RouterLocal) Stats() LocalStats {
 
 // Step runs the temporal and rule passes for p, writing the join
 // predecessors into js (which is reset first; its backing storage is
-// reused). Messages must arrive in nondecreasing time order.
+// reused). Messages must arrive in nondecreasing time order. Step updates
+// only the local tallies; call PublishMetrics to flush them to the
+// installed handles (the serial grouper publishes per Observe, the sharded
+// engine once per batch — per-message atomic adds on handles shared across
+// shards were measurable contention).
 func (rl *RouterLocal) Step(p *Pending, js *Joins) error {
 	js.Reset()
 	rl.started = true
@@ -342,17 +386,37 @@ func (rl *RouterLocal) Step(p *Pending, js *Joins) error {
 	if rl.g.cfg.useRules() {
 		rl.ruleStep(p, js)
 	}
-	rl.met.Streams.Set(float64(len(rl.models)))
 	return nil
+}
+
+// PublishMetrics flushes the stream gauge and the scan-counter deltas
+// accumulated since the last publish to the installed handles.
+func (rl *RouterLocal) PublishMetrics() {
+	rl.met.Streams.Set(float64(len(rl.models)))
+	if d := rl.ruleCandidates - rl.pubCandidates; d > 0 {
+		rl.met.RuleCandidates.Add(d)
+		rl.pubCandidates = rl.ruleCandidates
+	}
+	if d := rl.rulePairs - rl.pubPairs; d > 0 {
+		rl.met.RulePairs.Add(d)
+		rl.pubPairs = rl.rulePairs
+	}
 }
 
 // DrainWindows clears the rule windows and per-stream predecessors so no
 // later message can join anything observed before the drain. The EWMA
-// models persist (interarrival knowledge survives a drain).
+// models persist (interarrival knowledge survives a drain), and so do the
+// ring buffers and bucket maps — a drain empties them, releasing every
+// slot reference, without reallocating.
 func (rl *RouterLocal) DrainWindows() {
-	rl.routerWin = make(map[string]*memberRing)
+	for _, rw := range rl.routerWin {
+		rw.popAll()
+	}
 	for md := rl.mHead; md != nil; md = md.next {
-		md.last = nil
+		if md.last != nil {
+			md.last.unref()
+			md.last = nil
+		}
 	}
 }
 
@@ -360,7 +424,7 @@ func (rl *RouterLocal) DrainWindows() {
 // a join to the stream's previous message when the model accepts the
 // interarrival.
 func (rl *RouterLocal) temporalStep(p *Pending, js *Joins) error {
-	key := modelKey{p.msg.Template, p.msg.Loc.Key()}
+	key := modelKey{p.msg.Template, p.msg.Loc}
 	md := rl.models[key]
 	if md == nil {
 		tg, err := temporal.NewGrouper(rl.g.cfg.Temporal)
@@ -376,7 +440,15 @@ func (rl *RouterLocal) temporalStep(p *Pending, js *Joins) error {
 	}
 	join := md.tg.Observe(p.msg.Time)
 	if join && md.last != nil {
+		// The join decision needs no reference of its own: the predecessor
+		// still holds its group (or in-flight pipeline) reference, and its
+		// group cannot close before this decision is applied — the accepted
+		// interarrival is < Smax <= horizon (see pool.go).
 		js.Temporal = md.last
+	}
+	p.ref() // model last-message reference, released on overwrite/evict/drain
+	if md.last != nil {
+		md.last.unref()
 	}
 	md.last = p
 	return nil
@@ -438,8 +510,6 @@ func (rl *RouterLocal) ruleStep(p *Pending, js *Joins) {
 	}
 	rl.ruleCandidates += cand
 	rl.rulePairs += matched
-	rl.met.RuleCandidates.Add(cand)
-	rl.met.RulePairs.Add(matched)
 	rw.push(p)
 	if rw.n > rl.g.cfg.MaxScan {
 		rw.popFront()
@@ -487,7 +557,10 @@ func (rl *RouterLocal) evictModels() {
 		old := rl.mHead
 		rl.unlinkModel(old)
 		delete(rl.models, old.key)
-		old.last = nil
+		if old.last != nil {
+			old.last.unref()
+			old.last = nil
+		}
 		rl.evictions++
 		rl.met.StreamEvictions.Inc()
 	}
@@ -536,6 +609,79 @@ type Merger struct {
 	temporalMerges, ruleMerges, crossMerges int
 	crossCandidates                         uint64
 	met                                     MergeMetrics
+
+	// Recycling scratch (merge goroutine only). closedBuf backs the slice
+	// Apply/Drain return — valid until the next Apply/Drain. memberFree
+	// recycles heap-grown group member lists; msgFree recycles ClosedGroup
+	// member buffers handed back through Recycle.
+	closedBuf  []ClosedGroup
+	memberFree [][]*Pending
+	msgFree    [][]Message
+}
+
+// memberBuf returns a recycled member slice with capacity >= need (length
+// 0). Recycled and fresh buffers always have capacity > len(incGroup.inline)
+// so putMemberBuf can tell heap lists from inline backings by capacity.
+func (mg *Merger) memberBuf(need int) []*Pending {
+	if n := len(mg.memberFree); n > 0 {
+		b := mg.memberFree[n-1]
+		mg.memberFree = mg.memberFree[:n-1]
+		if cap(b) >= need {
+			return b
+		}
+		// Too small: drop it and allocate; sizes stabilize at the high-water
+		// mark, so steady state stops allocating.
+	}
+	c := 4
+	for c < need {
+		c *= 2
+	}
+	return make([]*Pending, 0, c)
+}
+
+// putMemberBuf recycles a group's member list. Inline backings (capacity
+// <= 2) belong to their Pending and are skipped; entries are cleared so a
+// pooled buffer pins nothing.
+func (mg *Merger) putMemberBuf(b []*Pending) {
+	if cap(b) <= inlineMembers {
+		return
+	}
+	b = b[:cap(b)]
+	clear(b)
+	mg.memberFree = append(mg.memberFree, b[:0])
+}
+
+// msgBuf returns a recycled message buffer with capacity >= need (length 0).
+func (mg *Merger) msgBuf(need int) []Message {
+	if n := len(mg.msgFree); n > 0 {
+		b := mg.msgFree[n-1]
+		mg.msgFree = mg.msgFree[:n-1]
+		if cap(b) >= need {
+			return b
+		}
+	}
+	c := 4
+	for c < need {
+		c *= 2
+	}
+	return make([]Message, 0, c)
+}
+
+// Recycle returns the Members buffers of closed groups the caller has fully
+// consumed. Entirely optional: callers that retain ClosedGroups simply
+// never call it and the buffers stay theirs. After Recycle the slices must
+// not be read again.
+func (mg *Merger) Recycle(closed []ClosedGroup) {
+	for i := range closed {
+		ms := closed[i].Members
+		if cap(ms) == 0 {
+			continue
+		}
+		ms = ms[:cap(ms)]
+		clear(ms)
+		mg.msgFree = append(mg.msgFree, ms[:0])
+		closed[i].Members = nil
+	}
 }
 
 // SetMetrics installs observability handles.
@@ -572,7 +718,12 @@ func (mg *Merger) Stats() MergeStats {
 
 // Apply admits one message (global nondecreasing time order required) with
 // its router-local join decisions, runs the cross-router pass, and returns
-// any groups the advanced watermark closed, oldest first.
+// any groups the advanced watermark closed, oldest first. Apply consumes
+// the caller's pipeline reference to p. The returned slice is scratch,
+// valid only until the next Apply or Drain: callers that retain closed
+// groups must copy the ClosedGroup values out before stepping again, and
+// callers that have fully consumed the Members buffers should hand them
+// back through Recycle.
 func (mg *Merger) Apply(p *Pending, js *Joins) ([]ClosedGroup, error) {
 	if mg.started && p.msg.Time.Before(mg.watermark) {
 		return nil, fmt.Errorf("grouping: incremental requires nondecreasing timestamps (got %v after watermark %v)",
@@ -585,7 +736,9 @@ func (mg *Merger) Apply(p *Pending, js *Joins) ([]ClosedGroup, error) {
 	g.inline[0] = p
 	g.members = g.inline[:1]
 	g.last = p.msg.Time
+	g.closed = false // recycled records keep their previous life's grp (see pool.put)
 	p.g = g
+	p.ref() // group membership reference, released by closeGroup
 	mg.pushOpen(g)
 	mg.openGroups++
 	mg.openMsgs++
@@ -610,23 +763,29 @@ func (mg *Merger) Apply(p *Pending, js *Joins) ([]ClosedGroup, error) {
 		}
 	}
 
-	out := mg.closeReady(nil)
+	mg.closedBuf = mg.closeReady(mg.closedBuf[:0])
 	mg.publishGauges()
-	return out, nil
+	// Apply owns the caller's pipeline reference; p cannot recycle here —
+	// its own group holds a reference and cannot have closed above (its
+	// last member time is the current watermark).
+	p.unref()
+	return mg.closedBuf, nil
 }
 
-// Drain closes every open group (oldest first) and clears the cross-router
-// window. The watermark persists. Callers draining a full pipeline must
-// also DrainWindows every RouterLocal, or later messages could join
-// members emitted here.
+// Drain closes every open group (oldest first) and empties the
+// cross-router window (keeping its buffers). The watermark persists.
+// Callers draining a full pipeline must also DrainWindows every
+// RouterLocal, or later messages could join members emitted here. As with
+// Apply, the returned slice is scratch valid until the next Apply or
+// Drain.
 func (mg *Merger) Drain() []ClosedGroup {
-	var out []ClosedGroup
+	mg.closedBuf = mg.closedBuf[:0]
 	for mg.oHead != nil {
-		out = append(out, mg.closeGroup(mg.oHead))
+		mg.closedBuf = append(mg.closedBuf, mg.closeGroup(mg.oHead))
 	}
-	mg.crossWin = memberRing{}
+	mg.crossWin.popAll()
 	mg.publishGauges()
-	return out
+	return mg.closedBuf
 }
 
 // crossStep examines the new arrival against the global retained window
@@ -700,11 +859,17 @@ func (mg *Merger) merge(a, b *Pending, tally *int, c *obs.Counter) (bool, error)
 	for _, m := range gb.members {
 		m.g = ga
 	}
+	if need := len(ga.members) + len(gb.members); need > cap(ga.members) {
+		nb := append(mg.memberBuf(need), ga.members...)
+		mg.putMemberBuf(ga.members)
+		ga.members = nb
+	}
 	ga.members = append(ga.members, gb.members...)
 	if gb.last.After(ga.last) {
 		ga.last = gb.last
 	}
 	mg.unlinkOpen(gb)
+	mg.putMemberBuf(gb.members)
 	gb.members = nil
 	mg.openGroups--
 	// b is the newest message overall, so the merged group's lastTime is
@@ -725,19 +890,23 @@ func (mg *Merger) closeReady(out []ClosedGroup) []ClosedGroup {
 }
 
 // closeGroup finalizes one group: members sort ascending by Seq (the order
-// event scoring depends on) and the group's open state is released. Member
-// structs may outlive the group inside retained windows; the closed mark
-// keeps a late merge from resurrecting it.
+// event scoring depends on), their messages are copied out, and each
+// member's group reference is released. Member records may outlive the
+// group inside retained windows; the closed mark keeps a late merge from
+// resurrecting it. Seqs are unique, so swapping sort.Slice for the
+// allocation-free slices.SortFunc cannot change the order.
 func (mg *Merger) closeGroup(g *incGroup) ClosedGroup {
 	mg.unlinkOpen(g)
 	g.closed = true
 	mg.openGroups--
 	mg.openMsgs -= len(g.members)
-	sort.Slice(g.members, func(i, j int) bool { return g.members[i].msg.Seq < g.members[j].msg.Seq })
-	msgs := make([]Message, len(g.members))
-	for i, m := range g.members {
-		msgs[i] = m.msg
+	slices.SortFunc(g.members, func(a, b *Pending) int { return cmp.Compare(a.msg.Seq, b.msg.Seq) })
+	msgs := mg.msgBuf(len(g.members))
+	for _, m := range g.members {
+		msgs = append(msgs, m.msg)
+		m.unref() // group membership reference
 	}
+	mg.putMemberBuf(g.members)
 	g.members = nil
 	return ClosedGroup{Members: msgs}
 }

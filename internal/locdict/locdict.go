@@ -87,6 +87,34 @@ func (loc Location) Key() string {
 	return loc.Router + " " + loc.Level.String() + " " + loc.Name
 }
 
+// ParseKey is the inverse of Key for a location whose router is already
+// known: checkpoints serialize locations as their canonical key string, and
+// restore recovers the struct. The parse is exact for every Key output —
+// the router prefix is supplied, the level word contains no space, and
+// everything after it is the name verbatim.
+func ParseKey(router, key string) (Location, error) {
+	if key == router {
+		return RouterLoc(router), nil
+	}
+	rest, ok := strings.CutPrefix(key, router+" ")
+	if !ok {
+		return Location{}, fmt.Errorf("locdict: location key %q does not extend router %q", key, router)
+	}
+	word, name, _ := strings.Cut(rest, " ")
+	var lvl Level
+	switch word {
+	case "interface":
+		lvl = LevelInterface
+	case "port":
+		lvl = LevelPort
+	case "slot":
+		lvl = LevelSlot
+	default:
+		return Location{}, fmt.Errorf("locdict: location key %q has unknown level %q", key, word)
+	}
+	return Location{Router: router, Level: lvl, Name: name}, nil
+}
+
 // RouterLoc builds a router-level location.
 func RouterLoc(router string) Location {
 	return Location{Router: router, Level: LevelRouter}

@@ -249,7 +249,7 @@ func (d *Dictionary) Normalize(router, token string) (Location, bool) {
 		return loc, ok
 	}
 	// Bare slot number.
-	if n, err := strconv.Atoi(token); err == nil && n >= 0 && rd.HasSlot(n) {
+	if n, ok := atoiNoAlloc(token); ok && rd.HasSlot(n) {
 		return Location{Router: router, Level: LevelSlot, Name: token}, true
 	}
 	// Bare port path like "1/0" or "1/1/1": V2 interfaces are named this
@@ -261,7 +261,7 @@ func (d *Dictionary) Normalize(router, token string) (Location, bool) {
 		if j := strings.IndexAny(second, "/.:"); j >= 0 {
 			second = second[:j]
 		}
-		if _, err := strconv.Atoi(second); err == nil {
+		if _, ok := atoiNoAlloc(second); ok {
 			port := token[:i] + "/" + second
 			if rd.HasPort(port) {
 				return Location{Router: router, Level: LevelPort, Name: port}, true
@@ -269,6 +269,27 @@ func (d *Dictionary) Normalize(router, token string) (Location, bool) {
 		}
 	}
 	return Location{}, false
+}
+
+// atoiNoAlloc parses a non-negative decimal integer without the error
+// allocation strconv.Atoi pays on non-numeric input — most tokens probed by
+// Normalize are not numbers, so the rejection path is the hot path.
+func atoiNoAlloc(s string) (int, bool) {
+	if len(s) > 0 && s[0] == '+' {
+		s = s[1:]
+	}
+	if len(s) == 0 || len(s) > 18 {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
 }
 
 // prefixIntf matches a token against configured interfaces by prefix at

@@ -17,6 +17,7 @@ package locparse
 
 import (
 	"strings"
+	"sync"
 
 	"syslogdigest/internal/locdict"
 	"syslogdigest/internal/syslogmsg"
@@ -41,12 +42,29 @@ type Info struct {
 // Parser resolves message locations against a dictionary.
 type Parser struct {
 	dict *locdict.Dictionary
+
+	// skipUnresolved drops Info.Unresolved accumulation (see
+	// DropUnresolved).
+	skipUnresolved bool
+
+	// routerOnly caches, per router, the shared one-element slice returned
+	// as Info.All when a message grounds no finer location — the dominant
+	// case on noisy feeds, and without the cache a fresh allocation per
+	// message. The slices are immutable (len == cap, callers hold All
+	// read-only), so sharing them across messages is safe.
+	routerOnly sync.Map // string → []locdict.Location
 }
 
 // New builds a parser.
 func New(dict *locdict.Dictionary) *Parser {
 	return &Parser{dict: dict}
 }
+
+// DropUnresolved stops the parser from accumulating Info.Unresolved,
+// skipping that allocation on the augment hot path. Call before first use;
+// intended for pipelines that never read the field (nothing in the online
+// path does — it exists for diagnostics and tests).
+func (p *Parser) DropUnresolved() { p.skipUnresolved = true }
 
 // Parse extracts and grounds the locations of one message.
 func (p *Parser) Parse(m *syslogmsg.Message) Info {
@@ -97,10 +115,23 @@ func (p *Parser) ParseTokens(m *syslogmsg.Message, toks []string) Info {
 			}
 		}
 		info.Primary = info.All[best]
+		info.All = append(info.All, locdict.RouterLoc(m.Router))
+		sortByLevel(info.All)
+	} else {
+		// Nothing grounded: All is exactly [RouterLoc], shared across every
+		// such message from this router.
+		info.All = p.routerOnlyAll(m.Router)
 	}
-	info.All = append(info.All, locdict.RouterLoc(m.Router))
-	sortByLevel(info.All)
 	return info
+}
+
+// routerOnlyAll returns the shared [RouterLoc(router)] slice for router.
+func (p *Parser) routerOnlyAll(router string) []locdict.Location {
+	if v, ok := p.routerOnly.Load(router); ok {
+		return v.([]locdict.Location)
+	}
+	v, _ := p.routerOnly.LoadOrStore(router, []locdict.Location{locdict.RouterLoc(router)})
+	return v.([]locdict.Location)
 }
 
 // ground resolves one candidate token, routing it into locations, peer
@@ -110,6 +141,12 @@ func (p *Parser) ParseTokens(m *syslogmsg.Message, toks []string) Info {
 func (p *Parser) ground(router, token string, info *Info) {
 	if loc, ok := p.dict.Normalize(router, token); ok {
 		if !containsLoc(info.All, loc) {
+			if info.All == nil {
+				// Leave room for the RouterLoc ParseTokens appends at the
+				// end — one allocation covers the common single-location
+				// message instead of two.
+				info.All = make([]locdict.Location, 0, 2)
+			}
 			info.All = append(info.All, loc)
 		}
 		return
@@ -130,7 +167,9 @@ func (p *Parser) ground(router, token string, info *Info) {
 		}
 		return
 	}
-	info.Unresolved = append(info.Unresolved, token)
+	if !p.skipUnresolved {
+		info.Unresolved = append(info.Unresolved, token)
+	}
 }
 
 func containsLoc(locs []locdict.Location, l locdict.Location) bool {

@@ -161,6 +161,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	samplers []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -287,6 +288,20 @@ func (s Snapshot) Histogram(name string) *HistogramValue {
 	return nil
 }
 
+// OnSnapshot registers a sampler run at the start of every Snapshot, before
+// any metric is read — the hook for pull-style metrics (runtime GC stats,
+// pool gauges) that are only worth refreshing when someone is looking.
+// Samplers run without the registry lock held, so they may freely call
+// Counter/Gauge/Histogram; they must not call Snapshot.
+func (r *Registry) OnSnapshot(f func()) {
+	if r == nil || f == nil {
+		return
+	}
+	r.mu.Lock()
+	r.samplers = append(r.samplers, f)
+	r.mu.Unlock()
+}
+
 // Snapshot captures every metric. Counters and bucket counts are each read
 // atomically; the snapshot as a whole is not a single atomic cut across
 // metrics (concurrent writers may land between reads), which is the
@@ -295,6 +310,12 @@ func (r *Registry) Snapshot() Snapshot {
 	var s Snapshot
 	if r == nil {
 		return s
+	}
+	r.mu.Lock()
+	samplers := r.samplers
+	r.mu.Unlock()
+	for _, f := range samplers {
+		f()
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

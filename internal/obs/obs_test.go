@@ -237,3 +237,52 @@ func TestHealthLiveness(t *testing.T) {
 		t.Fatalf("progress did not revive: %+v", st)
 	}
 }
+
+func TestOnSnapshotSampler(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	r.OnSnapshot(func() {
+		calls++
+		r.Gauge("sampled.value").Set(float64(calls))
+	})
+	for want := 1; want <= 3; want++ {
+		if got := r.Snapshot().Gauge("sampled.value"); got != float64(want) {
+			t.Fatalf("snapshot %d: sampled.value = %v, want %d", want, got, want)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("sampler ran %d times for 3 snapshots", calls)
+	}
+	// nil registry and nil sampler are no-ops, matching the rest of the API.
+	var nilReg *Registry
+	nilReg.OnSnapshot(func() { t.Fatal("sampler on nil registry ran") })
+	nilReg.Snapshot()
+	r.OnSnapshot(nil)
+	r.Snapshot()
+}
+
+func TestPublishRuntime(t *testing.T) {
+	r := NewRegistry()
+	PublishRuntime(r)
+	sink := make([]*int, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, new(int))
+	}
+	_ = sink
+	s := r.Snapshot()
+	mallocs, frees := s.Gauge("runtime.heap.mallocs"), s.Gauge("runtime.heap.frees")
+	if mallocs <= 0 || mallocs < frees {
+		t.Fatalf("runtime books: mallocs %v frees %v", mallocs, frees)
+	}
+	if live := s.Gauge("runtime.heap.live_objects"); live != mallocs-frees {
+		t.Fatalf("live %v != mallocs %v - frees %v", live, mallocs, frees)
+	}
+	if s.Gauge("runtime.heap.alloc_bytes") <= 0 {
+		t.Fatal("heap alloc_bytes gauge not set")
+	}
+	// A second snapshot must re-sample: the world allocates between scrapes.
+	s2 := r.Snapshot()
+	if got := s2.Gauge("runtime.heap.mallocs"); got < mallocs {
+		t.Fatalf("mallocs went backwards: %v then %v", mallocs, got)
+	}
+}

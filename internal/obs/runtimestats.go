@@ -1,0 +1,44 @@
+package obs
+
+import "runtime"
+
+// PublishRuntime wires the Go runtime's allocator and garbage-collector
+// books into reg as gauges, refreshed by an OnSnapshot sampler — so every
+// /metrics scrape (and every Registry.Snapshot) reads a current picture
+// without a background polling goroutine. This is the observability half of
+// the steady-state allocation work: stream.pool.* counters say how hard the
+// pipeline leans on its freelists, and these say what the collector paid
+// for whatever still escaped.
+//
+//	runtime.heap.mallocs          cumulative heap objects allocated
+//	runtime.heap.frees            cumulative heap objects freed
+//	runtime.heap.live_objects     mallocs − frees
+//	runtime.heap.alloc_bytes      bytes of live heap (runtime.MemStats.HeapAlloc)
+//	runtime.gc.cycles             completed GC cycles
+//	runtime.gc.pause_total_seconds cumulative stop-the-world pause
+//
+// ReadMemStats stops the world briefly, which is fine at scrape cadence;
+// do not call Snapshot in a per-message loop with this installed.
+func PublishRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	var (
+		mallocs = reg.Gauge("runtime.heap.mallocs")
+		frees   = reg.Gauge("runtime.heap.frees")
+		live    = reg.Gauge("runtime.heap.live_objects")
+		heap    = reg.Gauge("runtime.heap.alloc_bytes")
+		cycles  = reg.Gauge("runtime.gc.cycles")
+		pause   = reg.Gauge("runtime.gc.pause_total_seconds")
+	)
+	reg.OnSnapshot(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		mallocs.Set(float64(ms.Mallocs))
+		frees.Set(float64(ms.Frees))
+		live.Set(float64(ms.Mallocs - ms.Frees))
+		heap.Set(float64(ms.HeapAlloc))
+		cycles.Set(float64(ms.NumGC))
+		pause.Set(float64(ms.PauseTotalNs) / 1e9)
+	})
+}

@@ -65,7 +65,7 @@ func (e *ShardedEngine) State() (EngineState, []event.Event, error) {
 	if e.closed {
 		return EngineState{}, nil, fmt.Errorf("stream: sharded engine closed")
 	}
-	if e.running || len(e.batch) > 0 {
+	if e.running || e.pending > 0 {
 		e.dispatch(ctrlSync)
 		<-e.ack
 	}

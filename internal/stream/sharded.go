@@ -102,24 +102,32 @@ func MergeLagBounds() []float64 {
 	return []float64{0.001, 0.01, 0.1, 1, 10, 60, 300, 1800, 3600, 14400}
 }
 
-// shardBatch is one dispatch to one shard worker.
+// shardBatch is one dispatch to one shard worker. The sub-batch carries
+// pooled Pending records (acquired by the dispatcher, consumed by
+// Merger.Apply downstream): shipping 8-byte pointers instead of Message
+// values keeps the per-message cost of the shard hop to one struct copy —
+// the same pool.Get copy the serial engine pays.
 type shardBatch struct {
-	msgs  []grouping.Message // this shard's sub-batch, in global order
-	punct time.Time          // whole-batch punctuation watermark
-	drain bool               // drop join windows after the batch
+	msgs  []*grouping.Pending // this shard's sub-batch, in global order
+	punct time.Time           // whole-batch punctuation watermark
+	drain bool                // drop join windows after the batch
 }
 
-// shardItem is one message's computed join decisions.
+// shardItem is one message's computed join decisions. Rule predecessors
+// live in the owning shardResult's rules arena as the window [rs, re) —
+// one shared backing per result instead of one slice per item.
 type shardItem struct {
 	p        *grouping.Pending
 	temporal *grouping.Pending
-	rules    []*grouping.Pending
+	rs, re   int32
 }
 
 // shardResult is one shard's answer to one batch: exactly one per batch,
-// even when the sub-batch was empty.
+// even when the sub-batch was empty. The merge stage recycles the items
+// and rules backings through freeResults once the batch is applied.
 type shardResult struct {
 	items []shardItem
+	rules []*grouping.Pending // arena backing the items' [rs, re) windows
 	stats grouping.LocalStats
 	err   error
 }
@@ -157,18 +165,34 @@ type ShardedEngine struct {
 	batchSize int
 	met       ShardedMetrics
 
-	// Dispatcher state (caller goroutine).
+	// Dispatcher state (caller goroutine). Messages are partitioned at
+	// Observe time: each one is wrapped in a pooled Pending and appended
+	// straight to its shard's sub-batch, with the order vector recording
+	// the interleaving — there is no intermediate whole-batch buffer to
+	// copy through and clear.
 	running  bool
 	closed   bool
 	started  bool
 	lastTime time.Time
-	batch    []grouping.Message
+	pending  int     // messages partitioned, not yet dispatched
+	order    []uint8 // their interleaving (order[i] = shard of message i)
 
 	shardIn  []chan shardBatch
 	shardOut []chan shardResult
 	mergeIn  chan mergeBatch
 	ack      chan struct{}
 	wg       sync.WaitGroup
+
+	// Recycling channels: slice backings circulate dispatcher → shard →
+	// (merge) → back, so the steady state allocates nothing. A channel of
+	// slice headers (unlike sync.Pool, which would box them) recycles
+	// without allocating. All sends are non-blocking — a full free list
+	// just drops the buffer to the GC — and receives fall back to
+	// allocation, so the channels never add coupling, only reuse.
+	freeMsgs    chan []*grouping.Pending // sub-batch backings, returned by shards
+	freeResults chan shardResult         // items+rules backings, returned by merge
+	freeOrders  chan []uint8             // order vectors, returned by merge
+	subs        [][]*grouping.Pending    // in-progress partition, one per shard
 
 	// locals are the shard workers' RouterLocals, kept so checkpoint
 	// capture can reach them. Pre-populated by RestoreSharded, created by
@@ -185,9 +209,10 @@ type ShardedEngine struct {
 	nextID       int
 	localStats   []grouping.LocalStats
 	evictionsPub int
+	members      []event.Member // emit scratch, merge goroutine only
 
 	mu  sync.Mutex
-	out []event.Event // emitted, awaiting collection by the caller
+	out []event.Event // emitted, awaiting collection; backing reused (see collect)
 	err error
 }
 
@@ -209,6 +234,7 @@ func NewSharded(dict *locdict.Dictionary, rb *rules.RuleBase, cfg Config, worker
 		batchSize:  DefaultShardBatch,
 		merger:     s.NewMerger(),
 		localStats: make([]grouping.LocalStats, workers),
+		subs:       make([][]*grouping.Pending, workers),
 	}, nil
 }
 
@@ -235,12 +261,20 @@ func (e *ShardedEngine) SetMetrics(m Metrics) {
 }
 
 // SetShardedMetrics installs the full sharded metric set. Must precede the
-// first Observe.
+// first Observe — the pool counters start recording here, and a record
+// acquired before installation would go uncounted (any Observe leaves
+// either a partitioned message or a running engine behind, which is
+// exactly what the guard checks; a freshly restored engine passes).
 func (e *ShardedEngine) SetShardedMetrics(m ShardedMetrics) {
-	if e.running {
+	if e.running || e.pending > 0 {
 		return
 	}
 	e.met = m
+	e.shardable.Pool().SetMetrics(grouping.PoolMetrics{
+		Gets: m.Grouping.PoolGets,
+		Puts: m.Grouping.PoolPuts,
+		Live: m.Grouping.PoolLive,
+	})
 }
 
 // start launches the worker and merge goroutines. The MaxStreams bound is
@@ -275,6 +309,12 @@ func (e *ShardedEngine) start() {
 	}
 	e.mergeIn = make(chan mergeBatch, shardQueueDepth)
 	e.ack = make(chan struct{}, 1)
+	// Capacities cover everything that can be in flight (queued batches,
+	// one being processed, one being assembled) so steady state never
+	// drops a buffer.
+	e.freeMsgs = make(chan []*grouping.Pending, e.workers*(shardQueueDepth+2))
+	e.freeResults = make(chan shardResult, e.workers*(shardQueueDepth+2))
+	e.freeOrders = make(chan []uint8, shardQueueDepth+2)
 	e.merger.SetMetrics(grouping.MergeMetrics{
 		MergeTemporal:   e.met.Grouping.MergeTemporal,
 		MergeRule:       e.met.Grouping.MergeRule,
@@ -316,73 +356,104 @@ func (e *ShardedEngine) Observe(m Message) ([]event.Event, error) {
 	}
 	e.started = true
 	e.lastTime = m.Time
-	e.batch = append(e.batch, grouping.Message{
+	// Partition on arrival: wrap the message in a pooled record (the one
+	// per-message struct copy, same as the serial engine's pool.Get) and
+	// append the pointer to its shard's sub-batch. The record's pipeline
+	// reference travels with it and is consumed by Merger.Apply.
+	p := e.shardable.Pool().Get(grouping.Message{
 		Seq: m.Seq, Time: m.Time, Router: m.Router, Template: m.Template,
 		Loc: m.Loc, AllLocs: m.AllLocs, Peers: m.Peers, Raw: m.Raw,
 	})
-	if len(e.batch) >= e.batchSize {
+	k := shardOf(m.Router, e.workers)
+	sub := e.subs[k]
+	if sub == nil {
+		select {
+		case sub = <-e.freeMsgs:
+			sub = sub[:0]
+		default:
+			sub = make([]*grouping.Pending, 0, e.batchSize)
+		}
+	}
+	e.subs[k] = append(sub, p)
+	if e.order == nil {
+		select {
+		case e.order = <-e.freeOrders:
+			e.order = e.order[:0]
+		default:
+		}
+	}
+	e.order = append(e.order, uint8(k))
+	e.pending++
+	if e.pending >= e.batchSize {
 		e.dispatch(ctrlNone)
 	}
 	return e.collect(), nil
 }
 
-// dispatch partitions the buffered batch by router, hands every shard its
-// sub-batch (empty included — one record per shard per batch is the
-// synchronization invariant), and tells the merge stage how to re-
-// interleave the results.
+// dispatch hands every shard its sub-batch (empty included — one record
+// per shard per batch is the synchronization invariant) and tells the
+// merge stage how to re-interleave the results. Partitioning already
+// happened in Observe; order vectors and sub-batch backings circulate
+// through the free channels.
 func (e *ShardedEngine) dispatch(kind ctrlKind) {
 	if !e.running {
 		e.start()
-	}
-	b := e.batch
-	e.batch = nil
-	order := make([]uint8, len(b))
-	subs := make([][]grouping.Message, e.workers)
-	for i := range b {
-		k := shardOf(b[i].Router, e.workers)
-		order[i] = uint8(k)
-		subs[k] = append(subs[k], b[i])
 	}
 	punct := e.lastTime
 	if e.started {
 		e.maxDispatched.Store(punct.UnixNano())
 	}
 	for k := 0; k < e.workers; k++ {
-		e.shardIn[k] <- shardBatch{msgs: subs[k], punct: punct, drain: kind == ctrlDrain}
+		e.shardIn[k] <- shardBatch{msgs: e.subs[k], punct: punct, drain: kind == ctrlDrain}
+		e.subs[k] = nil
 	}
-	e.mergeIn <- mergeBatch{order: order, punct: punct, kind: kind}
+	e.mergeIn <- mergeBatch{order: e.order, punct: punct, kind: kind}
+	e.order = nil
+	e.pending = 0
 }
 
 // shardLoop is one worker: it runs the router-local grouping passes over
 // its sub-batches and ships the join decisions to the merge stage.
+// Pendings arrive already pooled by the dispatcher; items and rule
+// decisions land in recycled backings, and the consumed sub-batch backing
+// goes straight back to the dispatcher. Metrics flush once per batch — the
+// per-message atomic adds on shared counters were measurable contention.
 func (e *ShardedEngine) shardLoop(k int, local *grouping.RouterLocal, met ShardMetrics) {
 	defer e.wg.Done()
 	var js grouping.Joins
 	for b := range e.shardIn[k] {
-		res := shardResult{}
-		if len(b.msgs) > 0 {
-			res.items = make([]shardItem, 0, len(b.msgs))
+		var res shardResult
+		select {
+		case res = <-e.freeResults:
+		default:
 		}
 		for i := range b.msgs {
-			p := grouping.NewPending(b.msgs[i])
+			p := b.msgs[i]
 			if err := local.Step(p, &js); err != nil {
 				res.err = err
 				break
 			}
-			it := shardItem{p: p, temporal: js.Temporal}
-			if len(js.Rules) > 0 {
-				it.rules = append([]*grouping.Pending(nil), js.Rules...)
-			}
+			it := shardItem{p: p, temporal: js.Temporal, rs: int32(len(res.rules))}
+			res.rules = append(res.rules, js.Rules...)
+			it.re = int32(len(res.rules))
 			res.items = append(res.items, it)
-			met.Pushed.Inc()
 		}
+		met.Pushed.Add(uint64(len(res.items)))
 		if b.drain {
 			local.DrainWindows()
 		}
 		if !b.punct.IsZero() {
 			met.Watermark.Set(float64(b.punct.UnixNano()) / 1e9)
 		}
+		local.PublishMetrics()
 		res.stats = local.Stats()
+		if cap(b.msgs) > 0 {
+			clear(b.msgs)
+			select {
+			case e.freeMsgs <- b.msgs[:0]:
+			default:
+			}
+		}
 		e.shardOut[k] <- res
 	}
 }
@@ -412,6 +483,7 @@ func (e *ShardedEngine) mergeLoop() {
 				}
 			}
 		}
+		applied := false
 		for _, k := range mb.order {
 			if idx[k] >= len(results[k].items) {
 				break // shard erred mid-batch; its tail never computed
@@ -422,7 +494,7 @@ func (e *ShardedEngine) mergeLoop() {
 				continue
 			}
 			js.Temporal = it.temporal
-			js.Rules = it.rules
+			js.Rules = results[k].rules[it.rs:it.re:it.re]
 			closed, err := e.merger.Apply(it.p, &js)
 			if err != nil {
 				e.fail(err)
@@ -430,11 +502,29 @@ func (e *ShardedEngine) mergeLoop() {
 				continue
 			}
 			e.emit(closed)
+			applied = true
+		}
+		if applied {
 			e.met.Watermark.Set(float64(e.merger.Watermark().UnixNano()) / 1e9)
 		}
 		for k := range results {
 			e.localStats[k] = results[k].stats
+			r := results[k]
+			clear(r.items)
+			clear(r.rules)
+			select {
+			case e.freeResults <- shardResult{items: r.items[:0], rules: r.rules[:0]}:
+			default:
+			}
+			results[k] = shardResult{}
 		}
+		if cap(mb.order) > 0 {
+			select {
+			case e.freeOrders <- mb.order[:0]:
+			default:
+			}
+		}
+		e.shardable.Pool().PublishLive()
 		if !mb.punct.IsZero() {
 			if !failed && len(mb.order) > 0 {
 				lag := time.Duration(e.maxDispatched.Load() - mb.punct.UnixNano())
@@ -452,42 +542,50 @@ func (e *ShardedEngine) mergeLoop() {
 }
 
 // emit scores closed groups exactly as Engine.emit and queues the events
-// for the caller to collect.
+// for the caller to collect. The member scratch is reused across calls,
+// and the closed groups' member buffers go back to the Merger once the
+// events are built.
 func (e *ShardedEngine) emit(closed []grouping.ClosedGroup) {
 	if len(closed) == 0 {
 		return
 	}
 	wm := e.merger.Watermark()
-	evs := make([]event.Event, 0, len(closed))
-	var members []event.Member
+	e.mu.Lock()
 	for _, cg := range closed {
-		members = members[:0]
+		e.members = e.members[:0]
 		for i := range cg.Members {
 			gm := &cg.Members[i]
-			members = append(members, event.Member{
+			e.members = append(e.members, event.Member{
 				Seq: gm.Seq, Time: gm.Time, Router: gm.Router,
 				Template: gm.Template, Loc: gm.Loc, Raw: gm.Raw,
 			})
 		}
-		ev := e.builder.BuildGroup(members)
+		ev := e.builder.BuildGroup(e.members)
 		ev.ID = e.nextID
 		e.nextID++
 		e.met.Emitted.Inc()
 		e.met.MergeEmitted.Inc()
 		e.met.EmitLatency.Observe(wm.Sub(ev.End).Seconds())
-		evs = append(evs, ev)
+		e.out = append(e.out, ev)
 	}
-	e.mu.Lock()
-	e.out = append(e.out, evs...)
 	e.mu.Unlock()
+	e.merger.Recycle(closed)
 }
 
-// collect takes the events emitted since the last collection.
+// collect takes the events emitted since the last collection. The caller
+// gets a fresh exact-size slice (it may retain the events indefinitely);
+// the queue's backing array is cleared and truncated for reuse, so closure
+// bursts grow it to their high-water mark exactly once.
 func (e *ShardedEngine) collect() []event.Event {
 	e.mu.Lock()
-	out := e.out
-	e.out = nil
-	e.mu.Unlock()
+	defer e.mu.Unlock()
+	if len(e.out) == 0 {
+		return nil
+	}
+	out := make([]event.Event, len(e.out))
+	copy(out, e.out)
+	clear(e.out)
+	e.out = e.out[:0]
 	return out
 }
 
@@ -536,12 +634,13 @@ func (e *ShardedEngine) publishGlobal() {
 // returns all uncollected events, oldest first. Temporal models and
 // watermarks persist, as in the serial engine.
 func (e *ShardedEngine) Drain() []event.Event {
-	if !e.running && len(e.batch) == 0 {
+	if !e.running && e.pending == 0 {
 		return nil
 	}
 	e.dispatch(ctrlDrain)
 	<-e.ack
 	e.publishGlobal()
+	e.shardable.Pool().PublishLive()
 	return e.collect()
 }
 
@@ -619,7 +718,7 @@ func (e *ShardedEngine) Stats() grouping.IncStats {
 // first, so nothing is in flight when it counts).
 func (e *ShardedEngine) Pending() int {
 	if !e.running {
-		return len(e.batch)
+		return e.pending
 	}
 	e.sync()
 	return e.merger.Stats().OpenMessages

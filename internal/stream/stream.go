@@ -72,6 +72,7 @@ type Engine struct {
 	builder *event.Builder
 	nextID  int
 	met     Metrics
+	members []event.Member // emit scratch, reused across calls
 }
 
 // New builds an engine from learned knowledge. dict may not be nil; rb may
@@ -132,28 +133,32 @@ func (e *Engine) Stats() grouping.IncStats { return e.inc.Stats() }
 // Pending is the number of messages in not-yet-closed groups.
 func (e *Engine) Pending() int { return e.inc.Stats().OpenMessages }
 
+// emit scores closed groups and hands the member buffers back to the
+// grouper for reuse. The returned event slice is freshly allocated (the
+// caller may retain it); it is the one steady-state allocation left on the
+// emission path, paid only on the rare calls that actually close groups.
 func (e *Engine) emit(closed []grouping.ClosedGroup) []event.Event {
 	if len(closed) == 0 {
 		return nil
 	}
 	wm := e.inc.Watermark()
 	evs := make([]event.Event, 0, len(closed))
-	var members []event.Member
 	for _, cg := range closed {
-		members = members[:0]
+		e.members = e.members[:0]
 		for i := range cg.Members {
 			gm := &cg.Members[i]
-			members = append(members, event.Member{
+			e.members = append(e.members, event.Member{
 				Seq: gm.Seq, Time: gm.Time, Router: gm.Router,
 				Template: gm.Template, Loc: gm.Loc, Raw: gm.Raw,
 			})
 		}
-		ev := e.builder.BuildGroup(members)
+		ev := e.builder.BuildGroup(e.members)
 		ev.ID = e.nextID
 		e.nextID++
 		e.met.Emitted.Inc()
 		e.met.EmitLatency.Observe(wm.Sub(ev.End).Seconds())
 		evs = append(evs, ev)
 	}
+	e.inc.Recycle(closed)
 	return evs
 }
