@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test race build bench bench-smoke bench-compare stream-equiv checkpoint-equiv alloc-guard
+.PHONY: check fmt vet test race build bench bench-smoke bench-compare stream-equiv checkpoint-equiv provisional-equiv alloc-guard
 
-check: fmt vet race stream-equiv checkpoint-equiv alloc-guard bench-smoke bench-compare
+check: fmt vet race stream-equiv checkpoint-equiv provisional-equiv alloc-guard bench-smoke bench-compare
 
 # gofmt -l prints offending files; fail if it prints anything.
 fmt:
@@ -22,8 +22,12 @@ build:
 test:
 	$(GO) test ./...
 
+# The differential suites (stream/checkpoint/provisional equivalence) all
+# live in internal/core and together exceed go test's default 10m package
+# timeout under the race detector on small hosts; the explicit timeout is
+# headroom, not a hang allowance.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 40m ./...
 
 bench:
 	$(GO) test -bench=. -benchmem
@@ -40,7 +44,7 @@ bench-smoke:
 bench-compare:
 	@tmp=$$(mktemp /tmp/sdbench.XXXXXX.json); \
 	$(GO) run ./cmd/sdbench -dataset A -json $$tmp && \
-	$(GO) run ./cmd/sdbench -compare BENCH_PR8.json -tolerance 150 -alloc-tolerance 25 $$tmp; \
+	$(GO) run ./cmd/sdbench -compare BENCH_PR9.json -tolerance 150 -alloc-tolerance 25 $$tmp; \
 	rc=$$?; rm -f $$tmp; exit $$rc
 
 # The streaming-equivalence smoke: the incremental engine must reproduce the
@@ -57,6 +61,16 @@ stream-equiv:
 # event exactly once.
 checkpoint-equiv:
 	$(GO) test -race -run 'TestCheckpointRestoreEquivalence|TestCheckpointRestoreAcrossWorkerCounts|TestCheckpointPoolIndependence' -count=1 ./internal/core
+
+# The two-tier emission differentials: with the provisional tier on, the
+# final event stream must stay byte-identical to the provisional-off run
+# (both corpora, serial and sharded), and a run killed/restored at 20
+# random points must deliver each (EventID, Revision) exactly once —
+# byte-for-byte the uninterrupted run's update transcript. Run without
+# -race here as the fast standalone smoke; the same tests run under the
+# race detector in `make race` (both are in `make check`).
+provisional-equiv:
+	$(GO) test -run 'TestProvisionalFinalEquivalence|TestProvisionalCheckpointExactlyOnce|TestProvisionalSupersedeStorm' -count=1 ./internal/core
 
 # The steady-state allocation gate: testing.AllocsPerRun over the vendor
 # corpus (serial and sharded) and the storm corpus must stay at or under

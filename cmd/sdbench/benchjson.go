@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"syslogdigest/internal/core"
+	"syslogdigest/internal/event"
 	"syslogdigest/internal/experiments"
 	"syslogdigest/internal/gen"
 	"syslogdigest/internal/obs"
@@ -50,6 +51,46 @@ type benchSnapshot struct {
 	// linear timings also appear in Benchmarks as storm_stream and
 	// storm_stream_linear so future snapshots diff them.
 	Storm []stormStats `json:"storm,omitempty"`
+	// Provisional characterizes the two-tier emission's first-signal
+	// latency per dataset and stream worker count (schema v8): for every
+	// identity, the caller-visible watermark at its provisional (rev 0)
+	// record minus the group's last message time at publication — the
+	// operator's time-to-first-signal, sitting next to StreamLatency's
+	// time-to-final for the same corpus. At workers=1 the serial engine
+	// hands updates back synchronously, so this is the exact publication
+	// latency (≈ the horizon); above it the measurement additionally
+	// includes the dispatcher's batching delay before the caller sees the
+	// record, the same caller-side semantics StreamLatency has always had.
+	// The identity counts and churn columns are byte-deterministic and
+	// identical at every worker count. Revision churn summarizes how many
+	// publications each identity took to resolve.
+	Provisional []provisionalStats `json:"provisional,omitempty"`
+}
+
+// provisionalSweep is the two-tier sweep: the serial engine and the
+// sharded engine's common fan-out (the update stream is byte-identical at
+// any worker count; the sweep demonstrates the latency holds on both
+// engine shapes).
+var provisionalSweep = []int{1, 4}
+
+// provisionalHorizon is the horizon the snapshot measures at — far below
+// the closure horizon (hours), so first-signal latency should land near it.
+const provisionalHorizon = 30 * time.Second
+
+// provisionalStats is one streamed pass with two-tier emission on.
+type provisionalStats struct {
+	Dataset        string  `json:"dataset"`
+	Workers        int     `json:"workers"`
+	HorizonSeconds float64 `json:"horizon_seconds"`
+	Finalized      int     `json:"finalized"`
+	Superseded     int     `json:"superseded"`
+	// First-signal latency over provisional (rev 0) records.
+	P50Seconds float64 `json:"p50_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+	// Publications per finalized identity (its final revision number):
+	// 1 means one provisional then the final, nothing in between.
+	MeanRevisions float64 `json:"mean_revisions"`
+	MaxRevisions  int     `json:"max_revisions"`
 }
 
 // stormSweep is the storm pass's stream-worker sweep: the serial engine
@@ -158,7 +199,7 @@ type benchStage struct {
 func writeBenchJSON(path string, profile experiments.Profile, kinds []gen.DatasetKind, workers int) error {
 	resolved := par.Workers(workers)
 	snap := benchSnapshot{
-		Schema:     "syslogdigest-bench/7",
+		Schema:     "syslogdigest-bench/8",
 		Profile:    profile.Name,
 		Workers:    resolved,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -213,6 +254,15 @@ func writeBenchJSON(path string, profile experiments.Profile, kinds []gen.Datase
 				return fmt.Errorf("stream latency %v (workers=%d): %w", kind, w, err)
 			}
 			snap.StreamLatency = append(snap.StreamLatency, lat)
+		}
+		for _, w := range provisionalSweep {
+			ps, err := provisionalBench(c, w)
+			if err != nil {
+				return fmt.Errorf("provisional %v (workers=%d): %w", kind, w, err)
+			}
+			snap.Provisional = append(snap.Provisional, ps)
+			fmt.Fprintf(os.Stderr, "sdbench: %s/provisional workers=%d first-signal p50 %.0fs p99 %.0fs (horizon %.0fs), mean %.1f revs\n",
+				kind, w, ps.P50Seconds, ps.P99Seconds, ps.HorizonSeconds, ps.MeanRevisions)
 		}
 		for _, w := range checkpointSweep {
 			cs, err := checkpointBench(c, w)
@@ -396,6 +446,69 @@ func streamLatencyStats(c *experiments.Corpus, workers int) (streamLatency, erro
 		sort.Float64s(lats)
 		out.P50Seconds = round3(lats[len(lats)/2])
 		out.P99Seconds = round3(lats[(len(lats)*99)/100])
+	}
+	return out, nil
+}
+
+// provisionalBench runs one streamed pass with the provisional tier on,
+// recording first-signal latency (watermark at each rev 0 publication minus
+// the group's last message time) and per-identity revision churn.
+func provisionalBench(c *experiments.Corpus, workers int) (provisionalStats, error) {
+	d, err := core.NewDigester(c.KB)
+	if err != nil {
+		return provisionalStats{}, err
+	}
+	st := core.NewStreamerWith(d, core.StreamerOptions{
+		StreamWorkers:      workers,
+		ProvisionalHorizon: provisionalHorizon,
+	})
+	defer st.Close()
+	out := provisionalStats{
+		Dataset: c.Kind.String(), Workers: workers,
+		HorizonSeconds: provisionalHorizon.Seconds(),
+	}
+	var lats []float64
+	revs := 0
+	record := func(res *core.DigestResult) {
+		if res == nil {
+			return
+		}
+		wm := st.Watermark()
+		for i := range res.Updates {
+			u := &res.Updates[i]
+			switch u.Status {
+			case event.StatusProvisional:
+				lats = append(lats, wm.Sub(u.Event.End).Seconds())
+			case event.StatusSuperseded:
+				out.Superseded++
+			case event.StatusFinal:
+				out.Finalized++
+				revs += u.Revision
+				if u.Revision > out.MaxRevisions {
+					out.MaxRevisions = u.Revision
+				}
+			}
+		}
+	}
+	for i := range c.Online.Messages {
+		res, err := st.Push(c.Online.Messages[i])
+		if err != nil {
+			return provisionalStats{}, err
+		}
+		record(res)
+	}
+	res, err := st.Flush()
+	if err != nil {
+		return provisionalStats{}, err
+	}
+	record(res)
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		out.P50Seconds = round3(lats[len(lats)/2])
+		out.P99Seconds = round3(lats[(len(lats)*99)/100])
+	}
+	if out.Finalized > 0 {
+		out.MeanRevisions = round3(float64(revs) / float64(out.Finalized))
 	}
 	return out, nil
 }

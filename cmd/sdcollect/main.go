@@ -18,6 +18,12 @@
 // for an interval and groups are still open, the engine is drained so the
 // tail events print.
 //
+// -provisional turns on two-tier emission: besides the final closure lines,
+// each open group prints a tagged provisional line once the given log-time
+// horizon passes its birth, then revised/superseded lines as it grows or
+// merges. First signal arrives in seconds instead of the hours-scale
+// closure horizon; the final stream is unchanged.
+//
 // -checkpoint makes the streaming state durable: the file is written
 // atomically every -checkpoint-interval and on shutdown, and restored on
 // the next start, so a restarted collector resumes mid-stream — open
@@ -64,6 +70,7 @@ func main() {
 		metricsAddr = flag.String("metrics", "", "serve /metrics and /healthz on this address ('' disables)")
 		matchCache  = flag.Int("match-cache", 0, "match-cache entries (0 = default, negative = disabled; output is identical at any setting)")
 		streamWorks = flag.Int("stream-workers", 0, "streaming-engine shard workers (<= 1 = serial engine, N > 1 = router-sharded engine; output is identical at any setting)")
+		provisional = flag.Duration("provisional", 0, "two-tier emission horizon: print provisional/revised/superseded lines this much log time after group birth (0 disables; the final stream is identical at any setting)")
 		ckptPath    = flag.String("checkpoint", "", "checkpoint file: restore streaming state from it on start (if present) and snapshot into it periodically ('' disables)")
 		ckptEvery   = flag.Duration("checkpoint-interval", time.Minute, "how often to write the checkpoint (with -checkpoint)")
 	)
@@ -105,8 +112,9 @@ func main() {
 	health.SetReady(true)
 
 	opts := syslogdigest.StreamerOptions{
-		ReorderTolerance: *reorder,
-		StreamWorkers:    *streamWorks,
+		ReorderTolerance:   *reorder,
+		StreamWorkers:      *streamWorks,
+		ProvisionalHorizon: *provisional,
 	}
 	var st *syslogdigest.Streamer
 	if *ckptPath != "" {
@@ -133,6 +141,11 @@ func main() {
 	printEvents := func(res *syslogdigest.DigestResult) {
 		if res == nil {
 			return
+		}
+		for i := range res.Updates {
+			if u := &res.Updates[i]; u.Status != syslogdigest.StatusFinal {
+				fmt.Println(u.Digest())
+			}
 		}
 		for _, e := range res.Events {
 			fmt.Println(e.Digest())

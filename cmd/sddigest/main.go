@@ -17,6 +17,11 @@
 // would have surfaced them — instead of batch rank order. The event set is
 // identical to the batch digest (-top selects by rank either way).
 //
+// -provisional (with -stream) turns on two-tier emission: each group also
+// prints a tagged provisional line shortly after the given log-time horizon
+// passes its birth, then revised/superseded lines as it grows or merges,
+// and a final line at closure. The untagged final stream is unchanged.
+//
 // -metrics starts an HTTP exporter serving /metrics (pipeline counters and
 // stage-latency histograms as JSON) and /healthz (503 until the knowledge
 // base is loaded). With -metrics set, sddigest keeps serving after the
@@ -49,6 +54,7 @@ func main() {
 		show        = flag.Int("show", 0, "print up to N raw syslog lines per event (drill-down)")
 		asJSON      = flag.Bool("json", false, "emit newline-delimited JSON instead of digest lines")
 		streaming   = flag.Bool("stream", false, "drive the incremental engine; print events in closure order")
+		provisional = flag.Duration("provisional", 0, "two-tier emission horizon (with -stream): print provisional/revised/superseded lines this much log time after group birth (0 disables; the final stream is identical at any setting)")
 		metricsAddr = flag.String("metrics", "", "serve /metrics and /healthz on this address ('' disables)")
 		workers     = flag.Int("j", 0, "worker parallelism for augment/grouping (0 = GOMAXPROCS, 1 = serial; output is identical at any setting)")
 		streamWorks = flag.Int("stream-workers", 0, "streaming-engine shard workers (<= 1 = serial engine, N > 1 = router-sharded engine; output is identical at any setting)")
@@ -113,6 +119,11 @@ func main() {
 		fatalf("unknown -stage %q (want T, T+R, or T+R+C)", *stageFlag)
 	}
 
+	if *provisional != 0 && !*streaming {
+		fatalf("-provisional requires -stream (a batch digest is final by nature)")
+	}
+	d.SetProvisionalHorizon(*provisional)
+
 	if *streaming {
 		streamDigest(d, msgs, *raw, reg)
 		waitIfServing(*metricsAddr)
@@ -171,10 +182,20 @@ func streamDigest(d *syslogdigest.Digester, msgs []syslogmsg.Message, raw bool, 
 	sort.SliceStable(sorted, func(i, j int) bool { return syslogmsg.SortByTime(&sorted[i], &sorted[j]) })
 	st := syslogdigest.NewStreamer(d, 0)
 	st.Instrument(reg)
-	events := 0
+	events, updates := 0, 0
 	print := func(res *syslogdigest.DigestResult) {
 		if res == nil {
 			return
+		}
+		// Tier-tagged lines first: in a live feed a provisional record
+		// always precedes the final event it anticipates.
+		for i := range res.Updates {
+			u := &res.Updates[i]
+			if u.Status == syslogdigest.StatusFinal {
+				continue // the untagged closure line below is the final record
+			}
+			updates++
+			fmt.Println(u.Digest())
 		}
 		for _, e := range res.Events {
 			events++
@@ -197,6 +218,11 @@ func streamDigest(d *syslogdigest.Digester, msgs []syslogmsg.Message, raw bool, 
 	}
 	print(res)
 	st.Close()
+	if updates > 0 {
+		fmt.Fprintf(os.Stderr, "%d messages -> %d events (streamed, closure order; %d provisional-tier lines)\n",
+			len(msgs), events, updates)
+		return
+	}
 	fmt.Fprintf(os.Stderr, "%d messages -> %d events (streamed, closure order)\n", len(msgs), events)
 }
 

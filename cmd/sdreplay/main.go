@@ -14,7 +14,9 @@
 // as possible). -format selects the wire framing: line (the repository
 // format), rfc3164, or rfc5424.
 //
-// In local mode, -checkpoint makes the replay resumable: streaming state is
+// In local mode, -provisional turns on two-tier emission (tagged
+// provisional/revised/superseded lines ahead of each final closure line),
+// and -checkpoint makes the replay resumable: streaming state is
 // snapshotted to the file periodically, and a restarted replay restores it
 // and skips the prefix of the stream the previous run already pushed,
 // printing each event exactly once across restarts.
@@ -36,16 +38,17 @@ import (
 
 func main() {
 	var (
-		syslogPath = flag.String("syslog", "", "syslog file to replay (required)")
-		udpAddr    = flag.String("udp", "", "UDP destination (one datagram per message)")
-		tcpAddr    = flag.String("tcp", "", "TCP destination (newline framed)")
-		speed      = flag.Float64("speed", 0, "log seconds per wall second (0 = no pacing)")
-		format     = flag.String("format", "line", "wire format: line, rfc3164, or rfc5424")
-		pri        = flag.Int("pri", 189, "syslog <pri> value for RFC framings")
-		kbPath     = flag.String("kb", "", "knowledge base: replay into the in-process streaming engine instead of the network")
-		streamWork = flag.Int("stream-workers", 0, "shard workers for the local engine (<= 1 = serial, N > 1 = router-sharded; output is identical at any setting)")
-		ckptPath   = flag.String("checkpoint", "", "local mode: restore streaming state from this file on start (skipping the messages the snapshotted run already pushed) and snapshot into it periodically")
-		ckptEvery  = flag.Duration("checkpoint-interval", 30*time.Second, "how often to write the checkpoint (with -checkpoint)")
+		syslogPath  = flag.String("syslog", "", "syslog file to replay (required)")
+		udpAddr     = flag.String("udp", "", "UDP destination (one datagram per message)")
+		tcpAddr     = flag.String("tcp", "", "TCP destination (newline framed)")
+		speed       = flag.Float64("speed", 0, "log seconds per wall second (0 = no pacing)")
+		format      = flag.String("format", "line", "wire format: line, rfc3164, or rfc5424")
+		pri         = flag.Int("pri", 189, "syslog <pri> value for RFC framings")
+		kbPath      = flag.String("kb", "", "knowledge base: replay into the in-process streaming engine instead of the network")
+		streamWork  = flag.Int("stream-workers", 0, "shard workers for the local engine (<= 1 = serial, N > 1 = router-sharded; output is identical at any setting)")
+		provisional = flag.Duration("provisional", 0, "local mode: two-tier emission horizon — print provisional/revised/superseded lines this much log time after group birth (0 disables; the final stream is identical at any setting)")
+		ckptPath    = flag.String("checkpoint", "", "local mode: restore streaming state from this file on start (skipping the messages the snapshotted run already pushed) and snapshot into it periodically")
+		ckptEvery   = flag.Duration("checkpoint-interval", 30*time.Second, "how often to write the checkpoint (with -checkpoint)")
 	)
 	flag.Parse()
 	local := *kbPath != "" && *udpAddr == "" && *tcpAddr == ""
@@ -68,8 +71,11 @@ func main() {
 		fatalf("empty stream")
 	}
 	if local {
-		replayLocal(*kbPath, msgs, *speed, *streamWork, *ckptPath, *ckptEvery)
+		replayLocal(*kbPath, msgs, *speed, *streamWork, *provisional, *ckptPath, *ckptEvery)
 		return
+	}
+	if *provisional != 0 {
+		fatalf("-provisional applies to local mode only (with -kb and no destination)")
 	}
 
 	var render func(m *syslogmsg.Message) string
@@ -140,7 +146,7 @@ func main() {
 // snapshotted run already pushed, and the replay skips exactly that prefix,
 // so a killed replay continues where it stopped with each event printed
 // exactly once across the restarts.
-func replayLocal(kbPath string, msgs []syslogmsg.Message, speed float64, streamWorkers int, ckptPath string, ckptEvery time.Duration) {
+func replayLocal(kbPath string, msgs []syslogmsg.Message, speed float64, streamWorkers int, provisional time.Duration, ckptPath string, ckptEvery time.Duration) {
 	kf, err := os.Open(kbPath)
 	if err != nil {
 		fatalf("open kb: %v", err)
@@ -154,7 +160,10 @@ func replayLocal(kbPath string, msgs []syslogmsg.Message, speed float64, streamW
 	if err != nil {
 		fatalf("digester: %v", err)
 	}
-	opts := syslogdigest.StreamerOptions{StreamWorkers: streamWorkers}
+	opts := syslogdigest.StreamerOptions{
+		StreamWorkers:      streamWorkers,
+		ProvisionalHorizon: provisional,
+	}
 	var st *syslogdigest.Streamer
 	skip := 0
 	if ckptPath != "" {
@@ -181,6 +190,11 @@ func replayLocal(kbPath string, msgs []syslogmsg.Message, speed float64, streamW
 	print := func(res *syslogdigest.DigestResult) {
 		if res == nil {
 			return
+		}
+		for i := range res.Updates {
+			if u := &res.Updates[i]; u.Status != syslogdigest.StatusFinal {
+				fmt.Println(u.Digest())
+			}
 		}
 		for _, e := range res.Events {
 			events++

@@ -5,8 +5,17 @@
 // Usage:
 //
 //	sdviz -kb kb.json -syslog live.log [-at "2009-12-05 16:00:00"] [-window 10m]
+//	sdviz -kb kb.json -syslog live.log -live [-provisional 30s] [-speed 600]
 //
 // Without -at, the busiest window of the stream is chosen.
+//
+// -live replays the stream through the two-tier streaming engine and renders
+// a live event board instead of the static map: a provisional event appears
+// seconds (of log time) after its first message, updates in place as
+// messages arrive, is folded into its absorbing event on a merge, and flips
+// to final at closure. On a terminal the board redraws in place (ANSI);
+// elsewhere each transition prints as one tagged line. -speed paces the
+// replay in log seconds per wall second (0 = as fast as possible).
 package main
 
 import (
@@ -23,10 +32,13 @@ import (
 
 func main() {
 	var (
-		kbPath     = flag.String("kb", "kb.json", "knowledge-base JSON from sdlearn")
-		syslogPath = flag.String("syslog", "", "syslog stream (required)")
-		atFlag     = flag.String("at", "", "window start (UTC '2006-01-02 15:04:05'); empty = busiest window")
-		window     = flag.Duration("window", 10*time.Minute, "window length")
+		kbPath      = flag.String("kb", "kb.json", "knowledge-base JSON from sdlearn")
+		syslogPath  = flag.String("syslog", "", "syslog stream (required)")
+		atFlag      = flag.String("at", "", "window start (UTC '2006-01-02 15:04:05'); empty = busiest window")
+		window      = flag.Duration("window", 10*time.Minute, "window length")
+		live        = flag.Bool("live", false, "render a live two-tier event board instead of the static map")
+		provisional = flag.Duration("provisional", 30*time.Second, "live mode: provisional horizon — an open group appears on the board this much log time after birth")
+		speed       = flag.Float64("speed", 0, "live mode: log seconds per wall second (0 = no pacing)")
 	)
 	flag.Parse()
 	if *syslogPath == "" {
@@ -54,6 +66,11 @@ func main() {
 	}
 	if len(msgs) == 0 {
 		fatalf("empty syslog stream")
+	}
+
+	if *live {
+		liveView(kb, msgs, *provisional, *speed)
+		return
 	}
 
 	var at time.Time
@@ -118,6 +135,146 @@ func main() {
 	for _, e := range res.Events[:n] {
 		fmt.Println("  " + e.Digest())
 	}
+}
+
+// liveView replays the stream through the streaming engine with two-tier
+// emission and renders the event board: open provisional events as
+// in-place-updating lines, finals printed permanently above them.
+func liveView(kb *syslogdigest.KnowledgeBase, msgs []syslogdigest.Message, horizon time.Duration, speed float64) {
+	if horizon <= 0 {
+		fatalf("-live needs a positive -provisional horizon")
+	}
+	d, err := syslogdigest.NewDigester(kb)
+	if err != nil {
+		fatalf("digester: %v", err)
+	}
+	st := syslogdigest.NewStreamerWith(d, syslogdigest.StreamerOptions{ProvisionalHorizon: horizon})
+	defer st.Close()
+
+	b := newBoard(os.Stdout)
+	apply := func(res *syslogdigest.DigestResult) {
+		if res == nil {
+			return
+		}
+		for i := range res.Updates {
+			b.apply(&res.Updates[i])
+		}
+	}
+	start := time.Now()
+	logStart := msgs[0].Time
+	for i := range msgs {
+		if speed > 0 {
+			due := start.Add(time.Duration(float64(msgs[i].Time.Sub(logStart)) / speed))
+			if d := time.Until(due); d > 0 {
+				b.redraw()
+				time.Sleep(d)
+			}
+		}
+		res, err := st.Push(msgs[i])
+		if err != nil {
+			fatalf("stream: %v", err)
+		}
+		apply(res)
+	}
+	res, err := st.Flush()
+	if err != nil {
+		fatalf("stream flush: %v", err)
+	}
+	apply(res)
+	b.close()
+}
+
+// board is the live renderer. On a terminal it keeps one line per open
+// provisional event and redraws them in place with ANSI cursor movement;
+// finals scroll away permanently above the board. On a pipe it degrades to
+// one tagged line per transition.
+type board struct {
+	out      *os.File
+	tty      bool
+	ids      []uint64 // board rows, in first-appearance order
+	rows     map[uint64]string
+	drawn    int // lines currently on screen
+	lastDraw time.Time
+	finals   int
+}
+
+func newBoard(out *os.File) *board {
+	tty := false
+	if fi, err := out.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
+		tty = true
+	}
+	return &board{out: out, tty: tty, rows: map[uint64]string{}}
+}
+
+// apply folds one update into the board.
+func (b *board) apply(u *syslogdigest.Update) {
+	if !b.tty {
+		fmt.Fprintln(b.out, u.Digest())
+		if u.Status == syslogdigest.StatusFinal {
+			b.finals++
+		}
+		return
+	}
+	switch u.Status {
+	case syslogdigest.StatusProvisional:
+		b.ids = append(b.ids, u.EventID)
+		b.rows[u.EventID] = fmt.Sprintf("~ #%-5d %s", u.EventID, u.Event.Digest())
+	case syslogdigest.StatusRevised:
+		b.rows[u.EventID] = fmt.Sprintf("~ #%-5d %s", u.EventID, u.Event.Digest())
+	case syslogdigest.StatusSuperseded:
+		b.drop(u.EventID)
+	case syslogdigest.StatusFinal:
+		b.drop(u.EventID)
+		b.finals++
+		// Print the final permanently above the board: erase, print, redraw.
+		b.erase()
+		fmt.Fprintf(b.out, "✔ %s\n", u.Event.Digest())
+	}
+	// Throttle in-place refreshes; transitions that changed the line count
+	// (drop/erase above) redraw unconditionally via drawn mismatch.
+	if time.Since(b.lastDraw) >= 50*time.Millisecond || b.drawn != len(b.ids) {
+		b.redraw()
+	}
+}
+
+func (b *board) drop(id uint64) {
+	delete(b.rows, id)
+	for i, v := range b.ids {
+		if v == id {
+			b.ids = append(b.ids[:i], b.ids[i+1:]...)
+			break
+		}
+	}
+}
+
+// erase clears the board's lines from the screen.
+func (b *board) erase() {
+	if b.drawn > 0 {
+		fmt.Fprintf(b.out, "\x1b[%dA\x1b[J", b.drawn)
+		b.drawn = 0
+	}
+}
+
+// redraw repaints the open-event lines in place.
+func (b *board) redraw() {
+	if !b.tty {
+		return
+	}
+	b.erase()
+	for _, id := range b.ids {
+		fmt.Fprintln(b.out, b.rows[id])
+	}
+	b.drawn = len(b.ids)
+	b.lastDraw = time.Now()
+}
+
+// close erases the (now empty — Flush finalized everything) board and
+// prints the tally.
+func (b *board) close() {
+	if b.tty {
+		b.erase()
+	}
+	fmt.Fprintf(os.Stderr, "sdviz: %d events finalized\n", b.finals)
 }
 
 // dots renders n (scaled down by per) as a bar capped at max.

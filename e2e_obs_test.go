@@ -28,6 +28,12 @@ import (
 // The run repeats with the serial engine and the router-sharded engine;
 // in sharded mode the per-shard and merge-stage books must reconcile with
 // the global stream counters at every worker count.
+//
+// The streamer runs with a provisional horizon, so the two-tier emission
+// books (stream.provisional.*) reconcile too: finalized == stream.emitted,
+// emitted == finalized + superseded (every identity that got a first signal
+// either closed or was absorbed), and the delivered Update records match
+// the counters tier for tier.
 func TestLivePipelineObservability(t *testing.T) {
 	ds, err := gen.Generate(gen.Spec{
 		Kind: gen.DatasetA, Routers: 12, Seed: 11,
@@ -71,7 +77,10 @@ func livePipelineRun(t *testing.T, kb *syslogdigest.KnowledgeBase, ds *gen.Datas
 	// the KB from JSON).
 	kb.SetMatchCache(0)
 	d.Instrument(reg)
-	st := syslogdigest.NewStreamerWith(d, syslogdigest.StreamerOptions{StreamWorkers: workers})
+	st := syslogdigest.NewStreamerWith(d, syslogdigest.StreamerOptions{
+		StreamWorkers:      workers,
+		ProvisionalHorizon: 30 * time.Second,
+	})
 	defer st.Close()
 	st.Instrument(reg)
 	health.SetReady(true)
@@ -80,7 +89,16 @@ func livePipelineRun(t *testing.T, kb *syslogdigest.KnowledgeBase, ds *gen.Datas
 		mu        sync.Mutex
 		digested  int
 		eventsOut int
+		updSeen   [4]uint64 // delivered updates by Status
 	)
+	countUpdates := func(res *syslogdigest.DigestResult) {
+		if res == nil {
+			return
+		}
+		for i := range res.Updates {
+			updSeen[res.Updates[i].Status]++
+		}
+	}
 	col, err := collector.New(collector.Config{
 		TCPAddr: "127.0.0.1:0", MaxLineBytes: 2048, Metrics: reg,
 	}, func(m syslogmsg.Message) {
@@ -97,6 +115,7 @@ func livePipelineRun(t *testing.T, kb *syslogdigest.KnowledgeBase, ds *gen.Datas
 			}
 			eventsOut += len(res.Events)
 		}
+		countUpdates(res)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -147,6 +166,7 @@ func livePipelineRun(t *testing.T, kb *syslogdigest.KnowledgeBase, ds *gen.Datas
 		}
 		eventsOut += len(res.Events)
 	}
+	countUpdates(res)
 	mu.Unlock()
 
 	// In-process reconciliation: received == digested, and every sent line
@@ -231,6 +251,38 @@ func livePipelineRun(t *testing.T, kb *syslogdigest.KnowledgeBase, ds *gen.Datas
 	}
 	if h := snap.Histogram("stream.emit_latency_seconds"); h == nil || h.Count != uint64(eventsOut) {
 		t.Fatalf("exporter: emit latency observations %+v, want %d", h, eventsOut)
+	}
+	// Two-tier emission books. Every final event carries exactly one
+	// finalized record; every first signal (revision 0) is eventually
+	// resolved by exactly one finalized or superseded record — nothing
+	// dangles after Flush.
+	provEmitted := snap.Counter("stream.provisional.emitted")
+	provRevised := snap.Counter("stream.provisional.revised")
+	provSuperseded := snap.Counter("stream.provisional.superseded")
+	provFinalized := snap.Counter("stream.provisional.finalized")
+	if provFinalized != uint64(eventsOut) {
+		t.Fatalf("exporter: provisional.finalized %d != stream.emitted %d", provFinalized, eventsOut)
+	}
+	if provEmitted != provFinalized+provSuperseded {
+		t.Fatalf("exporter: provisional.emitted %d != finalized %d + superseded %d",
+			provEmitted, provFinalized, provSuperseded)
+	}
+	if provEmitted == 0 || provSuperseded == 0 {
+		t.Fatalf("exporter: degenerate provisional traffic: emitted %d superseded %d", provEmitted, provSuperseded)
+	}
+	// The delivered Update records must match the counters tier for tier.
+	if updSeen[syslogdigest.StatusProvisional] != provEmitted ||
+		updSeen[syslogdigest.StatusRevised] != provRevised ||
+		updSeen[syslogdigest.StatusSuperseded] != provSuperseded ||
+		updSeen[syslogdigest.StatusFinal] != provFinalized {
+		t.Fatalf("delivered updates %v != counters [%d %d %d %d]",
+			updSeen, provEmitted, provRevised, provSuperseded, provFinalized)
+	}
+	if h := snap.Histogram("stream.provisional.latency_seconds"); h == nil || h.Count != provEmitted {
+		t.Fatalf("exporter: provisional latency observations %+v, want %d", h, provEmitted)
+	}
+	if h := snap.Histogram("stream.provisional.revision_churn"); h == nil || h.Count != provFinalized {
+		t.Fatalf("exporter: revision churn observations %+v, want %d", h, provFinalized)
 	}
 	// Pending-pool books: every record handed out was either returned or is
 	// still live (gets == puts + live), and after Flush force-closed every

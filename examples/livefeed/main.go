@@ -1,10 +1,15 @@
 // livefeed: the full operational loop in one process — routers streaming
 // syslog over the network to a collector (the paper's deployment model),
-// with the online digester consuming the collected feed.
+// with the online digester consuming the collected feed through two-tier
+// emission.
 //
-// A generated dataset-A day is replayed over real loopback UDP in RFC 3164
-// framing; the collector parses the wire format back into messages, and
-// micro-batches are digested into events as they accumulate.
+// A generated dataset-A stretch is replayed over real loopback UDP in RFC
+// 3164 framing; the collector parses the wire format back into messages and
+// pushes each one straight into the streaming engine. With a provisional
+// horizon set, every group prints a first signal seconds of log time after
+// its birth, is folded into its absorbing event on a merge, and flips to
+// final at closure — the live view an operator watches, hours before the
+// exact closure rule could speak.
 //
 // Run with: go run ./examples/livefeed
 package main
@@ -13,7 +18,6 @@ import (
 	"fmt"
 	"log"
 	"net"
-	"sort"
 	"sync"
 	"time"
 
@@ -42,16 +46,42 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Start the collector on an ephemeral loopback UDP port.
-	var (
-		mu    sync.Mutex
-		batch []syslogdigest.Message
-	)
+	// The streaming front-end with the provisional tier on: first signal 30
+	// seconds (log time) after a group is born, against the hours-scale
+	// closure horizon the final tier needs.
+	st := syslogdigest.NewStreamerWith(d, syslogdigest.StreamerOptions{
+		ProvisionalHorizon: 30 * time.Second,
+	})
+	defer st.Close()
+
+	var counts [4]int
+	show := func(res *syslogdigest.DigestResult) {
+		if res == nil {
+			return
+		}
+		for i := range res.Updates {
+			u := &res.Updates[i]
+			counts[u.Status]++
+			// Print first signals and resolutions; skip per-message
+			// revisions to keep the feed readable.
+			if u.Status != syslogdigest.StatusRevised {
+				fmt.Println(u.Digest())
+			}
+		}
+	}
+
+	// Start the collector on an ephemeral loopback UDP port, feeding the
+	// streamer directly — no batching anywhere.
+	var mu sync.Mutex
 	col, err := collector.New(collector.Config{UDPAddr: "127.0.0.1:0", Year: 2009},
 		func(m syslogmsg.Message) {
 			mu.Lock()
-			batch = append(batch, m)
-			mu.Unlock()
+			defer mu.Unlock()
+			res, err := st.Push(m)
+			if err != nil {
+				log.Println("stream:", err)
+			}
+			show(res)
 		})
 	if err != nil {
 		log.Fatal(err)
@@ -62,7 +92,7 @@ func main() {
 	defer col.Close()
 	fmt.Println("collector listening on", col.UDPAddr())
 
-	// Replay a fresh hour of traffic over the wire in RFC 3164 framing —
+	// Replay a fresh stretch of traffic over the wire in RFC 3164 framing —
 	// exactly what a router's "logging host" configuration would send.
 	day, err := gen.Generate(gen.Spec{
 		Kind: gen.DatasetA, Routers: 20, Seed: 43,
@@ -89,7 +119,8 @@ func main() {
 		}
 	}
 
-	// Wait for the datagrams to drain, then digest the collected batch.
+	// Wait for the datagrams to drain, then flush: open groups force-close
+	// and every surviving identity resolves to final.
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
 		if int(col.Stats().Received)+int(col.Stats().Dropped) >= sent {
@@ -97,25 +128,18 @@ func main() {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	st := col.Stats()
-	fmt.Printf("sent %d datagrams; collector received %d, dropped %d\n", sent, st.Received, st.Dropped)
+	cst := col.Stats()
+	fmt.Printf("sent %d datagrams; collector received %d, dropped %d\n", sent, cst.Received, cst.Dropped)
 
 	mu.Lock()
-	collected := batch
-	batch = nil
-	mu.Unlock()
-	sort.SliceStable(collected, func(i, j int) bool {
-		return syslogmsg.SortByTime(&collected[i], &collected[j])
-	})
-	res, err := d.Digest(collected)
+	res, err := st.Flush()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\n%d collected messages -> %d events; top 5:\n", len(collected), len(res.Events))
-	for i, e := range res.Events {
-		if i == 5 {
-			break
-		}
-		fmt.Printf("%2d. %s\n", i+1, e.Digest())
-	}
+	show(res)
+	mu.Unlock()
+
+	fmt.Printf("\ntwo-tier books: %d provisional, %d revised, %d superseded, %d final\n",
+		counts[syslogdigest.StatusProvisional], counts[syslogdigest.StatusRevised],
+		counts[syslogdigest.StatusSuperseded], counts[syslogdigest.StatusFinal])
 }

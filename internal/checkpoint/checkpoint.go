@@ -171,3 +171,16 @@ type Event struct {
 	Label       string             `json:"label"`
 	Score       float64            `json:"score"`
 }
+
+// Update is the serialized form of one tier-tagged emission record (PR 9):
+// the identity header plus the event snapshot, absent for superseded
+// records exactly as on the wire. Status uses the event package's string
+// form ("provisional", "revised", "superseded", "final"); the conversions
+// live in core, beside Event's.
+type Update struct {
+	EventID      uint64 `json:"event_id"`
+	Revision     int    `json:"revision"`
+	Status       string `json:"status"`
+	SupersededBy uint64 `json:"superseded_by,omitempty"`
+	Event        *Event `json:"event,omitempty"`
+}

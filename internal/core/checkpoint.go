@@ -42,6 +42,10 @@ type streamerState struct {
 	Buffer     []bufferedMsg       `json:"buffer"`
 	Engine     *stream.EngineState `json:"engine,omitempty"` // nil: engine never created
 	Carry      []checkpoint.Event  `json:"carry"`
+	// CarryUpdates are tier-tagged updates emitted but undelivered at the
+	// snapshot (PR 9); absent entirely when the provisional tier is off,
+	// so final-only snapshots are byte-identical to pre-PR 9 ones.
+	CarryUpdates []checkpoint.Update `json:"carry_updates,omitempty"`
 }
 
 // encodeEvent and decodeEvent bridge event.Event and its serialized form
@@ -74,6 +78,39 @@ func decodeEvent(ce *checkpoint.Event) event.Event {
 		Label:       ce.Label,
 		Score:       ce.Score,
 	}
+}
+
+// encodeUpdate and decodeUpdate are the same bridge for tier-tagged
+// updates; a superseded record's absent snapshot stays absent.
+func encodeUpdate(u *event.Update) checkpoint.Update {
+	cu := checkpoint.Update{
+		EventID:      u.EventID,
+		Revision:     u.Revision,
+		Status:       u.Status.String(),
+		SupersededBy: u.SupersededBy,
+	}
+	if u.Status != event.StatusSuperseded {
+		ce := encodeEvent(&u.Event)
+		cu.Event = &ce
+	}
+	return cu
+}
+
+func decodeUpdate(cu *checkpoint.Update) (event.Update, error) {
+	st, ok := event.StatusFromString(cu.Status)
+	if !ok {
+		return event.Update{}, fmt.Errorf("core: restore: unknown update status %q", cu.Status)
+	}
+	u := event.Update{
+		EventID:      cu.EventID,
+		Revision:     cu.Revision,
+		Status:       st,
+		SupersededBy: cu.SupersededBy,
+	}
+	if cu.Event != nil {
+		u.Event = decodeEvent(cu.Event)
+	}
+	return u, nil
 }
 
 // Snapshot serializes the streamer's complete streaming state, keyed by
@@ -111,9 +148,12 @@ func (s *Streamer) Snapshot() ([]byte, error) {
 	for i := range s.carry {
 		st.Carry = append(st.Carry, encodeEvent(&s.carry[i]))
 	}
+	for i := range s.carryUpd {
+		st.CarryUpdates = append(st.CarryUpdates, encodeUpdate(&s.carryUpd[i]))
+	}
 	var watermarkNs int64
 	if s.eng != nil {
-		es, pending, err := s.eng.State()
+		es, pending, pendingUpd, err := s.eng.State()
 		if err != nil {
 			return nil, fmt.Errorf("core: snapshot: %w", err)
 		}
@@ -121,6 +161,9 @@ func (s *Streamer) Snapshot() ([]byte, error) {
 		watermarkNs = es.LastTimeNs
 		for i := range pending {
 			st.Carry = append(st.Carry, encodeEvent(&pending[i]))
+		}
+		for i := range pendingUpd {
+			st.CarryUpdates = append(st.CarryUpdates, encodeUpdate(&pendingUpd[i]))
 		}
 	}
 	return checkpoint.Encode(watermarkNs, st)
@@ -160,8 +203,15 @@ func RestoreStreamer(d *Digester, snap []byte, opts StreamerOptions) (*Streamer,
 	for i := range st.Carry {
 		s.carry = append(s.carry, decodeEvent(&st.Carry[i]))
 	}
+	for i := range st.CarryUpdates {
+		u, err := decodeUpdate(&st.CarryUpdates[i])
+		if err != nil {
+			return nil, err
+		}
+		s.carryUpd = append(s.carryUpd, u)
+	}
 	if st.Engine != nil {
-		eng, err := d.restoreStreamEngine(s.opts.MaxStreams, s.workers(), *st.Engine)
+		eng, err := d.restoreStreamEngine(s.opts.MaxStreams, s.workers(), s.provHorizon(), *st.Engine)
 		if err != nil {
 			return nil, err
 		}

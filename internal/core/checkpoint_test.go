@@ -436,8 +436,9 @@ func (f *failEngine) Pending() int                       { return 0 }
 func (f *failEngine) Stats() grouping.IncStats           { return grouping.IncStats{} }
 func (f *failEngine) ActiveRules() map[rules.PairKey]int { return nil }
 func (f *failEngine) SetMetrics(stream.Metrics)          {}
-func (f *failEngine) State() (stream.EngineState, []event.Event, error) {
-	return stream.EngineState{}, nil, errBoom
+func (f *failEngine) TakeUpdates() []event.Update        { return nil }
+func (f *failEngine) State() (stream.EngineState, []event.Event, []event.Update, error) {
+	return stream.EngineState{}, nil, nil, errBoom
 }
 
 // TestStreamerFlushPartialOnError: when a feed fails mid-Flush, the events

@@ -89,6 +89,17 @@ type Params struct {
 	// this is a runtime knob, never serialized into the knowledge base —
 	// tune per process via SetStreamWorkers or the -stream-workers flags.
 	StreamWorkers int
+	// ProvisionalHorizon enables two-tier event emission on the streaming
+	// path when positive: an open group that outlives this much log time
+	// publishes a provisional record (revision 0) and then revised or
+	// superseded records as it grows or merges, alongside the unchanged
+	// final stream. Meant to be seconds against the hours-scale closure
+	// horizon; zero disables the provisional tier (final records only).
+	// Like StreamWorkers this is a runtime delivery knob, never serialized
+	// into the knowledge base: the final stream is byte-identical at any
+	// setting. Tune per process via SetProvisionalHorizon or the
+	// -provisional flags.
+	ProvisionalHorizon time.Duration
 	// MatchCache bounds the repeat-message augment cache in entries:
 	// messages whose (router, code, detail) was augmented before reuse the
 	// cached template match and parsed locations instead of re-matching.
@@ -473,6 +484,11 @@ type DigestResult struct {
 	Events      []event.Event
 	Messages    []PlusMessage
 	ActiveRules map[rules.PairKey]int
+	// Updates are the tier-tagged provisional/revised/superseded/final
+	// records emitted during this result's window, in emission order.
+	// Populated only by streaming pushes with a provisional horizon set;
+	// batch digests and final-only streams leave it nil.
+	Updates []event.Update
 }
 
 // CompressionRatio is events/messages (1 for an empty batch).
@@ -510,6 +526,7 @@ type Digester struct {
 	labeler     *event.Labeler
 	pool        *par.Pool
 	streamWorks int
+	provHorizon time.Duration
 	linearScan  bool
 	met         digestMetrics
 }
@@ -530,6 +547,7 @@ func NewDigester(kb *KnowledgeBase) (*Digester, error) {
 		labeler:     labeler,
 		pool:        par.New(kb.Params.Parallelism),
 		streamWorks: kb.Params.StreamWorkers,
+		provHorizon: kb.Params.ProvisionalHorizon,
 	}, nil
 }
 
@@ -548,6 +566,19 @@ func (d *Digester) SetStreamWorkers(n int) { d.streamWorks = n }
 
 // StreamWorkers is the resolved engine selection.
 func (d *Digester) StreamWorkers() int { return d.streamWorks }
+
+// SetProvisionalHorizon turns two-tier emission on (positive) or off (zero
+// or negative) for subsequent streamers; see Params.ProvisionalHorizon.
+// The final stream is byte-identical at any setting.
+func (d *Digester) SetProvisionalHorizon(h time.Duration) {
+	if h < 0 {
+		h = 0
+	}
+	d.provHorizon = h
+}
+
+// ProvisionalHorizon is the digester-level two-tier emission setting.
+func (d *Digester) ProvisionalHorizon() time.Duration { return d.provHorizon }
 
 // SetLinearScan forces the grouping passes onto the original O(window)
 // candidate scans instead of the template index. Output is byte-identical
@@ -633,43 +664,55 @@ type streamEngine interface {
 	Stats() grouping.IncStats
 	ActiveRules() map[rules.PairKey]int
 	SetMetrics(stream.Metrics)
+	// TakeUpdates returns and clears the tier-tagged provisional updates
+	// queued since the last call; always empty when the provisional
+	// horizon is off.
+	TakeUpdates() []event.Update
 	// State snapshots the engine for checkpointing, returning any emitted
-	// events awaiting collection alongside (they stay queued in the live
-	// engine; the snapshot owner must persist them for exactly-once).
-	State() (stream.EngineState, []event.Event, error)
+	// events and tier-tagged updates awaiting collection alongside (they
+	// stay queued in the live engine; the snapshot owner must persist them
+	// for exactly-once).
+	State() (stream.EngineState, []event.Event, []event.Update, error)
 }
 
 // engineConfig assembles the streaming engine config. maxStreams <= 0
-// takes the grouping default.
-func (d *Digester) engineConfig(maxStreams int) stream.Config {
+// takes the grouping default; prov > 0 turns on the provisional tier
+// (batch digesting always passes 0 — a batch result is final by nature).
+func (d *Digester) engineConfig(maxStreams int, prov time.Duration) stream.Config {
 	return stream.Config{
-		Grouping: grouping.IncrementalConfig{Config: d.groupingConfig(), MaxStreams: maxStreams},
-		Freq:     d.kb.Freq,
-		Labeler:  d.labeler,
+		Grouping: grouping.IncrementalConfig{
+			Config:             d.groupingConfig(),
+			MaxStreams:         maxStreams,
+			ProvisionalHorizon: prov,
+		},
+		Freq:    d.kb.Freq,
+		Labeler: d.labeler,
 	}
 }
 
 // newEngine builds a serial streaming engine over the digester's knowledge.
-func (d *Digester) newEngine(maxStreams int) (*stream.Engine, error) {
-	return stream.New(d.kb.dict, d.kb.RuleBase, d.engineConfig(maxStreams))
+func (d *Digester) newEngine(maxStreams int, prov time.Duration) (*stream.Engine, error) {
+	return stream.New(d.kb.dict, d.kb.RuleBase, d.engineConfig(maxStreams, prov))
 }
 
 // newStreamEngine builds the engine selected by workers: serial at <= 1,
 // sharded above. Sharded engines own goroutines — callers must Close.
-func (d *Digester) newStreamEngine(maxStreams, workers int) (streamEngine, error) {
+func (d *Digester) newStreamEngine(maxStreams, workers int, prov time.Duration) (streamEngine, error) {
 	if workers > 1 {
-		return stream.NewSharded(d.kb.dict, d.kb.RuleBase, d.engineConfig(maxStreams), workers)
+		return stream.NewSharded(d.kb.dict, d.kb.RuleBase, d.engineConfig(maxStreams, prov), workers)
 	}
-	return d.newEngine(maxStreams)
+	return d.newEngine(maxStreams, prov)
 }
 
 // restoreStreamEngine rebuilds the engine selected by workers from a
-// checkpointed state; the snapshot's own worker count need not match.
-func (d *Digester) restoreStreamEngine(maxStreams, workers int, st stream.EngineState) (streamEngine, error) {
+// checkpointed state; the snapshot's own worker count need not match, and
+// the provisional horizon is the restoring process's own setting (it is a
+// delivery knob, never part of the snapshot).
+func (d *Digester) restoreStreamEngine(maxStreams, workers int, prov time.Duration, st stream.EngineState) (streamEngine, error) {
 	if workers > 1 {
-		return stream.RestoreSharded(d.kb.dict, d.kb.RuleBase, d.engineConfig(maxStreams), workers, st)
+		return stream.RestoreSharded(d.kb.dict, d.kb.RuleBase, d.engineConfig(maxStreams, prov), workers, st)
 	}
-	return stream.RestoreEngine(d.kb.dict, d.kb.RuleBase, d.engineConfig(maxStreams), st)
+	return stream.RestoreEngine(d.kb.dict, d.kb.RuleBase, d.engineConfig(maxStreams, prov), st)
 }
 
 // streamMsg projects one augmented message into the engine's input shape.
@@ -688,7 +731,7 @@ func streamMsg(pm *PlusMessage, seq int) stream.Message {
 // oracle the streaming path is tested against.
 func (d *Digester) DigestPlus(plus []PlusMessage) (*DigestResult, error) {
 	groupStart := time.Now()
-	eng, err := d.newStreamEngine(0, d.streamWorks)
+	eng, err := d.newStreamEngine(0, d.streamWorks, 0)
 	if err != nil {
 		return nil, err
 	}

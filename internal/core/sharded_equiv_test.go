@@ -63,7 +63,7 @@ func TestShardedMatchesSerial(t *testing.T) {
 			plus := kb.AugmentAll(ds.Messages)
 			order := feedOrder(plus)
 
-			serial, err := d.newEngine(0)
+			serial, err := d.newEngine(0, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -78,7 +78,7 @@ func TestShardedMatchesSerial(t *testing.T) {
 
 			for _, workers := range []int{1, 2, 8} {
 				t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
-					eng, err := stream.NewSharded(kb.Dictionary(), kb.RuleBase, d.engineConfig(0), workers)
+					eng, err := stream.NewSharded(kb.Dictionary(), kb.RuleBase, d.engineConfig(0, 0), workers)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -176,14 +176,14 @@ func TestShardedRandomizedSchedule(t *testing.T) {
 	plus := kb.AugmentAll(ds.Messages)
 	order := feedOrder(plus)
 
-	serial, err := d.newEngine(0)
+	serial, err := d.newEngine(0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := runEngine(t, serial, plus, order)
 
 	rng := rand.New(rand.NewSource(17))
-	eng, err := stream.NewSharded(kb.Dictionary(), kb.RuleBase, d.engineConfig(0), 3)
+	eng, err := stream.NewSharded(kb.Dictionary(), kb.RuleBase, d.engineConfig(0, 0), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +232,7 @@ func TestShardedLowWatermarkMonotone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := stream.NewSharded(kb.Dictionary(), kb.RuleBase, d.engineConfig(0), 4)
+	eng, err := stream.NewSharded(kb.Dictionary(), kb.RuleBase, d.engineConfig(0, 0), 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -43,6 +43,13 @@ type StreamerOptions struct {
 	// engine, N > 1 the sharded engine with N router-hashed workers.
 	// Output is byte-identical at any setting.
 	StreamWorkers int
+	// ProvisionalHorizon turns on two-tier emission: 0 inherits the
+	// digester's setting (Params.ProvisionalHorizon /
+	// SetProvisionalHorizon), positive enables provisional records at that
+	// log-time horizon, negative forces the tier off. Results then carry
+	// tier-tagged Updates alongside the unchanged final Events — the final
+	// stream is byte-identical at any setting.
+	ProvisionalHorizon time.Duration
 }
 
 // Streamer is the continuous front-end of the online pipeline: a bounded
@@ -80,8 +87,11 @@ type Streamer struct {
 	// carry holds events recovered from a checkpoint that the snapshotted
 	// run had emitted into the engine's collection queue but the caller had
 	// not yet received; they surface on the next Push or Flush, preserving
-	// exactly-once delivery across a restart.
-	carry []event.Event
+	// exactly-once delivery across a restart. carryUpd is the same for
+	// tier-tagged updates, keeping (EventID, Revision) delivery
+	// exactly-once too.
+	carry    []event.Event
+	carryUpd []event.Update
 
 	mBuffered   *obs.Gauge   // stream.buffered (reorder buffer depth)
 	mPushed     *obs.Counter // stream.pushed
@@ -147,6 +157,14 @@ func (s *Streamer) Instrument(reg *obs.Registry) {
 		EmitLatency: reg.Histogram("stream.emit_latency_seconds", stream.EmitLatencyBounds()),
 		Watermark:   reg.Gauge("stream.watermark_unix_seconds"),
 	}}
+	if s.provHorizon() > 0 {
+		s.engMetrics.ProvEmitted = reg.Counter("stream.provisional.emitted")
+		s.engMetrics.ProvRevised = reg.Counter("stream.provisional.revised")
+		s.engMetrics.ProvSuperseded = reg.Counter("stream.provisional.superseded")
+		s.engMetrics.ProvFinalized = reg.Counter("stream.provisional.finalized")
+		s.engMetrics.RevisionChurn = reg.Histogram("stream.provisional.revision_churn", stream.ChurnBounds())
+		s.engMetrics.ProvLatency = reg.Histogram("stream.provisional.latency_seconds", stream.EmitLatencyBounds())
+	}
 	if w := s.workers(); w > 1 {
 		s.engMetrics.MergeEmitted = reg.Counter("stream.merge.emitted")
 		s.engMetrics.MergeLag = reg.Histogram("stream.merge.lag_seconds", stream.MergeLagBounds())
@@ -174,6 +192,18 @@ func (s *Streamer) workers() int {
 	return s.d.streamWorks
 }
 
+// provHorizon resolves the two-tier emission setting: explicit streamer
+// option first (negative forces off), then the digester's setting.
+func (s *Streamer) provHorizon() time.Duration {
+	if s.opts.ProvisionalHorizon != 0 {
+		if s.opts.ProvisionalHorizon < 0 {
+			return 0
+		}
+		return s.opts.ProvisionalHorizon
+	}
+	return s.d.provHorizon
+}
+
 // setEngineMetrics hands the metric set to the engine; the sharded engine
 // takes the per-shard and merge-stage handles too. Metrics must land
 // before the first Observe (they do: engine() installs them immediately
@@ -190,7 +220,7 @@ func (s *Streamer) setEngineMetrics(eng streamEngine) {
 // invalid temporal parameters, and NewStreamer has no error return).
 func (s *Streamer) engine() (streamEngine, error) {
 	if s.eng == nil {
-		eng, err := s.d.newStreamEngine(s.opts.MaxStreams, s.workers())
+		eng, err := s.d.newStreamEngine(s.opts.MaxStreams, s.workers(), s.provHorizon())
 		if err != nil {
 			return nil, err
 		}
@@ -229,7 +259,7 @@ func (s *Streamer) Push(m syslogmsg.Message) (*DigestResult, error) {
 		} else {
 			s.mDropped.Inc()
 		}
-		return result(s.takeCarry(), nil)
+		return s.finish(s.takeCarry(), nil)
 	}
 	if s.started && m.Time.Before(s.maxSeen) {
 		s.mReordered.Inc()
@@ -271,7 +301,7 @@ func (s *Streamer) Push(m syslogmsg.Message) (*DigestResult, error) {
 		ferr = err
 	}
 	s.mBuffered.Set(float64(len(s.buf)))
-	return result(events, ferr)
+	return s.finish(events, ferr)
 }
 
 // release feeds the engine every buffered message that is either older than
@@ -306,13 +336,26 @@ func (s *Streamer) takeCarry() []event.Event {
 	return c
 }
 
-// result packages events (possibly partial, alongside an error) as a
-// DigestResult, keeping the nil-when-empty contract.
-func result(events []event.Event, err error) (*DigestResult, error) {
-	if len(events) == 0 {
+// finish packages events (possibly partial, alongside an error) plus the
+// call's tier-tagged updates — restored carry first, then whatever the
+// engine queued during this call — as a DigestResult, keeping the
+// nil-when-empty contract.
+func (s *Streamer) finish(events []event.Event, err error) (*DigestResult, error) {
+	upds := s.carryUpd
+	s.carryUpd = nil
+	if s.eng != nil {
+		if eu := s.eng.TakeUpdates(); len(eu) > 0 {
+			if upds == nil {
+				upds = eu
+			} else {
+				upds = append(upds, eu...)
+			}
+		}
+	}
+	if len(events) == 0 && len(upds) == 0 {
 		return nil, err
 	}
-	return &DigestResult{Events: events}, err
+	return &DigestResult{Events: events, Updates: upds}, err
 }
 
 // feed augments one message and hands it to the engine.
@@ -357,7 +400,7 @@ func (s *Streamer) Flush() (*DigestResult, error) {
 	if ferr == nil && s.eng != nil {
 		events = append(events, s.eng.Drain()...)
 	}
-	return result(events, ferr)
+	return s.finish(events, ferr)
 }
 
 // Pushed is the number of Push calls this streamer has accepted, dropped

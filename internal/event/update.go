@@ -1,0 +1,162 @@
+// Two-tier emission (PR 9): the provisional face of the event stream.
+//
+// The closure rule proves an event complete only after the watermark passes
+// its last message by the full closure horizon — hours at the paper's
+// defaults. Operations want a signal sooner, so the streaming engines can
+// additionally publish each group as a *provisional* event shortly after it
+// is born, revise it as members arrive, mark it superseded when a
+// union-find merge absorbs it into another event, and finally flip it to
+// final when the group closes. Every tier-tagged record is an Update; the
+// final-tier event stream (the plain []Event the engines always returned)
+// is byte-identical whether or not the provisional tier is enabled.
+package event
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Status is the tier of one Update.
+type Status uint8
+
+const (
+	// StatusProvisional is the first publication of an event: the group is
+	// past the provisional horizon and still open.
+	StatusProvisional Status = iota
+	// StatusRevised replaces an earlier publication of the same EventID
+	// with a grown membership.
+	StatusRevised
+	// StatusSuperseded retires an EventID: a merge absorbed its group into
+	// SupersededBy, which carries the combined membership from now on.
+	StatusSuperseded
+	// StatusFinal is the closure of an EventID; Event is the exact event
+	// the engine's final stream emitted.
+	StatusFinal
+)
+
+// String renders the status for display and the JSON wire form.
+func (s Status) String() string {
+	switch s {
+	case StatusProvisional:
+		return "provisional"
+	case StatusRevised:
+		return "revised"
+	case StatusSuperseded:
+		return "superseded"
+	case StatusFinal:
+		return "final"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// StatusFromString reverses Status.String for import tooling and the
+// checkpoint codec.
+func StatusFromString(s string) (Status, bool) {
+	switch s {
+	case "provisional":
+		return StatusProvisional, true
+	case "revised":
+		return StatusRevised, true
+	case "superseded":
+		return StatusSuperseded, true
+	case "final":
+		return StatusFinal, true
+	}
+	return 0, false
+}
+
+// Update is one tier-tagged emission of the two-tier stream.
+//
+// EventID is the stable identity assigned when the group was born; it
+// survives growth and merges (the merge winner keeps its ID, the loser is
+// retired with a StatusSuperseded update pointing at the winner). Revision
+// counts publications of this EventID, starting at 0 for the provisional
+// record; the final (or superseding) update carries the highest revision.
+//
+// Event is the scored, labeled snapshot of the membership at publication.
+// For provisional and revised updates its ID field is -1 — the sequential
+// final-stream ID is only assigned at closure; a StatusFinal update wraps
+// the exact final event, ID included. A StatusSuperseded update carries no
+// snapshot (the membership moved to SupersededBy), so Event is zero.
+type Update struct {
+	EventID      uint64
+	Revision     int
+	Status       Status
+	SupersededBy uint64 // set only for StatusSuperseded
+	Event        Event
+}
+
+// Digest renders the update as one line for terminals and logs: the tier
+// tag with identity and revision, then the event digest (or the absorbing
+// identity for a superseded record) — the two-tier counterpart of
+// Event.Digest.
+func (u *Update) Digest() string {
+	if u.Status == StatusSuperseded {
+		return fmt.Sprintf("[%s #%d rev%d -> #%d]", u.Status, u.EventID, u.Revision, u.SupersededBy)
+	}
+	return fmt.Sprintf("[%s #%d rev%d] %s", u.Status, u.EventID, u.Revision, u.Event.Digest())
+}
+
+// updateJSON is the wire form of one update.
+type updateJSON struct {
+	EventID      uint64          `json:"event_id"`
+	Revision     int             `json:"revision"`
+	Status       string          `json:"status"`
+	SupersededBy uint64          `json:"superseded_by,omitempty"`
+	Event        json.RawMessage `json:"event,omitempty"`
+}
+
+// MarshalJSON renders the update in its export form.
+func (u Update) MarshalJSON() ([]byte, error) {
+	out := updateJSON{
+		EventID:      u.EventID,
+		Revision:     u.Revision,
+		Status:       u.Status.String(),
+		SupersededBy: u.SupersededBy,
+	}
+	if u.Status != StatusSuperseded {
+		raw, err := json.Marshal(u.Event)
+		if err != nil {
+			return nil, err
+		}
+		out.Event = raw
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON parses the export form back into an Update.
+func (u *Update) UnmarshalJSON(data []byte) error {
+	var in updateJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	st, ok := StatusFromString(in.Status)
+	if !ok {
+		return fmt.Errorf("event: unknown update status %q", in.Status)
+	}
+	*u = Update{
+		EventID:      in.EventID,
+		Revision:     in.Revision,
+		Status:       st,
+		SupersededBy: in.SupersededBy,
+	}
+	if len(in.Event) > 0 {
+		if err := json.Unmarshal(in.Event, &u.Event); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteUpdatesJSON writes updates as newline-delimited JSON, mirroring
+// WriteJSON for the final stream.
+func WriteUpdatesJSON(w io.Writer, updates []Update) error {
+	enc := json.NewEncoder(w)
+	for i := range updates {
+		if err := enc.Encode(updates[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

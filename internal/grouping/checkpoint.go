@@ -50,10 +50,25 @@ type PendingState struct {
 }
 
 // GroupState is one open group: member indexes in live slice order plus
-// the closure timestamp.
+// the closure timestamp. The two-tier emission fields (PR 9) ride along:
+// ID is the stable event identity (0 in snapshots from older builds —
+// restore assigns fresh ones), Rev/Pub/Dirty are the revision cursor that
+// makes provisional delivery exactly-once across a restore.
 type GroupState struct {
-	Members []int `json:"members"`
-	LastNs  int64 `json:"last_ns"`
+	Members []int  `json:"members"`
+	LastNs  int64  `json:"last_ns"`
+	ID      uint64 `json:"id,omitempty"`
+	Rev     int    `json:"rev,omitempty"`
+	Pub     bool   `json:"pub,omitempty"`
+	Dirty   bool   `json:"dirty,omitempty"`
+}
+
+// ProvEntryState is one armed provisional due-time: the open group it
+// watches (an index into MergerState.Groups — stale entries are resolved
+// and dropped at capture) and when it fires.
+type ProvEntryState struct {
+	Group int   `json:"group"`
+	DueNs int64 `json:"due_ns"`
 }
 
 // ActiveRuleState is one (pair, tally) entry of the cumulative rule-merge
@@ -78,6 +93,11 @@ type MergerState struct {
 	// CrossCandidates is cumulative like the merge tallies; absent in
 	// snapshots from builds before the template index (restores as 0).
 	CrossCandidates uint64 `json:"cross_candidates,omitempty"`
+	// NextGroupID and ProvQueue are the two-tier emission cursors (PR 9);
+	// absent in snapshots from older builds (restore assigns fresh
+	// identities and re-arms open groups at the restored watermark).
+	NextGroupID uint64           `json:"next_group_id,omitempty"`
+	ProvQueue   []ProvEntryState `json:"prov_queue,omitempty"`
 }
 
 // ModelState is one live temporal stream: key, EWMA state, and the index
@@ -162,13 +182,32 @@ func CaptureParts(locals []*RouterLocal, mg *Merger) IncState {
 		RuleMerges:      mg.ruleMerges,
 		CrossMerges:     mg.crossMerges,
 		CrossCandidates: mg.crossCandidates,
+		NextGroupID:     mg.nextGroupID,
 	}
+	gidx := make(map[uint64]int)
 	for g := mg.oHead; g != nil; g = g.next {
-		gs := GroupState{Members: make([]int, len(g.members)), LastNs: checkpoint.TimeNs(g.last)}
+		gs := GroupState{
+			Members: make([]int, len(g.members)),
+			LastNs:  checkpoint.TimeNs(g.last),
+			ID:      g.id, Rev: g.rev, Pub: g.pub, Dirty: g.dirty,
+		}
 		for i, m := range g.members {
 			gs.Members[i] = x.of(m)
 		}
+		gidx[g.id] = len(st.Merger.Groups)
 		st.Merger.Groups = append(st.Merger.Groups, gs)
+	}
+	// Live due entries, front first. Stale entries (the group merged away,
+	// closed, or its record was recycled under a new identity) resolve to
+	// nothing and are dropped — the pop path would skip them anyway.
+	for _, e := range mg.provQueue.live() {
+		g := e.p.g
+		if g == nil || g.id != e.gid || g.closed {
+			continue
+		}
+		st.Merger.ProvQueue = append(st.Merger.ProvQueue, ProvEntryState{
+			Group: gidx[g.id], DueNs: checkpoint.TimeNs(e.due),
+		})
 	}
 	for i := 0; i < mg.crossWin.n; i++ {
 		st.Merger.CrossWin = append(st.Merger.CrossWin, x.of(mg.crossWin.at(i)))
@@ -240,6 +279,48 @@ func (inc *Incremental) State() IncState {
 	return CaptureParts([]*RouterLocal{inc.local}, inc.merge)
 }
 
+// restoreProv rebuilds the two-tier emission cursors: group identities, the
+// identity counter, and the armed due queue. Snapshots from older builds
+// carry no identities (ID 0 everywhere) — fresh ones are assigned in
+// closure-list order; and when the restoring engine runs the provisional
+// tier, any unpublished or dirty group left without an armed entry (an old
+// snapshot, or one taken with the tier off) is re-armed at the restored
+// watermark, so it still publishes instead of staying silent until close.
+func restoreProv(mg *Merger, ms MergerState, groups []*incGroup) error {
+	next := ms.NextGroupID
+	if next == 0 {
+		next = 1
+	}
+	for _, g := range groups {
+		if g.id == 0 {
+			g.id = next
+			next++
+		} else if g.id >= next {
+			next = g.id + 1
+		}
+	}
+	mg.nextGroupID = next
+	armed := make(map[*incGroup]bool)
+	if mg.provHorizon > 0 {
+		for qi, es := range ms.ProvQueue {
+			if es.Group < 0 || es.Group >= len(groups) {
+				return fmt.Errorf("grouping: restore: prov entry %d group %d out of range [0, %d)", qi, es.Group, len(groups))
+			}
+			g := groups[es.Group]
+			p := g.members[0]
+			p.ref() // due-queue reference
+			mg.provQueue.push(provEntry{p: p, gid: g.id, due: checkpoint.NsTime(es.DueNs)})
+			armed[g] = true
+		}
+		for _, g := range groups {
+			if !armed[g] && (!g.pub || g.dirty) {
+				mg.armProv(g)
+			}
+		}
+	}
+	return nil
+}
+
 // RestoreParts rebuilds the two halves from a snapshot. workers is the
 // number of RouterLocals wanted; localMax caps each one's model table
 // (<= 0: the Shardable bound). When the snapshot's shard count matches
@@ -296,6 +377,7 @@ func (s *Shardable) RestoreParts(st IncState, workers, localMax int, shardFor fu
 	mg.ruleMerges = st.Merger.RuleMerges
 	mg.crossMerges = st.Merger.CrossMerges
 	mg.crossCandidates = st.Merger.CrossCandidates
+	groups := make([]*incGroup, len(st.Merger.Groups))
 	for gi, gs := range st.Merger.Groups {
 		if len(gs.Members) == 0 {
 			return nil, nil, fmt.Errorf("grouping: restore: group %d has no members", gi)
@@ -323,9 +405,14 @@ func (s *Shardable) RestoreParts(st IncState, workers, localMax int, shardFor fu
 			g.members = append(g.members, p)
 		}
 		g.last = checkpoint.NsTime(gs.LastNs)
+		g.id, g.rev, g.pub, g.dirty = gs.ID, gs.Rev, gs.Pub, gs.Dirty
+		groups[gi] = g
 		mg.pushOpen(g)
 		mg.openGroups++
 		mg.openMsgs += len(g.members)
+	}
+	if err := restoreProv(mg, st.Merger, groups); err != nil {
+		return nil, nil, err
 	}
 	for _, ci := range st.Merger.CrossWin {
 		p, err := at(ci)

@@ -71,6 +71,15 @@ type IncrementalConfig struct {
 	Config
 	// MaxStreams caps the temporal model table (<= 0: DefaultMaxStreams).
 	MaxStreams int
+	// ProvisionalHorizon enables two-tier emission when positive: a group
+	// that outlives this much log time publishes a provisional record
+	// (revision 0) and then revised/superseded records as it grows or
+	// merges, alongside the unchanged final closure stream (see
+	// provisional.go). Meant to be far below the closure horizon — seconds
+	// against hours. Zero or negative disables the provisional tier.
+	// Runtime knob only — never serialized; a restored engine applies its
+	// own setting.
+	ProvisionalHorizon time.Duration
 }
 
 // IncMetrics are the incremental grouper's optional observability handles;
@@ -109,9 +118,14 @@ type IncStats struct {
 	CrossCandidates uint64
 }
 
-// ClosedGroup is one finished group: its members in ascending Seq order.
+// ClosedGroup is one finished group: its members in ascending Seq order,
+// plus the stable identity assigned at the group's birth and the final
+// revision number of that identity (both consumed by the two-tier emission
+// path; a final-only consumer may ignore them).
 type ClosedGroup struct {
-	Members []Message
+	ID       uint64
+	Revision int
+	Members  []Message
 }
 
 // Incremental is the streaming counterpart of Grouper: feed it messages in

@@ -103,6 +103,16 @@ type incGroup struct {
 	last       time.Time               // max member time
 	prev, next *incGroup               // closure list, ascending last
 	closed     bool
+
+	// Two-tier emission state (PR 9). id is the stable event identity,
+	// assigned at birth, never reused — the staleness check of the
+	// provisional due queue depends on that. rev counts publications; pub
+	// and dirty track whether the group has been announced and whether its
+	// membership changed since (see provisional.go).
+	id    uint64
+	rev   int
+	pub   bool
+	dirty bool
 }
 
 // modelKey identifies a temporal stream. The location is kept as the
@@ -238,10 +248,11 @@ func (r *memberRing) popAll() {
 // and windows), the closure horizon, and the state bound. Build the halves
 // from one Shardable so they agree on configuration.
 type Shardable struct {
-	g          *Grouper
-	maxStreams int
-	horizon    time.Duration
-	pool       *PendingPool
+	g           *Grouper
+	maxStreams  int
+	horizon     time.Duration
+	provHorizon time.Duration
+	pool        *PendingPool
 }
 
 // NewShardable validates the grouping knowledge and configuration. dict
@@ -262,7 +273,11 @@ func NewShardable(dict *locdict.Dictionary, rb *rules.RuleBase, cfg IncrementalC
 	if g.cfg.useCross() && g.cfg.CrossWindow > horizon {
 		horizon = g.cfg.CrossWindow
 	}
-	return &Shardable{g: g, maxStreams: maxStreams, horizon: horizon, pool: newPendingPool()}, nil
+	provHorizon := cfg.ProvisionalHorizon
+	if provHorizon < 0 {
+		provHorizon = 0
+	}
+	return &Shardable{g: g, maxStreams: maxStreams, horizon: horizon, provHorizon: provHorizon, pool: newPendingPool()}, nil
 }
 
 // Pool is the engine-scoped Pending pool shared by every half built from
@@ -296,9 +311,11 @@ func (s *Shardable) NewLocal(maxStreams int) *RouterLocal {
 // NewMerger builds the global half.
 func (s *Shardable) NewMerger() *Merger {
 	return &Merger{
-		g:       s.g,
-		horizon: s.horizon,
-		active:  make(map[rules.PairKey]int),
+		g:           s.g,
+		horizon:     s.horizon,
+		provHorizon: s.provHorizon,
+		nextGroupID: 1, // 0 means "unassigned" in snapshots
+		active:      make(map[rules.PairKey]int),
 	}
 }
 
@@ -610,6 +627,16 @@ type Merger struct {
 	crossCandidates                         uint64
 	met                                     MergeMetrics
 
+	// Two-tier emission (PR 9; see provisional.go). provHorizon > 0 turns
+	// the provisional tier on; nextGroupID hands out birth identities
+	// (always assigned — cheap, and it keeps snapshots uniform); provQueue
+	// holds the armed due-times; updBuf backs the slice TakeUpdates returns
+	// — like closedBuf, valid until the next Apply/Drain.
+	provHorizon time.Duration
+	nextGroupID uint64
+	provQueue   provQueue
+	updBuf      []GroupUpdate
+
 	// Recycling scratch (merge goroutine only). closedBuf backs the slice
 	// Apply/Drain return — valid until the next Apply/Drain. memberFree
 	// recycles heap-grown group member lists; msgFree recycles ClosedGroup
@@ -731,12 +758,20 @@ func (mg *Merger) Apply(p *Pending, js *Joins) ([]ClosedGroup, error) {
 	}
 	mg.started = true
 	mg.watermark = p.msg.Time
+	if mg.provHorizon > 0 {
+		mg.updBuf = mg.updBuf[:0]
+	}
 
 	g := &p.grp
 	g.inline[0] = p
 	g.members = g.inline[:1]
 	g.last = p.msg.Time
 	g.closed = false // recycled records keep their previous life's grp (see pool.put)
+	g.id = mg.nextGroupID
+	mg.nextGroupID++
+	g.rev = 0
+	g.pub = false
+	g.dirty = false
 	p.g = g
 	p.ref() // group membership reference, released by closeGroup
 	mg.pushOpen(g)
@@ -763,6 +798,17 @@ func (mg *Merger) Apply(p *Pending, js *Joins) ([]ClosedGroup, error) {
 		}
 	}
 
+	if mg.provHorizon > 0 {
+		// Arm the newborn only if it survived the joins as its own root —
+		// a merged-away singleton rides the winner's existing arms. Then
+		// fire everything due before closure, so a revision always precedes
+		// the final record it anticipates.
+		if p.g == &p.grp {
+			mg.armProv(p.g)
+		}
+		mg.popDue()
+	}
+
 	mg.closedBuf = mg.closeReady(mg.closedBuf[:0])
 	mg.publishGauges()
 	// Apply owns the caller's pipeline reference; p cannot recycle here —
@@ -779,6 +825,8 @@ func (mg *Merger) Apply(p *Pending, js *Joins) ([]ClosedGroup, error) {
 // Apply, the returned slice is scratch valid until the next Apply or
 // Drain.
 func (mg *Merger) Drain() []ClosedGroup {
+	mg.updBuf = mg.updBuf[:0]
+	mg.drainProvQueue()
 	mg.closedBuf = mg.closedBuf[:0]
 	for mg.oHead != nil {
 		mg.closedBuf = append(mg.closedBuf, mg.closeGroup(mg.oHead))
@@ -878,6 +926,9 @@ func (mg *Merger) merge(a, b *Pending, tally *int, c *obs.Counter) (bool, error)
 	mg.moveToTail(ga)
 	*tally++
 	c.Inc()
+	if mg.provHorizon > 0 {
+		mg.noteMerge(ga, gb)
+	}
 	return true, nil
 }
 
@@ -896,8 +947,15 @@ func (mg *Merger) closeReady(out []ClosedGroup) []ClosedGroup {
 // resurrecting it. Seqs are unique, so swapping sort.Slice for the
 // allocation-free slices.SortFunc cannot change the order.
 func (mg *Merger) closeGroup(g *incGroup) ClosedGroup {
+	if mg.provHorizon > 0 && !g.pub {
+		// A group closing before its due time (short horizon, or a Drain)
+		// still gets its revision-0 provisional record, so every final
+		// event has a first signal and the emission books balance.
+		mg.publish(g, UpdateProvisional)
+	}
 	mg.unlinkOpen(g)
 	g.closed = true
+	g.rev++ // the closure is the identity's last revision
 	mg.openGroups--
 	mg.openMsgs -= len(g.members)
 	slices.SortFunc(g.members, func(a, b *Pending) int { return cmp.Compare(a.msg.Seq, b.msg.Seq) })
@@ -908,7 +966,7 @@ func (mg *Merger) closeGroup(g *incGroup) ClosedGroup {
 	}
 	mg.putMemberBuf(g.members)
 	g.members = nil
-	return ClosedGroup{Members: msgs}
+	return ClosedGroup{ID: g.id, Revision: g.rev, Members: msgs}
 }
 
 func (mg *Merger) publishGauges() {

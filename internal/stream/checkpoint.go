@@ -29,17 +29,23 @@ type EngineState struct {
 	Inc        grouping.IncState `json:"inc"`
 }
 
-// State snapshots the serial engine. The two extra return values mirror the
-// sharded signature: a serial engine never holds uncollected events, and
-// capture itself cannot fail.
-func (e *Engine) State() (EngineState, []event.Event, error) {
+// State snapshots the serial engine. The extra return values mirror the
+// sharded signature: uncollected events (always nil here — the serial
+// engine hands events straight back from Observe) and tier-tagged updates
+// not yet taken via TakeUpdates, which the caller must persist alongside
+// the state to keep revision delivery exactly-once across a restart.
+func (e *Engine) State() (EngineState, []event.Event, []event.Update, error) {
 	inc := e.inc.State()
+	var pending []event.Update
+	if len(e.upd) > 0 {
+		pending = append(pending, e.upd...)
+	}
 	return EngineState{
 		NextID:     e.nextID,
 		LastTimeNs: inc.Merger.WatermarkNs,
 		Started:    inc.Merger.Started,
 		Inc:        inc,
-	}, nil, nil
+	}, nil, pending, nil
 }
 
 // RestoreEngine rebuilds a serial engine from a snapshot taken at any
@@ -53,24 +59,26 @@ func RestoreEngine(dict *locdict.Dictionary, rb *rules.RuleBase, cfg Config, st 
 		inc:     inc,
 		builder: event.NewBuilder(cfg.Freq, cfg.Labeler),
 		nextID:  st.NextID,
+		prov:    cfg.Grouping.ProvisionalHorizon > 0,
 	}, nil
 }
 
 // State synchronizes (flushing any partial batch and waiting until the
 // merge stage has applied everything dispatched) and snapshots the engine.
-// It also returns a copy of the events emitted but not yet collected — the
-// caller must persist them with the state; they stay queued here and still
-// surface on the next Observe/Drain of the live engine.
-func (e *ShardedEngine) State() (EngineState, []event.Event, error) {
+// It also returns copies of the events and tier-tagged updates emitted but
+// not yet collected — the caller must persist them with the state; they
+// stay queued here and still surface on the next collection from the live
+// engine.
+func (e *ShardedEngine) State() (EngineState, []event.Event, []event.Update, error) {
 	if e.closed {
-		return EngineState{}, nil, fmt.Errorf("stream: sharded engine closed")
+		return EngineState{}, nil, nil, fmt.Errorf("stream: sharded engine closed")
 	}
 	if e.running || e.pending > 0 {
 		e.dispatch(ctrlSync)
 		<-e.ack
 	}
 	if err := e.peekErr(); err != nil {
-		return EngineState{}, nil, err
+		return EngineState{}, nil, nil, err
 	}
 	// Post-ack quiet window: the shard goroutines are parked on their input
 	// channels and the merge goroutine on its, so the locals and the merger
@@ -86,8 +94,12 @@ func (e *ShardedEngine) State() (EngineState, []event.Event, error) {
 	if len(e.out) > 0 {
 		pending = append(pending, e.out...)
 	}
+	var pendingUpd []event.Update
+	if len(e.upd) > 0 {
+		pendingUpd = append(pendingUpd, e.upd...)
+	}
 	e.mu.Unlock()
-	return st, pending, nil
+	return st, pending, pendingUpd, nil
 }
 
 // RestoreSharded rebuilds a sharded engine from a snapshot taken at any

@@ -211,8 +211,15 @@ type ShardedEngine struct {
 	evictionsPub int
 	members      []event.Member // emit scratch, merge goroutine only
 
+	// Two-tier emission (PR 9): the merge stage converts the Merger's
+	// provisional-tier updates right where it emits finals, so the update
+	// sequence is the serial engine's at any worker count.
+	prov       bool
+	updMembers []event.Member // update scratch, merge goroutine only
+
 	mu  sync.Mutex
-	out []event.Event // emitted, awaiting collection; backing reused (see collect)
+	out []event.Event  // emitted, awaiting collection; backing reused (see collect)
+	upd []event.Update // tier-tagged updates awaiting collection
 	err error
 }
 
@@ -233,6 +240,7 @@ func NewSharded(dict *locdict.Dictionary, rb *rules.RuleBase, cfg Config, worker
 		workers:    workers,
 		batchSize:  DefaultShardBatch,
 		merger:     s.NewMerger(),
+		prov:       cfg.Grouping.ProvisionalHorizon > 0,
 		localStats: make([]grouping.LocalStats, workers),
 		subs:       make([][]*grouping.Pending, workers),
 	}, nil
@@ -501,6 +509,7 @@ func (e *ShardedEngine) mergeLoop() {
 				failed = true
 				continue
 			}
+			e.emitUpdates()
 			e.emit(closed)
 			applied = true
 		}
@@ -533,7 +542,9 @@ func (e *ShardedEngine) mergeLoop() {
 			e.lowWMns.Store(mb.punct.UnixNano())
 		}
 		if mb.kind == ctrlDrain && !failed {
-			e.emit(e.merger.Drain())
+			closed := e.merger.Drain()
+			e.emitUpdates()
+			e.emit(closed)
 		}
 		if mb.kind != ctrlNone {
 			e.ack <- struct{}{}
@@ -566,10 +577,54 @@ func (e *ShardedEngine) emit(closed []grouping.ClosedGroup) {
 		e.met.Emitted.Inc()
 		e.met.MergeEmitted.Inc()
 		e.met.EmitLatency.Observe(wm.Sub(ev.End).Seconds())
+		if e.prov {
+			e.met.ProvFinalized.Inc()
+			e.met.RevisionChurn.Observe(float64(cg.Revision))
+			e.upd = append(e.upd, event.Update{
+				EventID: cg.ID, Revision: cg.Revision,
+				Status: event.StatusFinal, Event: ev,
+			})
+		}
 		e.out = append(e.out, ev)
 	}
 	e.mu.Unlock()
 	e.merger.Recycle(closed)
+}
+
+// emitUpdates converts the Merger's pending provisional-tier updates to
+// event form and queues them (merge goroutine only). Runs before emit for
+// the same Apply, so provisional records always precede the final records
+// they anticipate.
+func (e *ShardedEngine) emitUpdates() {
+	if !e.prov {
+		return
+	}
+	gus := e.merger.TakeUpdates()
+	if len(gus) == 0 {
+		return
+	}
+	wm := e.merger.Watermark()
+	e.mu.Lock()
+	for _, gu := range gus {
+		e.upd = append(e.upd, buildUpdate(e.builder, &e.updMembers, &e.met.Metrics, wm, gu))
+	}
+	e.mu.Unlock()
+}
+
+// TakeUpdates takes the tier-tagged updates queued since the last call, in
+// emission order. Like Observe's event delivery, updates surface once their
+// batch is applied. Always empty when the provisional tier is off.
+func (e *ShardedEngine) TakeUpdates() []event.Update {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.upd) == 0 {
+		return nil
+	}
+	out := make([]event.Update, len(e.upd))
+	copy(out, e.upd)
+	clear(e.upd)
+	e.upd = e.upd[:0]
+	return out
 }
 
 // collect takes the events emitted since the last collection. The caller

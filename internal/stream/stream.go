@@ -58,12 +58,32 @@ type Metrics struct {
 	Emitted     *obs.Counter   // stream.emitted
 	EmitLatency *obs.Histogram // stream.emit_latency_seconds (log time)
 	Watermark   *obs.Gauge     // stream.watermark_unix_seconds
+
+	// Two-tier emission books (PR 9), populated only when the provisional
+	// horizon is on. They reconcile exactly: ProvFinalized == Emitted, and
+	// ProvEmitted == ProvFinalized + ProvSuperseded (every identity that
+	// gets a first signal either closes or is absorbed).
+	ProvEmitted    *obs.Counter   // stream.provisional.emitted (revision-0 records)
+	ProvRevised    *obs.Counter   // stream.provisional.revised
+	ProvSuperseded *obs.Counter   // stream.provisional.superseded
+	ProvFinalized  *obs.Counter   // stream.provisional.finalized
+	RevisionChurn  *obs.Histogram // stream.provisional.revision_churn (revisions per final event)
+	ProvLatency    *obs.Histogram // stream.provisional.latency_seconds (log time, first signal)
 }
 
 // EmitLatencyBounds are histogram bounds sized for closure latency, which
 // is the closure horizon (up to hours at Smax = 3h), not milliseconds.
+// Provisional first-signal latency shares them: it lands in the low
+// buckets (≈ the provisional horizon), which is exactly the contrast the
+// two histograms exist to show.
 func EmitLatencyBounds() []float64 {
 	return []float64{1, 5, 15, 60, 300, 900, 1800, 3600, 7200, 10800, 14400, 21600, 43200}
+}
+
+// ChurnBounds are histogram bounds for revisions-per-final-event: almost
+// always single digits (one provisional plus a handful of revisions).
+func ChurnBounds() []float64 {
+	return []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
 }
 
 // Engine is one incremental digest pipeline instance.
@@ -71,6 +91,8 @@ type Engine struct {
 	inc     *grouping.Incremental
 	builder *event.Builder
 	nextID  int
+	prov    bool // provisional tier on (cfg.Grouping.ProvisionalHorizon > 0)
+	upd     []event.Update
 	met     Metrics
 	members []event.Member // emit scratch, reused across calls
 }
@@ -82,7 +104,11 @@ func New(dict *locdict.Dictionary, rb *rules.RuleBase, cfg Config) (*Engine, err
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{inc: inc, builder: event.NewBuilder(cfg.Freq, cfg.Labeler)}, nil
+	return &Engine{
+		inc:     inc,
+		builder: event.NewBuilder(cfg.Freq, cfg.Labeler),
+		prov:    cfg.Grouping.ProvisionalHorizon > 0,
+	}, nil
 }
 
 // SetMetrics installs observability handles.
@@ -104,13 +130,40 @@ func (e *Engine) Observe(m Message) ([]event.Event, error) {
 		return nil, err
 	}
 	e.met.Watermark.Set(float64(e.inc.Watermark().UnixNano()) / 1e9)
+	e.collectUpdates()
 	return e.emit(closed), nil
 }
 
 // Drain force-closes every open group and returns the events, oldest
 // first. The temporal models and watermark persist; see
 // grouping.Incremental.Drain.
-func (e *Engine) Drain() []event.Event { return e.emit(e.inc.Drain()) }
+func (e *Engine) Drain() []event.Event {
+	closed := e.inc.Drain()
+	e.collectUpdates()
+	return e.emit(closed)
+}
+
+// TakeUpdates returns and clears the tier-tagged updates queued since the
+// last call, in emission order (provisional/revised/superseded records
+// interleaved with the final records of the events the same steps closed).
+// Always empty when the provisional tier is off.
+func (e *Engine) TakeUpdates() []event.Update {
+	out := e.upd
+	e.upd = nil
+	return out
+}
+
+// collectUpdates converts the grouper's pending provisional-tier updates
+// into event form. Must run before emit so the queue keeps provisional
+// records ahead of the final records they anticipate.
+func (e *Engine) collectUpdates() {
+	if !e.prov {
+		return
+	}
+	for _, gu := range e.inc.TakeUpdates() {
+		e.upd = append(e.upd, buildUpdate(e.builder, &e.members, &e.met, e.inc.Watermark(), gu))
+	}
+}
 
 // Close is a no-op: the serial engine owns no goroutines. It exists so
 // callers can hold either engine behind one interface (ShardedEngine's
@@ -157,8 +210,53 @@ func (e *Engine) emit(closed []grouping.ClosedGroup) []event.Event {
 		e.nextID++
 		e.met.Emitted.Inc()
 		e.met.EmitLatency.Observe(wm.Sub(ev.End).Seconds())
+		if e.prov {
+			e.met.ProvFinalized.Inc()
+			e.met.RevisionChurn.Observe(float64(cg.Revision))
+			e.upd = append(e.upd, event.Update{
+				EventID: cg.ID, Revision: cg.Revision,
+				Status: event.StatusFinal, Event: ev,
+			})
+		}
 		evs = append(evs, ev)
 	}
 	e.inc.Recycle(closed)
 	return evs
+}
+
+// buildUpdate converts one grouping-layer update into its event form and
+// records the provisional books — the shared tail of both engines' update
+// paths (the sharded engine runs it on the merge goroutine, preserving the
+// serial emission order). members is the caller's reusable scratch.
+func buildUpdate(b *event.Builder, members *[]event.Member, met *Metrics, wm time.Time, gu grouping.GroupUpdate) event.Update {
+	u := event.Update{EventID: gu.ID, Revision: gu.Revision}
+	switch gu.Kind {
+	case grouping.UpdateSuperseded:
+		u.Status = event.StatusSuperseded
+		u.SupersededBy = gu.SupersededBy
+		met.ProvSuperseded.Inc()
+		return u
+	case grouping.UpdateRevised:
+		u.Status = event.StatusRevised
+		met.ProvRevised.Inc()
+	default:
+		u.Status = event.StatusProvisional
+		met.ProvEmitted.Inc()
+	}
+	ms := (*members)[:0]
+	for i := range gu.Members {
+		gm := &gu.Members[i]
+		ms = append(ms, event.Member{
+			Seq: gm.Seq, Time: gm.Time, Router: gm.Router,
+			Template: gm.Template, Loc: gm.Loc, Raw: gm.Raw,
+		})
+	}
+	*members = ms
+	ev := b.BuildGroup(ms)
+	ev.ID = -1 // the sequential final-stream ID is assigned only at closure
+	u.Event = ev
+	if u.Status == event.StatusProvisional {
+		met.ProvLatency.Observe(wm.Sub(ev.End).Seconds())
+	}
+	return u
 }

@@ -46,6 +46,12 @@ type (
 	PlusMessage = core.PlusMessage
 	// Event is one prioritized network event.
 	Event = event.Event
+	// Update is one tier-tagged record of the two-tier emission stream:
+	// provisional, revised, superseded, or final (see
+	// Params.ProvisionalHorizon and StreamerOptions.ProvisionalHorizon).
+	Update = event.Update
+	// Status is the tier of one Update.
+	Status = event.Status
 	// Params bundles all pipeline tunables (Table 6 of the paper).
 	Params = core.Params
 	// KnowledgeBase is the offline learning output.
@@ -76,6 +82,14 @@ const (
 	StageTemporal      = core.StageTemporal
 	StageTemporalRules = core.StageTemporalRules
 	StageFull          = core.StageFull
+)
+
+// Update tiers (see Update.Status).
+const (
+	StatusProvisional = event.StatusProvisional
+	StatusRevised     = event.StatusRevised
+	StatusSuperseded  = event.StatusSuperseded
+	StatusFinal       = event.StatusFinal
 )
 
 // DefaultParams returns the paper's Table 6 configuration for dataset A;
