@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test race build bench bench-smoke bench-compare stream-equiv checkpoint-equiv provisional-equiv alloc-guard
+.PHONY: check fmt vet test race build bench bench-smoke bench-compare stream-equiv checkpoint-equiv provisional-equiv cluster-equiv alloc-guard
 
-check: fmt vet race stream-equiv checkpoint-equiv provisional-equiv alloc-guard bench-smoke bench-compare
+check: fmt vet race stream-equiv checkpoint-equiv provisional-equiv cluster-equiv alloc-guard bench-smoke bench-compare
 
 # gofmt -l prints offending files; fail if it prints anything.
 fmt:
@@ -44,7 +44,7 @@ bench-smoke:
 bench-compare:
 	@tmp=$$(mktemp /tmp/sdbench.XXXXXX.json); \
 	$(GO) run ./cmd/sdbench -dataset A -json $$tmp && \
-	$(GO) run ./cmd/sdbench -compare BENCH_PR9.json -tolerance 150 -alloc-tolerance 25 $$tmp; \
+	$(GO) run ./cmd/sdbench -compare BENCH_PR10.json -tolerance 150 -alloc-tolerance 25 $$tmp; \
 	rc=$$?; rm -f $$tmp; exit $$rc
 
 # The streaming-equivalence smoke: the incremental engine must reproduce the
@@ -71,6 +71,16 @@ checkpoint-equiv:
 # race detector in `make race` (both are in `make check`).
 provisional-equiv:
 	$(GO) test -run 'TestProvisionalFinalEquivalence|TestProvisionalCheckpointExactlyOnce|TestProvisionalSupersedeStorm' -count=1 ./internal/core
+
+# The cluster differential under the race detector: the engine distributed
+# over TCP-loopback shard servers at 1/2/4 shards — including 10 random
+# shard-kill/reconnect points and checkpoint/restore across engine shapes —
+# must emit byte-for-byte what the serial in-process engine emits on both
+# corpora, final events and provisional update stream alike, with the wire
+# metrics reconciling exactly (batches acked == punctuations applied per
+# shard, reconnect counter == kills x shards).
+cluster-equiv:
+	$(GO) test -race -run 'TestClusterMatchesSerial|TestClusterStreamerMatchesSerial|TestClusterKillReconnect|TestClusterCheckpointRestore' -count=1 -timeout 20m ./internal/core
 
 # The steady-state allocation gate: testing.AllocsPerRun over the vendor
 # corpus (serial and sharded) and the storm corpus must stay at or under

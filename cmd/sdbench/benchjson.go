@@ -65,6 +65,13 @@ type benchSnapshot struct {
 	// identical at every worker count. Revision churn summarizes how many
 	// publications each identity took to resolve.
 	Provisional []provisionalStats `json:"provisional,omitempty"`
+	// Cluster records streamed passes dispatched over the shard wire
+	// protocol to sdshard processes on TCP loopback at 1/2/4 shards
+	// (schema v9): wall time against the in-process stream stage, bytes on
+	// the wire, batch RTT percentiles, and the dispatcher/merge side's
+	// share of total CPU — the overhead and headroom of moving the
+	// router-local half out of process (see cmd/sdbench/cluster.go).
+	Cluster []clusterStats `json:"cluster,omitempty"`
 }
 
 // provisionalSweep is the two-tier sweep: the serial engine and the
@@ -199,11 +206,19 @@ type benchStage struct {
 func writeBenchJSON(path string, profile experiments.Profile, kinds []gen.DatasetKind, workers int) error {
 	resolved := par.Workers(workers)
 	snap := benchSnapshot{
-		Schema:     "syslogdigest-bench/8",
+		Schema:     "syslogdigest-bench/9",
 		Profile:    profile.Name,
 		Workers:    resolved,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
+	// Scratch space for the cluster stage: the sdshard binary (built once,
+	// shared across datasets) and each dataset's saved knowledge base.
+	clusterDir, err := os.MkdirTemp("", "sdbench-cluster")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(clusterDir)
+	shardBin := buildShardBinary(clusterDir)
 	for _, kind := range kinds {
 		c, err := experiments.Load(kind, profile)
 		if err != nil {
@@ -301,6 +316,11 @@ func writeBenchJSON(path string, profile experiments.Profile, kinds []gen.Datase
 			}
 		}
 		c.KB.Params = saved
+		cls, err := clusterStage(c, shardBin, saveKB(c, clusterDir))
+		if err != nil {
+			return fmt.Errorf("cluster %v: %w", kind, err)
+		}
+		snap.Cluster = append(snap.Cluster, cls...)
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -1,0 +1,260 @@
+package main
+
+// The cluster stage (schema v9): the same streamed pass the stream stage
+// times, but dispatched over the shard wire protocol to sdshard worker
+// processes on TCP loopback — the honest overhead figure for cluster mode,
+// with bytes-on-wire, batch RTT percentiles, and the CPU split between the
+// dispatcher/merge side and the shard processes.
+//
+// The stage builds cmd/sdshard once per run and spawns one worker process
+// per dataset pass (all shard sessions share it — shard placement is a
+// deployment choice, and one process keeps the child CPU accounting to a
+// single ProcessState). If the build or spawn fails (no module context, no
+// exec), the pass falls back to an in-process loopback server: the wire
+// numbers stay honest, only the CPU split degenerates (one process holds
+// both sides, recorded as transport "inprocess" with cpu share 0).
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"syslogdigest/internal/cluster"
+	"syslogdigest/internal/core"
+	"syslogdigest/internal/experiments"
+	"syslogdigest/internal/obs"
+)
+
+// clusterSweep is the cluster stage's shard sweep, matching the make
+// cluster-equiv gate.
+var clusterSweep = []int{1, 2, 4}
+
+// clusterStats is one streamed pass dispatched to remote shards.
+type clusterStats struct {
+	Dataset  string `json:"dataset"`
+	Shards   int    `json:"shards"`
+	Messages int    `json:"messages"`
+	// Transport is "subprocess" (sdshard worker process) or "inprocess"
+	// (loopback server in the bench process; CPU split unavailable).
+	Transport  string  `json:"transport"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+	// Wire traffic for the whole pass, summed over shard connections.
+	BytesOut uint64 `json:"bytes_out"`
+	BytesIn  uint64 `json:"bytes_in"`
+	// Batch round-trip time (dispatch write to decision read), upper bucket
+	// bounds from the stream.cluster.rtt_seconds histogram.
+	RTTP50Seconds float64 `json:"rtt_p50_seconds"`
+	RTTP99Seconds float64 `json:"rtt_p99_seconds"`
+	// MergerCPUShare is the dispatcher process's share of total CPU time
+	// (dispatcher + shard processes) for the pass: the fraction of the
+	// pipeline the local dispatch/encode/merge side keeps when the
+	// router-local half moves out of process. Only meaningful for the
+	// subprocess transport.
+	MergerCPUShare float64 `json:"merger_cpu_share"`
+}
+
+// clusterWorker is a running shard host: either an sdshard subprocess or an
+// in-process fallback server.
+type clusterWorker struct {
+	addr string
+	cmd  *exec.Cmd       // subprocess transport, nil otherwise
+	srv  *cluster.Server // in-process fallback, nil otherwise
+}
+
+func (w *clusterWorker) transport() string {
+	if w.cmd != nil {
+		return "subprocess"
+	}
+	return "inprocess"
+}
+
+// stop tears the worker down and returns its CPU time (user+system), or -1
+// when unmeasurable (in-process transport).
+func (w *clusterWorker) stop() time.Duration {
+	if w.srv != nil {
+		w.srv.Close()
+		return -1
+	}
+	_ = w.cmd.Process.Signal(syscall.SIGTERM)
+	_ = w.cmd.Wait() // exit status is the signal; CPU time is what matters
+	if ps := w.cmd.ProcessState; ps != nil {
+		return ps.UserTime() + ps.SystemTime()
+	}
+	return -1
+}
+
+// buildShardBinary compiles cmd/sdshard into dir; empty string on failure
+// (the caller falls back to the in-process transport).
+func buildShardBinary(dir string) string {
+	bin := filepath.Join(dir, "sdshard")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/sdshard")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "sdbench: cluster stage: building sdshard failed (%v); using in-process shards\n%s", err, out)
+		return ""
+	}
+	return bin
+}
+
+// startClusterWorker launches the shard host for one pass: the sdshard
+// binary when available (parsing its "listening ADDR" line for the
+// ephemeral port), else an in-process server.
+func startClusterWorker(c *experiments.Corpus, bin, kbPath string) (*clusterWorker, error) {
+	if bin != "" && kbPath != "" {
+		cmd := exec.Command(bin, "-kb", kbPath, "-listen", "127.0.0.1:0", "-quiet")
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err == nil {
+			err = cmd.Start()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdbench: cluster stage: spawning sdshard failed (%v); using in-process shards\n", err)
+		} else {
+			line, rerr := bufio.NewReader(out).ReadString('\n')
+			addr, ok := strings.CutPrefix(strings.TrimSpace(line), "listening ")
+			if rerr != nil || !ok {
+				_ = cmd.Process.Kill()
+				_ = cmd.Wait()
+				return nil, fmt.Errorf("sdshard did not announce its address (read %q, %v)", line, rerr)
+			}
+			return &clusterWorker{addr: addr, cmd: cmd}, nil
+		}
+	}
+	srv, err := cluster.Serve("127.0.0.1:0", cluster.ServerConfig{
+		Dict:  c.KB.Dictionary(),
+		Rules: c.KB.RuleBase,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &clusterWorker{addr: srv.Addr(), srv: srv}, nil
+}
+
+// saveKB writes the corpus knowledge base to a temp file for sdshard to
+// load; empty string on failure.
+func saveKB(c *experiments.Corpus, dir string) string {
+	path := filepath.Join(dir, fmt.Sprintf("kb-%s.json", c.Kind))
+	f, err := os.Create(path)
+	if err != nil {
+		return ""
+	}
+	err = c.KB.Save(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return ""
+	}
+	return path
+}
+
+// histPercentile reads the p-th percentile from a snapshot histogram as the
+// upper bound of the bucket the percentile lands in (+Inf clamps to the
+// last finite bound) — bucket resolution, the standard scrape-side
+// estimate.
+func histPercentile(hv *obs.HistogramValue, p float64) float64 {
+	if hv == nil || hv.Count == 0 {
+		return 0
+	}
+	rank := uint64(p * float64(hv.Count))
+	var cum uint64
+	last := 0.0
+	for _, b := range hv.Buckets {
+		cum += b.Count
+		if v, err := strconv.ParseFloat(b.LE, 64); err == nil {
+			last = v
+		}
+		if cum > rank {
+			break
+		}
+	}
+	return last
+}
+
+// clusterBench runs one streamed pass over the online half with the engine
+// distributed across `shards` remote shard sessions on one worker host.
+func clusterBench(c *experiments.Corpus, bin, kbPath string, shards int) (clusterStats, error) {
+	w, err := startClusterWorker(c, bin, kbPath)
+	if err != nil {
+		return clusterStats{}, err
+	}
+	out := clusterStats{
+		Dataset: c.Kind.String(), Shards: shards,
+		Messages:  len(c.Online.Messages),
+		Transport: w.transport(),
+	}
+
+	addrs := make([]string, shards)
+	for i := range addrs {
+		addrs[i] = w.addr
+	}
+	d, err := core.NewDigester(c.KB)
+	if err != nil {
+		w.stop()
+		return clusterStats{}, err
+	}
+	reg := obs.NewRegistry()
+	st := core.NewStreamerWith(d, core.StreamerOptions{ShardAddrs: addrs})
+	st.Instrument(reg)
+
+	var ru0, ru1 syscall.Rusage
+	_ = syscall.Getrusage(syscall.RUSAGE_SELF, &ru0)
+	start := time.Now()
+	for i := range c.Online.Messages {
+		if _, err := st.Push(c.Online.Messages[i]); err != nil {
+			st.Close()
+			w.stop()
+			return clusterStats{}, err
+		}
+	}
+	if _, err := st.Flush(); err != nil {
+		st.Close()
+		w.stop()
+		return clusterStats{}, err
+	}
+	out.NsPerOp = time.Since(start).Nanoseconds()
+	_ = syscall.Getrusage(syscall.RUSAGE_SELF, &ru1)
+	st.Close() // drop the shard connections before stopping the worker
+
+	snap := reg.Snapshot()
+	out.BytesOut = snap.Counter("stream.cluster.bytes_out")
+	out.BytesIn = snap.Counter("stream.cluster.bytes_in")
+	rtt := snap.Histogram("stream.cluster.rtt_seconds")
+	out.RTTP50Seconds = histPercentile(rtt, 0.50)
+	out.RTTP99Seconds = histPercentile(rtt, 0.99)
+	if out.NsPerOp > 0 {
+		out.MsgsPerSec = round3(float64(out.Messages) / (float64(out.NsPerOp) / 1e9))
+	}
+
+	if shardCPU := w.stop(); shardCPU >= 0 {
+		self := time.Duration(ru1.Utime.Nano()-ru0.Utime.Nano()) +
+			time.Duration(ru1.Stime.Nano()-ru0.Stime.Nano())
+		if total := self + shardCPU; total > 0 {
+			out.MergerCPUShare = round3(float64(self) / float64(total))
+		}
+	}
+	return out, nil
+}
+
+// clusterStage runs the full shard sweep for one corpus, reusing one
+// compiled binary and saved knowledge base across passes.
+func clusterStage(c *experiments.Corpus, bin, kbPath string) ([]clusterStats, error) {
+	var out []clusterStats
+	for _, shards := range clusterSweep {
+		cs, err := clusterBench(c, bin, kbPath, shards)
+		if err != nil {
+			return nil, fmt.Errorf("cluster (shards=%d): %w", shards, err)
+		}
+		out = append(out, cs)
+		fmt.Fprintf(os.Stderr, "sdbench: %s/cluster shards=%d %s (%s, %.1f MB out, rtt p50 %.1fms, merger cpu %.0f%%)\n",
+			c.Kind, shards, time.Duration(cs.NsPerOp), cs.Transport,
+			float64(cs.BytesOut)/1e6, cs.RTTP50Seconds*1e3, cs.MergerCPUShare*100)
+	}
+	return out, nil
+}

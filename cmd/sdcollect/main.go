@@ -48,6 +48,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -70,6 +71,7 @@ func main() {
 		metricsAddr = flag.String("metrics", "", "serve /metrics and /healthz on this address ('' disables)")
 		matchCache  = flag.Int("match-cache", 0, "match-cache entries (0 = default, negative = disabled; output is identical at any setting)")
 		streamWorks = flag.Int("stream-workers", 0, "streaming-engine shard workers (<= 1 = serial engine, N > 1 = router-sharded engine; output is identical at any setting)")
+		shardAddrs  = flag.String("shards", "", "comma-separated sdshard addresses: distribute the engine's shards across processes over the wire protocol (one shard per entry; repeat an address to host several shards in one process; output is identical at any setting; overrides -stream-workers)")
 		provisional = flag.Duration("provisional", 0, "two-tier emission horizon: print provisional/revised/superseded lines this much log time after group birth (0 disables; the final stream is identical at any setting)")
 		ckptPath    = flag.String("checkpoint", "", "checkpoint file: restore streaming state from it on start (if present) and snapshot into it periodically ('' disables)")
 		ckptEvery   = flag.Duration("checkpoint-interval", time.Minute, "how often to write the checkpoint (with -checkpoint)")
@@ -114,6 +116,7 @@ func main() {
 	opts := syslogdigest.StreamerOptions{
 		ReorderTolerance:   *reorder,
 		StreamWorkers:      *streamWorks,
+		ShardAddrs:         splitAddrs(*shardAddrs),
 		ProvisionalHorizon: *provisional,
 	}
 	var st *syslogdigest.Streamer
@@ -253,4 +256,16 @@ func main() {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "sdcollect: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// splitAddrs parses the -shards flag: comma-separated host:port entries,
+// blanks ignored; nil when the flag is unset (in-process engine).
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }

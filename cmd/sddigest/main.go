@@ -58,6 +58,7 @@ func main() {
 		metricsAddr = flag.String("metrics", "", "serve /metrics and /healthz on this address ('' disables)")
 		workers     = flag.Int("j", 0, "worker parallelism for augment/grouping (0 = GOMAXPROCS, 1 = serial; output is identical at any setting)")
 		streamWorks = flag.Int("stream-workers", 0, "streaming-engine shard workers (<= 1 = serial engine, N > 1 = router-sharded engine; output is identical at any setting)")
+		shardAddrs  = flag.String("shards", "", "comma-separated sdshard addresses (with -stream): distribute the engine's shards across processes over the wire protocol (one shard per entry; output is identical at any setting; overrides -stream-workers)")
 		matchCache  = flag.Int("match-cache", 0, "match-cache entries (0 = default, negative = disabled; output is identical at any setting)")
 	)
 	flag.Parse()
@@ -107,6 +108,12 @@ func main() {
 	}
 	d.SetParallelism(*workers)
 	d.SetStreamWorkers(*streamWorks)
+	if addrs := splitAddrs(*shardAddrs); len(addrs) > 0 {
+		if !*streaming {
+			fatalf("-shards requires -stream (a batch digest runs in-process)")
+		}
+		d.SetShardAddrs(addrs)
+	}
 	d.Instrument(reg)
 	switch strings.ToUpper(*stageFlag) {
 	case "T":
@@ -241,4 +248,16 @@ func waitIfServing(addr string) {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "sddigest: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// splitAddrs parses the -shards flag: comma-separated host:port entries,
+// blanks ignored; nil when the flag is unset (in-process engine).
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }

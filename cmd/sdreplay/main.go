@@ -46,6 +46,7 @@ func main() {
 		pri         = flag.Int("pri", 189, "syslog <pri> value for RFC framings")
 		kbPath      = flag.String("kb", "", "knowledge base: replay into the in-process streaming engine instead of the network")
 		streamWork  = flag.Int("stream-workers", 0, "shard workers for the local engine (<= 1 = serial, N > 1 = router-sharded; output is identical at any setting)")
+		shardAddrs  = flag.String("shards", "", "comma-separated sdshard addresses (local mode): distribute the engine's shards across processes over the wire protocol (one shard per entry; output is identical at any setting; overrides -stream-workers)")
 		provisional = flag.Duration("provisional", 0, "local mode: two-tier emission horizon — print provisional/revised/superseded lines this much log time after group birth (0 disables; the final stream is identical at any setting)")
 		ckptPath    = flag.String("checkpoint", "", "local mode: restore streaming state from this file on start (skipping the messages the snapshotted run already pushed) and snapshot into it periodically")
 		ckptEvery   = flag.Duration("checkpoint-interval", 30*time.Second, "how often to write the checkpoint (with -checkpoint)")
@@ -71,7 +72,7 @@ func main() {
 		fatalf("empty stream")
 	}
 	if local {
-		replayLocal(*kbPath, msgs, *speed, *streamWork, *provisional, *ckptPath, *ckptEvery)
+		replayLocal(*kbPath, msgs, *speed, *streamWork, splitAddrs(*shardAddrs), *provisional, *ckptPath, *ckptEvery)
 		return
 	}
 	if *provisional != 0 {
@@ -146,7 +147,7 @@ func main() {
 // snapshotted run already pushed, and the replay skips exactly that prefix,
 // so a killed replay continues where it stopped with each event printed
 // exactly once across the restarts.
-func replayLocal(kbPath string, msgs []syslogmsg.Message, speed float64, streamWorkers int, provisional time.Duration, ckptPath string, ckptEvery time.Duration) {
+func replayLocal(kbPath string, msgs []syslogmsg.Message, speed float64, streamWorkers int, shardAddrs []string, provisional time.Duration, ckptPath string, ckptEvery time.Duration) {
 	kf, err := os.Open(kbPath)
 	if err != nil {
 		fatalf("open kb: %v", err)
@@ -162,6 +163,7 @@ func replayLocal(kbPath string, msgs []syslogmsg.Message, speed float64, streamW
 	}
 	opts := syslogdigest.StreamerOptions{
 		StreamWorkers:      streamWorkers,
+		ShardAddrs:         shardAddrs,
 		ProvisionalHorizon: provisional,
 	}
 	var st *syslogdigest.Streamer
@@ -246,4 +248,16 @@ func replayLocal(kbPath string, msgs []syslogmsg.Message, speed float64, streamW
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "sdreplay: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// splitAddrs parses the -shards flag: comma-separated host:port entries,
+// blanks ignored; nil when the flag is unset (in-process engine).
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }

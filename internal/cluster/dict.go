@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// encDict is the sending side of the incremental symbol dictionary. Ids
+// are assigned in first-appearance order and never change for the life of
+// a connection; the entry list is append-only, so a prefix snapshot (for
+// replay-on-reconnect seeding) is a cheap three-index subslice.
+type encDict struct {
+	ids  map[string]uint32
+	syms []string
+}
+
+func newEncDict() *encDict {
+	return &encDict{ids: make(map[string]uint32)}
+}
+
+// appendSym appends a symbol reference: a 1-based id for a known string,
+// or 0 followed by the length-prefixed bytes (defining the next id) for a
+// new one.
+func (d *encDict) appendSym(b []byte, s string) []byte {
+	if id, ok := d.ids[s]; ok {
+		return binary.AppendUvarint(b, uint64(id)+1)
+	}
+	d.ids[s] = uint32(len(d.syms))
+	d.syms = append(d.syms, s)
+	b = binary.AppendUvarint(b, 0)
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// len is the number of defined symbols.
+func (d *encDict) len() int { return len(d.syms) }
+
+// prefix snapshots the first n entries. Entries are immutable and the list
+// append-only, so the subslice stays valid as the dictionary grows.
+func (d *encDict) prefix(n int) []string { return d.syms[:n:n] }
+
+// decDict is the receiving side: it replays the definitions inline in the
+// stream. A reference past the end of the table means the two sides have
+// diverged (a replay gap, reordered frames, corruption) — that is fatal
+// for the connection, never a guess.
+type decDict struct {
+	syms []string
+}
+
+// seed installs a prefix snapshot (Restore frame) before replay.
+func (d *decDict) seed(syms []string) {
+	d.syms = append(d.syms[:0], syms...)
+}
+
+// readSym decodes one symbol reference.
+func (d *decDict) readSym(r *wireReader) (string, error) {
+	u, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if u == 0 {
+		n, err := r.uvarint()
+		if err != nil {
+			return "", err
+		}
+		raw, err := r.bytes(n)
+		if err != nil {
+			return "", err
+		}
+		s := string(raw)
+		d.syms = append(d.syms, s)
+		return s, nil
+	}
+	idx := u - 1
+	if idx >= uint64(len(d.syms)) {
+		return "", fmt.Errorf("%w: ref %d, table %d", ErrDictDesync, idx, len(d.syms))
+	}
+	return d.syms[idx], nil
+}

@@ -1,0 +1,181 @@
+// Package cluster is the shard wire protocol (PR 10): it distributes the
+// router-local half of the sharded streaming engine across processes.
+//
+// The protocol is deliberately asymmetric, mirroring the PR 5 split. The
+// dispatcher (merger process) streams message sub-batches to each shard
+// process; a shard answers every batch — empty ones included, preserving
+// the one-result-per-shard-per-batch sync invariant — with a decision
+// batch: per message, the Seq of its temporal join predecessor and the
+// Seqs of its rule-window join predecessors, as deltas. Decisions carry no
+// state, so the merger replays the exact serial interleaving and the
+// output is byte-identical to the in-process engine at any shard count.
+//
+// Framing: every frame is
+//
+//	magic(4) version(1) type(1) payloadLen(4) crc32(4) payload
+//
+// big-endian, CRC-32 (IEEE) over the payload. Control frames (Hello,
+// Welcome, Restore, State) carry JSON payloads — once per connection or
+// per checkpoint, robustness over bytes. Data frames (Batch, Decisions)
+// are hand-rolled varint encodings with an incremental symbol dictionary:
+// the first occurrence of a string on a connection defines the next
+// dictionary id inline, every later occurrence is a 1-based varint
+// reference, so interned router/location symbols survive the hop at ~2
+// bytes each. A reference beyond the table is a desync and kills the
+// connection — the decoder never guesses.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Version is the protocol version. A frame with a higher version is
+// rejected (ErrVersion): no forward compatibility is promised.
+const Version = 1
+
+const (
+	frameMagic = 0x53445731 // "SDW1"
+	headerLen  = 14
+	// MaxFrameBytes bounds a single frame; anything larger is corruption
+	// (a full batch of maximal messages is far below this).
+	MaxFrameBytes = 16 << 20
+)
+
+// FrameType discriminates the payload.
+type FrameType uint8
+
+const (
+	// FrameHello opens a session: shard identity, grouping config, KB
+	// fingerprint (JSON, client → server).
+	FrameHello FrameType = 1
+	// FrameWelcome acknowledges or rejects a Hello (JSON, server → client).
+	FrameWelcome FrameType = 2
+	// FrameRestore re-seeds the shard's RouterLocal and dictionary before a
+	// replay (JSON, client → server).
+	FrameRestore FrameType = 3
+	// FrameBatch carries one message sub-batch with its punctuation
+	// (binary, client → server).
+	FrameBatch FrameType = 4
+	// FrameDecisions carries one batch's join decisions, local stats, and
+	// shard-side error, completing the batch (binary, server → client).
+	FrameDecisions FrameType = 5
+	// FrameStateReq asks for the shard's LocalPartState as of the batches
+	// processed so far (binary, client → server).
+	FrameStateReq FrameType = 6
+	// FrameState answers a StateReq (binary envelope, JSON body,
+	// server → client).
+	FrameState FrameType = 7
+)
+
+// Decode errors. All corruption paths return wrapped sentinels so tests
+// (and reconnect logic) can classify them; none panic.
+var (
+	ErrBadMagic   = errors.New("cluster: bad frame magic")
+	ErrVersion    = errors.New("cluster: unsupported protocol version")
+	ErrFrameSize  = errors.New("cluster: frame exceeds size bound")
+	ErrCRC        = errors.New("cluster: frame crc mismatch")
+	ErrTruncated  = errors.New("cluster: truncated payload")
+	ErrDictDesync = errors.New("cluster: symbol dictionary desync")
+)
+
+// appendFrame appends a complete frame (header + payload) to dst.
+func appendFrame(dst []byte, typ FrameType, payload []byte) []byte {
+	var h [headerLen]byte
+	binary.BigEndian.PutUint32(h[0:4], frameMagic)
+	h[4] = Version
+	h[5] = byte(typ)
+	binary.BigEndian.PutUint32(h[6:10], uint32(len(payload)))
+	binary.BigEndian.PutUint32(h[10:14], crc32.ChecksumIEEE(payload))
+	dst = append(dst, h[:]...)
+	return append(dst, payload...)
+}
+
+// writeFrame writes one frame to w.
+func writeFrame(w io.Writer, typ FrameType, payload []byte) error {
+	_, err := w.Write(appendFrame(nil, typ, payload))
+	return err
+}
+
+// readFrame reads and validates one frame, reusing buf for the payload
+// when it fits. The returned payload aliases the (possibly grown) buffer,
+// which is also returned for reuse; it is valid until the next call.
+func readFrame(r io.Reader, buf []byte) (FrameType, []byte, []byte, error) {
+	var h [headerLen]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	if binary.BigEndian.Uint32(h[0:4]) != frameMagic {
+		return 0, nil, buf, ErrBadMagic
+	}
+	if h[4] > Version {
+		return 0, nil, buf, fmt.Errorf("%w: %d > %d", ErrVersion, h[4], Version)
+	}
+	typ := FrameType(h[5])
+	n := binary.BigEndian.Uint32(h[6:10])
+	if n > MaxFrameBytes {
+		return 0, nil, buf, fmt.Errorf("%w: %d bytes", ErrFrameSize, n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	payload := buf[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, buf, err
+	}
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(h[10:14]) {
+		return 0, nil, buf, ErrCRC
+	}
+	return typ, payload, buf, nil
+}
+
+// wireReader is a bounds-checked cursor over a frame payload.
+type wireReader struct {
+	b   []byte
+	off int
+}
+
+func (r *wireReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *wireReader) varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *wireReader) bytes(n uint64) ([]byte, error) {
+	if n > uint64(len(r.b)-r.off) {
+		return nil, ErrTruncated
+	}
+	b := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b, nil
+}
+
+func (r *wireReader) u8() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, ErrTruncated
+	}
+	b := r.b[r.off]
+	r.off++
+	return b, nil
+}
+
+// rest returns the unread remainder (for embedded JSON bodies).
+func (r *wireReader) rest() []byte { return r.b[r.off:] }

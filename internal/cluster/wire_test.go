@@ -1,0 +1,339 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"syslogdigest/internal/grouping"
+	"syslogdigest/internal/locdict"
+)
+
+func frameBytes(typ FrameType, payload []byte) []byte {
+	return appendFrame(nil, typ, payload)
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xab}, 4096)}
+	for _, p := range payloads {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, FrameBatch, p); err != nil {
+			t.Fatal(err)
+		}
+		typ, got, _, err := readFrame(&buf, nil)
+		if err != nil {
+			t.Fatalf("payload %d bytes: %v", len(p), err)
+		}
+		if typ != FrameBatch || !bytes.Equal(got, p) {
+			t.Fatalf("round trip: type %d, %d bytes", typ, len(got))
+		}
+	}
+}
+
+// TestFrameCorruption is the satellite contract: every corruption class is
+// rejected with a classified error, never a panic, never a guess.
+func TestFrameCorruption(t *testing.T) {
+	good := frameBytes(FrameDecisions, []byte("payload-bytes"))
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }, ErrBadMagic},
+		{"future version", func(b []byte) []byte { b[4] = Version + 1; return b }, ErrVersion},
+		{"oversize length", func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[6:10], MaxFrameBytes+1)
+			return b
+		}, ErrFrameSize},
+		{"bad crc", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }, ErrCRC},
+		{"truncated header", func(b []byte) []byte { return b[:headerLen-3] }, io.ErrUnexpectedEOF},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-4] }, io.ErrUnexpectedEOF},
+		{"empty", func(b []byte) []byte { return nil }, io.EOF},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mutate(append([]byte(nil), good...))
+			_, _, _, err := readFrame(bytes.NewReader(b), nil)
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestReadFrameReusesBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	writeFrame(&buf, FrameBatch, []byte("first-payload"))
+	writeFrame(&buf, FrameBatch, []byte("2nd"))
+	_, p1, scratch, err := readFrame(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backing := &p1[0]
+	_, p2, _, err := readFrame(&buf, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p2) != "2nd" {
+		t.Fatalf("second payload %q", p2)
+	}
+	if &p2[0] != backing {
+		t.Fatal("small payload did not reuse the buffer")
+	}
+}
+
+func wireMessages() []grouping.Message {
+	base := time.Date(2010, 1, 10, 0, 0, 0, 0, time.UTC)
+	l1 := locdict.IntfLoc("r1", "Serial1/0.10/10:0")
+	l2 := locdict.IntfLoc("r2", "Serial1/0.20/20:0")
+	return []grouping.Message{
+		{Seq: 3, Time: base, Router: "r1", Template: 1, Loc: l1,
+			AllLocs: []locdict.Location{l1, locdict.RouterLoc("r1")}, Peers: []string{"r2"}, Raw: 7},
+		{Seq: 4, Time: base.Add(time.Second), Router: "r2", Template: -1, Loc: l2, Raw: 0},
+		{Seq: 9, Time: base.Add(-3 * time.Second), Router: "r1", Template: 2, Loc: l1,
+			Peers: []string{"r2", "r1"}},
+	}
+}
+
+func sameMessage(a, b grouping.Message) bool {
+	if a.Seq != b.Seq || !a.Time.Equal(b.Time) || a.Router != b.Router ||
+		a.Template != b.Template || a.Loc != b.Loc || a.Raw != b.Raw {
+		return false
+	}
+	if len(a.AllLocs) != len(b.AllLocs) || len(a.Peers) != len(b.Peers) {
+		return false
+	}
+	for i := range a.AllLocs {
+		if a.AllLocs[i] != b.AllLocs[i] {
+			return false
+		}
+	}
+	for i := range a.Peers {
+		if a.Peers[i] != b.Peers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBatchRoundTrip pins full message fidelity through the dictionary
+// encoding — twice on one connection, so the second batch exercises the
+// all-references path.
+func TestBatchRoundTrip(t *testing.T) {
+	msgs := wireMessages()
+	ps := make([]*grouping.Pending, len(msgs))
+	for i, m := range msgs {
+		ps[i] = grouping.NewPending(m)
+	}
+	ed := newEncDict()
+	var dd decDict
+	for round := 1; round <= 2; round++ {
+		payload := appendBatch(nil, ed, uint64(round), 1234567890, round == 2, ps)
+		h, bd, err := decodeBatch(payload, &dd)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if h.Seq != uint64(round) || h.PunctNs != 1234567890 || h.Drain != (round == 2) || h.Count != len(msgs) {
+			t.Fatalf("round %d: header %+v", round, h)
+		}
+		var m grouping.Message
+		for i := 0; ; i++ {
+			ok, err := bd.next(&m)
+			if err != nil {
+				t.Fatalf("round %d msg %d: %v", round, i, err)
+			}
+			if !ok {
+				if i != len(msgs) {
+					t.Fatalf("round %d: decoded %d of %d", round, i, len(msgs))
+				}
+				break
+			}
+			if !sameMessage(m, msgs[i]) {
+				t.Fatalf("round %d msg %d:\n got %+v\nwant %+v", round, i, m, msgs[i])
+			}
+		}
+	}
+}
+
+// TestBatchDictDesync: a fresh decoder seeing a reference-only batch (as
+// after a lost replay) must fail with ErrDictDesync, not fabricate strings.
+func TestBatchDictDesync(t *testing.T) {
+	msgs := wireMessages()
+	ps := make([]*grouping.Pending, len(msgs))
+	for i, m := range msgs {
+		ps[i] = grouping.NewPending(m)
+	}
+	ed := newEncDict()
+	appendBatch(nil, ed, 1, 0, false, ps) // defines the symbols
+	second := appendBatch(nil, ed, 2, 0, false, ps)
+
+	var fresh decDict
+	_, bd, err := decodeBatch(second, &fresh)
+	if err == nil {
+		var m grouping.Message
+		for {
+			ok, nerr := bd.next(&m)
+			if nerr != nil {
+				err = nerr
+				break
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+	if !errors.Is(err, ErrDictDesync) {
+		t.Fatalf("err = %v, want ErrDictDesync", err)
+	}
+
+	// A correctly seeded decoder accepts the same bytes.
+	var seeded decDict
+	seeded.seed(ed.prefix(ed.len()))
+	_, bd, err = decodeBatch(second, &seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m grouping.Message
+	for {
+		ok, err := bd.next(&m)
+		if err != nil {
+			t.Fatalf("seeded decode: %v", err)
+		}
+		if !ok {
+			break
+		}
+	}
+}
+
+func TestDecisionsRoundTrip(t *testing.T) {
+	items := []DecisionItem{
+		{Temporal: 0, RS: 0, RE: 0},
+		{Temporal: 5, RS: 0, RE: 2},
+		{Temporal: 1, RS: 2, RE: 3},
+	}
+	arena := []uint64{4, 9, 1}
+	stats := grouping.LocalStats{Streams: 12, Evictions: 3, RuleCandidates: 44, RulePairs: 7}
+	payload := appendDecisions(nil, 17, items, arena, stats, "boom")
+	var db DecisionBatch
+	if err := decodeDecisions(payload, &db); err != nil {
+		t.Fatal(err)
+	}
+	if db.Seq != 17 || db.Stats != stats || db.ShardErr != "boom" {
+		t.Fatalf("decoded %+v", db)
+	}
+	if len(db.Items) != len(items) {
+		t.Fatalf("items %d", len(db.Items))
+	}
+	for i, it := range db.Items {
+		if it != items[i] {
+			t.Fatalf("item %d: %+v != %+v", i, it, items[i])
+		}
+	}
+	for i, d := range db.Rules {
+		if d != arena[i] {
+			t.Fatalf("arena %d: %d != %d", i, d, arena[i])
+		}
+	}
+	// Truncation anywhere inside must error, never panic.
+	for cut := 0; cut < len(payload); cut++ {
+		var trunc DecisionBatch
+		if err := decodeDecisions(payload[:cut], &trunc); err == nil {
+			t.Fatalf("cut %d: no error", cut)
+		}
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	req := appendStateReq(nil, 99)
+	token, err := decodeStateReq(req)
+	if err != nil || token != 99 {
+		t.Fatalf("state req: token %d err %v", token, err)
+	}
+	part := grouping.LocalPartState{}
+	payload, err := appendState(nil, 42, &part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	token, _, err = decodeState(payload)
+	if err != nil || token != 42 {
+		t.Fatalf("state: token %d err %v", token, err)
+	}
+	if _, _, err := decodeState(payload[:1]); err == nil {
+		t.Fatal("truncated state accepted")
+	}
+}
+
+// drainBatch runs a decoder to exhaustion, for the fuzzers.
+func drainBatch(payload []byte, dd *decDict) {
+	_, bd, err := decodeBatch(payload, dd)
+	if err != nil {
+		return
+	}
+	var m grouping.Message
+	for {
+		ok, err := bd.next(&m)
+		if err != nil || !ok {
+			return
+		}
+	}
+}
+
+func FuzzReadFrame(f *testing.F) {
+	f.Add(frameBytes(FrameBatch, []byte("seed")))
+	f.Add(frameBytes(FrameHello, nil))
+	f.Add([]byte("SDW1 but not really a frame"))
+	f.Add(bytes.Repeat([]byte{0xff}, headerLen+8))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			_, _, _, err := readFrame(r, nil)
+			if err != nil {
+				return
+			}
+		}
+	})
+}
+
+func FuzzDecodeBatch(f *testing.F) {
+	ed := newEncDict()
+	ps := make([]*grouping.Pending, 0, 3)
+	for _, m := range wireMessages() {
+		ps = append(ps, grouping.NewPending(m))
+	}
+	f.Add(appendBatch(nil, ed, 1, 99, true, ps))
+	f.Add(appendBatch(nil, ed, 2, -5, false, ps)) // reference-only symbols
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var dd decDict
+		drainBatch(data, &dd)
+		// And against a decoder with prior state, as on a live connection.
+		seeded := decDict{}
+		seeded.seed(ed.prefix(ed.len()))
+		drainBatch(data, &seeded)
+	})
+}
+
+func FuzzDecodeDecisions(f *testing.F) {
+	f.Add(appendDecisions(nil, 3,
+		[]DecisionItem{{Temporal: 1, RS: 0, RE: 1}}, []uint64{2},
+		grouping.LocalStats{Streams: 1}, ""))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var db DecisionBatch
+		decodeDecisions(data, &db)
+	})
+}
+
+func FuzzDecodeState(f *testing.F) {
+	part := grouping.LocalPartState{}
+	seed, _ := appendState(nil, 7, &part)
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decodeState(data)
+		decodeStateReq(data)
+	})
+}

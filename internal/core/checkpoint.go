@@ -211,7 +211,7 @@ func RestoreStreamer(d *Digester, snap []byte, opts StreamerOptions) (*Streamer,
 		s.carryUpd = append(s.carryUpd, u)
 	}
 	if st.Engine != nil {
-		eng, err := d.restoreStreamEngine(s.opts.MaxStreams, s.workers(), s.provHorizon(), *st.Engine)
+		eng, err := d.restoreStreamEngine(s.opts.MaxStreams, s.workers(), s.clusterAddrs(), s.provHorizon(), *st.Engine)
 		if err != nil {
 			return nil, err
 		}

@@ -526,6 +526,7 @@ type Digester struct {
 	labeler     *event.Labeler
 	pool        *par.Pool
 	streamWorks int
+	shardAddrs  []string
 	provHorizon time.Duration
 	linearScan  bool
 	met         digestMetrics
@@ -566,6 +567,19 @@ func (d *Digester) SetStreamWorkers(n int) { d.streamWorks = n }
 
 // StreamWorkers is the resolved engine selection.
 func (d *Digester) StreamWorkers() int { return d.streamWorks }
+
+// SetShardAddrs selects the cluster streaming engine for subsequent
+// streamers: one remote shard per address (repeat an address to host
+// several shards in one process), dispatched over the shard wire protocol
+// and merged locally. Output is byte-identical to the serial engine at any
+// address count. Empty (the default) keeps the in-process engines; when
+// set, it takes precedence over SetStreamWorkers.
+func (d *Digester) SetShardAddrs(addrs []string) {
+	d.shardAddrs = append([]string(nil), addrs...)
+}
+
+// ShardAddrs is the configured remote-shard address list (nil: in-process).
+func (d *Digester) ShardAddrs() []string { return d.shardAddrs }
 
 // SetProvisionalHorizon turns two-tier emission on (positive) or off (zero
 // or negative) for subsequent streamers; see Params.ProvisionalHorizon.
@@ -695,20 +709,28 @@ func (d *Digester) newEngine(maxStreams int, prov time.Duration) (*stream.Engine
 	return stream.New(d.kb.dict, d.kb.RuleBase, d.engineConfig(maxStreams, prov))
 }
 
-// newStreamEngine builds the engine selected by workers: serial at <= 1,
-// sharded above. Sharded engines own goroutines — callers must Close.
-func (d *Digester) newStreamEngine(maxStreams, workers int, prov time.Duration) (streamEngine, error) {
+// newStreamEngine builds the engine selected by the configuration: cluster
+// when addrs is non-empty (one remote shard per address), sharded when
+// workers > 1, serial otherwise. Cluster and sharded engines own
+// goroutines — callers must Close.
+func (d *Digester) newStreamEngine(maxStreams, workers int, addrs []string, prov time.Duration) (streamEngine, error) {
+	if len(addrs) > 0 {
+		return stream.NewCluster(d.kb.dict, d.kb.RuleBase, d.engineConfig(maxStreams, prov), addrs)
+	}
 	if workers > 1 {
 		return stream.NewSharded(d.kb.dict, d.kb.RuleBase, d.engineConfig(maxStreams, prov), workers)
 	}
 	return d.newEngine(maxStreams, prov)
 }
 
-// restoreStreamEngine rebuilds the engine selected by workers from a
-// checkpointed state; the snapshot's own worker count need not match, and
-// the provisional horizon is the restoring process's own setting (it is a
-// delivery knob, never part of the snapshot).
-func (d *Digester) restoreStreamEngine(maxStreams, workers int, prov time.Duration, st stream.EngineState) (streamEngine, error) {
+// restoreStreamEngine rebuilds the selected engine from a checkpointed
+// state; the snapshot's own engine shape and worker count need not match,
+// and the provisional horizon is the restoring process's own setting (it
+// is a delivery knob, never part of the snapshot).
+func (d *Digester) restoreStreamEngine(maxStreams, workers int, addrs []string, prov time.Duration, st stream.EngineState) (streamEngine, error) {
+	if len(addrs) > 0 {
+		return stream.RestoreCluster(d.kb.dict, d.kb.RuleBase, d.engineConfig(maxStreams, prov), addrs, st)
+	}
 	if workers > 1 {
 		return stream.RestoreSharded(d.kb.dict, d.kb.RuleBase, d.engineConfig(maxStreams, prov), workers, st)
 	}
@@ -731,7 +753,7 @@ func streamMsg(pm *PlusMessage, seq int) stream.Message {
 // oracle the streaming path is tested against.
 func (d *Digester) DigestPlus(plus []PlusMessage) (*DigestResult, error) {
 	groupStart := time.Now()
-	eng, err := d.newStreamEngine(0, d.streamWorks, 0)
+	eng, err := d.newStreamEngine(0, d.streamWorks, nil, 0)
 	if err != nil {
 		return nil, err
 	}

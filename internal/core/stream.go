@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"syslogdigest/internal/cluster"
 	"syslogdigest/internal/event"
 	"syslogdigest/internal/grouping"
 	"syslogdigest/internal/obs"
@@ -43,6 +44,13 @@ type StreamerOptions struct {
 	// engine, N > 1 the sharded engine with N router-hashed workers.
 	// Output is byte-identical at any setting.
 	StreamWorkers int
+	// ShardAddrs selects the cluster engine: one remote shard process per
+	// address (repeat an address to host several shards in one process),
+	// reached over the shard wire protocol, merged locally. Empty inherits
+	// the digester's setting (SetShardAddrs); when resolved non-empty it
+	// takes precedence over StreamWorkers. Output stays byte-identical to
+	// the serial engine at any address count.
+	ShardAddrs []string
 	// ProvisionalHorizon turns on two-tier emission: 0 inherits the
 	// digester's setting (Params.ProvisionalHorizon /
 	// SetProvisionalHorizon), positive enables provisional records at that
@@ -71,7 +79,7 @@ type Streamer struct {
 	opts StreamerOptions
 
 	eng        streamEngine
-	engMetrics stream.ShardedMetrics
+	engMetrics stream.ClusterMetrics
 	reg        *obs.Registry
 
 	buf      reorderHeap
@@ -128,8 +136,11 @@ func NewStreamerWith(d *Digester, opts StreamerOptions) *Streamer {
 // and the shared grouping merge counters (group.merges.*). In sharded mode
 // it additionally publishes per-shard series (stream.shard.<k>.{pushed,
 // streams,evictions,watermark_unix_seconds}) and the merge-stage series
-// (stream.merge.emitted, stream.merge.lag_seconds). A nil registry leaves
-// the streamer uninstrumented.
+// (stream.merge.emitted, stream.merge.lag_seconds). In cluster mode the
+// wire-level series join them (stream.cluster.{bytes_out,bytes_in,
+// batches_sent,batches_acked,replayed_batches,reconnects,state_snapshots,
+// rtt_seconds,inflight,punctuations_applied}). A nil registry leaves the
+// streamer uninstrumented.
 func (s *Streamer) Instrument(reg *obs.Registry) {
 	s.reg = reg
 	s.mBuffered = reg.Gauge("stream.buffered")
@@ -137,7 +148,7 @@ func (s *Streamer) Instrument(reg *obs.Registry) {
 	s.mReordered = reg.Counter("stream.reordered")
 	s.mDropped = reg.Counter("stream.dropped.late")
 	s.mDroppedOvf = reg.Counter("stream.dropped.overflow")
-	s.engMetrics = stream.ShardedMetrics{Metrics: stream.Metrics{
+	s.engMetrics = stream.ClusterMetrics{ShardedMetrics: stream.ShardedMetrics{Metrics: stream.Metrics{
 		Grouping: grouping.IncMetrics{
 			MergeTemporal:   reg.Counter("group.merges.temporal"),
 			MergeRule:       reg.Counter("group.merges.rule"),
@@ -156,7 +167,7 @@ func (s *Streamer) Instrument(reg *obs.Registry) {
 		Emitted:     reg.Counter("stream.emitted"),
 		EmitLatency: reg.Histogram("stream.emit_latency_seconds", stream.EmitLatencyBounds()),
 		Watermark:   reg.Gauge("stream.watermark_unix_seconds"),
-	}}
+	}}}
 	if s.provHorizon() > 0 {
 		s.engMetrics.ProvEmitted = reg.Counter("stream.provisional.emitted")
 		s.engMetrics.ProvRevised = reg.Counter("stream.provisional.revised")
@@ -178,18 +189,45 @@ func (s *Streamer) Instrument(reg *obs.Registry) {
 			}
 		}
 	}
+	if len(s.clusterAddrs()) > 0 {
+		s.engMetrics.Client = cluster.ClientMetrics{
+			BytesOut:       reg.Counter("stream.cluster.bytes_out"),
+			BytesIn:        reg.Counter("stream.cluster.bytes_in"),
+			BatchesSent:    reg.Counter("stream.cluster.batches_sent"),
+			BatchesAcked:   reg.Counter("stream.cluster.batches_acked"),
+			Replayed:       reg.Counter("stream.cluster.replayed_batches"),
+			Reconnects:     reg.Counter("stream.cluster.reconnects"),
+			StateSnapshots: reg.Counter("stream.cluster.state_snapshots"),
+			RTT:            reg.Histogram("stream.cluster.rtt_seconds", stream.ClusterRTTBounds()),
+			Inflight:       reg.Gauge("stream.cluster.inflight"),
+		}
+		s.engMetrics.PunctApplied = reg.Counter("stream.cluster.punctuations_applied")
+	}
 	if s.eng != nil {
 		s.setEngineMetrics(s.eng)
 	}
 }
 
-// workers resolves the engine selection: explicit streamer option first,
-// then the digester's setting.
+// workers resolves the engine's shard count: the cluster address list when
+// one is configured (one shard per address), else the explicit streamer
+// option, else the digester's setting.
 func (s *Streamer) workers() int {
+	if addrs := s.clusterAddrs(); len(addrs) > 0 {
+		return len(addrs)
+	}
 	if s.opts.StreamWorkers != 0 {
 		return s.opts.StreamWorkers
 	}
 	return s.d.streamWorks
+}
+
+// clusterAddrs resolves the remote-shard address list: explicit streamer
+// option first, then the digester's setting. Empty means in-process.
+func (s *Streamer) clusterAddrs() []string {
+	if len(s.opts.ShardAddrs) > 0 {
+		return s.opts.ShardAddrs
+	}
+	return s.d.shardAddrs
 }
 
 // provHorizon resolves the two-tier emission setting: explicit streamer
@@ -205,22 +243,25 @@ func (s *Streamer) provHorizon() time.Duration {
 }
 
 // setEngineMetrics hands the metric set to the engine; the sharded engine
-// takes the per-shard and merge-stage handles too. Metrics must land
-// before the first Observe (they do: engine() installs them immediately
-// after construction).
+// takes the per-shard and merge-stage handles too, the cluster engine adds
+// the wire-level handles. Metrics must land before the first Observe (they
+// do: engine() installs them immediately after construction).
 func (s *Streamer) setEngineMetrics(eng streamEngine) {
-	if se, ok := eng.(*stream.ShardedEngine); ok {
-		se.SetShardedMetrics(s.engMetrics)
-		return
+	switch e := eng.(type) {
+	case *stream.ClusterEngine:
+		e.SetClusterMetrics(s.engMetrics)
+	case *stream.ShardedEngine:
+		e.SetShardedMetrics(s.engMetrics.ShardedMetrics)
+	default:
+		eng.SetMetrics(s.engMetrics.Metrics)
 	}
-	eng.SetMetrics(s.engMetrics.Metrics)
 }
 
 // engine lazily builds the underlying engine (construction can fail on
 // invalid temporal parameters, and NewStreamer has no error return).
 func (s *Streamer) engine() (streamEngine, error) {
 	if s.eng == nil {
-		eng, err := s.d.newStreamEngine(s.opts.MaxStreams, s.workers(), s.provHorizon())
+		eng, err := s.d.newStreamEngine(s.opts.MaxStreams, s.workers(), s.clusterAddrs(), s.provHorizon())
 		if err != nil {
 			return nil, err
 		}

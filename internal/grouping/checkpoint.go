@@ -170,9 +170,19 @@ func (x *pendingIndexer) of(p *Pending) int {
 func CaptureParts(locals []*RouterLocal, mg *Merger) IncState {
 	x := &pendingIndexer{idx: make(map[*Pending]int)}
 	st := IncState{Pendings: []PendingState{}}
+	st.Merger = captureMerger(x, mg)
+	st.Locals = make([]LocalState, len(locals))
+	for li, rl := range locals {
+		st.Locals[li] = captureLocal(x, rl)
+	}
+	st.Pendings = x.pool
+	return st
+}
 
-	// Merger first: open groups in closure-list order, then the cross ring.
-	st.Merger = MergerState{
+// captureMerger flattens the global half: open groups in closure-list
+// order, then the cross ring, then the tallies.
+func captureMerger(x *pendingIndexer, mg *Merger) MergerState {
+	ms := MergerState{
 		Started:         mg.started,
 		WatermarkNs:     checkpoint.TimeNs(mg.watermark),
 		Groups:          []GroupState{},
@@ -194,8 +204,8 @@ func CaptureParts(locals []*RouterLocal, mg *Merger) IncState {
 		for i, m := range g.members {
 			gs.Members[i] = x.of(m)
 		}
-		gidx[g.id] = len(st.Merger.Groups)
-		st.Merger.Groups = append(st.Merger.Groups, gs)
+		gidx[g.id] = len(ms.Groups)
+		ms.Groups = append(ms.Groups, gs)
 	}
 	// Live due entries, front first. Stale entries (the group merged away,
 	// closed, or its record was recycled under a new identity) resolve to
@@ -205,12 +215,12 @@ func CaptureParts(locals []*RouterLocal, mg *Merger) IncState {
 		if g == nil || g.id != e.gid || g.closed {
 			continue
 		}
-		st.Merger.ProvQueue = append(st.Merger.ProvQueue, ProvEntryState{
+		ms.ProvQueue = append(ms.ProvQueue, ProvEntryState{
 			Group: gidx[g.id], DueNs: checkpoint.TimeNs(e.due),
 		})
 	}
 	for i := 0; i < mg.crossWin.n; i++ {
-		st.Merger.CrossWin = append(st.Merger.CrossWin, x.of(mg.crossWin.at(i)))
+		ms.CrossWin = append(ms.CrossWin, x.of(mg.crossWin.at(i)))
 	}
 	pairs := make([]rules.PairKey, 0, len(mg.active))
 	for k := range mg.active {
@@ -223,55 +233,53 @@ func CaptureParts(locals []*RouterLocal, mg *Merger) IncState {
 		return pairs[i].Y < pairs[j].Y
 	})
 	for _, k := range pairs {
-		st.Merger.Active = append(st.Merger.Active, ActiveRuleState{X: k.X, Y: k.Y, Count: mg.active[k]})
+		ms.Active = append(ms.Active, ActiveRuleState{X: k.X, Y: k.Y, Count: mg.active[k]})
 	}
+	return ms
+}
 
-	// Locals: models in LRU order, windows sorted by router.
-	st.Locals = make([]LocalState, len(locals))
-	for li, rl := range locals {
-		ls := LocalState{
-			Started:        rl.started,
-			WatermarkNs:    checkpoint.TimeNs(rl.watermark),
-			Evictions:      rl.evictions,
-			RuleCandidates: rl.ruleCandidates,
-			RulePairs:      rl.rulePairs,
-			Models:         []ModelState{},
-			Windows:        []WindowState{},
-		}
-		for md := rl.mHead; md != nil; md = md.next {
-			// The live key holds the Location struct (hot-path economy); the
-			// snapshot keeps the canonical Key() string so the format is
-			// unchanged from older builds. ParseKey inverts it on restore.
-			ms := ModelState{
-				Template: md.key.template,
-				LocKey:   md.key.loc.Key(),
-				Router:   md.router,
-				Temporal: md.tg.State(),
-				Last:     -1,
-			}
-			if md.last != nil {
-				ms.Last = x.of(md.last)
-			}
-			ls.Models = append(ls.Models, ms)
-		}
-		routers := make([]string, 0, len(rl.routerWin))
-		for r := range rl.routerWin {
-			routers = append(routers, r)
-		}
-		sort.Strings(routers)
-		for _, r := range routers {
-			rw := rl.routerWin[r]
-			ws := WindowState{Router: r, Members: make([]int, rw.n)}
-			for i := 0; i < rw.n; i++ {
-				ws.Members[i] = x.of(rw.at(i))
-			}
-			ls.Windows = append(ls.Windows, ws)
-		}
-		st.Locals[li] = ls
+// captureLocal flattens one RouterLocal: models in LRU order, windows
+// sorted by router.
+func captureLocal(x *pendingIndexer, rl *RouterLocal) LocalState {
+	ls := LocalState{
+		Started:        rl.started,
+		WatermarkNs:    checkpoint.TimeNs(rl.watermark),
+		Evictions:      rl.evictions,
+		RuleCandidates: rl.ruleCandidates,
+		RulePairs:      rl.rulePairs,
+		Models:         []ModelState{},
+		Windows:        []WindowState{},
 	}
-
-	st.Pendings = x.pool
-	return st
+	for md := rl.mHead; md != nil; md = md.next {
+		// The live key holds the Location struct (hot-path economy); the
+		// snapshot keeps the canonical Key() string so the format is
+		// unchanged from older builds. ParseKey inverts it on restore.
+		ms := ModelState{
+			Template: md.key.template,
+			LocKey:   md.key.loc.Key(),
+			Router:   md.router,
+			Temporal: md.tg.State(),
+			Last:     -1,
+		}
+		if md.last != nil {
+			ms.Last = x.of(md.last)
+		}
+		ls.Models = append(ls.Models, ms)
+	}
+	routers := make([]string, 0, len(rl.routerWin))
+	for r := range rl.routerWin {
+		routers = append(routers, r)
+	}
+	sort.Strings(routers)
+	for _, r := range routers {
+		rw := rl.routerWin[r]
+		ws := WindowState{Router: r, Members: make([]int, rw.n)}
+		for i := 0; i < rw.n; i++ {
+			ws.Members[i] = x.of(rw.at(i))
+		}
+		ls.Windows = append(ls.Windows, ws)
+	}
+	return ls
 }
 
 // State snapshots a single-threaded incremental grouper.
@@ -349,25 +357,8 @@ func (s *Shardable) RestoreParts(st IncState, workers, localMax int, shardFor fu
 	// references the live engine would hold (group membership, model
 	// last-message, ring slots), and the final loop drops the
 	// materialization reference, leaving exactly the live counts.
-	ps := make([]*Pending, len(st.Pendings))
-	for i, pst := range st.Pendings {
-		ps[i] = NewPending(Message{
-			Seq:      pst.Seq,
-			Time:     checkpoint.NsTime(pst.TimeNs),
-			Router:   pst.Router,
-			Template: pst.Template,
-			Loc:      pst.Loc,
-			AllLocs:  pst.AllLocs,
-			Peers:    pst.Peers,
-			Raw:      pst.Raw,
-		})
-	}
-	at := func(i int) (*Pending, error) {
-		if i < 0 || i >= len(ps) {
-			return nil, fmt.Errorf("grouping: restore: pending index %d out of range [0, %d)", i, len(ps))
-		}
-		return ps[i], nil
-	}
+	ps := materializePendings(st.Pendings)
+	at := indexAccessor(ps)
 
 	// Merger: groups in closure-list order, cross ring, tallies.
 	mg := s.NewMerger()
@@ -442,47 +433,6 @@ func (s *Shardable) RestoreParts(st IncState, workers, localMax int, shardFor fu
 		locals[i] = s.NewLocal(localMax)
 	}
 	exact := len(st.Locals) == workers
-	restoreModel := func(rl *RouterLocal, ms ModelState) error {
-		loc, err := locdict.ParseKey(ms.Router, ms.LocKey)
-		if err != nil {
-			return fmt.Errorf("grouping: restore: %w", err)
-		}
-		key := modelKey{template: ms.Template, loc: loc}
-		if rl.models[key] != nil {
-			return fmt.Errorf("grouping: restore: duplicate model %d/%q", ms.Template, ms.LocKey)
-		}
-		tg, err := temporal.RestoreGrouper(s.g.cfg.Temporal, ms.Temporal)
-		if err != nil {
-			return err
-		}
-		md := &model{key: key, router: ms.Router, tg: tg}
-		if ms.Last >= 0 {
-			p, err := at(ms.Last)
-			if err != nil {
-				return err
-			}
-			p.ref() // model last-message reference
-			md.last = p
-		}
-		rl.models[key] = md
-		rl.pushModel(md)
-		return nil
-	}
-	restoreWindow := func(rl *RouterLocal, ws WindowState) error {
-		if rl.routerWin[ws.Router] != nil {
-			return fmt.Errorf("grouping: restore: duplicate window for router %q", ws.Router)
-		}
-		rw := &memberRing{}
-		for _, wi := range ws.Members {
-			p, err := at(wi)
-			if err != nil {
-				return err
-			}
-			rw.push(p)
-		}
-		rl.routerWin[ws.Router] = rw
-		return nil
-	}
 	targetFor := func(li int, router string) (*RouterLocal, error) {
 		if exact {
 			return locals[li], nil
@@ -499,7 +449,7 @@ func (s *Shardable) RestoreParts(st IncState, workers, localMax int, shardFor fu
 			if err != nil {
 				return nil, nil, err
 			}
-			if err := restoreModel(target, ms); err != nil {
+			if err := s.restoreModel(target, ms, at); err != nil {
 				return nil, nil, err
 			}
 		}
@@ -508,7 +458,7 @@ func (s *Shardable) RestoreParts(st IncState, workers, localMax int, shardFor fu
 			if err != nil {
 				return nil, nil, err
 			}
-			if err := restoreWindow(target, ws); err != nil {
+			if err := restoreWindow(target, ws, at); err != nil {
 				return nil, nil, err
 			}
 		}
@@ -537,6 +487,82 @@ func (s *Shardable) RestoreParts(st IncState, workers, localMax int, shardFor fu
 	// next insert; trimming here would skew the eviction counter for exact
 	// restores.
 	return locals, mg, nil
+}
+
+// materializePendings rebuilds the in-flight records of a snapshot. Each
+// record is GC-managed and starts with one materialization reference (see
+// RestoreParts); callers drop it once incorporation is complete.
+func materializePendings(sts []PendingState) []*Pending {
+	ps := make([]*Pending, len(sts))
+	for i, pst := range sts {
+		ps[i] = NewPending(Message{
+			Seq:      pst.Seq,
+			Time:     checkpoint.NsTime(pst.TimeNs),
+			Router:   pst.Router,
+			Template: pst.Template,
+			Loc:      pst.Loc,
+			AllLocs:  pst.AllLocs,
+			Peers:    pst.Peers,
+			Raw:      pst.Raw,
+		})
+	}
+	return ps
+}
+
+// indexAccessor is the bounds-checked snapshot-index → record lookup every
+// restore pass shares.
+func indexAccessor(ps []*Pending) func(int) (*Pending, error) {
+	return func(i int) (*Pending, error) {
+		if i < 0 || i >= len(ps) {
+			return nil, fmt.Errorf("grouping: restore: pending index %d out of range [0, %d)", i, len(ps))
+		}
+		return ps[i], nil
+	}
+}
+
+// restoreModel rebuilds one temporal stream into rl.
+func (s *Shardable) restoreModel(rl *RouterLocal, ms ModelState, at func(int) (*Pending, error)) error {
+	loc, err := locdict.ParseKey(ms.Router, ms.LocKey)
+	if err != nil {
+		return fmt.Errorf("grouping: restore: %w", err)
+	}
+	key := modelKey{template: ms.Template, loc: loc}
+	if rl.models[key] != nil {
+		return fmt.Errorf("grouping: restore: duplicate model %d/%q", ms.Template, ms.LocKey)
+	}
+	tg, err := temporal.RestoreGrouper(s.g.cfg.Temporal, ms.Temporal)
+	if err != nil {
+		return err
+	}
+	md := &model{key: key, router: ms.Router, tg: tg}
+	if ms.Last >= 0 {
+		p, err := at(ms.Last)
+		if err != nil {
+			return err
+		}
+		p.ref() // model last-message reference
+		md.last = p
+	}
+	rl.models[key] = md
+	rl.pushModel(md)
+	return nil
+}
+
+// restoreWindow rebuilds one router's rule window into rl.
+func restoreWindow(rl *RouterLocal, ws WindowState, at func(int) (*Pending, error)) error {
+	if rl.routerWin[ws.Router] != nil {
+		return fmt.Errorf("grouping: restore: duplicate window for router %q", ws.Router)
+	}
+	rw := &memberRing{}
+	for _, wi := range ws.Members {
+		p, err := at(wi)
+		if err != nil {
+			return err
+		}
+		rw.push(p)
+	}
+	rl.routerWin[ws.Router] = rw
+	return nil
 }
 
 // RestoreIncremental rebuilds a single-threaded incremental grouper from a

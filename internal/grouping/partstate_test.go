@@ -1,0 +1,167 @@
+package grouping
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// shardedFixture runs a 3-shard split over a randomized sorted batch and
+// returns the fed halves plus the remaining tail.
+func shardedFixture(t *testing.T, seed int64, n, cut int) (*Shardable, []*RouterLocal, *Merger, []Message) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	batch := randomBatch(rng, n)
+	sort.SliceStable(batch, func(i, j int) bool {
+		if !batch[i].Time.Equal(batch[j].Time) {
+			return batch[i].Time.Before(batch[j].Time)
+		}
+		return batch[i].Seq < batch[j].Seq
+	})
+	s, err := NewShardable(toyDict(t), flapRuleBase(), ckptCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 3
+	locals := make([]*RouterLocal, workers)
+	for i := range locals {
+		locals[i] = s.NewLocal(0)
+	}
+	mg := s.NewMerger()
+	var js Joins
+	for i := 0; i < cut; i++ {
+		p := NewPending(batch[i])
+		if err := locals[partShardFor(p.msg.Router, workers)].Step(p, &js); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mg.Apply(p, &js); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, locals, mg, batch[cut:]
+}
+
+func partShardFor(r string, workers int) int {
+	h := 0
+	for i := 0; i < len(r); i++ {
+		h = h*31 + int(r[i])
+	}
+	return ((h % workers) + workers) % workers
+}
+
+// TestLocalPartRoundTrip pins the single-shard snapshot: capture → JSON →
+// restore → capture is byte-stable, and the restored local produces the
+// same join decisions as the uninterrupted one on the remaining tail.
+func TestLocalPartRoundTrip(t *testing.T) {
+	s, locals, _, tail := shardedFixture(t, 41, 90, 45)
+	for li, rl := range locals {
+		st := CaptureLocal(rl)
+		raw1, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back LocalPartState
+		if err := json.Unmarshal(raw1, &back); err != nil {
+			t.Fatal(err)
+		}
+		restored, err := s.RestoreLocal(back, 0)
+		if err != nil {
+			t.Fatalf("shard %d: restore: %v", li, err)
+		}
+		raw2, err := json.Marshal(CaptureLocal(restored))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw1, raw2) {
+			t.Fatalf("shard %d: part not byte-stable across restore:\n%s\nvs\n%s", li, raw1, raw2)
+		}
+
+		// Continuation: identical decisions (by predecessor Seq) on the tail.
+		var jsA, jsB Joins
+		for _, m := range tail {
+			if partShardFor(m.Router, len(locals)) != li {
+				continue
+			}
+			pa, pb := NewPending(m), NewPending(m)
+			if err := rl.Step(pa, &jsA); err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.Step(pb, &jsB); err != nil {
+				t.Fatal(err)
+			}
+			if !sameJoinSeqs(&jsA, &jsB) {
+				t.Fatalf("shard %d seq %d: decisions diverge after restore", li, m.Seq)
+			}
+		}
+	}
+}
+
+func sameJoinSeqs(a, b *Joins) bool {
+	if (a.Temporal == nil) != (b.Temporal == nil) {
+		return false
+	}
+	if a.Temporal != nil && a.Temporal.msg.Seq != b.Temporal.msg.Seq {
+		return false
+	}
+	if len(a.Rules) != len(b.Rules) {
+		return false
+	}
+	for i := range a.Rules {
+		if a.Rules[i].msg.Seq != b.Rules[i].msg.Seq {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCaptureRemotePartsMatchesCaptureParts is the stitching guarantee the
+// cluster checkpoint path rests on: merging per-shard parts with the local
+// merger must reproduce the in-process CaptureParts snapshot byte for byte.
+func TestCaptureRemotePartsMatchesCaptureParts(t *testing.T) {
+	_, locals, mg, _ := shardedFixture(t, 97, 110, 80)
+	want, err := json.Marshal(CaptureParts(locals, mg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]LocalPartState, len(locals))
+	for i, rl := range locals {
+		parts[i] = CaptureLocal(rl)
+	}
+	st, err := CaptureRemoteParts(mg, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("remote capture diverges from in-process capture:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestCaptureRemotePartsRejectsCorruptIndexes: a part referencing outside
+// its own pending table must error, not panic.
+func TestCaptureRemotePartsRejectsCorruptIndexes(t *testing.T) {
+	_, locals, mg, _ := shardedFixture(t, 13, 60, 40)
+	parts := make([]LocalPartState, len(locals))
+	for i, rl := range locals {
+		parts[i] = CaptureLocal(rl)
+	}
+	found := false
+	for i := range parts {
+		if len(parts[i].Local.Models) > 0 {
+			parts[i].Local.Models[0].Last = len(parts[i].Pendings) + 5
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no models in fixture")
+	}
+	if _, err := CaptureRemoteParts(mg, parts); err == nil {
+		t.Error("out-of-range part index accepted")
+	}
+}

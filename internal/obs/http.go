@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync/atomic"
 	"time"
 )
@@ -79,6 +80,8 @@ type Server struct {
 //
 //	/metrics — the registry snapshot as JSON
 //	/healthz — 200 with a Status body when ready and live, else 503
+//	/debug/pprof/ — the standard pprof handlers (profile, heap, trace, …),
+//	                on the same mux so one -metrics flag serves both
 //
 // health may be nil (always healthy). The listener is bound synchronously,
 // so a bad addr fails here rather than in the background.
@@ -104,6 +107,15 @@ func Serve(addr string, reg *Registry, health *Health) (*Server, error) {
 		enc := json.NewEncoder(w)
 		_ = enc.Encode(st)
 	})
+	// pprof rides the metrics mux: the exporter address is already the
+	// operator-facing diagnostic port, and the handlers are inert until hit.
+	// (The handlers are package functions because this mux is not
+	// http.DefaultServeMux, where net/http/pprof self-registers.)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	s := &Server{ln: ln, srv: srv}
 	go func() {

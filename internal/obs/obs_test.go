@@ -286,3 +286,31 @@ func TestPublishRuntime(t *testing.T) {
 		t.Fatalf("mallocs went backwards: %v then %v", mallocs, got)
 	}
 }
+
+// TestServePprof pins the diagnostic endpoints riding the metrics mux: the
+// pprof index, a named profile, and the symbol endpoint all answer on the
+// same -metrics address, so one flag serves scrape and profiling alike.
+func TestServePprof(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap?debug=1", "/debug/pprof/symbol"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d (%s)", path, resp.StatusCode, body)
+		}
+		if len(body) == 0 {
+			t.Fatalf("GET %s returned an empty body", path)
+		}
+	}
+}
